@@ -1,0 +1,47 @@
+//! Criterion benchmarks comparing greedy and ILP extraction on the
+//! saturated headline expression (the §4.3 trade-off).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spores_core::analysis::{Context, MathGraph, MetaAnalysis, VarMeta};
+use spores_core::{extract_greedy, extract_ilp, parse_math};
+use spores_egraph::{Runner, Scheduler};
+use std::hint::black_box;
+
+fn saturated() -> (spores_egraph::Id, MathGraph) {
+    let ctx = Context::new()
+        .with_var("X", VarMeta::sparse(1000, 500, 0.001))
+        .with_var("U", VarMeta::dense(1000, 1))
+        .with_var("V", VarMeta::dense(500, 1))
+        .with_index("i", 1000)
+        .with_index("j", 500);
+    let expr = parse_math(
+        "(sum i (sum j (pow (+ (b i j X) (* -1 (* (b i _ U) (b j _ V)))) 2)))",
+    )
+    .unwrap();
+    let runner = Runner::new(MetaAnalysis::new(ctx))
+        .with_expr(&expr)
+        .with_scheduler(Scheduler::DepthFirst)
+        .with_node_limit(10_000)
+        .run(&spores_core::default_rules());
+    (runner.roots[0], runner.egraph)
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let (root, eg) = saturated();
+    let mut group = c.benchmark_group("extraction/headline");
+    group.sample_size(10);
+    group.bench_function("greedy", |b| {
+        b.iter(|| extract_greedy(black_box(&eg), root).unwrap().0)
+    });
+    group.bench_function("ilp", |b| {
+        let solver = spores_ilp::Solver {
+            time_limit: std::time::Duration::from_secs(2),
+            ..Default::default()
+        };
+        b.iter(|| extract_ilp(black_box(&eg), root, &solver).unwrap().0)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

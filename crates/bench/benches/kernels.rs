@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the matrix substrate: the sparse kernels
+//! whose asymptotics the SPORES rewrites exploit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spores_matrix::gen;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut r = gen::rng(42);
+    let sparse = gen::rand_sparse(2000, 1000, 0.01, -1.0, 1.0, &mut r);
+    let dense = gen::rand_dense(2000, 1000, -1.0, 1.0, &mut r);
+    let v = gen::rand_dense(1000, 1, -1.0, 1.0, &mut r);
+
+    let mut group = c.benchmark_group("kernels/matvec_2000x1000");
+    group.bench_function("sparse(1%)", |b| {
+        b.iter(|| black_box(&sparse).matmul(black_box(&v)))
+    });
+    group.bench_function("dense", |b| {
+        b.iter(|| black_box(&dense).matmul(black_box(&v)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("kernels/elemmul_2000x1000");
+    group.bench_function("sparse*dense", |b| {
+        b.iter(|| black_box(&sparse).mul(black_box(&dense)))
+    });
+    group.bench_function("dense*dense", |b| {
+        b.iter(|| black_box(&dense).mul(black_box(&dense)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("kernels/transpose_2000x1000");
+    group.bench_function("sparse", |b| b.iter(|| black_box(&sparse).transpose()));
+    group.bench_function("dense", |b| b.iter(|| black_box(&dense).transpose()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

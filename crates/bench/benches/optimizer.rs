@@ -1,0 +1,66 @@
+//! Criterion benchmark: end-to-end optimizer latency per workload
+//! statement (the compile-cost side of Figure 16, as a tracked
+//! regression benchmark).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spores_core::{Optimizer, OptimizerConfig, VarMeta};
+use spores_ir::{ExprArena, Symbol};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_optimize(c: &mut Criterion) {
+    type Case = (&'static str, &'static str, Vec<(&'static str, (u64, u64), f64)>);
+    let cases: Vec<Case> = vec![
+        (
+            "headline",
+            "sum((X - u %*% t(v))^2)",
+            vec![
+                ("X", (1000, 500), 0.001),
+                ("u", (1000, 1), 1.0),
+                ("v", (500, 1), 1.0),
+            ],
+        ),
+        (
+            "als_gradient",
+            "(U %*% t(V) - X) %*% V",
+            vec![
+                ("X", (2000, 1000), 0.01),
+                ("U", (2000, 10), 1.0),
+                ("V", (1000, 10), 1.0),
+            ],
+        ),
+        (
+            "pnmf_objective",
+            "sum(W %*% H) - sum(X * log(W %*% H))",
+            vec![
+                ("X", (1000, 1000), 0.01),
+                ("W", (1000, 10), 1.0),
+                ("H", (10, 1000), 1.0),
+            ],
+        ),
+    ];
+    let mut group = c.benchmark_group("optimize");
+    group.sample_size(10);
+    for (name, src, vars) in cases {
+        let mut arena = ExprArena::new();
+        let root = spores_ir::parse_expr(&mut arena, src).unwrap();
+        let meta: HashMap<Symbol, VarMeta> = vars
+            .iter()
+            .map(|&(n, (r, cc), s)| (Symbol::new(n), VarMeta::sparse(r, cc, s)))
+            .collect();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let opt = Optimizer::new(OptimizerConfig {
+                    node_limit: 8_000,
+                    iter_limit: 30,
+                    ..OptimizerConfig::default()
+                });
+                black_box(opt.optimize(&arena, root, &meta).unwrap().cost_after)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimize);
+criterion_main!(benches);

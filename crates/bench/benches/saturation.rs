@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the equality-saturation engine:
+//! e-graph insertion/rebuild throughput and full saturation of the
+//! paper's headline expression under both schedulers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spores_core::analysis::{Context, MetaAnalysis, VarMeta};
+use spores_core::parse_math;
+use spores_egraph::{Runner, Scheduler};
+use std::hint::black_box;
+
+fn ctx() -> Context {
+    Context::new()
+        .with_var("X", VarMeta::sparse(1000, 500, 0.001))
+        .with_var("U", VarMeta::dense(1000, 1))
+        .with_var("V", VarMeta::dense(500, 1))
+        .with_index("i", 1000)
+        .with_index("j", 500)
+}
+
+fn headline() -> spores_core::MathExpr {
+    parse_math("(sum i (sum j (pow (+ (b i j X) (* -1 (* (b i _ U) (b j _ V)))) 2)))").unwrap()
+}
+
+fn bench_add_rebuild(c: &mut Criterion) {
+    let expr = headline();
+    c.bench_function("egraph/add_expr+rebuild", |b| {
+        b.iter(|| {
+            let mut eg =
+                spores_core::analysis::MathGraph::new(MetaAnalysis::new(ctx()));
+            let id = eg.add_expr(black_box(&expr));
+            eg.rebuild();
+            black_box(id)
+        })
+    });
+}
+
+fn bench_saturation(c: &mut Criterion) {
+    let expr = headline();
+    let rules = spores_core::default_rules();
+    let mut group = c.benchmark_group("saturation/headline");
+    group.sample_size(10);
+    group.bench_function("depth_first", |b| {
+        b.iter(|| {
+            Runner::new(MetaAnalysis::new(ctx()))
+                .with_expr(&expr)
+                .with_scheduler(Scheduler::DepthFirst)
+                .with_node_limit(10_000)
+                .run(black_box(&rules))
+                .egraph
+                .total_number_of_nodes()
+        })
+    });
+    group.bench_function("sampling", |b| {
+        b.iter(|| {
+            Runner::new(MetaAnalysis::new(ctx()))
+                .with_expr(&expr)
+                .with_scheduler(Scheduler::Sampling {
+                    match_limit: 40,
+                    seed: 1,
+                })
+                .with_node_limit(10_000)
+                .run(black_box(&rules))
+                .egraph
+                .total_number_of_nodes()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_add_rebuild, bench_saturation);
+criterion_main!(benches);

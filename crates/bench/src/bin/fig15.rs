@@ -1,0 +1,53 @@
+//! Figure 15: run time of the five programs compiled by base / opt2 /
+//! saturation, across three data sizes.
+//!
+//! Data sizes are scaled ~100× down from the paper's 1 TB-RAM testbed
+//! (EXPERIMENTS.md documents the mapping); what must reproduce is the
+//! *shape*: saturation ≥ opt2 ≥ base everywhere, with the ALS / MLR /
+//! PNMF gaps coming from the specific rewrites §4.2 analyses. Besides
+//! wall-clock we print deterministic FLOP and allocation counters.
+//!
+//! Flags: `--small` (quick pass: small size only), `--sizes 1,10` to
+//! select scale factors.
+
+use spores_bench::{human, ms, Table};
+use spores_ml::{run, Mode, Scale};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let scales: Vec<Scale> = if small {
+        vec![Scale::Small]
+    } else {
+        Scale::all().to_vec()
+    };
+    println!("Figure 15: run time [ms] (and flops / cells allocated) per optimizer");
+    println!();
+    let mut table = Table::new(&[
+        "Program", "Size", "Mode", "Exec ms", "Flops", "Alloc", "Speedup vs base",
+    ]);
+    for &scale in &scales {
+        for workload in spores_ml::figure15_suite(scale) {
+            let mut base_time = None;
+            for mode in [Mode::Base, Mode::Opt2, Mode::spores()] {
+                let report = run(&workload, &mode).expect("run succeeds");
+                let secs = report.exec_time.as_secs_f64();
+                if matches!(mode, Mode::Base) {
+                    base_time = Some(secs);
+                }
+                let speedup = base_time
+                    .map(|b| format!("{:.2}x", b / secs.max(1e-9)))
+                    .unwrap_or_default();
+                table.row(&[
+                    workload.name.to_string(),
+                    workload.size_label.clone(),
+                    report.mode.to_string(),
+                    ms(report.exec_time),
+                    human(report.stats.flops),
+                    human(report.stats.cells_allocated),
+                    speedup,
+                ]);
+            }
+        }
+    }
+    table.print();
+}

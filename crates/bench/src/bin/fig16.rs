@@ -1,0 +1,89 @@
+//! Figure 16: compile-time breakdown (translate / saturate / extract)
+//! for the saturation+extraction strategies, vs the heuristic baseline's
+//! total compile time.
+//!
+//! Strategies (as in the paper): depth-first + greedy, sampling + greedy,
+//! sampling + ILP. Saturation runs under the paper's 2.5 s timeout;
+//! depth-first is expected to hit it on the programs with deeply nested
+//! `*`/`+` (GLM, SVM in the paper). Convergence per program (§4.3) is
+//! reported alongside.
+
+use spores_bench::{ms, Table};
+use spores_core::ExtractorKind;
+use spores_egraph::Scheduler;
+use spores_ml::{compile, Mode, Scale};
+
+fn main() {
+    println!("Figure 16: compile time breakdown [ms] per strategy (timeout 2.5 s)");
+    println!();
+    let sampling = || Scheduler::Sampling {
+        match_limit: 40,
+        seed: 0xC0FFEE,
+    };
+    let strategies: Vec<(&str, Mode)> = vec![
+        (
+            "DFS, greedy",
+            Mode::Spores {
+                scheduler: Scheduler::DepthFirst,
+                extractor: ExtractorKind::Greedy,
+            },
+        ),
+        (
+            "sampling, greedy",
+            Mode::Spores {
+                scheduler: sampling(),
+                extractor: ExtractorKind::Greedy,
+            },
+        ),
+        (
+            "sampling, ILP",
+            Mode::Spores {
+                scheduler: sampling(),
+                extractor: ExtractorKind::Ilp,
+            },
+        ),
+        ("SystemML (opt2)", Mode::Opt2),
+    ];
+    let mut table = Table::new(&[
+        "Strategy",
+        "Program",
+        "Translate",
+        "Saturate",
+        "Extract",
+        "Total",
+        "Converged",
+        "Timeout",
+        "E-nodes",
+    ]);
+    for (label, mode) in &strategies {
+        for workload in spores_ml::figure15_suite(Scale::Small) {
+            let compiled = compile(&workload, mode);
+            let r = &compiled.report;
+            match &r.phases {
+                Some(p) => table.row(&[
+                    label.to_string(),
+                    workload.name.to_string(),
+                    ms(p.translate),
+                    ms(p.saturate),
+                    ms(p.extract),
+                    ms(r.total),
+                    if r.converged { "yes" } else { "no" }.into(),
+                    if r.timed_out { "YES" } else { "-" }.into(),
+                    r.max_e_nodes.to_string(),
+                ]),
+                None => table.row(&[
+                    label.to_string(),
+                    workload.name.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    ms(r.total),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]),
+            }
+        }
+    }
+    table.print();
+}

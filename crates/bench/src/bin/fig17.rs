@@ -1,0 +1,58 @@
+//! Figure 17: performance impact of the saturation/extraction
+//! strategies — SystemML (opt2) vs S+ILP vs S+greedy vs D+greedy.
+//!
+//! The paper's finding to reproduce: "Greedy extraction significantly
+//! reduces compile time without sacrificing any performance gain" — the
+//! run-time columns of S+ILP and S+greedy should match.
+
+use spores_bench::{human, ms, Table};
+use spores_core::ExtractorKind;
+use spores_egraph::Scheduler;
+use spores_ml::{run, Mode, Scale};
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let scales: Vec<Scale> = if small {
+        vec![Scale::Small]
+    } else {
+        vec![Scale::Small, Scale::Medium]
+    };
+    let sampling = || Scheduler::Sampling {
+        match_limit: 40,
+        seed: 0xC0FFEE,
+    };
+    let modes: Vec<Mode> = vec![
+        Mode::Opt2,
+        Mode::Spores {
+            scheduler: sampling(),
+            extractor: ExtractorKind::Ilp,
+        },
+        Mode::Spores {
+            scheduler: sampling(),
+            extractor: ExtractorKind::Greedy,
+        },
+        Mode::Spores {
+            scheduler: Scheduler::DepthFirst,
+            extractor: ExtractorKind::Greedy,
+        },
+    ];
+    println!("Figure 17: run time [ms] per saturation/extraction strategy");
+    println!();
+    let mut table = Table::new(&["Program", "Size", "Mode", "Exec ms", "Flops", "Compile ms"]);
+    for &scale in &scales {
+        for workload in spores_ml::figure15_suite(scale) {
+            for mode in &modes {
+                let report = run(&workload, mode).expect("run succeeds");
+                table.row(&[
+                    workload.name.to_string(),
+                    workload.size_label.clone(),
+                    report.mode.to_string(),
+                    ms(report.exec_time),
+                    human(report.stats.flops),
+                    ms(report.compile.total),
+                ]);
+            }
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,505 @@
+//! Reference evaluators for LA and RA expressions.
+//!
+//! These are deliberately naive (dense, index-at-a-time) interpreters used
+//! to *specify* semantics: property tests check that translation (R_LR),
+//! saturation (R_EQ) and canonicalization all preserve them. The fast
+//! execution engine lives in `spores-exec`; this module is the oracle it
+//! is tested against.
+
+use crate::lang::{Math, MathExpr};
+use spores_egraph::Id;
+use spores_ir::{BinOp, ExprArena, LaNode, NodeId, Shape, Symbol, UnOp};
+use std::collections::HashMap;
+
+/// A small dense matrix for reference evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f64>,
+}
+
+impl Tensor {
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Tensor {
+        assert_eq!(data.len(), rows * cols);
+        Tensor { rows, cols, data }
+    }
+
+    pub fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    pub fn scalar(v: f64) -> Tensor {
+        Tensor::new(1, 1, vec![v])
+    }
+
+    pub fn shape(&self) -> Shape {
+        Shape::new(self.rows as u64, self.cols as u64)
+    }
+
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Broadcast-aware cell access (1-sized dims repeat).
+    pub fn bget(&self, r: usize, c: usize) -> f64 {
+        let r = if self.rows == 1 { 0 } else { r };
+        let c = if self.cols == 1 { 0 } else { c };
+        self.get(r, c)
+    }
+
+    pub fn approx_eq(&self, other: &Tensor, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())))
+    }
+}
+
+fn apply_un(op: UnOp, x: f64) -> f64 {
+    match op {
+        UnOp::Neg => -x,
+        UnOp::Exp => x.exp(),
+        UnOp::Log => x.ln(),
+        UnOp::Sqrt => x.sqrt(),
+        UnOp::Abs => x.abs(),
+        UnOp::Sign => {
+            if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        }
+        UnOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        UnOp::Sprop => x * (1.0 - x),
+        UnOp::T | UnOp::RowSums | UnOp::ColSums | UnOp::Sum => unreachable!("not element-wise"),
+    }
+}
+
+fn apply_bin(op: BinOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Pow => a.powf(b),
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        BinOp::Gt => f64::from(a > b),
+        BinOp::Lt => f64::from(a < b),
+        BinOp::Ge => f64::from(a >= b),
+        BinOp::Le => f64::from(a <= b),
+        BinOp::MatMul => unreachable!("not element-wise"),
+    }
+}
+
+/// Evaluate an LA expression over dense inputs.
+pub fn eval_la(
+    arena: &ExprArena,
+    root: NodeId,
+    vars: &HashMap<Symbol, Tensor>,
+) -> Result<Tensor, String> {
+    let mut values: Vec<Option<Tensor>> = vec![None; arena.len()];
+    for id in arena.postorder(root) {
+        let value = match arena.node(id) {
+            LaNode::Var(v) => vars
+                .get(v)
+                .cloned()
+                .ok_or_else(|| format!("unbound variable {v}"))?,
+            LaNode::Scalar(n) => Tensor::scalar(n.get()),
+            LaNode::Fill(n, r, c) => Tensor {
+                rows: *r as usize,
+                cols: *c as usize,
+                data: vec![n.get(); (*r * *c) as usize],
+            },
+            LaNode::Un(op, a) => {
+                let a = values[a.index()].as_ref().expect("postorder");
+                match op {
+                    UnOp::T => {
+                        let mut out = Tensor::zeros(a.cols, a.rows);
+                        for r in 0..a.rows {
+                            for c in 0..a.cols {
+                                out.set(c, r, a.get(r, c));
+                            }
+                        }
+                        out
+                    }
+                    UnOp::RowSums => {
+                        let mut out = Tensor::zeros(a.rows, 1);
+                        for r in 0..a.rows {
+                            out.set(r, 0, (0..a.cols).map(|c| a.get(r, c)).sum());
+                        }
+                        out
+                    }
+                    UnOp::ColSums => {
+                        let mut out = Tensor::zeros(1, a.cols);
+                        for c in 0..a.cols {
+                            out.set(0, c, (0..a.rows).map(|r| a.get(r, c)).sum());
+                        }
+                        out
+                    }
+                    UnOp::Sum => Tensor::scalar(a.data.iter().sum()),
+                    op => Tensor {
+                        rows: a.rows,
+                        cols: a.cols,
+                        data: a.data.iter().map(|&x| apply_un(*op, x)).collect(),
+                    },
+                }
+            }
+            LaNode::Bin(op, a, b) => {
+                let a = values[a.index()].as_ref().expect("postorder");
+                let b = values[b.index()].as_ref().expect("postorder");
+                match op {
+                    BinOp::MatMul => {
+                        if a.cols != b.rows {
+                            return Err(format!(
+                                "matmul shape mismatch {}x{} vs {}x{}",
+                                a.rows, a.cols, b.rows, b.cols
+                            ));
+                        }
+                        let mut out = Tensor::zeros(a.rows, b.cols);
+                        for r in 0..a.rows {
+                            for c in 0..b.cols {
+                                let mut acc = 0.0;
+                                for k in 0..a.cols {
+                                    acc += a.get(r, k) * b.get(k, c);
+                                }
+                                out.set(r, c, acc);
+                            }
+                        }
+                        out
+                    }
+                    op => {
+                        let rows = a.rows.max(b.rows);
+                        let cols = a.cols.max(b.cols);
+                        let mut out = Tensor::zeros(rows, cols);
+                        for r in 0..rows {
+                            for c in 0..cols {
+                                out.set(r, c, apply_bin(*op, a.bget(r, c), b.bget(r, c)));
+                            }
+                        }
+                        out
+                    }
+                }
+            }
+        };
+        values[id.index()] = Some(value);
+    }
+    Ok(values[root.index()].take().expect("root evaluated"))
+}
+
+/// Evaluator for relational (RA) expressions: computes the value of the
+/// K-relation at one index valuation, recursing over the term.
+pub struct RaEvaluator<'a> {
+    pub expr: &'a MathExpr,
+    pub vars: &'a HashMap<Symbol, Tensor>,
+    pub index_dims: &'a HashMap<Symbol, usize>,
+}
+
+impl<'a> RaEvaluator<'a> {
+    /// Value of the (sub-)relation at `id` under the index valuation
+    /// `env`. Aggregations extend `env` for their bound index (shadowing
+    /// any outer binding of the same name, which alpha-freedom makes
+    /// benign).
+    pub fn value(&self, id: Id, env: &mut HashMap<Symbol, usize>) -> Result<f64, String> {
+        use Math::*;
+        let v = match self.expr.node(id) {
+            Lit(n) => n.get(),
+            Bind([i, j, x]) => {
+                let name = self.sym_of(*x)?;
+                let t = self
+                    .vars
+                    .get(&name)
+                    .ok_or_else(|| format!("unbound variable {name}"))?;
+                let r = self.index_value(*i, env)?;
+                let c = self.index_value(*j, env)?;
+                t.get(r, c)
+            }
+            Add([a, b]) => self.value(*a, env)? + self.value(*b, env)?,
+            Mul([a, b]) => self.value(*a, env)? * self.value(*b, env)?,
+            Agg([i, body]) => {
+                let sym = self.sym_of(*i)?;
+                let dim = *self
+                    .index_dims
+                    .get(&sym)
+                    .ok_or_else(|| format!("unknown index {sym}"))?;
+                let saved = env.get(&sym).copied();
+                let mut acc = 0.0;
+                for v in 0..dim {
+                    env.insert(sym, v);
+                    acc += self.value(*body, env)?;
+                }
+                match saved {
+                    Some(v) => {
+                        env.insert(sym, v);
+                    }
+                    None => {
+                        env.remove(&sym);
+                    }
+                }
+                acc
+            }
+            Dim(i) => {
+                let sym = self.sym_of(*i)?;
+                *self
+                    .index_dims
+                    .get(&sym)
+                    .ok_or_else(|| format!("unknown index {sym}"))? as f64
+            }
+            Pow([a, k]) => self.value(*a, env)?.powf(self.value(*k, env)?),
+            Inv(a) => 1.0 / self.value(*a, env)?,
+            Exp(a) => self.value(*a, env)?.exp(),
+            Log(a) => self.value(*a, env)?.ln(),
+            Sqrt(a) => self.value(*a, env)?.sqrt(),
+            Abs(a) => self.value(*a, env)?.abs(),
+            Sign(a) => {
+                let x = self.value(*a, env)?;
+                if x > 0.0 {
+                    1.0
+                } else if x < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            Sigmoid(a) => 1.0 / (1.0 + (-self.value(*a, env)?).exp()),
+            Sprop(a) => {
+                let p = self.value(*a, env)?;
+                p * (1.0 - p)
+            }
+            Gt([a, b]) => f64::from(self.value(*a, env)? > self.value(*b, env)?),
+            Lt([a, b]) => f64::from(self.value(*a, env)? < self.value(*b, env)?),
+            Ge([a, b]) => f64::from(self.value(*a, env)? >= self.value(*b, env)?),
+            Le([a, b]) => f64::from(self.value(*a, env)? <= self.value(*b, env)?),
+            BMin([a, b]) => self.value(*a, env)?.min(self.value(*b, env)?),
+            BMax([a, b]) => self.value(*a, env)?.max(self.value(*b, env)?),
+            other => return Err(format!("eval_ra: unsupported node {other:?}")),
+        };
+        Ok(v)
+    }
+
+    fn sym_of(&self, id: Id) -> Result<Symbol, String> {
+        match self.expr.node(id) {
+            Math::Sym(s) => Ok(*s),
+            Math::NoIdx => Ok(Symbol::new("_")),
+            other => Err(format!("expected symbol, got {other:?}")),
+        }
+    }
+
+    fn index_value(&self, id: Id, env: &HashMap<Symbol, usize>) -> Result<usize, String> {
+        match self.expr.node(id) {
+            Math::NoIdx => Ok(0),
+            Math::Sym(s) => env
+                .get(s)
+                .copied()
+                .ok_or_else(|| format!("free index {s} not bound by caller")),
+            other => Err(format!("expected index, got {other:?}")),
+        }
+    }
+}
+
+/// Materialize an RA expression to a matrix, iterating its (≤2) free
+/// attributes in the `(row, col)` orientation the translator reports.
+pub fn eval_ra(
+    expr: &MathExpr,
+    row: Option<Symbol>,
+    col: Option<Symbol>,
+    vars: &HashMap<Symbol, Tensor>,
+    index_dims: &HashMap<Symbol, usize>,
+) -> Result<Tensor, String> {
+    let ev = RaEvaluator {
+        expr,
+        vars,
+        index_dims,
+    };
+    let rows = row.map_or(Ok(1), |s| {
+        index_dims
+            .get(&s)
+            .copied()
+            .ok_or_else(|| format!("unknown row index {s}"))
+    })?;
+    let cols = col.map_or(Ok(1), |s| {
+        index_dims
+            .get(&s)
+            .copied()
+            .ok_or_else(|| format!("unknown col index {s}"))
+    })?;
+    let mut out = Tensor::zeros(rows, cols);
+    let mut env = HashMap::new();
+    for r in 0..rows {
+        if let Some(s) = row {
+            env.insert(s, r);
+        }
+        for c in 0..cols {
+            if let Some(s) = col {
+                env.insert(s, c);
+            }
+            out.set(r, c, ev.value(expr.root(), &mut env)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::VarMeta;
+    use crate::translate::translate;
+    use spores_ir::parse_expr;
+
+    fn t(rows: usize, cols: usize, data: &[f64]) -> Tensor {
+        Tensor::new(rows, cols, data.to_vec())
+    }
+
+    fn check_translation(src: &str, inputs: &[(&str, Tensor)]) {
+        let mut arena = ExprArena::new();
+        let root = parse_expr(&mut arena, src).unwrap();
+        let tensors: HashMap<Symbol, Tensor> = inputs
+            .iter()
+            .map(|(n, t)| (Symbol::new(n), t.clone()))
+            .collect();
+        let vars: HashMap<Symbol, VarMeta> = inputs
+            .iter()
+            .map(|(n, t)| {
+                (
+                    Symbol::new(n),
+                    VarMeta::dense(t.rows as u64, t.cols as u64),
+                )
+            })
+            .collect();
+
+        let la = eval_la(&arena, root, &tensors).unwrap();
+
+        let tr = translate(&arena, root, &vars).unwrap();
+        let dims: HashMap<Symbol, usize> = tr
+            .ctx
+            .index_dims
+            .iter()
+            .map(|(&s, &d)| (s, d as usize))
+            .collect();
+        let ra = eval_ra(&tr.expr, tr.row, tr.col, &tensors, &dims).unwrap();
+
+        assert!(
+            la.approx_eq(&ra, 1e-9),
+            "{src}: LA {la:?} != RA {ra:?} (plan: {})",
+            tr.expr
+        );
+    }
+
+    #[test]
+    fn figure_1_examples() {
+        // A * xᵀ and A x from Figure 1 of the paper
+        let a = t(2, 2, &[0.0, 5.0, 7.0, 0.0]);
+        let x = t(2, 1, &[3.0, 2.0]);
+        check_translation("A * t(x)", &[("A", a.clone()), ("x", x.clone())]);
+        check_translation("A %*% x", &[("A", a), ("x", x)]);
+    }
+
+    #[test]
+    fn la_eval_basics() {
+        let mut arena = ExprArena::new();
+        let root = parse_expr(&mut arena, "t(X) %*% X").unwrap();
+        let x = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let vars = HashMap::from([(Symbol::new("X"), x)]);
+        let got = eval_la(&arena, root, &vars).unwrap();
+        assert_eq!(got, t(2, 2, &[10.0, 14.0, 14.0, 20.0]));
+    }
+
+    #[test]
+    fn translation_preserves_semantics_on_corpus() {
+        let x = t(3, 4, &[1., -2., 3., 0., 0., 5., -1., 2., 4., 0., 0., 1.]);
+        let y = t(3, 4, &[2., 0., 1., 1., -3., 1., 0., 0., 2., 2., 1., -1.]);
+        let u = t(3, 1, &[1., -1., 2.]);
+        let v = t(4, 1, &[0.5, 2., -1., 1.]);
+        let s = Tensor::scalar(3.0);
+        let inputs: Vec<(&str, Tensor)> = vec![
+            ("X", x),
+            ("Y", y),
+            ("u", u),
+            ("v", v),
+            ("s", s),
+        ];
+        for src in [
+            "X + Y",
+            "X - Y",
+            "X * Y",
+            "X / (Y + 10)",
+            "X %*% t(Y)",
+            "t(X) %*% X",
+            "X %*% v",
+            "t(u) %*% X",
+            "u %*% t(v)",
+            "sum(X)",
+            "rowSums(X * Y)",
+            "colSums(X)",
+            "sum((X - u %*% t(v))^2)",
+            "sum(X^2) - 2 * (t(u) %*% X %*% v) + (t(u) %*% u) * (t(v) %*% v)",
+            "X * u",
+            "X + s",
+            "s * X",
+            "sigmoid(X)",
+            "abs(X) * sign(X)",
+            "exp(X * 0.1)",
+            "(X > 0) - (X < 0)",
+            "min(X, Y) + max(X, Y)",
+            "-X",
+            "sum(t(X))",
+            "rowSums(t(Y))",
+            "colSums(X %*% t(Y))",
+            "sum(u) * sum(v)",
+            "(X %*% t(Y)) %*% u",
+            "t(v) %*% t(X)",
+        ] {
+            check_translation(src, &inputs);
+        }
+    }
+
+    #[test]
+    fn headline_equivalence_numerically() {
+        // sum((X−uvᵀ)²) == sum(X²) − 2uᵀXv + (uᵀu)(vᵀv)
+        let x = t(3, 2, &[1., 0., 0., 2., 3., 0.]);
+        let u = t(3, 1, &[1., 2., -1.]);
+        let v = t(2, 1, &[0.5, -1.5]);
+        let vars = HashMap::from([
+            (Symbol::new("X"), x),
+            (Symbol::new("u"), u),
+            (Symbol::new("v"), v),
+        ]);
+        let mut arena = ExprArena::new();
+        let lhs = parse_expr(&mut arena, "sum((X - u %*% t(v))^2)").unwrap();
+        let rhs = parse_expr(
+            &mut arena,
+            "sum(X^2) - 2 * (t(u) %*% X %*% v) + (t(u) %*% u) * (t(v) %*% v)",
+        )
+        .unwrap();
+        let a = eval_la(&arena, lhs, &vars).unwrap();
+        let b = eval_la(&arena, rhs, &vars).unwrap();
+        assert!(a.approx_eq(&b, 1e-9), "{a:?} vs {b:?}");
+    }
+
+    #[test]
+    fn shadowed_binder_evaluates_closed_inner_term() {
+        // Σ_i ( (Σ_i u(i)) * u(i) ): the inner Σ_i is closed; shadowing
+        // must not leak the outer i into it.
+        let expr = crate::lang::parse_math("(sum i (* (sum i (b i _ u)) (b i _ u)))").unwrap();
+        let u = t(3, 1, &[1., 2., 4.]);
+        let vars = HashMap::from([(Symbol::new("u"), u)]);
+        let dims = HashMap::from([(Symbol::new("i"), 3usize)]);
+        let got = eval_ra(&expr, None, None, &vars, &dims).unwrap();
+        // inner sum = 7; outer = Σ_i 7*u(i) = 7*7 = 49
+        assert_eq!(got, Tensor::scalar(49.0));
+    }
+}

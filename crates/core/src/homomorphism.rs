@@ -1,0 +1,231 @@
+//! Term homomorphisms (Appendix A, Definitions A.3–A.4).
+//!
+//! A homomorphism `f : t₁ → t₂` maps the bound indices of `t₁` onto those
+//! of `t₂` such that the atom bags coincide; the appendix's uniqueness
+//! proof (Lemma 2.2) rests on three executable facts checked here:
+//!
+//! * homomorphisms are **surjective** on indices (Corollary 1),
+//! * they **compose** (Corollary 2),
+//! * a pair of opposing homomorphisms yields an **isomorphism**
+//!   (Lemma A.1), so homomorphism induces a partial order on the terms of
+//!   a canonical form with no cycles between non-isomorphic terms.
+//!
+//! The uniqueness proof picks the *minimal* term under this order as the
+//! witness construction; [`minimal_terms`] exposes that choice.
+
+use crate::canon::{IndexRef, Term};
+
+/// A homomorphism from term `a` to term `b`: the image of each of `a`'s
+/// bound indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Homomorphism {
+    /// `map[i]` is the image in `b` of bound index `i` of `a`.
+    pub map: Vec<u32>,
+}
+
+impl Homomorphism {
+    /// Is this map surjective onto `0..n_bound_b` (Corollary 1 says every
+    /// homomorphism must be)?
+    pub fn is_surjective(&self, n_bound_b: u32) -> bool {
+        let mut hit = vec![false; n_bound_b as usize];
+        for &q in &self.map {
+            if let Some(h) = hit.get_mut(q as usize) {
+                *h = true;
+            }
+        }
+        hit.into_iter().all(|b| b)
+    }
+
+    /// Is this map a bijection (an isomorphism witness)?
+    pub fn is_bijective(&self, n_bound_b: u32) -> bool {
+        self.map.len() == n_bound_b as usize && self.is_surjective(n_bound_b)
+    }
+
+    /// Compose: `self : a → b`, `other : b → c` gives `a → c`
+    /// (Corollary 2).
+    pub fn then(&self, other: &Homomorphism) -> Homomorphism {
+        Homomorphism {
+            map: self
+                .map
+                .iter()
+                .map(|&q| other.map[q as usize])
+                .collect(),
+        }
+    }
+}
+
+/// Apply a bound-index mapping to a term's atoms and compare bags.
+fn maps_onto(a: &Term, b: &Term, map: &[u32]) -> bool {
+    let image: Vec<Vec<IndexRef>> = a
+        .atoms
+        .iter()
+        .map(|atom| {
+            atom.indices
+                .iter()
+                .map(|i| match i {
+                    IndexRef::Bound(p) => IndexRef::Bound(map[*p as usize]),
+                    free => *free,
+                })
+                .collect()
+        })
+        .collect();
+    // bag comparison keyed by (tensor, mapped indices)
+    let mut b_atoms: Vec<(usize, bool)> = (0..b.atoms.len()).map(|i| (i, false)).collect();
+    for (ai, atom) in a.atoms.iter().enumerate() {
+        let found = b_atoms.iter_mut().find(|(bi, used)| {
+            !*used
+                && b.atoms[*bi].tensor == atom.tensor
+                && b.atoms[*bi].indices == image[ai]
+        });
+        match found {
+            Some((_, used)) => *used = true,
+            None => return false,
+        }
+    }
+    b_atoms.into_iter().all(|(_, used)| used)
+}
+
+/// Find a homomorphism `a → b` (same atom count; frees fixed), if any,
+/// by backtracking over bound-index images.
+pub fn find_homomorphism(a: &Term, b: &Term) -> Option<Homomorphism> {
+    if a.atoms.len() != b.atoms.len() {
+        return None;
+    }
+    fn go(a: &Term, b: &Term, map: &mut Vec<Option<u32>>, next: usize) -> bool {
+        if next == map.len() {
+            let m: Vec<u32> = map.iter().map(|o| o.expect("complete")).collect();
+            return maps_onto(a, b, &m);
+        }
+        for q in 0..b.n_bound {
+            map[next] = Some(q);
+            // prune: partial consistency — every atom fully mapped so far
+            // must have a counterpart; cheap variant: defer to the full
+            // check at the leaves for these small terms
+            if go(a, b, map, next + 1) {
+                return true;
+            }
+        }
+        map[next] = None;
+        false
+    }
+    if a.n_bound == 0 {
+        return maps_onto(a, b, &[]).then(|| Homomorphism { map: vec![] });
+    }
+    let mut map = vec![None; a.n_bound as usize];
+    if go(a, b, &mut map, 0) {
+        Some(Homomorphism {
+            map: map.into_iter().map(|o| o.expect("complete")).collect(),
+        })
+    } else {
+        None
+    }
+}
+
+/// Lemma A.1: homomorphisms in both directions imply isomorphism.
+pub fn mutually_homomorphic_implies_isomorphic(a: &Term, b: &Term) -> bool {
+    match (find_homomorphism(a, b), find_homomorphism(b, a)) {
+        (Some(_), Some(_)) => crate::canon::terms_isomorphic(a, b),
+        _ => true, // vacuous
+    }
+}
+
+/// The minimal terms of a polyterm under the homomorphism partial order —
+/// the witness terms the uniqueness proof (Lemma 2.2) evaluates on a
+/// crafted input. Ties (isomorphic duplicates cannot occur in a canonical
+/// polyterm) are all returned.
+pub fn minimal_terms(terms: &[Term]) -> Vec<usize> {
+    (0..terms.len())
+        .filter(|&i| {
+            // t_i is minimal if no other t_j < t_i (hom j→i but not i→j)
+            !(0..terms.len()).any(|j| {
+                j != i
+                    && find_homomorphism(&terms[j], &terms[i]).is_some()
+                    && find_homomorphism(&terms[i], &terms[j]).is_none()
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::canonical_form;
+    use crate::lang::parse_math;
+    use spores_ir::Symbol;
+    use std::collections::HashMap;
+
+    fn dims() -> HashMap<Symbol, u64> {
+        ["i", "j", "k", "v", "w", "s", "z"]
+            .iter()
+            .map(|s| (Symbol::new(s), 5))
+            .collect()
+    }
+
+    fn term_of(src: &str) -> Term {
+        let p = canonical_form(&parse_math(src).unwrap(), &dims()).unwrap();
+        assert_eq!(p.terms.len(), 1, "{src} must canonicalize to one term");
+        p.terms[0].1.clone()
+    }
+
+    #[test]
+    fn example_2_homomorphism() {
+        // Appendix Example 2: t1 = Σ_vwst A(i,v)B(v,w)A(i,s)B(s,t)
+        //                     t2 = Σ_jk  A²(i,j)B²(j,k)  (z for the paper, s t)
+        // there is a homomorphism t1 → t2 ([v,s ↦ j], [w,z ↦ k])
+        let t1 = term_of(
+            "(sum v (sum w (sum s (sum z (* (b i v A) (* (b v w B) (* (b i s A) (b s z B))))))))",
+        );
+        let t2 = term_of(
+            "(sum j (sum k (* (b i j A) (* (b j k B) (* (b i j A) (b j k B))))))",
+        );
+        let hom = find_homomorphism(&t1, &t2).expect("homomorphism exists");
+        assert!(hom.is_surjective(t2.n_bound));
+        // but not in the other direction, so they are NOT isomorphic
+        assert!(find_homomorphism(&t2, &t1).is_none());
+        assert!(!crate::canon::terms_isomorphic(&t1, &t2));
+    }
+
+    #[test]
+    fn alpha_variants_mutually_homomorphic() {
+        let t1 = term_of("(sum i (sum j (* (b i j X) (b i j Y))))");
+        let t2 = term_of("(sum k (sum w (* (b k w X) (b k w Y))))");
+        let f = find_homomorphism(&t1, &t2).unwrap();
+        let g = find_homomorphism(&t2, &t1).unwrap();
+        assert!(f.is_bijective(t2.n_bound));
+        // Lemma A.1
+        assert!(mutually_homomorphic_implies_isomorphic(&t1, &t2));
+        // Corollary 2: composition is a homomorphism t1 → t1
+        let round = f.then(&g);
+        assert!(round.is_surjective(t1.n_bound));
+    }
+
+    #[test]
+    fn no_homomorphism_between_different_tensors() {
+        let t1 = term_of("(sum i (b i _ X))");
+        let t2 = term_of("(sum i (b i _ Y))");
+        assert!(find_homomorphism(&t1, &t2).is_none());
+    }
+
+    #[test]
+    fn free_indices_block_remapping() {
+        // frees are fixed: X(i) vs X(j) (both free) are not homomorphic
+        let t1 = term_of("(* (b i _ X) (b i _ X))");
+        let t2 = term_of("(* (b j _ X) (b j _ X))");
+        assert!(find_homomorphism(&t1, &t2).is_none());
+    }
+
+    #[test]
+    fn minimal_term_selection() {
+        // the collapsed (merged-index) term receives a homomorphism from
+        // the spread term, so the spread term is the minimal one
+        let spread = term_of(
+            "(sum v (sum w (sum s (sum z (* (b i v A) (* (b v w B) (* (b i s A) (b s z B))))))))",
+        );
+        let collapsed = term_of(
+            "(sum j (sum k (* (b i j A) (* (b j k B) (* (b i j A) (b j k B))))))",
+        );
+        let terms = vec![collapsed, spread];
+        let minimal = minimal_terms(&terms);
+        assert_eq!(minimal, vec![1], "the spread term is minimal");
+    }
+}

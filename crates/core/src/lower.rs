@@ -1,0 +1,1194 @@
+//! RA → LA back-translation (the final `translate` step of Figure 13).
+//!
+//! After extraction the plan is a relational expression whose classes all
+//! have at most two free attributes (§3.2). This module compiles it back
+//! onto the LA surface:
+//!
+//! * joins with matching schemas become element-wise multiplies
+//!   (with SystemML-style vector broadcasting),
+//! * aggregated joins become matrix multiplies — including multi-way
+//!   contractions (`Σ_jk A·B·C`), which are scheduled pairwise exactly
+//!   like SystemML's fused `mmchain` operator,
+//! * `Σ_k P(a,k)·Q(k,a)` (a "trace-shaped" contraction) becomes
+//!   `rowSums(P * t(Q))`,
+//! * leftover aggregates become `rowSums`/`colSums`/`sum`,
+//! * `x + (-1)·y` and `(-1)·y` are cleaned back into `x - y` / `-y`.
+//!
+//! Every lowering carries an explicit target orientation
+//! `(row attr, col attr)`; transposes are inserted exactly where the
+//! orientation flips, so the output is deterministic.
+
+use crate::analysis::Context;
+use crate::lang::{Math, MathExpr};
+use spores_egraph::{FxHashMap, Id, Language};
+use spores_ir::{BinOp, ExprArena, LaNode, NodeId, Symbol, UnOp};
+use std::fmt;
+
+/// Lowering failure: the plan contains a shape the compiler cannot map
+/// onto LA operators (the optimizer falls back to the input plan).
+#[derive(Clone, Debug)]
+pub struct LowerError(pub String);
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+type Attrs = Vec<Symbol>;
+
+/// An LA value with its attribute orientation.
+#[derive(Copy, Clone, Debug)]
+struct LFac {
+    la: NodeId,
+    row: Option<Symbol>,
+    col: Option<Symbol>,
+}
+
+impl LFac {
+    fn attrs(&self) -> Attrs {
+        self.row.iter().chain(self.col.iter()).copied().collect()
+    }
+
+    fn has(&self, s: Symbol) -> bool {
+        self.row == Some(s) || self.col == Some(s)
+    }
+}
+
+struct Lower<'a> {
+    expr: &'a MathExpr,
+    ctx: &'a Context,
+    arena: ExprArena,
+    schemas: Vec<Attrs>,
+    cache: FxHashMap<(Id, Option<Symbol>, Option<Symbol>), NodeId>,
+}
+
+/// Lower `expr` (a pure-RA plan) into an [`ExprArena`], materializing the
+/// result with the given `(row, col)` orientation.
+pub fn lower(
+    expr: &MathExpr,
+    row: Option<Symbol>,
+    col: Option<Symbol>,
+    ctx: &Context,
+) -> Result<(ExprArena, NodeId), LowerError> {
+    let schemas = compute_schemas(expr)?;
+    let mut lw = Lower {
+        expr,
+        ctx,
+        arena: ExprArena::new(),
+        schemas,
+        cache: FxHashMap::default(),
+    };
+    let root_schema = lw.schemas[expr.root().index()].clone();
+    let want: Attrs = row.iter().chain(col.iter()).copied().collect();
+    if sorted(&root_schema) != sorted(&want) {
+        return Err(LowerError(format!(
+            "root schema {root_schema:?} does not match requested orientation ({row:?}, {col:?})"
+        )));
+    }
+    let fac = lw.lower_id(expr.root(), row, col)?;
+    let oriented = lw.orient(fac, row, col)?;
+    let cleaned = cleanup(&mut lw.arena, oriented);
+    Ok((lw.arena, cleaned))
+}
+
+fn sorted(v: &Attrs) -> Attrs {
+    let mut v = v.clone();
+    v.sort_unstable();
+    v
+}
+
+/// Free attributes of every node (bottom-up), erroring on non-RA nodes.
+fn compute_schemas(expr: &MathExpr) -> Result<Vec<Attrs>, LowerError> {
+    let mut schemas: Vec<Attrs> = Vec::with_capacity(expr.len());
+    for (i, node) in expr.nodes().iter().enumerate() {
+        use Math::*;
+        let s: Attrs = match node {
+            Lit(_) | Dim(_) => vec![],
+            Sym(_) | NoIdx => vec![], // only meaningful via parents
+            Bind([a, b, _]) => {
+                let mut s = Attrs::new();
+                for idx in [a, b] {
+                    if let Sym(sym) = expr.node(*idx) {
+                        s.push(*sym);
+                    }
+                }
+                s.sort_unstable();
+                s
+            }
+            Unbind(_) => {
+                return Err(LowerError("unbind in extracted plan".into()));
+            }
+            Agg([i, body]) => {
+                let sym = match expr.node(*i) {
+                    Sym(s) => *s,
+                    other => {
+                        return Err(LowerError(format!("bad aggregate index {other:?}")))
+                    }
+                };
+                schemas[body.index()]
+                    .iter()
+                    .copied()
+                    .filter(|&s| s != sym)
+                    .collect()
+            }
+            other if other.is_la_op() => {
+                return Err(LowerError(format!("LA node {other:?} in RA plan")));
+            }
+            other => {
+                // point-wise / union / join: union of child schemas
+                let mut s = Attrs::new();
+                for &c in other.children() {
+                    for &a in &schemas[c.index()] {
+                        if !s.contains(&a) {
+                            s.push(a);
+                        }
+                    }
+                }
+                s.sort_unstable();
+                s
+            }
+        };
+        debug_assert_eq!(i, schemas.len());
+        schemas.push(s);
+    }
+    Ok(schemas)
+}
+
+impl<'a> Lower<'a> {
+    fn dim(&self, s: Symbol) -> Result<u64, LowerError> {
+        self.ctx
+            .index_dims
+            .get(&s)
+            .copied()
+            .ok_or_else(|| LowerError(format!("unknown index {s}")))
+    }
+
+    fn schema(&self, id: Id) -> &Attrs {
+        &self.schemas[id.index()]
+    }
+
+    /// Insert transposes to orient `f` as `(row, col)`.
+    fn orient(
+        &mut self,
+        f: LFac,
+        row: Option<Symbol>,
+        col: Option<Symbol>,
+    ) -> Result<NodeId, LowerError> {
+        if (f.row, f.col) == (row, col) {
+            return Ok(f.la);
+        }
+        if (f.col, f.row) == (row, col) {
+            return Ok(self.arena.t(f.la));
+        }
+        Err(LowerError(format!(
+            "cannot orient ({:?},{:?}) as ({row:?},{col:?})",
+            f.row, f.col
+        )))
+    }
+
+    /// Split the wanted orientation onto a child with schema `schema`.
+    fn child_wants(
+        &self,
+        schema: &Attrs,
+        row: Option<Symbol>,
+        col: Option<Symbol>,
+    ) -> (Option<Symbol>, Option<Symbol>) {
+        let r = row.filter(|s| schema.contains(s));
+        let c = col.filter(|s| schema.contains(s));
+        (r, c)
+    }
+
+    fn lower_id(
+        &mut self,
+        id: Id,
+        row: Option<Symbol>,
+        col: Option<Symbol>,
+    ) -> Result<LFac, LowerError> {
+        if let Some(&la) = self.cache.get(&(id, row, col)) {
+            return Ok(LFac { la, row, col });
+        }
+        let fac = self.lower_uncached(id, row, col)?;
+        let la = self.orient(fac, row, col)?;
+        self.cache.insert((id, row, col), la);
+        Ok(LFac { la, row, col })
+    }
+
+    fn lower_uncached(
+        &mut self,
+        id: Id,
+        row: Option<Symbol>,
+        col: Option<Symbol>,
+    ) -> Result<LFac, LowerError> {
+        use Math::*;
+        match self.expr.node(id).clone() {
+            Lit(n) => Ok(LFac {
+                la: self.arena.lit(n.get()),
+                row: None,
+                col: None,
+            }),
+            Dim(i) => {
+                let sym = self.index_sym(i)?;
+                let d = self.dim(sym)?;
+                Ok(LFac {
+                    la: self.arena.lit(d as f64),
+                    row: None,
+                    col: None,
+                })
+            }
+            Bind([i, j, x]) => {
+                let name = match self.expr.node(x) {
+                    Sym(s) => *s,
+                    other => return Err(LowerError(format!("bind of non-variable {other:?}"))),
+                };
+                let ri = self.opt_index_sym(i)?;
+                let ci = self.opt_index_sym(j)?;
+                let la = self.arena.var(name);
+                Ok(LFac {
+                    la,
+                    row: ri,
+                    col: ci,
+                })
+            }
+            Add([a, b]) => self.lower_pointwise2(BinOp::Add, a, b, row, col),
+            Mul([a, b]) => {
+                // element-wise multiply; outer products (disjoint vector
+                // schemas) become rank-1 matmuls
+                let (sa, sb) = (self.schema(a).clone(), self.schema(b).clone());
+                if row.is_some()
+                    && col.is_some()
+                    && sa.len() == 1
+                    && sb.len() == 1
+                    && sa != sb
+                {
+                    // u(i) * v(j) = u %*% t(v)
+                    let (ra, ca) = self.child_wants(&sa, row, col);
+                    let (rb, cb) = self.child_wants(&sb, row, col);
+                    // ensure a is the row side
+                    let (a, b, sa2) = if ra.is_some() { (a, b, (ra, ca)) } else { (b, a, (rb, cb)) };
+                    let _ = sa2;
+                    let fa = self.lower_id(a, row, None)?;
+                    let fb = self.lower_id(b, None, col)?;
+                    let la = self.arena.matmul(fa.la, fb.la);
+                    return Ok(LFac { la, row, col });
+                }
+                self.lower_pointwise2(BinOp::Mul, a, b, row, col)
+            }
+            Agg(_) => self.lower_contraction(id, row, col),
+            Pow([a, k]) => self.lower_pointwise2(BinOp::Pow, a, k, row, col),
+            Inv(a) => {
+                let (r, c) = self.child_wants(&self.schema(a).clone(), row, col);
+                let fa = self.lower_id(a, r, c)?;
+                let one = self.arena.lit(1.0);
+                let la = self.arena.div(one, fa.la);
+                Ok(LFac { la, row: r, col: c })
+            }
+            Exp(a) => self.lower_unary(UnOp::Exp, a, row, col),
+            Log(a) => self.lower_unary(UnOp::Log, a, row, col),
+            Sqrt(a) => self.lower_unary(UnOp::Sqrt, a, row, col),
+            Abs(a) => self.lower_unary(UnOp::Abs, a, row, col),
+            Sign(a) => self.lower_unary(UnOp::Sign, a, row, col),
+            Sigmoid(a) => self.lower_unary(UnOp::Sigmoid, a, row, col),
+            Sprop(a) => self.lower_unary(UnOp::Sprop, a, row, col),
+            Gt([a, b]) => self.lower_pointwise2(BinOp::Gt, a, b, row, col),
+            Lt([a, b]) => self.lower_pointwise2(BinOp::Lt, a, b, row, col),
+            Ge([a, b]) => self.lower_pointwise2(BinOp::Ge, a, b, row, col),
+            Le([a, b]) => self.lower_pointwise2(BinOp::Le, a, b, row, col),
+            BMin([a, b]) => self.lower_pointwise2(BinOp::Min, a, b, row, col),
+            BMax([a, b]) => self.lower_pointwise2(BinOp::Max, a, b, row, col),
+            other => Err(LowerError(format!("cannot lower {other:?}"))),
+        }
+    }
+
+    fn index_sym(&self, id: Id) -> Result<Symbol, LowerError> {
+        match self.expr.node(id) {
+            Math::Sym(s) => Ok(*s),
+            other => Err(LowerError(format!("expected index, got {other:?}"))),
+        }
+    }
+
+    fn opt_index_sym(&self, id: Id) -> Result<Option<Symbol>, LowerError> {
+        match self.expr.node(id) {
+            Math::Sym(s) => Ok(Some(*s)),
+            Math::NoIdx => Ok(None),
+            other => Err(LowerError(format!("expected index, got {other:?}"))),
+        }
+    }
+
+    fn lower_unary(
+        &mut self,
+        op: UnOp,
+        a: Id,
+        row: Option<Symbol>,
+        col: Option<Symbol>,
+    ) -> Result<LFac, LowerError> {
+        let (r, c) = self.child_wants(&self.schema(a).clone(), row, col);
+        let fa = self.lower_id(a, r, c)?;
+        let la = self.arena.un(op, fa.la);
+        Ok(LFac { la, row: r, col: c })
+    }
+
+    fn lower_pointwise2(
+        &mut self,
+        op: BinOp,
+        a: Id,
+        b: Id,
+        row: Option<Symbol>,
+        col: Option<Symbol>,
+    ) -> Result<LFac, LowerError> {
+        let sa = self.schema(a).clone();
+        let sb = self.schema(b).clone();
+        let (ra, ca) = self.child_wants(&sa, row, col);
+        let (rb, cb) = self.child_wants(&sb, row, col);
+        // Outer-shaped union of two disjoint vectors needs materialized
+        // broadcasts: u(i) + v(j) = u %*% ones(1,n) + ones(m,1) %*% v.
+        if row.is_some() && col.is_some() && sa.len() == 1 && sb.len() == 1 && sa != sb {
+            let fa = self.broadcast_vector(a, row, col)?;
+            let fb = self.broadcast_vector(b, row, col)?;
+            let la = self.arena.bin(op, fa, fb);
+            return Ok(LFac { la, row, col });
+        }
+        let fa = self.lower_id(a, ra, ca)?;
+        let fb = self.lower_id(b, rb, cb)?;
+        let la = self.arena.bin(op, fa.la, fb.la);
+        Ok(LFac { la, row, col })
+    }
+
+    /// Materialize a 1-attr operand to the full `(row, col)` space via a
+    /// rank-1 matmul with a ones vector.
+    fn broadcast_vector(
+        &mut self,
+        v: Id,
+        row: Option<Symbol>,
+        col: Option<Symbol>,
+    ) -> Result<NodeId, LowerError> {
+        let s = self.schema(v).clone();
+        let attr = s[0];
+        let (row, col) = (row.unwrap(), col.unwrap());
+        if attr == row {
+            let f = self.lower_id(v, Some(row), None)?;
+            let ones = self.arena.fill(1.0, 1, self.dim(col)?);
+            Ok(self.arena.matmul(f.la, ones))
+        } else if attr == col {
+            let f = self.lower_id(v, None, Some(col))?;
+            let ones = self.arena.fill(1.0, self.dim(row)?, 1);
+            Ok(self.arena.matmul(ones, f.la))
+        } else {
+            Err(LowerError(format!(
+                "operand attr {attr} not in output ({row}, {col})"
+            )))
+        }
+    }
+
+    /// Lower `Σ … Σ (f1 * f2 * …)`: collect aggregated indices and join
+    /// factors, then schedule the contraction pairwise.
+    fn lower_contraction(
+        &mut self,
+        id: Id,
+        row: Option<Symbol>,
+        col: Option<Symbol>,
+    ) -> Result<LFac, LowerError> {
+        // gather nested aggregates
+        let mut sums: Vec<Symbol> = Vec::new();
+        let mut body = id;
+        while let Math::Agg([i, b]) = self.expr.node(body) {
+            sums.push(self.index_sym(*i)?);
+            body = *b;
+        }
+        // flatten the join tree under the aggregates
+        let mut factor_ids: Vec<Id> = Vec::new();
+        let mut stack = vec![body];
+        while let Some(n) = stack.pop() {
+            match self.expr.node(n) {
+                Math::Mul([a, b]) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                _ => factor_ids.push(n),
+            }
+        }
+
+        // a sum index that does not occur in the body multiplies by dim
+        let mut scale = 1.0;
+        sums.retain(|&s| {
+            if self.schema(body).contains(&s) {
+                true
+            } else {
+                scale *= self.dim(s).unwrap_or(1) as f64;
+                false
+            }
+        });
+
+        // lower every factor with its *natural* orientation (the bind's
+        // own row/col roles), so `W %*% H` comes out instead of
+        // `t(t(H) %*% t(W))`
+        let mut factors: Vec<LFac> = Vec::new();
+        let mut scalars: Vec<NodeId> = Vec::new();
+        for fid in factor_ids {
+            let schema = self.schema(fid).clone();
+            match schema.len() {
+                0 => {
+                    let f = self.lower_id(fid, None, None)?;
+                    scalars.push(f.la);
+                }
+                1 | 2 => {
+                    let (r, c) = self.natural_orientation(fid);
+                    let f = self.lower_id(fid, r, c)?;
+                    factors.push(f);
+                }
+                n => {
+                    return Err(LowerError(format!(
+                        "factor with {n} attributes survived extraction"
+                    )))
+                }
+            }
+        }
+
+        // point-wise pre-merge: factors with identical attribute sets
+        // always combine element-wise (keeps `sum(X * log(WH))` intact
+        // for the executor's wcemm kernel)
+        let mut i = 0;
+        while i < factors.len() {
+            let mut j = i + 1;
+            while j < factors.len() {
+                if sorted(&factors[i].attrs()) == sorted(&factors[j].attrs()) {
+                    let b = factors.remove(j);
+                    let a = factors.remove(i);
+                    let k = a.attrs().first().copied();
+                    let merged = match k {
+                        Some(k) => self.pointwise_pair(a, b, k)?,
+                        None => {
+                            let la = self.arena.mul(a.la, b.la);
+                            LFac {
+                                la,
+                                row: None,
+                                col: None,
+                            }
+                        }
+                    };
+                    factors.insert(i, merged);
+                } else {
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+
+        // full-sum special case: a single factor whose attrs are all
+        // aggregated lowers to a plain `sum(...)`
+        if factors.len() == 1 {
+            let attrs = sorted(&factors[0].attrs());
+            let summed: Attrs = sums.to_vec();
+            if !attrs.is_empty() && attrs == sorted(&summed) {
+                let f = factors.pop().expect("one factor");
+                let s = self.arena.sum(f.la);
+                factors.push(LFac {
+                    la: s,
+                    row: None,
+                    col: None,
+                });
+                sums.clear();
+            }
+        }
+
+        // contraction loop: eliminate each summed index in turn
+        while let Some(&k) = sums.first() {
+            self.eliminate_index(k, &mut factors, (row, col))?;
+            sums.remove(0);
+        }
+
+        // multiply the remaining factors point-wise (broadcasting)
+        let mut result = self.pointwise_product(factors, row, col)?;
+
+        // apply scalar factors and the dim scale
+        if scale != 1.0 {
+            let s = self.arena.lit(scale);
+            result.la = self.arena.mul(result.la, s);
+        }
+        for s in scalars {
+            result.la = self.arena.mul(result.la, s);
+        }
+        Ok(result)
+    }
+
+    /// Eliminate summed index `k` from `factors` (pair-wise contraction).
+    /// `prefer` is the final output orientation, used to break ties.
+    fn eliminate_index(
+        &mut self,
+        k: Symbol,
+        factors: &mut Vec<LFac>,
+        prefer: (Option<Symbol>, Option<Symbol>),
+    ) -> Result<(), LowerError> {
+        // point-wise merge factors with identical attr sets containing k
+        loop {
+            let with_k: Vec<usize> = (0..factors.len())
+                .filter(|&i| factors[i].has(k))
+                .collect();
+            match with_k.len() {
+                0 => {
+                    // Σ_k over something without k: scale by dim(k)
+                    let d = self.dim(k)? as f64;
+                    let lit = self.arena.lit(d);
+                    if let Some(f) = factors.first_mut() {
+                        f.la = self.arena.mul(f.la, lit);
+                    } else {
+                        factors.push(LFac {
+                            la: lit,
+                            row: None,
+                            col: None,
+                        });
+                    }
+                    return Ok(());
+                }
+                1 => {
+                    // aggregate k away from the lone factor
+                    let i = with_k[0];
+                    let f = factors.remove(i);
+                    let reduced = self.aggregate_away(f, k)?;
+                    factors.push(reduced);
+                    return Ok(());
+                }
+                2 => {
+                    let (i, j) = (with_k[0], with_k[1]);
+                    let fb = factors.remove(j);
+                    let fa = factors.remove(i);
+                    let merged = self.contract_pair(fa, fb, k, prefer)?;
+                    factors.push(merged);
+                    return Ok(());
+                }
+                _ => {
+                    // merge two of them point-wise first: prefer a pair
+                    // with identical attr sets, else a (vector, matrix)
+                    // pair sharing k via broadcasting
+                    let i = with_k[0];
+                    let mut merged = None;
+                    for &j in &with_k[1..] {
+                        if sorted(&factors[i].attrs()) == sorted(&factors[j].attrs()) {
+                            merged = Some(j);
+                            break;
+                        }
+                    }
+                    let j = merged.unwrap_or_else(|| {
+                        // pick a vector to fold into a matrix (broadcast)
+                        *with_k[1..]
+                            .iter()
+                            .find(|&&j| {
+                                factors[i].attrs().len() == 1 || factors[j].attrs().len() == 1
+                            })
+                            .unwrap_or(&with_k[1])
+                    });
+                    let fb = factors.remove(j.max(i));
+                    let fa = factors.remove(j.min(i));
+                    let folded = self.pointwise_pair(fa, fb, k)?;
+                    factors.push(folded);
+                    // loop again: count of k-factors decreased by one
+                }
+            }
+        }
+    }
+
+    /// `Σ_k f` for a single factor.
+    fn aggregate_away(&mut self, f: LFac, k: Symbol) -> Result<LFac, LowerError> {
+        if f.row == Some(k) && f.col.is_some() {
+            // Σ over rows: colSums, oriented as a row vector; keep the
+            // remaining attr in row position via transpose for uniformity
+            let cs = self.arena.col_sums(f.la);
+            let t = self.arena.t(cs);
+            Ok(LFac {
+                la: t,
+                row: f.col,
+                col: None,
+            })
+        } else if f.col == Some(k) && f.row.is_some() {
+            let rs = self.arena.row_sums(f.la);
+            Ok(LFac {
+                la: rs,
+                row: f.row,
+                col: None,
+            })
+        } else if f.row == Some(k) && f.col.is_none() {
+            let s = self.arena.sum(f.la);
+            Ok(LFac {
+                la: s,
+                row: None,
+                col: None,
+            })
+        } else {
+            Err(LowerError(format!("factor does not carry index {k}")))
+        }
+    }
+
+    /// Contract two factors over shared index `k`.
+    fn contract_pair(
+        &mut self,
+        a: LFac,
+        b: LFac,
+        k: Symbol,
+        prefer: (Option<Symbol>, Option<Symbol>),
+    ) -> Result<LFac, LowerError> {
+        let mut a = a;
+        let mut b = b;
+        let mut a_other = a.attrs().into_iter().find(|&s| s != k);
+        let mut b_other = b.attrs().into_iter().find(|&s| s != k);
+        // canonical order: the factor keeping an output attr goes on the
+        // row side, so `X %*% v` comes out instead of `t(t(v) %*% t(X))`
+        if a_other.is_none() && b_other.is_some() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut a_other, &mut b_other);
+        } else {
+            // both orders valid: pick the one inserting fewer transposes
+            // (×2) and, as a tie-break, the output orientation closest to
+            // what the caller ultimately wants (×1)
+            let t_cost = |f: &LFac, row: Option<Symbol>, col: Option<Symbol>| -> u32 {
+                u32::from((f.row, f.col) != (row, col))
+            };
+            let r_cost = |row: Option<Symbol>, col: Option<Symbol>| -> u32 {
+                u32::from(row.is_some() && prefer.0.is_some() && row != prefer.0)
+                    + u32::from(col.is_some() && prefer.1.is_some() && col != prefer.1)
+            };
+            let cost_ab = 2 * (t_cost(&a, a_other, Some(k)) + t_cost(&b, Some(k), b_other))
+                + r_cost(a_other, b_other);
+            let cost_ba = 2 * (t_cost(&b, b_other, Some(k)) + t_cost(&a, Some(k), a_other))
+                + r_cost(b_other, a_other);
+            if cost_ba < cost_ab {
+                std::mem::swap(&mut a, &mut b);
+                std::mem::swap(&mut a_other, &mut b_other);
+            }
+        }
+        match (a_other, b_other) {
+            // trace-shaped: Σ_k P(x,k) Q(k,x) = rowSums(P * t(Q)) — and
+            // the degenerate vector·vector dot product
+            (xa, xb) if xa == xb => {
+                let (r, c) = (xa, Some(k));
+                let la = self.lower_oriented(a, r, c)?;
+                let lb = self.lower_oriented(b, r, c)?;
+                let prod = self.arena.mul(la, lb);
+                if xa.is_some() {
+                    let rs = self.arena.row_sums(prod);
+                    Ok(LFac {
+                        la: rs,
+                        row: xa,
+                        col: None,
+                    })
+                } else {
+                    let s = self.arena.sum(prod);
+                    Ok(LFac {
+                        la: s,
+                        row: None,
+                        col: None,
+                    })
+                }
+            }
+            // standard matmul: (x, k) · (k, y)
+            (x, y) => {
+                let la = self.lower_oriented(a, x, Some(k))?;
+                let lb = self.lower_oriented(b, Some(k), y)?;
+                let mm = self.arena.matmul(la, lb);
+                Ok(LFac {
+                    la: mm,
+                    row: x,
+                    col: y,
+                })
+            }
+        }
+    }
+
+    /// Point-wise multiply two factors sharing `k` (broadcast as needed).
+    fn pointwise_pair(&mut self, a: LFac, b: LFac, k: Symbol) -> Result<LFac, LowerError> {
+        // choose the factor with more attrs as the shape donor
+        let (big, small) = if a.attrs().len() >= b.attrs().len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let (r, c) = (big.row, big.col);
+        let lb = self.lower_oriented(big, r, c)?;
+        // orient the small factor consistently with the big one
+        let ls = if small.attrs().len() == 2 {
+            self.lower_oriented(small, r, c)?
+        } else {
+            let attr = small.attrs()[0];
+            if r == Some(attr) {
+                self.lower_oriented(small, Some(attr), None)?
+            } else if c == Some(attr) {
+                // column-attr vector broadcasts as a row vector
+                self.lower_oriented(small, None, Some(attr))?
+            } else {
+                return Err(LowerError(format!(
+                    "cannot broadcast factor over ({r:?},{c:?})"
+                )));
+            }
+        };
+        let prod = self.arena.mul(lb, ls);
+        let _ = k;
+        Ok(LFac {
+            la: prod,
+            row: r,
+            col: c,
+        })
+    }
+
+    fn lower_oriented(
+        &mut self,
+        f: LFac,
+        row: Option<Symbol>,
+        col: Option<Symbol>,
+    ) -> Result<NodeId, LowerError> {
+        self.orient(f, row, col)
+    }
+
+    /// The orientation a sub-term "wants" — the one requiring the fewest
+    /// transposes when lowered. Each `bind` in the sub-term votes for its
+    /// attributes' roles (its first index is a row, its second a column);
+    /// the orientation maximizing agreement with the votes wins.
+    fn natural_orientation(&self, id: Id) -> (Option<Symbol>, Option<Symbol>) {
+        let schema = self.schema(id).clone();
+        let mut votes: std::collections::HashMap<Symbol, (u32, u32)> =
+            std::collections::HashMap::new();
+        self.collect_role_votes(id, &mut votes);
+        let rv = |s: Symbol| votes.get(&s).map_or(0, |v| v.0);
+        let cv = |s: Symbol| votes.get(&s).map_or(0, |v| v.1);
+        match schema.len() {
+            0 => (None, None),
+            1 => {
+                let a = schema[0];
+                if cv(a) > rv(a) {
+                    (None, Some(a))
+                } else {
+                    (Some(a), None)
+                }
+            }
+            _ => {
+                let (a, b) = (schema[0], schema[1]);
+                if rv(b) + cv(a) > rv(a) + cv(b) {
+                    (Some(b), Some(a))
+                } else {
+                    (Some(a), Some(b))
+                }
+            }
+        }
+    }
+
+    fn collect_role_votes(
+        &self,
+        id: Id,
+        votes: &mut std::collections::HashMap<Symbol, (u32, u32)>,
+    ) {
+        match self.expr.node(id) {
+            Math::Bind([i, j, _]) => {
+                if let Math::Sym(s) = self.expr.node(*i) {
+                    votes.entry(*s).or_default().0 += 1;
+                }
+                if let Math::Sym(s) = self.expr.node(*j) {
+                    votes.entry(*s).or_default().1 += 1;
+                }
+            }
+            node => {
+                for &c in node.children() {
+                    self.collect_role_votes(c, votes);
+                }
+            }
+        }
+    }
+
+    /// Multiply the remaining (un-summed) factors point-wise and orient.
+    fn pointwise_product(
+        &mut self,
+        factors: Vec<LFac>,
+        row: Option<Symbol>,
+        col: Option<Symbol>,
+    ) -> Result<LFac, LowerError> {
+        if factors.is_empty() {
+            return Ok(LFac {
+                la: self.arena.lit(1.0),
+                row: None,
+                col: None,
+            });
+        }
+        // bucket the factors by the attributes they carry; LA broadcast
+        // combines a full matrix with either vector kind, but two
+        // *disjoint* vectors need a rank-1 matmul (outer product), not an
+        // element-wise multiply
+        let mut fulls: Vec<NodeId> = Vec::new();
+        let mut rowvecs: Vec<NodeId> = Vec::new(); // (row, None) — m×1
+        let mut colvecs: Vec<NodeId> = Vec::new(); // (None, col) — 1×n
+        let mut scalars: Vec<NodeId> = Vec::new();
+        for f in factors {
+            match f.attrs().as_slice() {
+                [] => scalars.push(f.la),
+                [a, b] => {
+                    debug_assert!(row == Some(*a) || row == Some(*b) || col == Some(*a));
+                    fulls.push(self.lower_oriented(f, row, col)?);
+                }
+                [attr] => {
+                    if row == Some(*attr) {
+                        rowvecs.push(self.lower_oriented(f, Some(*attr), None)?);
+                    } else if col == Some(*attr) {
+                        colvecs.push(self.lower_oriented(f, None, Some(*attr))?);
+                    } else {
+                        return Err(LowerError(format!(
+                            "residual factor attr {attr} outside output schema"
+                        )));
+                    }
+                }
+                _ => unreachable!("factors carry at most two attrs"),
+            }
+        }
+        let fold = |arena: &mut ExprArena, v: Vec<NodeId>| -> Option<NodeId> {
+            v.into_iter().reduce(|a, b| arena.mul(a, b))
+        };
+        let full = fold(&mut self.arena, fulls);
+        let rv = fold(&mut self.arena, rowvecs);
+        let cv = fold(&mut self.arena, colvecs);
+        let mut acc = match (full, rv, cv) {
+            // no full matrix but both vector kinds: rank-1 outer product
+            (None, Some(r), Some(c)) => Some(self.arena.matmul(r, c)),
+            (f, r, c) => {
+                let mut acc = f;
+                for v in [r, c].into_iter().flatten() {
+                    acc = Some(match acc {
+                        None => v,
+                        Some(prev) => self.arena.mul(prev, v),
+                    });
+                }
+                acc
+            }
+        };
+        for s in scalars {
+            acc = Some(match acc {
+                None => s,
+                Some(prev) => self.arena.mul(prev, s),
+            });
+        }
+        // the result's logical orientation: vectors-only products keep a
+        // vector shape unless both kinds were present
+        let (out_row, out_col) = match (&acc, row, col) {
+            (Some(_), r, c) => (r, c),
+            (None, _, _) => (None, None),
+        };
+        Ok(LFac {
+            la: acc.expect("non-empty"),
+            row: out_row,
+            col: out_col,
+        })
+    }
+}
+
+/// Peephole cleanup: `x + (-1)·y → x − y`, `(-1)·y → -y`, `x · 1 → x`.
+fn cleanup(arena: &mut ExprArena, root: NodeId) -> NodeId {
+    let mut memo: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+    clean_rec(arena, root, &mut memo)
+}
+
+fn is_neg_one(arena: &ExprArena, id: NodeId) -> bool {
+    matches!(arena.node(id), LaNode::Scalar(n) if n.get() == -1.0)
+}
+
+fn neg_factor(arena: &ExprArena, id: NodeId) -> Option<NodeId> {
+    match arena.node(id) {
+        LaNode::Bin(BinOp::Mul, a, b) if is_neg_one(arena, *a) => Some(*b),
+        LaNode::Bin(BinOp::Mul, a, b) if is_neg_one(arena, *b) => Some(*a),
+        // children are cleaned first, so `(-1)·y` may already be `-y`
+        LaNode::Un(UnOp::Neg, a) => Some(*a),
+        _ => None,
+    }
+}
+
+fn clean_rec(arena: &mut ExprArena, id: NodeId, memo: &mut FxHashMap<NodeId, NodeId>) -> NodeId {
+    if let Some(&done) = memo.get(&id) {
+        return done;
+    }
+    let node = *arena.node(id);
+    let result = match node {
+        LaNode::Bin(BinOp::Add, a, b) => {
+            let ca = clean_rec(arena, a, memo);
+            let cb = clean_rec(arena, b, memo);
+            if let Some(y) = neg_factor(arena, cb) {
+                arena.sub(ca, y)
+            } else if let Some(y) = neg_factor(arena, ca) {
+                arena.sub(cb, y)
+            } else {
+                arena.add(ca, cb)
+            }
+        }
+        LaNode::Bin(BinOp::Mul, a, b) => {
+            let ca = clean_rec(arena, a, memo);
+            let cb = clean_rec(arena, b, memo);
+            let one = |arena: &ExprArena, id: NodeId| {
+                matches!(arena.node(id), LaNode::Scalar(n) if n.get() == 1.0)
+            };
+            // a reciprocal factor folds back into a division, keeping
+            // SystemML's sparse-division kernels (wdivmm) applicable
+            let recip = |arena: &ExprArena, id: NodeId| -> Option<NodeId> {
+                match arena.node(id) {
+                    LaNode::Bin(BinOp::Div, n, d) if one(arena, *n) => Some(*d),
+                    _ => None,
+                }
+            };
+            if one(arena, ca) {
+                cb
+            } else if one(arena, cb) {
+                ca
+            } else if is_neg_one(arena, ca) {
+                arena.un(UnOp::Neg, cb)
+            } else if is_neg_one(arena, cb) {
+                arena.un(UnOp::Neg, ca)
+            } else if let Some(d) = recip(arena, cb) {
+                arena.div(ca, d)
+            } else if let Some(d) = recip(arena, ca) {
+                arena.div(cb, d)
+            } else {
+                arena.mul(ca, cb)
+            }
+        }
+        LaNode::Bin(op, a, b) => {
+            let ca = clean_rec(arena, a, memo);
+            let cb = clean_rec(arena, b, memo);
+            arena.bin(op, ca, cb)
+        }
+        LaNode::Un(op, a) => {
+            let ca = clean_rec(arena, a, memo);
+            // t(t(x)) → x
+            if op == UnOp::T {
+                if let LaNode::Un(UnOp::T, inner) = arena.node(ca) {
+                    return {
+                        let r = *inner;
+                        memo.insert(id, r);
+                        r
+                    };
+                }
+            }
+            arena.un(op, ca)
+        }
+        leaf => arena.insert(leaf),
+    };
+    memo.insert(id, result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::VarMeta;
+    use crate::eval::{eval_la, Tensor};
+    use crate::translate::translate;
+    use spores_ir::parse_expr;
+    use std::collections::HashMap;
+
+    /// translate → lower must round-trip LA semantics exactly.
+    fn roundtrip_check(src: &str, inputs: &[(&str, Tensor)]) -> String {
+        let mut arena = ExprArena::new();
+        let root = parse_expr(&mut arena, src).unwrap();
+        let tensors: HashMap<Symbol, Tensor> = inputs
+            .iter()
+            .map(|(n, t)| (Symbol::new(n), t.clone()))
+            .collect();
+        let vars: HashMap<Symbol, VarMeta> = inputs
+            .iter()
+            .map(|(n, t)| {
+                (
+                    Symbol::new(n),
+                    VarMeta::dense(t.rows as u64, t.cols as u64),
+                )
+            })
+            .collect();
+        let expected = eval_la(&arena, root, &tensors).unwrap();
+
+        let tr = translate(&arena, root, &vars).unwrap();
+        let (la2, root2) = lower(&tr.expr, tr.row, tr.col, &tr.ctx)
+            .unwrap_or_else(|e| panic!("{src}: {e} (plan {})", tr.expr));
+        let got = eval_la(&la2, root2, &tensors).unwrap();
+        assert!(
+            expected.approx_eq(&got, 1e-9),
+            "{src}: expected {expected:?}, got {got:?} via {}",
+            la2.display(root2)
+        );
+        la2.display(root2)
+    }
+
+    fn t(rows: usize, cols: usize, data: &[f64]) -> Tensor {
+        Tensor::new(rows, cols, data.to_vec())
+    }
+
+    fn corpus_inputs() -> Vec<(&'static str, Tensor)> {
+        vec![
+            ("X", t(3, 4, &[1., -2., 3., 0., 0., 5., -1., 2., 4., 0., 0., 1.])),
+            ("Y", t(3, 4, &[2., 0., 1., 1., -3., 1., 0., 0., 2., 2., 1., -1.])),
+            ("u", t(3, 1, &[1., -1., 2.])),
+            ("v", t(4, 1, &[0.5, 2., -1., 1.])),
+            ("s", Tensor::scalar(3.0)),
+        ]
+    }
+
+    #[test]
+    fn roundtrips_semantics_on_corpus() {
+        let inputs = corpus_inputs();
+        for src in [
+            "X + Y",
+            "X - Y",
+            "X * Y",
+            "X %*% t(Y)",
+            "t(X) %*% X",
+            "X %*% v",
+            "t(u) %*% X",
+            "u %*% t(v)",
+            "sum(X)",
+            "rowSums(X * Y)",
+            "colSums(X)",
+            "sum((X - u %*% t(v))^2)",
+            "X * u",
+            "X + s",
+            "sigmoid(X)",
+            "-X",
+            "sum(t(X))",
+            "colSums(X %*% t(Y))",
+            "sum(u) * sum(v)",
+            "(X %*% t(Y)) %*% u",
+            "t(v) %*% t(X)",
+            "X / (Y + 10)",
+            "exp(X * 0.1)",
+            "min(X, Y) + max(X, Y)",
+            "sum(X %*% t(Y))",
+            "t(u) %*% X %*% v",
+        ] {
+            roundtrip_check(src, &inputs);
+        }
+    }
+
+    #[test]
+    fn matmul_roundtrip_is_clean() {
+        let shown = roundtrip_check("X %*% v", &corpus_inputs());
+        assert_eq!(shown, "X %*% v");
+    }
+
+    #[test]
+    fn subtraction_is_restored() {
+        let shown = roundtrip_check("X - Y", &corpus_inputs());
+        assert_eq!(shown, "X - Y");
+    }
+
+    #[test]
+    fn transpose_orientation_restored() {
+        let shown = roundtrip_check("t(X)", &corpus_inputs());
+        assert_eq!(shown, "t(X)");
+    }
+
+    #[test]
+    fn trace_shaped_contraction() {
+        // Σ_ik X(i,k)·Y(i,k) as sum(X * Y) — and the optimizer-shaped
+        // variant via matmul: sum over diag(X Yᵀ)
+        roundtrip_check("sum(X * Y)", &corpus_inputs());
+    }
+
+    #[test]
+    fn outer_sum_broadcasts() {
+        // u(i) + v(j) has no direct LA op; lowering must synthesize
+        // rank-1 broadcasts
+        let expr = crate::lang::parse_math("(+ (b i _ u) (b j _ v))").unwrap();
+        let ctx = crate::analysis::Context::new()
+            .with_var("u", VarMeta::dense(3, 1))
+            .with_var("v", VarMeta::dense(4, 1))
+            .with_index("i", 3)
+            .with_index("j", 4);
+        let (arena, root) =
+            lower(&expr, Some(Symbol::new("i")), Some(Symbol::new("j")), &ctx).unwrap();
+        let tensors = HashMap::from([
+            (Symbol::new("u"), t(3, 1, &[1., 2., 3.])),
+            (Symbol::new("v"), t(4, 1, &[10., 20., 30., 40.])),
+        ]);
+        let got = eval_la(&arena, root, &tensors).unwrap();
+        assert_eq!(got.get(1, 2), 2. + 30.);
+        assert_eq!(got.rows, 3);
+        assert_eq!(got.cols, 4);
+    }
+
+    #[test]
+    fn multiway_contraction_lowers_like_mmchain() {
+        // Σ_j Σ_k A(i,j) B(j,k) C(k,l) — the three-factor contraction an
+        // extracted plan may contain (wide joins fuse, §DESIGN)
+        let expr = crate::lang::parse_math(
+            "(sum j (sum k (* (b i j A) (* (b j k B) (b k l C)))))",
+        )
+        .unwrap();
+        let ctx = crate::analysis::Context::new()
+            .with_var("A", VarMeta::dense(2, 3))
+            .with_var("B", VarMeta::dense(3, 4))
+            .with_var("C", VarMeta::dense(4, 5))
+            .with_index("i", 2)
+            .with_index("j", 3)
+            .with_index("k", 4)
+            .with_index("l", 5);
+        let (arena, root) =
+            lower(&expr, Some(Symbol::new("i")), Some(Symbol::new("l")), &ctx).unwrap();
+        // reference: A %*% B %*% C
+        let mut ref_arena = ExprArena::new();
+        let ref_root = parse_expr(&mut ref_arena, "A %*% B %*% C").unwrap();
+        let tensors = HashMap::from([
+            (Symbol::new("A"), t(2, 3, &[1., 2., 3., 4., 5., 6.])),
+            (
+                Symbol::new("B"),
+                t(3, 4, &[1., 0., 2., -1., 3., 1., 0., 2., 0., 1., 1., 1.]),
+            ),
+            (
+                Symbol::new("C"),
+                t(
+                    4,
+                    5,
+                    &[
+                        1., 2., 0., 1., -1., 0., 1., 1., 0., 2., 2., 0., 1., 1., 0., 1., 1.,
+                        0., 2., 1.,
+                    ],
+                ),
+            ),
+        ]);
+        let want = eval_la(&ref_arena, ref_root, &tensors).unwrap();
+        let got = eval_la(&arena, root, &tensors).unwrap();
+        assert!(want.approx_eq(&got, 1e-9), "{}", arena.display(root));
+    }
+
+    #[test]
+    fn vector_in_contraction_broadcasts() {
+        // Σ_k u(k) A(k,j) with an extra diagonal-ish vector factor:
+        // Σ_k w(k) u(k) A(k,j)
+        let expr =
+            crate::lang::parse_math("(sum k (* (b k _ w) (* (b k _ u) (b k j A))))").unwrap();
+        let ctx = crate::analysis::Context::new()
+            .with_var("w", VarMeta::dense(3, 1))
+            .with_var("u", VarMeta::dense(3, 1))
+            .with_var("A", VarMeta::dense(3, 4))
+            .with_index("k", 3)
+            .with_index("j", 4);
+        let (arena, root) = lower(&expr, None, Some(Symbol::new("j")), &ctx).unwrap();
+        let tensors = HashMap::from([
+            (Symbol::new("w"), t(3, 1, &[1., 2., 0.5])),
+            (Symbol::new("u"), t(3, 1, &[2., 1., 4.])),
+            (
+                Symbol::new("A"),
+                t(3, 4, &[1., 0., 2., 1., 1., 1., 0., 0., 2., 1., 1., 1.]),
+            ),
+        ]);
+        let got = eval_la(&arena, root, &tensors).unwrap();
+        // manual: Σ_k w_k u_k A_kj
+        let want = |j: usize| {
+            (0..3)
+                .map(|k| {
+                    tensors[&Symbol::new("w")].get(k, 0)
+                        * tensors[&Symbol::new("u")].get(k, 0)
+                        * tensors[&Symbol::new("A")].get(k, j)
+                })
+                .sum::<f64>()
+        };
+        for j in 0..4 {
+            assert!((got.bget(0, j) - want(j)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_la_nodes_in_plan() {
+        let expr = crate::lang::parse_math("(l+ X Y)").unwrap();
+        let ctx = crate::analysis::Context::new();
+        assert!(lower(&expr, None, None, &ctx).is_err());
+    }
+}

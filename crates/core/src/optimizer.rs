@@ -1,0 +1,403 @@
+//! The end-to-end SPORES optimizer (the architecture of Figure 13).
+//!
+//! `LA plan → [translate] → RA plan → [EQ. saturate] → {equivalent RA
+//! plans} → [extract w/ solver] → best RA plan → [translate] → best LA
+//! plan`, with per-phase wall-clock timings recorded for the Figure 16
+//! compile-time experiments.
+
+use crate::analysis::{MetaAnalysis, VarMeta};
+use crate::cost::NnzCost;
+use crate::extract::{extract_greedy, extract_ilp, IlpStats};
+use crate::lower::lower;
+use crate::rules::{default_rules, MathRewrite};
+use crate::translate::{translate, TranslateError};
+use spores_egraph::{Extractor, Runner, Scheduler, StopReason};
+use spores_ir::{ExprArena, NodeId, Symbol};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Which extraction strategy to run (§4.3 compares these).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ExtractorKind {
+    /// Bottom-up greedy (fast, ignores sharing).
+    Greedy,
+    /// The Figure 11 ILP encoding (optimal DAG cost).
+    Ilp,
+}
+
+/// Optimizer configuration: saturation strategy + limits + extractor.
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    pub scheduler: Scheduler,
+    pub iter_limit: usize,
+    pub node_limit: usize,
+    /// Saturation wall-clock budget (the paper's runs cap at 2.5 s).
+    pub time_limit: Duration,
+    pub extractor: ExtractorKind,
+    /// ILP solver budget (only used with [`ExtractorKind::Ilp`]).
+    pub ilp_time_limit: Duration,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            scheduler: Scheduler::default(),
+            iter_limit: 30,
+            node_limit: 50_000,
+            time_limit: Duration::from_millis(2500),
+            extractor: ExtractorKind::Greedy,
+            ilp_time_limit: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Wall-clock time spent in each phase (Figure 16's breakdown).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PhaseTimings {
+    pub translate: Duration,
+    pub saturate: Duration,
+    pub extract: Duration,
+    pub lower: Duration,
+}
+
+impl PhaseTimings {
+    pub fn total(&self) -> Duration {
+        self.translate + self.saturate + self.extract + self.lower
+    }
+}
+
+/// Saturation outcome statistics (§4.3 reports convergence per program).
+#[derive(Clone, Debug)]
+pub struct SaturationStats {
+    pub iterations: usize,
+    pub e_nodes: usize,
+    pub e_classes: usize,
+    /// Did saturation converge (reach a fixpoint) within the limits?
+    pub converged: bool,
+    pub stop_reason: Option<StopReason>,
+}
+
+/// The optimizer's output.
+#[derive(Clone, Debug)]
+pub struct Optimized {
+    /// The optimized LA expression.
+    pub arena: ExprArena,
+    pub root: NodeId,
+    pub timings: PhaseTimings,
+    pub saturation: SaturationStats,
+    /// Cost-model estimate of the input plan.
+    pub cost_before: f64,
+    /// Cost-model estimate of the extracted plan.
+    pub cost_after: f64,
+    /// ILP statistics (when ILP extraction ran).
+    pub ilp: Option<IlpStats>,
+    /// True when lowering failed and the input plan was returned as-is.
+    pub fell_back: bool,
+}
+
+impl Optimized {
+    /// Estimated cost improvement factor (≥ 1 when the optimizer helped).
+    pub fn speedup_estimate(&self) -> f64 {
+        if self.cost_after > 0.0 {
+            self.cost_before / self.cost_after
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The SPORES optimizer. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct Optimizer {
+    pub config: OptimizerConfig,
+    /// Override the rule set (defaults to R_EQ + custom equations).
+    pub rules: Option<Vec<MathRewrite>>,
+}
+
+impl Optimizer {
+    pub fn new(config: OptimizerConfig) -> Optimizer {
+        Optimizer {
+            config,
+            rules: None,
+        }
+    }
+
+    pub fn with_rules(mut self, rules: Vec<MathRewrite>) -> Self {
+        self.rules = Some(rules);
+        self
+    }
+
+    /// Optimize the LA expression rooted at `root`.
+    pub fn optimize(
+        &self,
+        arena: &ExprArena,
+        root: NodeId,
+        vars: &HashMap<Symbol, VarMeta>,
+    ) -> Result<Optimized, TranslateError> {
+        let cfg = &self.config;
+
+        // ---- translate (R_LR) ------------------------------------------
+        let t0 = Instant::now();
+        let tr = translate(arena, root, vars)?;
+        let t_translate = t0.elapsed();
+
+        // ---- saturate (R_EQ) -------------------------------------------
+        let t0 = Instant::now();
+        let rules = match &self.rules {
+            Some(r) => r.clone(),
+            None => default_rules(),
+        };
+        let runner = Runner::new(MetaAnalysis::new(tr.ctx.clone()))
+            .with_expr(&tr.expr)
+            .with_scheduler(cfg.scheduler.clone())
+            .with_iter_limit(cfg.iter_limit)
+            .with_node_limit(cfg.node_limit)
+            .with_time_limit(cfg.time_limit)
+            .run(&rules);
+        let t_saturate = t0.elapsed();
+        let saturation = SaturationStats {
+            iterations: runner.iterations.len(),
+            e_nodes: runner.egraph.total_number_of_nodes(),
+            e_classes: runner.egraph.number_of_classes(),
+            converged: runner.saturated(),
+            stop_reason: runner.stop_reason.clone(),
+        };
+        let egraph = runner.egraph;
+        let eroot = runner.roots[0];
+
+        // cost of the input plan, for the before/after comparison: price
+        // the translated expression against the saturated graph's
+        // (merged, i.e. tightest) sparsity estimates
+        let cost_before = {
+            let mut pre = crate::analysis::MathGraph::new(MetaAnalysis::new(tr.ctx.clone()));
+            let id = pre.add_expr(&tr.expr);
+            pre.rebuild();
+            Extractor::new(&pre, NnzCost)
+                .best_cost(id)
+                .unwrap_or(f64::INFINITY)
+        };
+
+        // ---- extract -----------------------------------------------------
+        let t0 = Instant::now();
+        let mut ilp_stats = None;
+        let extracted = match cfg.extractor {
+            ExtractorKind::Greedy => extract_greedy(&egraph, eroot),
+            ExtractorKind::Ilp => {
+                let solver = spores_ilp::Solver {
+                    time_limit: cfg.ilp_time_limit,
+                    ..spores_ilp::Solver::default()
+                };
+                extract_ilp(&egraph, eroot, &solver).map(|(c, e, s)| {
+                    ilp_stats = Some(s);
+                    (c, e)
+                })
+            }
+        };
+        let t_extract = t0.elapsed();
+
+        // ---- lower back to LA ---------------------------------------------
+        let t0 = Instant::now();
+        let lowered = extracted.as_ref().and_then(|(_, plan)| {
+            lower(plan, tr.row, tr.col, &tr.ctx).ok()
+        });
+        let t_lower = t0.elapsed();
+
+        let timings = PhaseTimings {
+            translate: t_translate,
+            saturate: t_saturate,
+            extract: t_extract,
+            lower: t_lower,
+        };
+
+        match (extracted, lowered) {
+            (Some((cost_after, _)), Some((out_arena, out_root))) => Ok(Optimized {
+                arena: out_arena,
+                root: out_root,
+                timings,
+                saturation,
+                cost_before,
+                cost_after,
+                ilp: ilp_stats,
+                fell_back: false,
+            }),
+            _ => {
+                // extraction or lowering failed: return the input plan
+                Ok(Optimized {
+                    arena: arena.clone(),
+                    root,
+                    timings,
+                    saturation,
+                    cost_before,
+                    cost_after: cost_before,
+                    ilp: ilp_stats,
+                    fell_back: true,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_la, Tensor};
+    use spores_ir::parse_expr;
+
+    fn vars(list: &[(&str, (u64, u64), f64)]) -> HashMap<Symbol, VarMeta> {
+        list.iter()
+            .map(|&(n, (r, c), s)| (Symbol::new(n), VarMeta::sparse(r, c, s)))
+            .collect()
+    }
+
+    fn optimize(src: &str, vs: &HashMap<Symbol, VarMeta>, kind: ExtractorKind) -> Optimized {
+        let mut arena = ExprArena::new();
+        let root = parse_expr(&mut arena, src).unwrap();
+        let opt = Optimizer::new(OptimizerConfig {
+            extractor: kind,
+            // keep unit tests quick; the benches use the full budget
+            node_limit: 8_000,
+            iter_limit: 15,
+            ..OptimizerConfig::default()
+        });
+        opt.optimize(&arena, root, vs).unwrap()
+    }
+
+    #[test]
+    fn headline_optimization_exploits_sparsity() {
+        // §1: sum((X − u vᵀ)²) with sparse X must avoid the dense u vᵀ
+        // intermediate. 1000×500 at 0.1% nnz.
+        let vs = vars(&[
+            ("X", (1000, 500), 0.001),
+            ("u", (1000, 1), 1.0),
+            ("v", (500, 1), 1.0),
+        ]);
+        let got = optimize("sum((X - u %*% t(v))^2)", &vs, ExtractorKind::Greedy);
+        assert!(!got.fell_back);
+        assert!(
+            got.speedup_estimate() > 50.0,
+            "expected large estimated speedup, got {} ({} -> {}), plan: {}",
+            got.speedup_estimate(),
+            got.cost_before,
+            got.cost_after,
+            got.arena.display(got.root)
+        );
+        // and the optimized plan must not contain the dense outer product
+        let shown = got.arena.display(got.root);
+        assert!(
+            !shown.contains("u %*% t(v)"),
+            "dense outer product survived: {shown}"
+        );
+    }
+
+    #[test]
+    fn headline_variant_with_plus_also_optimizes() {
+        // §1: "SystemML fails to optimize sum((X + UVᵀ)²), where we just
+        // replaced − with +" — SPORES must handle it identically.
+        let vs = vars(&[
+            ("X", (1000, 500), 0.001),
+            ("u", (1000, 1), 1.0),
+            ("v", (500, 1), 1.0),
+        ]);
+        let got = optimize("sum((X + u %*% t(v))^2)", &vs, ExtractorKind::Greedy);
+        assert!(
+            got.speedup_estimate() > 50.0,
+            "plus-variant speedup {} (plan {})",
+            got.speedup_estimate(),
+            got.arena.display(got.root)
+        );
+    }
+
+    #[test]
+    fn optimized_plan_preserves_semantics() {
+        let vs = vars(&[
+            ("X", (6, 5), 1.0),
+            ("u", (6, 1), 1.0),
+            ("v", (5, 1), 1.0),
+        ]);
+        let src = "sum((X - u %*% t(v))^2)";
+        let mut arena = ExprArena::new();
+        let root = parse_expr(&mut arena, src).unwrap();
+        let got = optimize(src, &vs, ExtractorKind::Ilp);
+        assert!(!got.fell_back);
+
+        let mk = |rows: usize, cols: usize, seed: u64| {
+            let mut v = Vec::with_capacity(rows * cols);
+            let mut state = seed;
+            for _ in 0..rows * cols {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                v.push(((state >> 33) % 1000) as f64 / 100.0 - 5.0);
+            }
+            Tensor::new(rows, cols, v)
+        };
+        let tensors = HashMap::from([
+            (Symbol::new("X"), mk(6, 5, 1)),
+            (Symbol::new("u"), mk(6, 1, 2)),
+            (Symbol::new("v"), mk(5, 1, 3)),
+        ]);
+        let want = eval_la(&arena, root, &tensors).unwrap();
+        let have = eval_la(&got.arena, got.root, &tensors).unwrap();
+        assert!(
+            want.approx_eq(&have, 1e-6),
+            "optimized plan diverged: {} vs {:?} / {:?}",
+            got.arena.display(got.root),
+            want,
+            have
+        );
+    }
+
+    #[test]
+    fn als_expansion_distributes_over_sparse_x() {
+        // §4.2 ALS: (U Vᵀ − X) V expands to U Vᵀ V − X V when X is sparse
+        let vs = vars(&[
+            ("X", (2000, 1000), 0.001),
+            ("U", (2000, 10), 1.0),
+            ("V", (1000, 10), 1.0),
+        ]);
+        let got = optimize("(U %*% t(V) - X) %*% V", &vs, ExtractorKind::Greedy);
+        assert!(!got.fell_back);
+        assert!(
+            got.speedup_estimate() > 10.0,
+            "ALS speedup estimate {} (plan {})",
+            got.speedup_estimate(),
+            got.arena.display(got.root)
+        );
+    }
+
+    #[test]
+    fn pnmf_sum_wh_becomes_vector_product() {
+        // §4.2 PNMF: sum(W H) = dot(colSums(W), rowSums(H)) — never
+        // materialize the dense product
+        let vs = vars(&[("W", (5000, 10), 1.0), ("H", (10, 3000), 1.0)]);
+        let got = optimize("sum(W %*% H)", &vs, ExtractorKind::Greedy);
+        assert!(!got.fell_back);
+        let shown = got.arena.display(got.root);
+        assert!(
+            got.cost_after < 100_000.0,
+            "sum(WH) should cost ~vector work, got {} ({shown})",
+            got.cost_after
+        );
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let vs = vars(&[("X", (100, 50), 0.1)]);
+        let got = optimize("sum(X^2)", &vs, ExtractorKind::Greedy);
+        assert!(got.timings.saturate > Duration::ZERO);
+        assert!(got.timings.total() >= got.timings.saturate);
+        assert!(got.saturation.e_nodes > 0);
+    }
+
+    #[test]
+    fn ilp_extraction_runs_end_to_end() {
+        let vs = vars(&[
+            ("X", (200, 100), 0.01),
+            ("u", (200, 1), 1.0),
+            ("v", (100, 1), 1.0),
+        ]);
+        let got = optimize("sum(X * (u %*% t(v)))", &vs, ExtractorKind::Ilp);
+        assert!(!got.fell_back);
+        let stats = got.ilp.expect("ilp stats recorded");
+        assert!(stats.n_vars > 0);
+        assert!(stats.optimal);
+    }
+}

@@ -1,0 +1,608 @@
+//! LA → RA lowering: the rules R_LR of Figure 2, applied as a
+//! deterministic compiler pass.
+//!
+//! Every LA operator is replaced by its relational reading — element-wise
+//! multiply becomes natural join, addition becomes union, aggregates
+//! become `Σ`, matrix multiply becomes an aggregated join — with `bind`
+//! operators appearing only at the leaves and all `unbind∘bind` pairs
+//! eliminated by rename propagation (§2.1: "it eliminates consecutive
+//! unbind/bind operators, possibly renaming attributes").
+//!
+//! Index names are globally fresh (`i0`, `i1`, …), which realizes the
+//! "(else rename i)" proviso of rule 3 once and for all: no rewrite can
+//! capture an index because no two binders share a name (DESIGN.md §2).
+
+use crate::analysis::{Context, VarMeta};
+use crate::lang::{Math, MathExpr};
+use spores_egraph::{FxHashMap, Id, Language};
+use spores_ir::{ExprArena, LaNode, NodeId, Shape, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The result of translating an LA expression.
+#[derive(Clone, Debug)]
+pub struct Translation {
+    /// The relational plan (pure RA: join/union/aggregate/point-wise).
+    pub expr: MathExpr,
+    /// Row attribute of the result (`None` when the row dimension is 1).
+    pub row: Option<Symbol>,
+    /// Column attribute of the result (`None` when the col dimension is 1).
+    pub col: Option<Symbol>,
+    /// Shape of the result in LA terms.
+    pub shape: Shape,
+    /// Analysis context: variable metadata plus the dimensions of every
+    /// index the translation minted.
+    pub ctx: Context,
+}
+
+/// Translation failure (currently only shape errors).
+#[derive(Clone, Debug)]
+pub struct TranslateError(pub String);
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "translate error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// A translated fragment: a node in the RA expression plus the attribute
+/// names of its (up to two) free dimensions.
+#[derive(Copy, Clone, Debug)]
+struct Frag {
+    id: Id,
+    row: Option<Symbol>,
+    col: Option<Symbol>,
+}
+
+/// Hash-consing builder over a [`MathExpr`] so renamed copies share
+/// structure.
+#[derive(Default)]
+struct Builder {
+    expr: MathExpr,
+    memo: FxHashMap<Math, Id>,
+}
+
+impl Builder {
+    fn add(&mut self, node: Math) -> Id {
+        if let Some(&id) = self.memo.get(&node) {
+            return id;
+        }
+        let id = self.expr.add(node.clone());
+        self.memo.insert(node, id);
+        id
+    }
+
+    fn lit(&mut self, v: f64) -> Id {
+        self.add(Math::lit(v))
+    }
+
+    fn sym(&mut self, s: Symbol) -> Id {
+        self.add(Math::Sym(s))
+    }
+
+    fn idx(&mut self, s: Option<Symbol>) -> Id {
+        match s {
+            Some(s) => self.sym(s),
+            None => self.add(Math::NoIdx),
+        }
+    }
+
+    /// Copy the sub-term at `id`, renaming free index symbols per `map`.
+    /// Fresh global naming guarantees capture-freedom (module docs).
+    fn rename(&mut self, id: Id, map: &HashMap<Symbol, Symbol>) -> Id {
+        if map.is_empty() {
+            return id;
+        }
+        let mut cache: FxHashMap<Id, Id> = FxHashMap::default();
+        self.rename_rec(id, map, &mut cache)
+    }
+
+    fn rename_rec(
+        &mut self,
+        id: Id,
+        map: &HashMap<Symbol, Symbol>,
+        cache: &mut FxHashMap<Id, Id>,
+    ) -> Id {
+        if let Some(&done) = cache.get(&id) {
+            return done;
+        }
+        let node = self.expr.node(id).clone();
+        let new = match node {
+            Math::Sym(s) => {
+                let s = map.get(&s).copied().unwrap_or(s);
+                self.sym(s)
+            }
+            other => {
+                let mapped = other.map_children(|c| self.rename_rec(c, map, cache));
+                self.add(mapped)
+            }
+        };
+        cache.insert(id, new);
+        new
+    }
+}
+
+struct Translator<'a> {
+    arena: &'a ExprArena,
+    shapes: Vec<Option<Shape>>,
+    vars: &'a HashMap<Symbol, VarMeta>,
+    builder: Builder,
+    index_dims: FxHashMap<Symbol, u64>,
+    counter: usize,
+    memo: FxHashMap<NodeId, Frag>,
+}
+
+impl<'a> Translator<'a> {
+    fn fresh(&mut self, dim: u64) -> Symbol {
+        loop {
+            let s = Symbol::new(&format!("i{}", self.counter));
+            self.counter += 1;
+            // avoid collisions with user matrix names like `i0`
+            if !self.vars.contains_key(&s) {
+                self.index_dims.insert(s, dim);
+                return s;
+            }
+        }
+    }
+
+    fn shape(&self, id: NodeId) -> Shape {
+        self.shapes[id.index()].expect("shape inferred for reachable node")
+    }
+
+    /// Align `b` with `a` for an element-wise (broadcasting) operation:
+    /// rename `b`'s attributes onto `a`'s where both have the dimension,
+    /// and return the fragment ids plus the result attributes.
+    fn unify(&mut self, a: Frag, b: Frag) -> (Id, Id, Option<Symbol>, Option<Symbol>) {
+        let mut map = HashMap::new();
+        let row = match (a.row, b.row) {
+            (Some(ra), Some(rb)) => {
+                if ra != rb {
+                    map.insert(rb, ra);
+                }
+                Some(ra)
+            }
+            (Some(ra), None) => Some(ra),
+            (None, rb) => rb,
+        };
+        let col = match (a.col, b.col) {
+            (Some(ca), Some(cb)) => {
+                if ca != cb {
+                    map.insert(cb, ca);
+                }
+                Some(ca)
+            }
+            (Some(ca), None) => Some(ca),
+            (None, cb) => cb,
+        };
+        let b_id = self.builder.rename(b.id, &map);
+        (a.id, b_id, row, col)
+    }
+
+    fn pointwise2(
+        &mut self,
+        a: Frag,
+        b: Frag,
+        mk: impl FnOnce([Id; 2]) -> Math,
+    ) -> Frag {
+        let (a_id, b_id, row, col) = self.unify(a, b);
+        let id = self.builder.add(mk([a_id, b_id]));
+        Frag { id, row, col }
+    }
+
+    fn agg(&mut self, over: Option<Symbol>, body: Id) -> Id {
+        match over {
+            Some(s) => {
+                let i = self.builder.sym(s);
+                self.builder.add(Math::Agg([i, body]))
+            }
+            None => body,
+        }
+    }
+
+    fn tr(&mut self, id: NodeId) -> Frag {
+        if let Some(&f) = self.memo.get(&id) {
+            return f;
+        }
+        let shape = self.shape(id);
+        let frag = match *self.arena.node(id) {
+            LaNode::Var(v) => {
+                let row = (shape.rows > 1).then(|| self.fresh(shape.rows));
+                let col = (shape.cols > 1).then(|| self.fresh(shape.cols));
+                let (ri, ci) = (self.builder.idx(row), self.builder.idx(col));
+                let x = self.builder.sym(v);
+                let id = self.builder.add(Math::Bind([ri, ci, x]));
+                Frag { id, row, col }
+            }
+            LaNode::Scalar(n) => Frag {
+                id: self.builder.lit(n.get()),
+                row: None,
+                col: None,
+            },
+            LaNode::Fill(n, rows, cols) => {
+                // matrix(v, m, n): a constant joined with nothing — its
+                // schema still spans fresh indices so unions/aggregates
+                // see the right dimensions.
+                let row = (rows > 1).then(|| self.fresh(rows));
+                let col = (cols > 1).then(|| self.fresh(cols));
+                let lit = self.builder.lit(n.get());
+                // Σ-compatible representation: the literal broadcast over
+                // the (row, col) space; pure literals have empty schema,
+                // which is exactly the broadcast semantics of K-relations.
+                Frag { id: lit, row, col }
+            }
+            LaNode::Un(op, a) => {
+                let fa = self.tr(a);
+                use spores_ir::UnOp::*;
+                match op {
+                    T => Frag {
+                        id: fa.id,
+                        row: fa.col,
+                        col: fa.row,
+                    },
+                    RowSums => {
+                        let id = self.agg(fa.col, fa.id);
+                        Frag {
+                            id,
+                            row: fa.row,
+                            col: None,
+                        }
+                    }
+                    ColSums => {
+                        let id = self.agg(fa.row, fa.id);
+                        Frag {
+                            id,
+                            row: None,
+                            col: fa.col,
+                        }
+                    }
+                    Sum => {
+                        let inner = self.agg(fa.col, fa.id);
+                        let id = self.agg(fa.row, inner);
+                        Frag {
+                            id,
+                            row: None,
+                            col: None,
+                        }
+                    }
+                    Neg => {
+                        let m1 = self.builder.lit(-1.0);
+                        let id = self.builder.add(Math::Mul([m1, fa.id]));
+                        Frag { id, ..fa }
+                    }
+                    Exp => self.map1(fa, Math::Exp),
+                    Log => self.map1(fa, Math::Log),
+                    Sqrt => self.map1(fa, Math::Sqrt),
+                    Abs => self.map1(fa, Math::Abs),
+                    Sign => self.map1(fa, Math::Sign),
+                    Sigmoid => self.map1(fa, Math::Sigmoid),
+                    Sprop => self.map1(fa, Math::Sprop),
+                }
+            }
+            LaNode::Bin(op, a, b) => {
+                let fa = self.tr(a);
+                let fb = self.tr(b);
+                use spores_ir::BinOp::*;
+                match op {
+                    Add => self.pointwise2(fa, fb, Math::Add),
+                    Sub => {
+                        let m1 = self.builder.lit(-1.0);
+                        let neg = self.builder.add(Math::Mul([m1, fb.id]));
+                        self.pointwise2(fa, Frag { id: neg, ..fb }, Math::Add)
+                    }
+                    Mul => self.pointwise2(fa, fb, Math::Mul),
+                    Div => {
+                        let inv = self.builder.add(Math::Inv(fb.id));
+                        self.pointwise2(fa, Frag { id: inv, ..fb }, Math::Mul)
+                    }
+                    Pow => self.pointwise2(fa, fb, Math::Pow),
+                    MatMul => {
+                        // A(i,k) · B(k,j): rename B's row attr onto A's
+                        // col attr, join, aggregate the shared attr.
+                        //
+                        // Because translation memoizes shared LA nodes,
+                        // B may alias A's attributes (e.g. `t(X) %*% X`
+                        // reuses one fragment for both occurrences of X).
+                        // Any attr of B that would collide with an attr
+                        // of A other than the contraction index must be
+                        // freshened, or the self-contraction collapses.
+                        let mut map = HashMap::new();
+                        let k = match (fa.col, fb.row) {
+                            (Some(ka), Some(kb)) => {
+                                if ka != kb {
+                                    map.insert(kb, ka);
+                                }
+                                Some(ka)
+                            }
+                            (Some(ka), None) => Some(ka),
+                            (None, kb) => kb,
+                        };
+                        let mut col = fb.col;
+                        if let Some(cb) = fb.col {
+                            if Some(cb) == fa.row || Some(cb) == fa.col {
+                                let fresh = self.fresh(self.index_dims[&cb]);
+                                map.insert(cb, fresh);
+                                col = Some(fresh);
+                            }
+                        }
+                        let b_id = self.builder.rename(fb.id, &map);
+                        let prod = self.builder.add(Math::Mul([fa.id, b_id]));
+                        let id = self.agg(k, prod);
+                        Frag {
+                            id,
+                            row: fa.row,
+                            col,
+                        }
+                    }
+                    Min => self.pointwise2(fa, fb, Math::BMin),
+                    Max => self.pointwise2(fa, fb, Math::BMax),
+                    Gt => self.pointwise2(fa, fb, Math::Gt),
+                    Lt => self.pointwise2(fa, fb, Math::Lt),
+                    Ge => self.pointwise2(fa, fb, Math::Ge),
+                    Le => self.pointwise2(fa, fb, Math::Le),
+                }
+            }
+        };
+        self.memo.insert(id, frag);
+        frag
+    }
+
+    fn map1(&mut self, a: Frag, mk: impl FnOnce(Id) -> Math) -> Frag {
+        let id = self.builder.add(mk(a.id));
+        Frag { id, ..a }
+    }
+}
+
+/// Translate two LA expressions of identical shape with *aligned* result
+/// attributes, packaged under a synthetic `+` root (so one `RecExpr`
+/// carries both). Used by the Figure 14 derivation checks: feeding both
+/// sides into one e-graph only makes sense when their free attributes
+/// coincide.
+pub fn translate_pair(
+    arena: &ExprArena,
+    lhs: NodeId,
+    rhs: NodeId,
+    vars: &HashMap<Symbol, VarMeta>,
+) -> Result<Translation, TranslateError> {
+    let env: spores_ir::ShapeEnv = vars.iter().map(|(&k, v)| (k, v.shape)).collect();
+    // infer shapes for both roots (the arena may interleave them)
+    let shapes_l = arena
+        .infer_shapes(lhs, &env)
+        .map_err(|e| TranslateError(e.to_string()))?;
+    let shapes_r = arena
+        .infer_shapes(rhs, &env)
+        .map_err(|e| TranslateError(e.to_string()))?;
+    let mut shapes = shapes_l;
+    for (i, s) in shapes_r.into_iter().enumerate() {
+        if shapes[i].is_none() {
+            shapes[i] = s;
+        }
+    }
+    let mut tr = Translator {
+        arena,
+        shapes,
+        vars,
+        builder: Builder::default(),
+        index_dims: FxHashMap::default(),
+        counter: 0,
+        memo: FxHashMap::default(),
+    };
+    let fl = tr.tr(lhs);
+    let fr = tr.tr(rhs);
+    // align rhs attributes onto lhs (they denote the same dimensions)
+    let combined = tr.pointwise2(fl, fr, Math::Add);
+    let shape = tr.shape(lhs);
+    let expr = MathExpr::extract(&tr.builder.expr, combined.id);
+    let mut ctx = Context::new();
+    for (&name, &meta) in vars {
+        ctx.vars.insert(name, meta);
+    }
+    ctx.index_dims = tr.index_dims;
+    Ok(Translation {
+        expr,
+        row: combined.row,
+        col: combined.col,
+        shape,
+        ctx,
+    })
+}
+
+/// Translate the LA expression rooted at `root` into a relational plan.
+pub fn translate(
+    arena: &ExprArena,
+    root: NodeId,
+    vars: &HashMap<Symbol, VarMeta>,
+) -> Result<Translation, TranslateError> {
+    let env: spores_ir::ShapeEnv = vars.iter().map(|(&k, v)| (k, v.shape)).collect();
+    let shapes = arena
+        .infer_shapes(root, &env)
+        .map_err(|e| TranslateError(e.to_string()))?;
+    let mut tr = Translator {
+        arena,
+        shapes,
+        vars,
+        builder: Builder::default(),
+        index_dims: FxHashMap::default(),
+        counter: 0,
+        memo: FxHashMap::default(),
+    };
+    let frag = tr.tr(root);
+    let shape = tr.shape(root);
+
+    // The RecExpr root must be the last node; extract the reachable
+    // sub-term to guarantee it.
+    let expr = MathExpr::extract(&tr.builder.expr, frag.id);
+
+    let mut ctx = Context::new();
+    for (&name, &meta) in vars {
+        ctx.vars.insert(name, meta);
+    }
+    ctx.index_dims = tr.index_dims;
+
+    Ok(Translation {
+        expr,
+        row: frag.row,
+        col: frag.col,
+        shape,
+        ctx,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spores_ir::parse_expr;
+
+    fn vars(list: &[(&str, (u64, u64))]) -> HashMap<Symbol, VarMeta> {
+        list.iter()
+            .map(|&(n, (r, c))| (Symbol::new(n), VarMeta::dense(r, c)))
+            .collect()
+    }
+
+    fn tr(src: &str, vs: &[(&str, (u64, u64))]) -> Translation {
+        let mut arena = ExprArena::new();
+        let root = parse_expr(&mut arena, src).unwrap();
+        translate(&arena, root, &vars(vs)).unwrap()
+    }
+
+    #[test]
+    fn variable_binds_fresh_indices() {
+        let t = tr("X", &[("X", (3, 4))]);
+        assert_eq!(t.expr.to_string(), "(b i0 i1 X)");
+        assert!(t.row.is_some() && t.col.is_some());
+        assert_eq!(t.ctx.index_dims.len(), 2);
+    }
+
+    #[test]
+    fn scalar_variable_has_no_attrs() {
+        let t = tr("s", &[("s", (1, 1))]);
+        assert_eq!(t.expr.to_string(), "(b _ _ s)");
+        assert!(t.row.is_none() && t.col.is_none());
+    }
+
+    #[test]
+    fn transpose_swaps_attrs_without_nodes() {
+        let t = tr("t(X)", &[("X", (3, 4))]);
+        // transpose is pure attribute bookkeeping — no RA node at all
+        assert_eq!(t.expr.to_string(), "(b i0 i1 X)");
+        assert_eq!(t.shape, Shape::new(4, 3));
+        // the row attribute of the result is X's column attribute
+        let (row, col) = (t.row.unwrap(), t.col.unwrap());
+        assert_eq!(t.ctx.index_dims[&row], 4);
+        assert_eq!(t.ctx.index_dims[&col], 3);
+    }
+
+    #[test]
+    fn elementwise_mul_is_join_with_aligned_attrs() {
+        let t = tr("X * Y", &[("X", (3, 4)), ("Y", (3, 4))]);
+        assert_eq!(t.expr.to_string(), "(* (b i0 i1 X) (b i0 i1 Y))");
+    }
+
+    #[test]
+    fn matmul_is_aggregated_join() {
+        let t = tr("X %*% Y", &[("X", (3, 4)), ("Y", (4, 5))]);
+        assert_eq!(
+            t.expr.to_string(),
+            "(sum i1 (* (b i0 i1 X) (b i1 i3 Y)))"
+        );
+    }
+
+    #[test]
+    fn matvec_contracts_single_attr() {
+        let t = tr("X %*% v", &[("X", (3, 4)), ("v", (4, 1))]);
+        assert_eq!(t.expr.to_string(), "(sum i1 (* (b i0 i1 X) (b i1 _ v)))");
+        assert!(t.col.is_none());
+    }
+
+    #[test]
+    fn outer_product_has_no_aggregate() {
+        let t = tr("u %*% t(v)", &[("u", (3, 1)), ("v", (4, 1))]);
+        assert_eq!(t.expr.to_string(), "(* (b i0 _ u) (b i1 _ v))");
+    }
+
+    #[test]
+    fn broadcasting_vector_keeps_matrix_attrs() {
+        let t = tr("X * v", &[("X", (3, 4)), ("v", (3, 1))]);
+        assert_eq!(t.expr.to_string(), "(* (b i0 i1 X) (b i0 _ v))");
+        assert_eq!(t.shape, Shape::new(3, 4));
+    }
+
+    #[test]
+    fn subtraction_becomes_negated_union() {
+        let t = tr("X - Y", &[("X", (3, 4)), ("Y", (3, 4))]);
+        assert_eq!(
+            t.expr.to_string(),
+            "(+ (b i0 i1 X) (* -1 (b i0 i1 Y)))"
+        );
+    }
+
+    #[test]
+    fn division_becomes_join_with_reciprocal() {
+        let t = tr("X / Y", &[("X", (3, 4)), ("Y", (3, 4))]);
+        assert_eq!(t.expr.to_string(), "(* (b i0 i1 X) (inv (b i0 i1 Y)))");
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = tr("rowSums(X)", &[("X", (3, 4))]);
+        assert_eq!(t.expr.to_string(), "(sum i1 (b i0 i1 X))");
+        let t = tr("colSums(X)", &[("X", (3, 4))]);
+        assert_eq!(t.expr.to_string(), "(sum i0 (b i0 i1 X))");
+        let t = tr("sum(X)", &[("X", (3, 4))]);
+        assert_eq!(t.expr.to_string(), "(sum i0 (sum i1 (b i0 i1 X)))");
+    }
+
+    #[test]
+    fn headline_loss_translates() {
+        // Figure 6 (left): sum((X − u vᵀ)²)
+        let t = tr(
+            "sum((X - u %*% t(v))^2)",
+            &[("X", (30, 20)), ("u", (30, 1)), ("v", (20, 1))],
+        );
+        assert_eq!(
+            t.expr.to_string(),
+            "(sum i0 (sum i1 (pow (+ (b i0 i1 X) (* -1 (* (b i0 _ u) (b i1 _ v)))) 2)))"
+        );
+        assert!(t.row.is_none() && t.col.is_none());
+    }
+
+    #[test]
+    fn shared_subexpressions_share_ra_nodes() {
+        // (X*Y) + (X*Y): the LA DAG shares X*Y; the RA plan must too.
+        let t = tr("(X * Y) + (X * Y)", &[("X", (3, 4)), ("Y", (3, 4))]);
+        // (+ e e) with both children the same id
+        let root = t.expr.root();
+        let children: Vec<_> = t.expr.node(root).children().to_vec();
+        assert_eq!(children[0], children[1]);
+    }
+
+    #[test]
+    fn chain_matmul_uses_distinct_contraction_indices() {
+        let t = tr(
+            "A %*% B %*% C",
+            &[("A", (2, 3)), ("B", (3, 4)), ("C", (4, 5))],
+        );
+        assert_eq!(
+            t.expr.to_string(),
+            "(sum i3 (* (sum i1 (* (b i0 i1 A) (b i1 i3 B))) (b i3 i5 C)))"
+        );
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let mut arena = ExprArena::new();
+        let root = parse_expr(&mut arena, "X %*% Y").unwrap();
+        let vs = vars(&[("X", (3, 4)), ("Y", (5, 6))]);
+        assert!(translate(&arena, root, &vs).is_err());
+    }
+
+    #[test]
+    fn fresh_names_skip_colliding_variables() {
+        // a matrix literally named `i0` must not clash with minted indices
+        let t = tr("i0 * Z", &[("i0", (3, 4)), ("Z", (3, 4))]);
+        assert!(!t.ctx.index_dims.contains_key(&Symbol::new("i0")));
+        // and the plan still joins on aligned fresh attributes
+        assert_eq!(t.expr.to_string(), "(* (b i1 i2 i0) (b i1 i2 Z))");
+    }
+}

@@ -1,0 +1,63 @@
+//! GraphViz export of e-graphs, for debugging and documentation.
+//!
+//! Renders each e-class as a dashed cluster (as in Figure 7 of the paper)
+//! with edges from operators to the clusters of their children.
+
+use crate::analysis::Analysis;
+use crate::egraph::EGraph;
+use crate::language::Language;
+
+impl<L: Language, A: Analysis<L>> EGraph<L, A> {
+    /// Render the e-graph in GraphViz dot format.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(s, "digraph egraph {{").unwrap();
+        writeln!(s, "  compound=true; clusterrank=local;").unwrap();
+        for class in self.classes() {
+            let id = self.find(class.id);
+            writeln!(s, "  subgraph cluster_{id} {{").unwrap();
+            writeln!(s, "    style=dashed; label=\"{id}\";").unwrap();
+            for (i, node) in class.nodes.iter().enumerate() {
+                let label = node.op_display().replace('"', "\\\"");
+                writeln!(s, "    n_{id}_{i} [label=\"{label}\"];").unwrap();
+            }
+            writeln!(s, "  }}").unwrap();
+        }
+        for class in self.classes() {
+            let id = self.find(class.id);
+            for (i, node) in class.nodes.iter().enumerate() {
+                for (arg, &child) in node.children().iter().enumerate() {
+                    let child = self.find(child);
+                    // point at the first node of the child cluster
+                    writeln!(
+                        s,
+                        "  n_{id}_{i} -> n_{child}_0 [lhead=cluster_{child}, label=\"{arg}\"];"
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        writeln!(s, "}}").unwrap();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::parse_rec_expr;
+    use crate::language::test_lang::Arith;
+
+    #[test]
+    fn dot_contains_clusters_and_edges() {
+        let mut eg: EGraph<Arith, ()> = EGraph::default();
+        eg.add_expr(&parse_rec_expr("(* (+ x y) 2)").unwrap());
+        eg.rebuild();
+        let dot = eg.to_dot();
+        assert!(dot.starts_with("digraph egraph {"));
+        assert!(dot.contains("subgraph cluster_"));
+        assert!(dot.contains("->"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,220 @@
+//! Greedy (bottom-up) extraction.
+//!
+//! The paper's §4.3 greedy extractor: "traverses the saturated graph
+//! bottom-up, picking the cheapest operator in each class at every level".
+//! It is optimal only when the best plan of an expression contains the
+//! best plans of its sub-expressions — common subexpressions break that
+//! assumption (Figure 10), which is why `spores-core` also offers ILP
+//! extraction. The greedy pass here is a fixpoint computation, so it is
+//! robust to cycles in the e-graph (a cyclic justification never gets a
+//! finite cost).
+
+use crate::analysis::Analysis;
+use crate::egraph::EGraph;
+use crate::hash::FxHashMap;
+use crate::language::{Id, Language, RecExpr};
+
+/// Assigns a total cost to an e-node given the chosen total costs of its
+/// children classes. Infinite child costs mean "not yet extractable".
+pub trait CostFunction<L: Language, A: Analysis<L>> {
+    /// Total cost of the term rooted at `enode`, which lives in e-class
+    /// `class`. `child_cost(id)` returns the best known total cost of
+    /// class `id` (`f64::INFINITY` if none).
+    fn cost(
+        &self,
+        egraph: &EGraph<L, A>,
+        class: Id,
+        enode: &L,
+        child_cost: &dyn Fn(Id) -> f64,
+    ) -> f64;
+}
+
+/// Tree size: each node costs 1 (the classic `AstSize`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AstSize;
+
+impl<L: Language, A: Analysis<L>> CostFunction<L, A> for AstSize {
+    fn cost(
+        &self,
+        _egraph: &EGraph<L, A>,
+        _class: Id,
+        enode: &L,
+        child_cost: &dyn Fn(Id) -> f64,
+    ) -> f64 {
+        1.0 + enode.children().iter().map(|&c| child_cost(c)).sum::<f64>()
+    }
+}
+
+/// Greedy bottom-up extractor.
+pub struct Extractor<'a, L: Language, A: Analysis<L>, CF: CostFunction<L, A>> {
+    egraph: &'a EGraph<L, A>,
+    cost_fn: CF,
+    /// best (cost, node) per canonical class
+    best: FxHashMap<Id, (f64, L)>,
+}
+
+impl<'a, L: Language, A: Analysis<L>, CF: CostFunction<L, A>> Extractor<'a, L, A, CF> {
+    /// Run the fixpoint cost computation over the whole e-graph.
+    pub fn new(egraph: &'a EGraph<L, A>, cost_fn: CF) -> Self {
+        let mut ext = Extractor {
+            egraph,
+            cost_fn,
+            best: FxHashMap::default(),
+        };
+        ext.compute_costs();
+        ext
+    }
+
+    fn compute_costs(&mut self) {
+        // Bellman-Ford-style relaxation: iterate until no class improves.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for class in self.egraph.classes() {
+                let id = self.egraph.find(class.id);
+                for node in &class.nodes {
+                    let cost = self.node_total_cost(id, node);
+                    if !cost.is_finite() {
+                        continue;
+                    }
+                    match self.best.get(&id) {
+                        Some((best, _)) if *best <= cost => {}
+                        _ => {
+                            self.best.insert(id, (cost, node.clone()));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn node_total_cost(&self, class: Id, node: &L) -> f64 {
+        let best = &self.best;
+        let egraph = self.egraph;
+        let child_cost =
+            |id: Id| -> f64 { best.get(&egraph.find(id)).map_or(f64::INFINITY, |(c, _)| *c) };
+        // Nodes with un-extractable children are themselves un-extractable.
+        if node
+            .children()
+            .iter()
+            .any(|&c| !child_cost(c).is_finite())
+        {
+            return f64::INFINITY;
+        }
+        self.cost_fn.cost(egraph, class, node, &child_cost)
+    }
+
+    /// Best known total cost for class `id`, if any term is extractable.
+    pub fn best_cost(&self, id: Id) -> Option<f64> {
+        self.best.get(&self.egraph.find(id)).map(|(c, _)| *c)
+    }
+
+    /// The chosen (cheapest) e-node of class `id`.
+    pub fn best_node(&self, id: Id) -> Option<&L> {
+        self.best.get(&self.egraph.find(id)).map(|(_, n)| n)
+    }
+
+    /// Extract the cheapest concrete term of class `id`.
+    pub fn find_best(&self, id: Id) -> Option<(f64, RecExpr<L>)> {
+        let cost = self.best_cost(id)?;
+        let mut expr = RecExpr::default();
+        let mut cache: FxHashMap<Id, Id> = FxHashMap::default();
+        let root = self.build(id, &mut expr, &mut cache);
+        debug_assert_eq!(root, expr.root());
+        Some((cost, expr))
+    }
+
+    fn build(&self, id: Id, expr: &mut RecExpr<L>, cache: &mut FxHashMap<Id, Id>) -> Id {
+        let id = self.egraph.find(id);
+        if let Some(&done) = cache.get(&id) {
+            return done;
+        }
+        let node = self
+            .best_node(id)
+            .unwrap_or_else(|| panic!("no extractable term for class {id}"))
+            .clone();
+        let node = node.map_children(|c| self.build(c, expr, cache));
+        let new_id = expr.add(node);
+        cache.insert(id, new_id);
+        new_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::parse_rec_expr;
+    use crate::language::test_lang::Arith;
+    use crate::rewrite::Rewrite;
+    use crate::runner::{Runner, Scheduler};
+
+    #[test]
+    fn extracts_smallest_equivalent() {
+        // (x + x) rewritten to (* x 2) — AstSize prefers either (both 3
+        // nodes), but ((x + x) + (x + x)) vs (* (* x 2) 2): sharing makes
+        // DAG small but AstSize counts tree size.
+        let rules = vec![
+            Rewrite::<Arith, ()>::new("double", "(+ ?a ?a)", "(* ?a 2)").unwrap(),
+        ];
+        let expr = parse_rec_expr("(+ (+ x x) (+ x x))").unwrap();
+        let runner = Runner::<Arith, ()>::default()
+            .with_expr(&expr)
+            .with_scheduler(Scheduler::DepthFirst)
+            .run(&rules);
+        assert!(runner.saturated());
+        let ext = Extractor::new(&runner.egraph, AstSize);
+        let (cost, best) = ext.find_best(runner.roots[0]).unwrap();
+        // The inner class ties at cost 3 ((+ x x) vs (* x 2)); the root
+        // must pick the (* ?a 2) form (cost 5) over (+ ?a ?a) (cost 7).
+        assert!(
+            ["(* (* x 2) 2)", "(* (+ x x) 2)"].contains(&best.to_string().as_str()),
+            "got {best}"
+        );
+        assert_eq!(cost, 5.0);
+    }
+
+    #[test]
+    fn cycle_in_egraph_is_handled() {
+        // Union x with (+ x 0): the class now contains a cycle. Greedy
+        // extraction must still terminate and pick the leaf.
+        let mut eg: EGraph<Arith, ()> = EGraph::default();
+        let x = eg.add_expr(&parse_rec_expr("x").unwrap());
+        let x0 = eg.add_expr(&parse_rec_expr("(+ x 0)").unwrap());
+        eg.union(x, x0);
+        eg.rebuild();
+        let ext = Extractor::new(&eg, AstSize);
+        let (cost, best) = ext.find_best(x).unwrap();
+        assert_eq!(best.to_string(), "x");
+        assert_eq!(cost, 1.0);
+    }
+
+    #[test]
+    fn respects_custom_cost() {
+        struct MulIsExpensive;
+        impl CostFunction<Arith, ()> for MulIsExpensive {
+            fn cost(
+                &self,
+                _eg: &EGraph<Arith, ()>,
+                _class: Id,
+                enode: &Arith,
+                child: &dyn Fn(Id) -> f64,
+            ) -> f64 {
+                let own = match enode {
+                    Arith::Mul(_) => 100.0,
+                    _ => 1.0,
+                };
+                own + enode.children().iter().map(|&c| child(c)).sum::<f64>()
+            }
+        }
+        let rules =
+            vec![Rewrite::<Arith, ()>::new("double", "(+ ?a ?a)", "(* ?a 2)").unwrap()];
+        let expr = parse_rec_expr("(+ x x)").unwrap();
+        let runner = Runner::<Arith, ()>::default()
+            .with_expr(&expr)
+            .run(&rules);
+        let ext = Extractor::new(&runner.egraph, MulIsExpensive);
+        let (_, best) = ext.find_best(runner.roots[0]).unwrap();
+        assert_eq!(best.to_string(), "(+ x x)", "mul should be avoided");
+    }
+}

@@ -1,0 +1,297 @@
+//! The [`Language`] trait and flat term representation ([`RecExpr`]).
+//!
+//! A language is a set of operators with fixed arities; e-nodes are
+//! operators whose children are e-class [`Id`]s. [`RecExpr`] stores a
+//! concrete term as a post-order array (children precede parents), the
+//! same representation egg uses.
+
+use std::fmt;
+
+/// An e-class id (also used as node index inside a [`RecExpr`]).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Id(u32);
+
+impl Id {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for Id {
+    fn from(v: usize) -> Id {
+        Id(u32::try_from(v).expect("too many e-classes"))
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Trait for e-node languages.
+///
+/// Implementors are plain enums whose variants embed child [`Id`]s; all
+/// non-child payload (operator kind, symbols, constants) participates in
+/// `Eq`/`Hash` so the e-graph can hash-cons nodes.
+pub trait Language: Clone + Eq + Ord + std::hash::Hash + fmt::Debug {
+    /// Child e-class ids, in argument order.
+    fn children(&self) -> &[Id];
+
+    /// Mutable access to the child ids (used for canonicalization).
+    fn children_mut(&mut self) -> &mut [Id];
+
+    /// Do `self` and `other` have the same operator (ignoring children)?
+    fn matches(&self, other: &Self) -> bool;
+
+    /// Operator spelling, used by pattern parsing and printing.
+    fn op_display(&self) -> String;
+
+    /// Build a node from an operator spelling and child ids.
+    ///
+    /// Used by the pattern and expression parsers.
+    fn from_op(op: &str, children: Vec<Id>) -> Result<Self, String>;
+
+    /// Replace every child with `f(child)`.
+    fn map_children(mut self, mut f: impl FnMut(Id) -> Id) -> Self {
+        for c in self.children_mut() {
+            *c = f(*c);
+        }
+        self
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children().is_empty()
+    }
+}
+
+/// A term stored as a post-order array of nodes; the last node is the root.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RecExpr<L> {
+    nodes: Vec<L>,
+}
+
+impl<L> Default for RecExpr<L> {
+    fn default() -> Self {
+        RecExpr { nodes: Vec::new() }
+    }
+}
+
+impl<L: Language> RecExpr<L> {
+    /// Append a node whose children must already be in the expression;
+    /// returns its index as an [`Id`].
+    pub fn add(&mut self, node: L) -> Id {
+        debug_assert!(
+            node.children().iter().all(|c| c.index() < self.nodes.len()),
+            "node children must already be in the RecExpr"
+        );
+        self.nodes.push(node);
+        Id::from(self.nodes.len() - 1)
+    }
+
+    pub fn root(&self) -> Id {
+        assert!(!self.nodes.is_empty(), "empty RecExpr has no root");
+        Id::from(self.nodes.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    pub fn node(&self, id: Id) -> &L {
+        &self.nodes[id.index()]
+    }
+
+    pub fn nodes(&self) -> &[L] {
+        &self.nodes
+    }
+
+    /// Build a `RecExpr` from the sub-term of `other` rooted at `root`
+    /// (compacting unreachable nodes).
+    pub fn extract(other: &RecExpr<L>, root: Id) -> RecExpr<L> {
+        let mut out = RecExpr::default();
+        let mut map: Vec<Option<Id>> = vec![None; other.len()];
+        fn go<L: Language>(
+            other: &RecExpr<L>,
+            id: Id,
+            out: &mut RecExpr<L>,
+            map: &mut Vec<Option<Id>>,
+        ) -> Id {
+            if let Some(new) = map[id.index()] {
+                return new;
+            }
+            let node = other
+                .node(id)
+                .clone()
+                .map_children(|c| go(other, c, out, map));
+            let new = out.add(node);
+            map[id.index()] = Some(new);
+            new
+        }
+        go(other, root, &mut out, &mut map);
+        out
+    }
+
+    fn fmt_node(&self, id: Id, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let node = self.node(id);
+        if node.is_leaf() {
+            write!(f, "{}", node.op_display())
+        } else {
+            write!(f, "({}", node.op_display())?;
+            for &c in node.children() {
+                write!(f, " ")?;
+                self.fmt_node(c, f)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+impl<L: Language> fmt::Display for RecExpr<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nodes.is_empty() {
+            write!(f, "()")
+        } else {
+            self.fmt_node(self.root(), f)
+        }
+    }
+}
+
+/// Parse an s-expression string into a [`RecExpr`].
+pub fn parse_rec_expr<L: Language>(src: &str) -> Result<RecExpr<L>, String> {
+    let sexp = spores_ir::parse_sexp(src).map_err(|e| e.to_string())?;
+    let mut expr = RecExpr::default();
+    add_sexp(&sexp, &mut expr)?;
+    Ok(expr)
+}
+
+fn add_sexp<L: Language>(sexp: &spores_ir::SExp, expr: &mut RecExpr<L>) -> Result<Id, String> {
+    match sexp {
+        spores_ir::SExp::Atom(a) => {
+            let node = L::from_op(a, vec![])?;
+            Ok(expr.add(node))
+        }
+        spores_ir::SExp::List(items) => {
+            let (op, rest) = items
+                .split_first()
+                .ok_or_else(|| "empty list in expression".to_owned())?;
+            let op = op
+                .as_atom()
+                .ok_or_else(|| format!("operator must be an atom, got {op}"))?;
+            let children = rest
+                .iter()
+                .map(|c| add_sexp(c, expr))
+                .collect::<Result<Vec<_>, _>>()?;
+            let node = L::from_op(op, children)?;
+            Ok(expr.add(node))
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_lang {
+    use super::*;
+
+    /// A tiny arithmetic language used by the e-graph unit tests.
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    pub enum Arith {
+        Add([Id; 2]),
+        Mul([Id; 2]),
+        Neg(Id),
+        Num(i64),
+        Sym(String),
+    }
+
+    impl Language for Arith {
+        fn children(&self) -> &[Id] {
+            match self {
+                Arith::Add(c) | Arith::Mul(c) => c,
+                Arith::Neg(c) => std::slice::from_ref(c),
+                _ => &[],
+            }
+        }
+
+        fn children_mut(&mut self) -> &mut [Id] {
+            match self {
+                Arith::Add(c) | Arith::Mul(c) => c,
+                Arith::Neg(c) => std::slice::from_mut(c),
+                _ => &mut [],
+            }
+        }
+
+        fn matches(&self, other: &Self) -> bool {
+            match (self, other) {
+                (Arith::Add(_), Arith::Add(_)) => true,
+                (Arith::Mul(_), Arith::Mul(_)) => true,
+                (Arith::Neg(_), Arith::Neg(_)) => true,
+                (Arith::Num(a), Arith::Num(b)) => a == b,
+                (Arith::Sym(a), Arith::Sym(b)) => a == b,
+                _ => false,
+            }
+        }
+
+        fn op_display(&self) -> String {
+            match self {
+                Arith::Add(_) => "+".into(),
+                Arith::Mul(_) => "*".into(),
+                Arith::Neg(_) => "neg".into(),
+                Arith::Num(n) => n.to_string(),
+                Arith::Sym(s) => s.clone(),
+            }
+        }
+
+        fn from_op(op: &str, children: Vec<Id>) -> Result<Self, String> {
+            match (op, children.len()) {
+                ("+", 2) => Ok(Arith::Add([children[0], children[1]])),
+                ("*", 2) => Ok(Arith::Mul([children[0], children[1]])),
+                ("neg", 1) => Ok(Arith::Neg(children[0])),
+                (_, 0) => {
+                    if let Ok(n) = op.parse::<i64>() {
+                        Ok(Arith::Num(n))
+                    } else {
+                        Ok(Arith::Sym(op.to_owned()))
+                    }
+                }
+                (op, n) => Err(format!("unknown op {op} with {n} children")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_lang::Arith;
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let e: RecExpr<Arith> = parse_rec_expr("(+ x (* y 2))").unwrap();
+        assert_eq!(e.to_string(), "(+ x (* y 2))");
+        assert_eq!(e.len(), 5);
+    }
+
+    #[test]
+    fn extract_subterm() {
+        let e: RecExpr<Arith> = parse_rec_expr("(+ x (* y 2))").unwrap();
+        let mul = Id::from(3); // post-order: x, y, 2, (*), (+)
+        let sub = RecExpr::extract(&e, mul);
+        assert_eq!(sub.to_string(), "(* y 2)");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_rec_expr::<Arith>("(+ x)").is_err());
+        assert!(parse_rec_expr::<Arith>("(unknown x y z)").is_err());
+        assert!(parse_rec_expr::<Arith>("((+) x y)").is_err());
+    }
+}

@@ -1,0 +1,424 @@
+//! Patterns and e-matching.
+//!
+//! A pattern is a term with holes (`?a`, `?b`, …). Searching matches the
+//! pattern against every e-class (the `match` of Figure 8 in the paper);
+//! applying instantiates the pattern under a substitution and inserts it.
+
+use crate::analysis::Analysis;
+use crate::egraph::EGraph;
+use crate::language::{Id, Language, RecExpr};
+use spores_ir::{SExp, Symbol};
+use std::fmt;
+
+/// A pattern variable, e.g. `?a`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(Symbol);
+
+impl Var {
+    /// Make a variable from its spelling (with or without leading `?`).
+    pub fn new(name: &str) -> Var {
+        let name = name.strip_prefix('?').unwrap_or(name);
+        Var(Symbol::new(name))
+    }
+
+    pub fn symbol(self) -> Symbol {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A substitution from pattern variables to e-class ids.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Subst {
+    vec: Vec<(Var, Id)>,
+}
+
+impl Subst {
+    pub fn get(&self, var: Var) -> Option<Id> {
+        self.vec.iter().find(|(v, _)| *v == var).map(|&(_, id)| id)
+    }
+
+    pub fn insert(&mut self, var: Var, id: Id) {
+        debug_assert!(self.get(var).is_none(), "{var} already bound");
+        self.vec.push((var, id));
+    }
+
+    /// Canonical ordering so equal substitutions compare equal.
+    fn normalize(&mut self) {
+        self.vec.sort_unstable();
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (Var, Id)> + '_ {
+        self.vec.iter().copied()
+    }
+}
+
+/// One node of a pattern: either a language node or a hole.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ENodeOrVar<L> {
+    ENode(L),
+    Var(Var),
+}
+
+impl<L: Language> Language for ENodeOrVar<L> {
+    fn children(&self) -> &[Id] {
+        match self {
+            ENodeOrVar::ENode(n) => n.children(),
+            ENodeOrVar::Var(_) => &[],
+        }
+    }
+
+    fn children_mut(&mut self) -> &mut [Id] {
+        match self {
+            ENodeOrVar::ENode(n) => n.children_mut(),
+            ENodeOrVar::Var(_) => &mut [],
+        }
+    }
+
+    fn matches(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ENodeOrVar::ENode(a), ENodeOrVar::ENode(b)) => a.matches(b),
+            (ENodeOrVar::Var(a), ENodeOrVar::Var(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    fn op_display(&self) -> String {
+        match self {
+            ENodeOrVar::ENode(n) => n.op_display(),
+            ENodeOrVar::Var(v) => v.to_string(),
+        }
+    }
+
+    fn from_op(op: &str, children: Vec<Id>) -> Result<Self, String> {
+        if let Some(rest) = op.strip_prefix('?') {
+            if !children.is_empty() {
+                return Err(format!("pattern variable ?{rest} cannot have children"));
+            }
+            Ok(ENodeOrVar::Var(Var::new(rest)))
+        } else {
+            L::from_op(op, children).map(ENodeOrVar::ENode)
+        }
+    }
+}
+
+/// A compiled pattern.
+#[derive(Clone, Debug)]
+pub struct Pattern<L> {
+    pub ast: RecExpr<ENodeOrVar<L>>,
+}
+
+/// All matches of a pattern inside one e-class.
+#[derive(Clone, Debug)]
+pub struct SearchMatches {
+    pub eclass: Id,
+    pub substs: Vec<Subst>,
+}
+
+impl<L: Language> Pattern<L> {
+    pub fn new(ast: RecExpr<ENodeOrVar<L>>) -> Self {
+        Pattern { ast }
+    }
+
+    /// Parse a pattern from s-expression syntax, e.g. `(* ?a (+ ?b ?c))`.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let sexp = spores_ir::parse_sexp(src).map_err(|e| e.to_string())?;
+        let mut ast = RecExpr::default();
+        add_pattern_sexp::<L>(&sexp, &mut ast)?;
+        Ok(Pattern { ast })
+    }
+
+    /// The variables appearing in this pattern.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut vars = Vec::new();
+        for node in self.ast.nodes() {
+            if let ENodeOrVar::Var(v) = node {
+                if !vars.contains(v) {
+                    vars.push(*v);
+                }
+            }
+        }
+        vars
+    }
+
+    /// Search every e-class for matches.
+    pub fn search<A: Analysis<L>>(&self, egraph: &EGraph<L, A>) -> Vec<SearchMatches> {
+        debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
+        let mut out = Vec::new();
+        for id in egraph.class_ids() {
+            if let Some(m) = self.search_eclass(egraph, id) {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// Search one e-class for matches.
+    pub fn search_eclass<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+        eclass: Id,
+    ) -> Option<SearchMatches> {
+        let mut substs = self.match_id(egraph, self.ast.root(), eclass, Subst::default());
+        for s in &mut substs {
+            s.normalize();
+        }
+        substs.sort_unstable_by(|a, b| a.vec.cmp(&b.vec));
+        substs.dedup();
+        if substs.is_empty() {
+            None
+        } else {
+            Some(SearchMatches {
+                eclass: egraph.find(eclass),
+                substs,
+            })
+        }
+    }
+
+    fn match_id<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+        pat: Id,
+        eclass: Id,
+        subst: Subst,
+    ) -> Vec<Subst> {
+        let eclass = egraph.find(eclass);
+        match self.ast.node(pat) {
+            ENodeOrVar::Var(v) => match subst.get(*v) {
+                Some(bound) => {
+                    if egraph.find(bound) == eclass {
+                        vec![subst]
+                    } else {
+                        vec![]
+                    }
+                }
+                None => {
+                    let mut s = subst;
+                    s.insert(*v, eclass);
+                    vec![s]
+                }
+            },
+            ENodeOrVar::ENode(pnode) => {
+                let mut out = Vec::new();
+                for enode in egraph.class(eclass).iter() {
+                    if !pnode.matches(enode) {
+                        continue;
+                    }
+                    debug_assert_eq!(pnode.children().len(), enode.children().len());
+                    let mut partial = vec![subst.clone()];
+                    for (&pc, &ec) in pnode.children().iter().zip(enode.children()) {
+                        let mut next = Vec::new();
+                        for s in partial {
+                            next.extend(self.match_id(egraph, pc, ec, s));
+                        }
+                        partial = next;
+                        if partial.is_empty() {
+                            break;
+                        }
+                    }
+                    out.extend(partial);
+                }
+                out
+            }
+        }
+    }
+
+    /// Instantiate the pattern under `subst`, inserting it into the graph.
+    /// Returns the class of the instantiated root.
+    pub fn apply<A: Analysis<L>>(&self, egraph: &mut EGraph<L, A>, subst: &Subst) -> Id {
+        let mut ids: Vec<Id> = Vec::with_capacity(self.ast.len());
+        for node in self.ast.nodes() {
+            let id = match node {
+                ENodeOrVar::Var(v) => subst
+                    .get(*v)
+                    .unwrap_or_else(|| panic!("unbound pattern variable {v}")),
+                ENodeOrVar::ENode(n) => {
+                    let n = n.clone().map_children(|c| ids[c.index()]);
+                    egraph.add(n)
+                }
+            };
+            ids.push(id);
+        }
+        *ids.last().expect("non-empty pattern")
+    }
+
+    /// Instantiate the pattern into a concrete [`RecExpr`] using a mapping
+    /// from variables to concrete sub-expressions.
+    pub fn instantiate(&self, bindings: &dyn Fn(Var) -> RecExpr<L>) -> RecExpr<L> {
+        let mut out = RecExpr::default();
+        let mut ids: Vec<Id> = Vec::with_capacity(self.ast.len());
+        for node in self.ast.nodes() {
+            let id = match node {
+                ENodeOrVar::Var(v) => {
+                    let sub = bindings(*v);
+                    let mut map = Vec::with_capacity(sub.len());
+                    for n in sub.nodes() {
+                        let n = n.clone().map_children(|c| map[c.index()]);
+                        map.push(out.add(n));
+                    }
+                    *map.last().expect("non-empty binding")
+                }
+                ENodeOrVar::ENode(n) => {
+                    let n = n.clone().map_children(|c| ids[c.index()]);
+                    out.add(n)
+                }
+            };
+            ids.push(id);
+        }
+        out
+    }
+}
+
+impl<L: Language> fmt::Display for Pattern<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ast)
+    }
+}
+
+impl<L: Language> std::str::FromStr for Pattern<L> {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Pattern::parse(s)
+    }
+}
+
+fn add_pattern_sexp<L: Language>(
+    sexp: &SExp,
+    ast: &mut RecExpr<ENodeOrVar<L>>,
+) -> Result<Id, String> {
+    match sexp {
+        SExp::Atom(a) => {
+            let node = ENodeOrVar::from_op(a, vec![])?;
+            Ok(ast.add(node))
+        }
+        SExp::List(items) => {
+            let (op, rest) = items
+                .split_first()
+                .ok_or_else(|| "empty list in pattern".to_owned())?;
+            let op = op
+                .as_atom()
+                .ok_or_else(|| format!("operator must be an atom, got {op}"))?;
+            let children = rest
+                .iter()
+                .map(|c| add_pattern_sexp(c, ast))
+                .collect::<Result<Vec<_>, _>>()?;
+            let node = ENodeOrVar::from_op(op, children)?;
+            Ok(ast.add(node))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::parse_rec_expr;
+    use crate::language::test_lang::Arith;
+
+    type EG = EGraph<Arith, ()>;
+
+    fn add_str(eg: &mut EG, s: &str) -> Id {
+        eg.add_expr(&parse_rec_expr(s).unwrap())
+    }
+
+    #[test]
+    fn parse_and_vars() {
+        let p: Pattern<Arith> = "(* ?a (+ ?b ?a))".parse().unwrap();
+        assert_eq!(p.to_string(), "(* ?a (+ ?b ?a))");
+        assert_eq!(p.vars().len(), 2);
+    }
+
+    #[test]
+    fn simple_match() {
+        let mut eg = EG::default();
+        let root = add_str(&mut eg, "(* x (+ y 2))");
+        eg.rebuild();
+        let p: Pattern<Arith> = "(* ?a (+ ?b ?c))".parse().unwrap();
+        let matches = p.search(&eg);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].eclass, eg.find(root));
+        assert_eq!(matches[0].substs.len(), 1);
+    }
+
+    #[test]
+    fn nonlinear_pattern_requires_same_class() {
+        let mut eg = EG::default();
+        add_str(&mut eg, "(* x x)");
+        add_str(&mut eg, "(* x y)");
+        eg.rebuild();
+        let p: Pattern<Arith> = "(* ?a ?a)".parse().unwrap();
+        let matches = p.search(&eg);
+        assert_eq!(matches.len(), 1, "only (* x x) matches (* ?a ?a)");
+    }
+
+    #[test]
+    fn nonlinear_matches_after_union() {
+        let mut eg = EG::default();
+        let x = add_str(&mut eg, "x");
+        let y = add_str(&mut eg, "y");
+        add_str(&mut eg, "(* x y)");
+        let p: Pattern<Arith> = "(* ?a ?a)".parse().unwrap();
+        eg.rebuild();
+        assert_eq!(p.search(&eg).len(), 0);
+        eg.union(x, y);
+        eg.rebuild();
+        assert_eq!(p.search(&eg).len(), 1, "x=y makes (* x y) match (* ?a ?a)");
+    }
+
+    #[test]
+    fn multiple_substs_in_one_class() {
+        let mut eg = EG::default();
+        let a = add_str(&mut eg, "(+ x y)");
+        let b = add_str(&mut eg, "(+ y x)");
+        eg.union(a, b);
+        eg.rebuild();
+        let p: Pattern<Arith> = "(+ ?a ?b)".parse().unwrap();
+        let m = p.search_eclass(&eg, a).unwrap();
+        assert_eq!(m.substs.len(), 2);
+    }
+
+    #[test]
+    fn apply_inserts_instantiation() {
+        let mut eg = EG::default();
+        let root = add_str(&mut eg, "(* x (+ y 2))");
+        eg.rebuild();
+        let lhs: Pattern<Arith> = "(* ?a (+ ?b ?c))".parse().unwrap();
+        let rhs: Pattern<Arith> = "(+ (* ?a ?b) (* ?a ?c))".parse().unwrap();
+        let m = &lhs.search(&eg)[0];
+        let new = rhs.apply(&mut eg, &m.substs[0]);
+        eg.union(root, new);
+        eg.rebuild();
+        let want = parse_rec_expr::<Arith>("(+ (* x y) (* x 2))").unwrap();
+        assert_eq!(eg.lookup_expr(&want), Some(eg.find(root)));
+        eg.check_invariants();
+    }
+
+    #[test]
+    fn leaf_patterns_match_constants() {
+        let mut eg = EG::default();
+        add_str(&mut eg, "(+ 1 x)");
+        eg.rebuild();
+        let p: Pattern<Arith> = "(+ 1 ?x)".parse().unwrap();
+        assert_eq!(p.search(&eg).len(), 1);
+        let p2: Pattern<Arith> = "(+ 2 ?x)".parse().unwrap();
+        assert_eq!(p2.search(&eg).len(), 0);
+    }
+
+    #[test]
+    fn instantiate_to_recexpr() {
+        let p: Pattern<Arith> = "(+ ?a (* ?a 2))".parse().unwrap();
+        let x: RecExpr<Arith> = parse_rec_expr("(neg z)").unwrap();
+        let e = p.instantiate(&|_| x.clone());
+        assert_eq!(e.to_string(), "(+ (neg z) (* (neg z) 2))");
+    }
+}

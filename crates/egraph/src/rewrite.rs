@@ -1,0 +1,196 @@
+//! Rewrite rules: a searcher pattern, an applier, and optional conditions.
+//!
+//! Conditions implement the paper's schema-guarded rules (§3.2): e.g. rule
+//! 3 of Figure 3 only applies when index `i` is not in the schema of the
+//! matched sub-expression, which a plain syntactic pattern cannot express.
+
+use crate::analysis::Analysis;
+use crate::egraph::EGraph;
+use crate::language::{Id, Language};
+use crate::pattern::{Pattern, SearchMatches, Subst};
+use std::fmt;
+use std::sync::Arc;
+
+/// A side condition evaluated against the matched class and substitution.
+pub type Condition<L, A> = dyn Fn(&EGraph<L, A>, Id, &Subst) -> bool + Send + Sync;
+
+/// Something that can produce new ids to union with a matched class.
+pub trait Applier<L: Language, A: Analysis<L>>: Send + Sync {
+    /// Instantiate for one match; return the ids to union with `eclass`.
+    fn apply_one(&self, egraph: &mut EGraph<L, A>, eclass: Id, subst: &Subst) -> Vec<Id>;
+
+    /// For diagnostics.
+    fn describe(&self) -> String {
+        "<dynamic applier>".to_owned()
+    }
+}
+
+impl<L: Language + Send + Sync, A: Analysis<L>> Applier<L, A> for Pattern<L> {
+    fn apply_one(&self, egraph: &mut EGraph<L, A>, _eclass: Id, subst: &Subst) -> Vec<Id> {
+        vec![self.apply(egraph, subst)]
+    }
+
+    fn describe(&self) -> String {
+        self.to_string()
+    }
+}
+
+/// A named rewrite rule.
+pub struct Rewrite<L: Language, A: Analysis<L>> {
+    pub name: String,
+    pub searcher: Pattern<L>,
+    pub applier: Arc<dyn Applier<L, A>>,
+    pub conditions: Vec<Arc<Condition<L, A>>>,
+}
+
+impl<L: Language, A: Analysis<L>> Clone for Rewrite<L, A> {
+    fn clone(&self) -> Self {
+        Rewrite {
+            name: self.name.clone(),
+            searcher: self.searcher.clone(),
+            applier: Arc::clone(&self.applier),
+            conditions: self.conditions.clone(),
+        }
+    }
+}
+
+impl<L: Language, A: Analysis<L>> fmt::Debug for Rewrite<L, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} => {}",
+            self.name,
+            self.searcher,
+            self.applier.describe()
+        )
+    }
+}
+
+impl<L: Language + Send + Sync + 'static, A: Analysis<L>> Rewrite<L, A> {
+    /// Build a `lhs => rhs` rule from pattern strings.
+    pub fn new(name: impl Into<String>, lhs: &str, rhs: &str) -> Result<Self, String> {
+        let name = name.into();
+        let searcher: Pattern<L> = lhs
+            .parse()
+            .map_err(|e| format!("rule {name}, lhs: {e}"))?;
+        let applier: Pattern<L> = rhs
+            .parse()
+            .map_err(|e| format!("rule {name}, rhs: {e}"))?;
+        // every rhs variable must be bound by the lhs
+        let lhs_vars = searcher.vars();
+        for v in applier.vars() {
+            if !lhs_vars.contains(&v) {
+                return Err(format!("rule {name}: rhs variable {v} not bound by lhs"));
+            }
+        }
+        Ok(Rewrite {
+            name,
+            searcher,
+            applier: Arc::new(applier),
+            conditions: Vec::new(),
+        })
+    }
+
+    /// Add a side condition; the rule only fires when it returns true.
+    pub fn with_condition(
+        mut self,
+        cond: impl Fn(&EGraph<L, A>, Id, &Subst) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.conditions.push(Arc::new(cond));
+        self
+    }
+
+    /// Replace the applier with a dynamic one (for rules that must compute
+    /// their output rather than instantiate a pattern).
+    pub fn with_applier(mut self, applier: impl Applier<L, A> + 'static) -> Self {
+        self.applier = Arc::new(applier);
+        self
+    }
+}
+
+impl<L: Language, A: Analysis<L>> Rewrite<L, A> {
+    /// Search the whole e-graph for matches of this rule's lhs.
+    pub fn search(&self, egraph: &EGraph<L, A>) -> Vec<SearchMatches> {
+        self.searcher.search(egraph)
+    }
+
+    /// Apply this rule to one (class, subst) match. Returns the number of
+    /// unions actually performed.
+    pub fn apply_match(&self, egraph: &mut EGraph<L, A>, eclass: Id, subst: &Subst) -> usize {
+        for cond in &self.conditions {
+            if !cond(egraph, eclass, subst) {
+                return 0;
+            }
+        }
+        let ids = self.applier.apply_one(egraph, eclass, subst);
+        let mut unions = 0;
+        for id in ids {
+            let (_, changed) = egraph.union(eclass, id);
+            unions += usize::from(changed);
+        }
+        unions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::parse_rec_expr;
+    use crate::language::test_lang::Arith;
+
+    type EG = EGraph<Arith, ()>;
+
+    #[test]
+    fn rule_applies_and_unions() {
+        let mut eg = EG::default();
+        let root = eg.add_expr(&parse_rec_expr("(+ x y)").unwrap());
+        eg.rebuild();
+        let rule: Rewrite<Arith, ()> = Rewrite::new("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap();
+        let matches = rule.search(&eg);
+        assert_eq!(matches.len(), 1);
+        let unions = rule.apply_match(&mut eg, matches[0].eclass, &matches[0].substs[0]);
+        assert_eq!(unions, 1);
+        eg.rebuild();
+        let flipped = parse_rec_expr::<Arith>("(+ y x)").unwrap();
+        assert_eq!(eg.lookup_expr(&flipped), Some(eg.find(root)));
+    }
+
+    #[test]
+    fn unbound_rhs_var_rejected() {
+        let r: Result<Rewrite<Arith, ()>, _> = Rewrite::new("bad", "(+ ?a ?b)", "(+ ?a ?c)");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn condition_blocks_application() {
+        let mut eg = EG::default();
+        eg.add_expr(&parse_rec_expr("(+ x y)").unwrap());
+        eg.rebuild();
+        let rule: Rewrite<Arith, ()> = Rewrite::new("comm-add", "(+ ?a ?b)", "(+ ?b ?a)")
+            .unwrap()
+            .with_condition(|_, _, _| false);
+        let matches = rule.search(&eg);
+        let unions = rule.apply_match(&mut eg, matches[0].eclass, &matches[0].substs[0]);
+        assert_eq!(unions, 0);
+    }
+
+    #[test]
+    fn reapplying_is_idempotent() {
+        let mut eg = EG::default();
+        eg.add_expr(&parse_rec_expr("(+ x y)").unwrap());
+        eg.rebuild();
+        let rule: Rewrite<Arith, ()> = Rewrite::new("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap();
+        for _ in 0..3 {
+            let matches = rule.search(&eg);
+            for m in matches {
+                for s in &m.substs {
+                    rule.apply_match(&mut eg, m.eclass, s);
+                }
+            }
+            eg.rebuild();
+        }
+        // (+ x y) and (+ y x) in one class; x, y separate: 3 classes
+        assert_eq!(eg.number_of_classes(), 3);
+        assert_eq!(eg.total_number_of_nodes(), 4);
+    }
+}

@@ -1,0 +1,327 @@
+//! The saturation driver.
+//!
+//! Implements the match-and-insert loop of Figure 8 with two application
+//! strategies from §3.1:
+//!
+//! * **depth-first** — apply *every* match of every rule each iteration
+//!   (the strategy that blows up on AC rules and times out on GLM/SVM in
+//!   the paper's Figure 16), and
+//! * **sampling** — cap the number of matches applied per rule per
+//!   iteration, sampling uniformly, which "encourages each rule to be
+//!   considered equally often and prevents any single rule from exploding
+//!   the graph".
+
+use crate::analysis::Analysis;
+use crate::egraph::EGraph;
+use crate::language::{Id, Language, RecExpr};
+use crate::pattern::Subst;
+use crate::rewrite::Rewrite;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Match application strategy (§3.1 "Dealing with Expansive Rules").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Apply all matches of all rules every iteration.
+    DepthFirst,
+    /// Apply at most `match_limit` sampled matches per rule per iteration.
+    Sampling { match_limit: usize, seed: u64 },
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::Sampling {
+            match_limit: 40,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Why the runner stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// No rule changed the graph: the e-graph represents the full
+    /// transitive closure of the rules applied to the input.
+    Saturated,
+    IterationLimit(usize),
+    NodeLimit(usize),
+    TimeLimit(Duration),
+}
+
+/// Statistics for one saturation iteration.
+#[derive(Clone, Debug, Default)]
+pub struct Iteration {
+    pub matches_found: usize,
+    pub matches_applied: usize,
+    pub unions: usize,
+    pub egraph_nodes: usize,
+    pub egraph_classes: usize,
+    pub search_time: Duration,
+    pub apply_time: Duration,
+    pub rebuild_time: Duration,
+}
+
+/// Equality-saturation runner with limits and statistics.
+pub struct Runner<L: Language, A: Analysis<L>> {
+    pub egraph: EGraph<L, A>,
+    pub roots: Vec<Id>,
+    pub iterations: Vec<Iteration>,
+    pub stop_reason: Option<StopReason>,
+    scheduler: Scheduler,
+    iter_limit: usize,
+    node_limit: usize,
+    time_limit: Duration,
+}
+
+impl<L: Language, A: Analysis<L> + Default> Default for Runner<L, A> {
+    fn default() -> Self {
+        Runner::new(A::default())
+    }
+}
+
+impl<L: Language, A: Analysis<L>> Runner<L, A> {
+    pub fn new(analysis: A) -> Self {
+        Runner {
+            egraph: EGraph::new(analysis),
+            roots: Vec::new(),
+            iterations: Vec::new(),
+            stop_reason: None,
+            scheduler: Scheduler::default(),
+            iter_limit: 30,
+            node_limit: 50_000,
+            time_limit: Duration::from_secs(10),
+        }
+    }
+
+    pub fn with_egraph(mut self, egraph: EGraph<L, A>) -> Self {
+        self.egraph = egraph;
+        self
+    }
+
+    /// Add a root expression to optimize.
+    pub fn with_expr(mut self, expr: &RecExpr<L>) -> Self {
+        let id = self.egraph.add_expr(expr);
+        self.roots.push(id);
+        self
+    }
+
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    pub fn with_iter_limit(mut self, limit: usize) -> Self {
+        self.iter_limit = limit;
+        self
+    }
+
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = limit;
+        self
+    }
+
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = limit;
+        self
+    }
+
+    /// Did the run stop because the rules were exhausted?
+    pub fn saturated(&self) -> bool {
+        matches!(self.stop_reason, Some(StopReason::Saturated))
+    }
+
+    /// Run saturation to convergence or until a limit trips.
+    pub fn run(mut self, rules: &[Rewrite<L, A>]) -> Self {
+        let start = Instant::now();
+        let mut rng = match self.scheduler {
+            Scheduler::Sampling { seed, .. } => StdRng::seed_from_u64(seed),
+            Scheduler::DepthFirst => StdRng::seed_from_u64(0),
+        };
+        if !self.egraph.is_clean() {
+            self.egraph.rebuild();
+        }
+
+        loop {
+            if self.iterations.len() >= self.iter_limit {
+                self.stop_reason = Some(StopReason::IterationLimit(self.iter_limit));
+                break;
+            }
+            if self.egraph.total_number_of_nodes() > self.node_limit {
+                self.stop_reason = Some(StopReason::NodeLimit(self.node_limit));
+                break;
+            }
+            if start.elapsed() > self.time_limit {
+                self.stop_reason = Some(StopReason::TimeLimit(self.time_limit));
+                break;
+            }
+
+            let mut iter = Iteration::default();
+
+            // --- search phase ---------------------------------------
+            let t = Instant::now();
+            // Flatten each rule's matches to (class, subst) instances.
+            let mut per_rule: Vec<Vec<(Id, Subst)>> = Vec::with_capacity(rules.len());
+            for rule in rules {
+                let mut instances = Vec::new();
+                for m in rule.search(&self.egraph) {
+                    for s in m.substs {
+                        instances.push((m.eclass, s));
+                    }
+                }
+                iter.matches_found += instances.len();
+                per_rule.push(instances);
+            }
+            iter.search_time = t.elapsed();
+
+            // --- scheduling + apply phase ----------------------------
+            let t = Instant::now();
+            for (rule, mut instances) in rules.iter().zip(per_rule) {
+                if let Scheduler::Sampling { match_limit, .. } = self.scheduler {
+                    sample_in_place(&mut instances, match_limit, &mut rng);
+                }
+                for (class, subst) in instances {
+                    iter.unions += rule.apply_match(&mut self.egraph, class, &subst);
+                    iter.matches_applied += 1;
+                }
+            }
+            iter.apply_time = t.elapsed();
+
+            // --- rebuild phase ---------------------------------------
+            let t = Instant::now();
+            iter.unions += self.egraph.rebuild();
+            iter.rebuild_time = t.elapsed();
+
+            iter.egraph_nodes = self.egraph.total_number_of_nodes();
+            iter.egraph_classes = self.egraph.number_of_classes();
+            let saturated = iter.unions == 0;
+            self.iterations.push(iter);
+
+            if saturated {
+                self.stop_reason = Some(StopReason::Saturated);
+                break;
+            }
+        }
+        // Report canonical roots.
+        for root in &mut self.roots {
+            *root = self.egraph.find(*root);
+        }
+        self
+    }
+}
+
+/// Keep a uniform sample of `limit` elements of `v` (partial Fisher-Yates).
+fn sample_in_place<T>(v: &mut Vec<T>, limit: usize, rng: &mut StdRng) {
+    if v.len() <= limit {
+        return;
+    }
+    for i in 0..limit {
+        let j = rng.random_range(i..v.len());
+        v.swap(i, j);
+    }
+    v.truncate(limit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::language::parse_rec_expr;
+    use crate::language::test_lang::Arith;
+
+    fn rules() -> Vec<Rewrite<Arith, ()>> {
+        vec![
+            Rewrite::new("comm-add", "(+ ?a ?b)", "(+ ?b ?a)").unwrap(),
+            Rewrite::new("comm-mul", "(* ?a ?b)", "(* ?b ?a)").unwrap(),
+            Rewrite::new("assoc-add", "(+ (+ ?a ?b) ?c)", "(+ ?a (+ ?b ?c))").unwrap(),
+            Rewrite::new("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))").unwrap(),
+            Rewrite::new("factor", "(+ (* ?a ?b) (* ?a ?c))", "(* ?a (+ ?b ?c))").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn saturates_small_input() {
+        let expr = parse_rec_expr("(+ x y)").unwrap();
+        let runner = Runner::<Arith, ()>::default()
+            .with_expr(&expr)
+            .with_scheduler(Scheduler::DepthFirst)
+            .run(&rules());
+        assert!(runner.saturated(), "{:?}", runner.stop_reason);
+        let flipped = parse_rec_expr::<Arith>("(+ y x)").unwrap();
+        assert_eq!(
+            runner.egraph.lookup_expr(&flipped),
+            Some(runner.roots[0])
+        );
+    }
+
+    #[test]
+    fn proves_distributivity_composition() {
+        // (x + y) * z == x*z + y*z requires comm + distribute
+        let lhs = parse_rec_expr("(* (+ x y) z)").unwrap();
+        let rhs = parse_rec_expr::<Arith>("(+ (* x z) (* y z))").unwrap();
+        let runner = Runner::<Arith, ()>::default()
+            .with_expr(&lhs)
+            .with_scheduler(Scheduler::DepthFirst)
+            .run(&rules());
+        assert_eq!(
+            runner.egraph.lookup_expr(&rhs).map(|id| runner.egraph.find(id)),
+            Some(runner.roots[0])
+        );
+    }
+
+    #[test]
+    fn iteration_limit_respected() {
+        let expr = parse_rec_expr("(+ (+ (+ a b) (+ c d)) (+ (+ e f) (+ g h)))").unwrap();
+        let runner = Runner::<Arith, ()>::default()
+            .with_expr(&expr)
+            .with_iter_limit(2)
+            .run(&rules());
+        assert!(runner.iterations.len() <= 2);
+    }
+
+    #[test]
+    fn node_limit_stops_explosion() {
+        let expr =
+            parse_rec_expr("(* (* (* (* (* (* a b) c) d) e) f) (* (* g h) (* i j)))").unwrap();
+        let runner = Runner::<Arith, ()>::default()
+            .with_expr(&expr)
+            .with_node_limit(200)
+            .with_scheduler(Scheduler::DepthFirst)
+            .run(&rules());
+        assert!(matches!(
+            runner.stop_reason,
+            Some(StopReason::NodeLimit(_)) | Some(StopReason::Saturated)
+        ));
+    }
+
+    #[test]
+    fn sampling_still_converges_on_small_input() {
+        // §4.3: "sampling always preserves convergence in practice"
+        let expr = parse_rec_expr("(* (+ x y) z)").unwrap();
+        let rhs = parse_rec_expr::<Arith>("(+ (* x z) (* y z))").unwrap();
+        let runner = Runner::<Arith, ()>::default()
+            .with_expr(&expr)
+            .with_scheduler(Scheduler::Sampling {
+                match_limit: 4,
+                seed: 7,
+            })
+            .with_iter_limit(100)
+            .run(&rules());
+        assert!(runner.saturated());
+        assert_eq!(
+            runner.egraph.lookup_expr(&rhs).map(|id| runner.egraph.find(id)),
+            Some(runner.roots[0])
+        );
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let expr = parse_rec_expr("(* (+ x y) z)").unwrap();
+        let runner = Runner::<Arith, ()>::default()
+            .with_expr(&expr)
+            .run(&rules());
+        assert!(!runner.iterations.is_empty());
+        let last = runner.iterations.last().unwrap();
+        assert!(last.egraph_nodes > 0);
+        assert_eq!(last.unions, 0, "last iteration must be a fixpoint");
+    }
+}

@@ -1,0 +1,112 @@
+//! Union-find over e-class ids, with path compression.
+//!
+//! Union order matters for e-graphs: [`UnionFind::union`] makes the
+//! *first* argument the new root, letting the e-graph decide which class
+//! survives a merge (it keeps the class with more parents to move less
+//! data).
+
+use crate::language::Id;
+
+/// Disjoint-set forest keyed by dense [`Id`]s.
+#[derive(Default, Clone, Debug)]
+pub struct UnionFind {
+    parents: Vec<Id>,
+}
+
+impl UnionFind {
+    /// Create a fresh singleton set and return its id.
+    pub fn make_set(&mut self) -> Id {
+        let id = Id::from(self.parents.len());
+        self.parents.push(id);
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    fn parent(&self, id: Id) -> Id {
+        self.parents[id.index()]
+    }
+
+    /// Find the canonical representative without mutating (no compression).
+    pub fn find_immutable(&self, mut current: Id) -> Id {
+        while current != self.parent(current) {
+            current = self.parent(current);
+        }
+        current
+    }
+
+    /// Find the canonical representative, compressing the path.
+    pub fn find(&mut self, mut current: Id) -> Id {
+        let root = self.find_immutable(current);
+        // second pass: point everything on the path at the root
+        while current != root {
+            let next = self.parent(current);
+            self.parents[current.index()] = root;
+            current = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `root1` and `root2` (both must be roots);
+    /// `root1` becomes the root of the union.
+    pub fn union(&mut self, root1: Id, root2: Id) -> Id {
+        debug_assert_eq!(root1, self.find_immutable(root1));
+        debug_assert_eq!(root2, self.find_immutable(root2));
+        self.parents[root2.index()] = root1;
+        root1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = UnionFind::default();
+        let ids: Vec<Id> = (0..10).map(|_| uf.make_set()).collect();
+        assert_eq!(uf.len(), 10);
+        for &id in &ids {
+            assert_eq!(uf.find(id), id);
+        }
+        uf.union(ids[0], ids[1]);
+        uf.union(ids[0], ids[2]);
+        uf.union(ids[5], ids[6]);
+        assert_eq!(uf.find(ids[1]), ids[0]);
+        assert_eq!(uf.find(ids[2]), ids[0]);
+        assert_eq!(uf.find(ids[6]), ids[5]);
+        assert_ne!(uf.find(ids[3]), uf.find(ids[2]));
+    }
+
+    #[test]
+    fn first_argument_is_root() {
+        let mut uf = UnionFind::default();
+        let a = uf.make_set();
+        let b = uf.make_set();
+        assert_eq!(uf.union(b, a), b);
+        assert_eq!(uf.find(a), b);
+    }
+
+    #[test]
+    fn path_compression_flattens() {
+        let mut uf = UnionFind::default();
+        let ids: Vec<Id> = (0..100).map(|_| uf.make_set()).collect();
+        // build a chain: each root unioned under the next
+        for w in ids.windows(2) {
+            let (ra, rb) = (uf.find(w[1]), uf.find(w[0]));
+            uf.union(ra, rb);
+        }
+        let root = uf.find(ids[0]);
+        for &id in &ids {
+            assert_eq!(uf.find(id), root);
+            // after find, parent must point directly at root
+            assert_eq!(uf.parent(id), root);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Problem representation: boolean variables, CNF clauses, linear
+//! objective.
+
+/// A literal: variable index plus sign (`true` = positive occurrence).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Lit {
+    pub var: u32,
+    pub positive: bool,
+}
+
+impl Lit {
+    pub fn pos(var: u32) -> Lit {
+        Lit {
+            var,
+            positive: true,
+        }
+    }
+
+    pub fn neg(var: u32) -> Lit {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+
+    /// Is this literal satisfied by `value` of its variable?
+    pub fn satisfied_by(self, value: bool) -> bool {
+        self.positive == value
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Clause {
+    pub lits: Vec<Lit>,
+}
+
+/// A 0-1 minimization problem: CNF constraints + non-negative linear
+/// objective.
+#[derive(Clone, Debug, Default)]
+pub struct Problem {
+    n_vars: u32,
+    pub clauses: Vec<Clause>,
+    /// objective coefficient per variable (0 when absent)
+    pub objective: Vec<f64>,
+}
+
+impl Problem {
+    pub fn new() -> Problem {
+        Problem::default()
+    }
+
+    /// Allocate a fresh boolean variable with the given objective weight.
+    /// Weights must be non-negative (required by the bounding scheme).
+    pub fn add_var(&mut self, cost: f64) -> u32 {
+        assert!(
+            cost >= 0.0 && cost.is_finite(),
+            "objective weights must be non-negative and finite, got {cost}"
+        );
+        let v = self.n_vars;
+        self.n_vars += 1;
+        self.objective.push(cost);
+        v
+    }
+
+    pub fn n_vars(&self) -> u32 {
+        self.n_vars
+    }
+
+    pub fn add_clause(&mut self, lits: Vec<Lit>) {
+        debug_assert!(lits.iter().all(|l| l.var < self.n_vars));
+        self.clauses.push(Clause { lits });
+    }
+
+    /// Constraint: `v` must be true.
+    pub fn require(&mut self, v: u32) {
+        self.add_clause(vec![Lit::pos(v)]);
+    }
+
+    /// Constraint: `v → w` (if `v` is selected, so is `w`).
+    pub fn imply(&mut self, v: u32, w: u32) {
+        self.add_clause(vec![Lit::neg(v), Lit::pos(w)]);
+    }
+
+    /// Constraint: `v → w1 ∨ … ∨ wk`.
+    pub fn imply_any(&mut self, v: u32, ws: &[u32]) {
+        let mut lits = vec![Lit::neg(v)];
+        lits.extend(ws.iter().map(|&w| Lit::pos(w)));
+        self.add_clause(lits);
+    }
+
+    /// Constraint: not all of `vs` may be true simultaneously
+    /// (used as a lazy blocking clause for cycle elimination).
+    pub fn forbid_all(&mut self, vs: &[u32]) {
+        assert!(!vs.is_empty(), "cannot forbid the empty conjunction");
+        self.add_clause(vs.iter().map(|&v| Lit::neg(v)).collect());
+    }
+
+    /// Does `assignment` satisfy every clause?
+    pub fn check(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.n_vars as usize);
+        self.clauses.iter().all(|c| {
+            c.lits
+                .iter()
+                .any(|l| l.satisfied_by(assignment[l.var as usize]))
+        })
+    }
+
+    /// Objective value of `assignment`.
+    pub fn cost(&self, assignment: &[bool]) -> f64 {
+        assignment
+            .iter()
+            .zip(&self.objective)
+            .filter(|(&a, _)| a)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_check() {
+        let mut p = Problem::new();
+        let a = p.add_var(1.0);
+        let b = p.add_var(2.0);
+        let c = p.add_var(4.0);
+        p.require(a);
+        p.imply(a, b);
+        p.imply_any(b, &[a, c]);
+        assert!(p.check(&[true, true, false]));
+        assert!(!p.check(&[true, false, false]));
+        assert_eq!(p.cost(&[true, true, false]), 3.0);
+        assert_eq!(p.cost(&[true, true, true]), 7.0);
+    }
+
+    #[test]
+    fn forbid_all_blocks_conjunction() {
+        let mut p = Problem::new();
+        let a = p.add_var(0.0);
+        let b = p.add_var(0.0);
+        p.forbid_all(&[a, b]);
+        assert!(p.check(&[true, false]));
+        assert!(p.check(&[false, true]));
+        assert!(!p.check(&[true, true]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_cost_rejected() {
+        let mut p = Problem::new();
+        p.add_var(-1.0);
+    }
+}

@@ -1,0 +1,466 @@
+//! Exact branch & bound over the CNF + linear-objective problems.
+//!
+//! A DPLL-style search: unit propagation after every decision, branching
+//! false-first (all objective weights are non-negative, so the cheap
+//! branch is explored first), and pruning any branch whose accumulated
+//! cost already matches the incumbent. The search is exhaustive, so the
+//! returned solution is optimal — the guarantee the paper gets from
+//! Gurobi.
+
+use crate::problem::Problem;
+use std::time::{Duration, Instant};
+
+/// A satisfying assignment with its objective value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Solution {
+    pub assignment: Vec<bool>,
+    pub cost: f64,
+}
+
+/// Outcome of [`Solver::solve`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveResult {
+    /// Search completed; this is the global optimum.
+    Optimal(Solution),
+    /// No assignment satisfies the constraints.
+    Infeasible,
+    /// A limit tripped; the incumbent (if any) may be sub-optimal.
+    Unknown(Option<Solution>),
+}
+
+impl SolveResult {
+    /// The best solution found, if any (optimal or incumbent).
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            SolveResult::Optimal(s) => Some(s),
+            SolveResult::Unknown(s) => s.as_ref(),
+            SolveResult::Infeasible => None,
+        }
+    }
+}
+
+/// Branch & bound solver with time and node limits.
+#[derive(Clone, Debug)]
+pub struct Solver {
+    pub time_limit: Duration,
+    pub node_limit: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver {
+            time_limit: Duration::from_secs(10),
+            node_limit: 10_000_000,
+        }
+    }
+}
+
+const UNASSIGNED: i8 = -1;
+
+struct Search<'p> {
+    problem: &'p Problem,
+    /// var -> clause indices containing it
+    occurs: Vec<Vec<u32>>,
+    assign: Vec<i8>,
+    trail: Vec<u32>,
+    cost: f64,
+    best: Option<Solution>,
+    /// branchable vars, most expensive first
+    branch_order: Vec<u32>,
+    nodes: u64,
+}
+
+enum Propagation {
+    Ok,
+    Conflict,
+}
+
+impl<'p> Search<'p> {
+    fn new(problem: &'p Problem) -> Self {
+        let n = problem.n_vars() as usize;
+        let mut occurs = vec![Vec::new(); n];
+        for (ci, clause) in problem.clauses.iter().enumerate() {
+            for lit in &clause.lits {
+                occurs[lit.var as usize].push(ci as u32);
+            }
+        }
+        // Branch only on vars that occur in constraints; others default to
+        // false (they can only add cost). Most expensive first, so the
+        // false-branch prunes the largest weights early.
+        let mut branch_order: Vec<u32> = (0..problem.n_vars())
+            .filter(|&v| !occurs[v as usize].is_empty())
+            .collect();
+        branch_order.sort_by(|&a, &b| {
+            problem.objective[b as usize]
+                .partial_cmp(&problem.objective[a as usize])
+                .unwrap()
+        });
+        Search {
+            problem,
+            occurs,
+            assign: vec![UNASSIGNED; n],
+            trail: Vec::new(),
+            cost: 0.0,
+            best: None,
+            branch_order,
+            nodes: 0,
+        }
+    }
+
+    fn assign(&mut self, var: u32, value: bool) {
+        debug_assert_eq!(self.assign[var as usize], UNASSIGNED);
+        self.assign[var as usize] = i8::from(value);
+        self.trail.push(var);
+        if value {
+            self.cost += self.problem.objective[var as usize];
+        }
+    }
+
+    fn unassign_to(&mut self, trail_len: usize) {
+        while self.trail.len() > trail_len {
+            let var = self.trail.pop().expect("trail non-empty");
+            if self.assign[var as usize] == 1 {
+                self.cost -= self.problem.objective[var as usize];
+            }
+            self.assign[var as usize] = UNASSIGNED;
+        }
+    }
+
+    fn bound_exceeded(&self) -> bool {
+        match &self.best {
+            Some(best) => self.cost >= best.cost - 1e-12,
+            None => false,
+        }
+    }
+
+    /// Unit-propagate from `start` (index into the trail).
+    fn propagate(&mut self, mut start: usize) -> Propagation {
+        while start < self.trail.len() {
+            let var = self.trail[start];
+            start += 1;
+            for ci in self.occurs[var as usize].clone() {
+                let clause = &self.problem.clauses[ci as usize];
+                let mut satisfied = false;
+                let mut unassigned = None;
+                let mut n_unassigned = 0;
+                for lit in &clause.lits {
+                    match self.assign[lit.var as usize] {
+                        UNASSIGNED => {
+                            n_unassigned += 1;
+                            unassigned = Some(*lit);
+                        }
+                        v => {
+                            if lit.satisfied_by(v == 1) {
+                                satisfied = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match n_unassigned {
+                    0 => return Propagation::Conflict,
+                    1 => {
+                        let lit = unassigned.expect("one unassigned literal");
+                        self.assign(lit.var, lit.positive);
+                        if self.bound_exceeded() {
+                            return Propagation::Conflict;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Propagation::Ok
+    }
+
+    fn next_branch_var(&self) -> Option<u32> {
+        self.branch_order
+            .iter()
+            .copied()
+            .find(|&v| self.assign[v as usize] == UNASSIGNED)
+    }
+
+    fn record_solution(&mut self) {
+        // Unbranched vars default to false.
+        let assignment: Vec<bool> = self.assign.iter().map(|&a| a == 1).collect();
+        debug_assert!(self.problem.check(&assignment));
+        let cost = self.cost;
+        if self
+            .best
+            .as_ref()
+            .is_none_or(|b| cost < b.cost - 1e-12)
+        {
+            self.best = Some(Solution { assignment, cost });
+        }
+    }
+
+    /// Exhaustive DFS with an explicit decision stack.
+    /// Returns false if a limit tripped before the search completed.
+    fn run(&mut self, deadline: Instant, node_limit: u64) -> bool {
+        // decision: (trail length before the decision, var, tried_true)
+        let mut decisions: Vec<(usize, u32, bool)> = Vec::new();
+
+        // initial propagation of unit clauses
+        let units: Vec<_> = self
+            .problem
+            .clauses
+            .iter()
+            .filter(|c| c.lits.len() == 1)
+            .map(|c| c.lits[0])
+            .collect();
+        for lit in units {
+            match self.assign[lit.var as usize] {
+                UNASSIGNED => self.assign(lit.var, lit.positive),
+                v => {
+                    if !lit.satisfied_by(v == 1) {
+                        return true; // contradictory units: infeasible, search done
+                    }
+                }
+            }
+        }
+        let mut status = self.propagate(0);
+
+        loop {
+            self.nodes += 1;
+            if self.nodes >= node_limit || Instant::now() >= deadline {
+                return false;
+            }
+            let conflict = matches!(status, Propagation::Conflict) || self.bound_exceeded();
+            if conflict {
+                // backtrack: find a decision to flip
+                loop {
+                    match decisions.pop() {
+                        None => return true, // search exhausted
+                        Some((trail_len, var, tried_true)) => {
+                            self.unassign_to(trail_len);
+                            if !tried_true {
+                                decisions.push((trail_len, var, true));
+                                let prop_from = self.trail.len();
+                                self.assign(var, true);
+                                status = if self.bound_exceeded() {
+                                    Propagation::Conflict
+                                } else {
+                                    self.propagate(prop_from)
+                                };
+                                break;
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            match self.next_branch_var() {
+                None => {
+                    self.record_solution();
+                    // force a backtrack to continue exploring
+                    status = Propagation::Conflict;
+                }
+                Some(var) => {
+                    decisions.push((self.trail.len(), var, false));
+                    let prop_from = self.trail.len();
+                    self.assign(var, false);
+                    status = self.propagate(prop_from);
+                }
+            }
+        }
+    }
+}
+
+impl Solver {
+    /// Solve `problem` to optimality (or until a limit trips).
+    pub fn solve(&self, problem: &Problem) -> SolveResult {
+        // trivially infeasible: an empty clause
+        if problem.clauses.iter().any(|c| c.lits.is_empty()) {
+            return SolveResult::Infeasible;
+        }
+        let mut search = Search::new(problem);
+        let completed = search.run(Instant::now() + self.time_limit, self.node_limit);
+        match (completed, search.best) {
+            (true, Some(best)) => SolveResult::Optimal(best),
+            (true, None) => SolveResult::Infeasible,
+            (false, best) => SolveResult::Unknown(best),
+        }
+    }
+}
+
+/// Exhaustive reference solver for testing (exponential; `n_vars ≤ 24`).
+pub fn brute_force(problem: &Problem) -> Option<Solution> {
+    let n = problem.n_vars() as usize;
+    assert!(n <= 24, "brute force limited to 24 variables");
+    let mut best: Option<Solution> = None;
+    for bits in 0u64..(1 << n) {
+        let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        if !problem.check(&assignment) {
+            continue;
+        }
+        let cost = problem.cost(&assignment);
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(Solution { assignment, cost });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    fn solve(p: &Problem) -> SolveResult {
+        Solver::default().solve(p)
+    }
+
+    #[test]
+    fn unconstrained_vars_stay_false() {
+        let mut p = Problem::new();
+        let _a = p.add_var(5.0);
+        let b = p.add_var(1.0);
+        p.require(b);
+        match solve(&p) {
+            SolveResult::Optimal(s) => {
+                assert_eq!(s.cost, 1.0);
+                assert_eq!(s.assignment, vec![false, true]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new();
+        let a = p.add_var(1.0);
+        p.require(a);
+        p.forbid_all(&[a]);
+        assert_eq!(solve(&p), SolveResult::Infeasible);
+    }
+
+    #[test]
+    fn empty_clause_infeasible() {
+        let mut p = Problem::new();
+        p.add_var(1.0);
+        p.add_clause(vec![]);
+        assert_eq!(solve(&p), SolveResult::Infeasible);
+    }
+
+    #[test]
+    fn picks_cheaper_disjunct() {
+        let mut p = Problem::new();
+        let root = p.add_var(0.0);
+        let cheap = p.add_var(1.0);
+        let pricey = p.add_var(10.0);
+        p.require(root);
+        p.imply_any(root, &[cheap, pricey]);
+        let s = solve(&p);
+        let sol = s.solution().unwrap();
+        assert_eq!(sol.cost, 1.0);
+        assert!(sol.assignment[cheap as usize]);
+        assert!(!sol.assignment[pricey as usize]);
+    }
+
+    #[test]
+    fn figure_10_cse_instance() {
+        // The paper's Figure 10: greedy picks 1 then pays 4+4; optimal
+        // picks 2 and shares the 4. Encoded as the corresponding AND-OR
+        // selection problem.
+        let mut p = Problem::new();
+        let root = p.add_var(0.0);
+        let left = p.add_var(1.0); // needs its own node of cost 4
+        let right = p.add_var(2.0); // shares the node of cost 4
+        let own4 = p.add_var(4.0);
+        let shared4 = p.add_var(4.0);
+        p.require(root);
+        // the left child class offers two ops: `left` (cost 1, needing
+        // its own cost-4 node) or `left_alt` (cost 2, sharing the cost-4
+        // node the right child already uses)
+        let left_alt = p.add_var(2.0);
+        p.add_clause(vec![
+            crate::problem::Lit::neg(root),
+            crate::problem::Lit::pos(left),
+            crate::problem::Lit::pos(left_alt),
+        ]);
+        p.imply_any(root, &[right]);
+        p.imply(left, own4);
+        p.imply(left_alt, shared4);
+        p.imply(right, shared4);
+        let sol = solve(&p);
+        let sol = sol.solution().unwrap();
+        // optimal: root + right(2) + left_alt(2) + shared4(4) = 8,
+        // cheaper than root + left(1) + own4(4) + right(2) + shared4(4) = 11
+        assert_eq!(sol.cost, 8.0);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for round in 0..200 {
+            let n = rng.random_range(1..=10usize);
+            let mut p = Problem::new();
+            for _ in 0..n {
+                p.add_var((rng.random_range(0..100u32)) as f64);
+            }
+            let n_clauses = rng.random_range(0..=12usize);
+            for _ in 0..n_clauses {
+                let len = rng.random_range(1..=3usize);
+                let lits: Vec<_> = (0..len)
+                    .map(|_| {
+                        let var = rng.random_range(0..n as u32);
+                        if rng.random_bool(0.5) {
+                            crate::problem::Lit::pos(var)
+                        } else {
+                            crate::problem::Lit::neg(var)
+                        }
+                    })
+                    .collect();
+                p.add_clause(lits);
+            }
+            let expect = brute_force(&p);
+            match (solve(&p), expect) {
+                (SolveResult::Optimal(got), Some(want)) => {
+                    assert!(
+                        (got.cost - want.cost).abs() < 1e-9,
+                        "round {round}: got {} want {}",
+                        got.cost,
+                        want.cost
+                    );
+                    assert!(p.check(&got.assignment));
+                }
+                (SolveResult::Infeasible, None) => {}
+                (got, want) => panic!("round {round}: got {got:?}, want {want:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chain_of_implications() {
+        // root -> v1 -> v2 -> ... -> v20, all must be true
+        let mut p = Problem::new();
+        let vars: Vec<u32> = (0..21).map(|i| p.add_var(i as f64)).collect();
+        p.require(vars[0]);
+        for w in vars.windows(2) {
+            p.imply(w[0], w[1]);
+        }
+        let sol = solve(&p);
+        let sol = sol.solution().unwrap();
+        assert_eq!(sol.cost, (0..21).sum::<i32>() as f64);
+        assert!(sol.assignment.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn node_limit_returns_unknown() {
+        let mut p = Problem::new();
+        let vars: Vec<u32> = (0..30).map(|_| p.add_var(1.0)).collect();
+        for w in vars.chunks(3) {
+            p.add_clause(w.iter().map(|&v| crate::problem::Lit::pos(v)).collect());
+        }
+        let solver = Solver {
+            node_limit: 3,
+            ..Solver::default()
+        };
+        assert!(matches!(solver.solve(&p), SolveResult::Unknown(_)));
+    }
+}

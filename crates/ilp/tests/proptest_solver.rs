@@ -1,0 +1,99 @@
+//! Property tests: the branch & bound solver agrees with exhaustive
+//! enumeration on random small instances, and its solutions always
+//! satisfy the constraints.
+
+use proptest::prelude::*;
+use spores_ilp::{solver::brute_force, Lit, Problem, SolveResult, Solver};
+
+#[derive(Clone, Debug)]
+struct Instance {
+    costs: Vec<u8>,
+    clauses: Vec<Vec<(usize, bool)>>,
+}
+
+fn instances() -> impl Strategy<Value = Instance> {
+    (1usize..=9).prop_flat_map(|n| {
+        let clauses = prop::collection::vec(
+            prop::collection::vec((0..n, any::<bool>()), 1..=3),
+            0..=10,
+        );
+        let costs = prop::collection::vec(0u8..50, n..=n);
+        (costs, clauses).prop_map(|(costs, clauses)| Instance { costs, clauses })
+    })
+}
+
+fn build(inst: &Instance) -> Problem {
+    let mut p = Problem::new();
+    for &c in &inst.costs {
+        p.add_var(c as f64);
+    }
+    for clause in &inst.clauses {
+        let lits = clause
+            .iter()
+            .map(|&(v, pos)| {
+                if pos {
+                    Lit::pos(v as u32)
+                } else {
+                    Lit::neg(v as u32)
+                }
+            })
+            .collect();
+        p.add_clause(lits);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matches_brute_force(inst in instances()) {
+        let p = build(&inst);
+        let got = Solver::default().solve(&p);
+        let want = brute_force(&p);
+        match (got, want) {
+            (SolveResult::Optimal(s), Some(best)) => {
+                prop_assert!(p.check(&s.assignment), "returned infeasible assignment");
+                prop_assert!((s.cost - best.cost).abs() < 1e-9,
+                    "got {} want {}", s.cost, best.cost);
+            }
+            (SolveResult::Infeasible, None) => {}
+            (got, want) => prop_assert!(false, "mismatch: {got:?} vs {want:?}"),
+        }
+    }
+
+    #[test]
+    fn extraction_shaped_instances(n_classes in 2usize..6, seed in any::<u64>()) {
+        // AND-OR shaped instances like Figure 11 produces
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut p = Problem::new();
+        let classes: Vec<u32> = (0..n_classes).map(|_| p.add_var(0.0)).collect();
+        let mut ops_of: Vec<Vec<u32>> = vec![vec![]; n_classes];
+        for (ci, _) in classes.iter().enumerate() {
+            for _ in 0..rng.random_range(1..=2usize) {
+                let op = p.add_var(rng.random_range(1..20u32) as f64);
+                ops_of[ci].push(op);
+                // children only among later classes → acyclic
+                for &class in classes.iter().skip(ci + 1) {
+                    if rng.random_bool(0.4) {
+                        p.imply(op, class);
+                    }
+                }
+            }
+        }
+        for (ci, ops) in ops_of.iter().enumerate() {
+            p.imply_any(classes[ci], ops);
+        }
+        p.require(classes[0]);
+        let got = Solver::default().solve(&p);
+        let want = brute_force(&p);
+        match (got, want) {
+            (SolveResult::Optimal(s), Some(best)) => {
+                prop_assert!((s.cost - best.cost).abs() < 1e-9);
+            }
+            (SolveResult::Infeasible, None) => {}
+            (got, want) => prop_assert!(false, "mismatch: {got:?} vs {want:?}"),
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Intermediate representation shared by the SPORES reproduction crates.
+//!
+//! This crate provides the building blocks every other crate consumes:
+//!
+//! * [`Symbol`] — a cheap interned string (matrix names, index names).
+//! * [`SExp`] — s-expressions, used by the pattern language of
+//!   `spores-egraph` and by tests.
+//! * [`LaNode`]/[`ExprArena`] — the linear-algebra surface AST: the seven
+//!   operators of Table 1 of the paper plus the element-wise extensions
+//!   SystemML supports (division, power, comparisons, unary maps), stored
+//!   hash-consed so common subexpressions are shared, exactly like
+//!   SystemML's HOP DAGs.
+//! * [`Shape`]/[`ShapeEnv`] — shape inference with SystemML-style
+//!   broadcasting rules.
+//! * a DML-like expression [`parser`] (`sum((X - U %*% t(V))^2)`), used to
+//!   author the Figure 14 rewrite corpus and the ML workloads concisely.
+
+pub mod arena;
+pub mod parser;
+pub mod sexpr;
+pub mod shape;
+pub mod symbol;
+
+pub use arena::{BinOp, ExprArena, LaNode, NodeId, Num, UnOp};
+pub use parser::{parse_expr, ParseError};
+pub use sexpr::{parse_sexp, SExp, SExpError};
+pub use shape::{Shape, ShapeEnv, ShapeError};
+pub use symbol::Symbol;

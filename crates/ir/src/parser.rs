@@ -1,0 +1,415 @@
+//! A small DML/R-like expression parser.
+//!
+//! The Figure 14 rewrite corpus and the ML workloads are written in the
+//! same surface syntax SystemML scripts use, e.g.
+//! `sum((X - U %*% t(V))^2)` or `colSums(X * Y)`. This module parses that
+//! syntax into an [`ExprArena`] DAG.
+//!
+//! Operator precedence (loosest to tightest), mirroring R/DML:
+//! comparisons < `+ -` < `* /` < `%*%` < unary `-` < `^` (right-assoc).
+
+use crate::arena::{BinOp, ExprArena, NodeId, UnOp};
+use std::fmt;
+
+/// Parse failure with a byte offset into the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Num(f64),
+    Ident(String),
+    Op(&'static str),
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            b')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            b',' => {
+                toks.push((Tok::Comma, i));
+                i += 1;
+            }
+            b'+' => {
+                toks.push((Tok::Op("+"), i));
+                i += 1;
+            }
+            b'-' => {
+                toks.push((Tok::Op("-"), i));
+                i += 1;
+            }
+            b'*' => {
+                toks.push((Tok::Op("*"), i));
+                i += 1;
+            }
+            b'/' => {
+                toks.push((Tok::Op("/"), i));
+                i += 1;
+            }
+            b'^' => {
+                toks.push((Tok::Op("^"), i));
+                i += 1;
+            }
+            b'%' => {
+                if src[i..].starts_with("%*%") {
+                    toks.push((Tok::Op("%*%"), i));
+                    i += 3;
+                } else {
+                    return Err(ParseError {
+                        message: "expected %*%".into(),
+                        offset: i,
+                    });
+                }
+            }
+            b'>' | b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Op(if c == b'>' { ">=" } else { "<=" }), i));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Op(if c == b'>' { ">" } else { "<" }), i));
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_digit() || b[i] == b'.' || b[i] == b'e' || b[i] == b'E')
+                {
+                    // allow exponent sign
+                    if (b[i] == b'e' || b[i] == b'E')
+                        && matches!(b.get(i + 1), Some(b'+') | Some(b'-'))
+                    {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: f64 = text.parse().map_err(|_| ParseError {
+                    message: format!("bad number `{text}`"),
+                    offset: start,
+                })?;
+                toks.push((Tok::Num(v), start));
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(src[start..i].to_owned()), start));
+            }
+            _ => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{}`", c as char),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    arena: &'a mut ExprArena,
+    src_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|&(_, o)| o)
+            .unwrap_or(self.src_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        let off = self.offset();
+        match self.bump() {
+            Some(ref t) if t == want => Ok(()),
+            got => Err(ParseError {
+                message: format!("expected {want:?}, got {got:?}"),
+                offset: off,
+            }),
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            offset: self.offset(),
+        })
+    }
+
+    /// Pratt loop: parse a right operand chain with binding power ≥ `min_bp`.
+    fn expr_bp(&mut self, min_bp: u8) -> Result<NodeId, ParseError> {
+        let mut lhs = self.unary()?;
+        while let Some(&Tok::Op(op)) = self.peek() {
+            let (lbp, rbp, bin) = match op {
+                ">" => (2, 3, BinOp::Gt),
+                "<" => (2, 3, BinOp::Lt),
+                ">=" => (2, 3, BinOp::Ge),
+                "<=" => (2, 3, BinOp::Le),
+                "+" => (4, 5, BinOp::Add),
+                "-" => (4, 5, BinOp::Sub),
+                "*" => (6, 7, BinOp::Mul),
+                "/" => (6, 7, BinOp::Div),
+                "%*%" => (8, 9, BinOp::MatMul),
+                "^" => (13, 12, BinOp::Pow), // right-assoc
+                _ => return self.err(format!("unknown operator {op}")),
+            };
+            if lbp < min_bp {
+                break;
+            }
+            self.bump();
+            let rhs = self.expr_bp(rbp)?;
+            lhs = self.arena.bin(bin, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<NodeId, ParseError> {
+        if let Some(Tok::Op("-")) = self.peek() {
+            self.bump();
+            // unary minus binds tighter than * but looser than ^
+            let inner = self.expr_bp(11)?;
+            return Ok(self.arena.un(UnOp::Neg, inner));
+        }
+        if let Some(Tok::Op("+")) = self.peek() {
+            self.bump();
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<NodeId, ParseError> {
+        let off = self.offset();
+        match self.bump() {
+            Some(Tok::Num(v)) => Ok(self.arena.lit(v)),
+            Some(Tok::LParen) => {
+                let e = self.expr_bp(0)?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.bump();
+                    let mut args = vec![self.expr_bp(0)?];
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                        args.push(self.expr_bp(0)?);
+                    }
+                    self.expect(&Tok::RParen)?;
+                    self.call(&name, args, off)
+                } else {
+                    Ok(self.arena.var(name.as_str()))
+                }
+            }
+            got => Err(ParseError {
+                message: format!("expected expression, got {got:?}"),
+                offset: off,
+            }),
+        }
+    }
+
+    fn call(&mut self, name: &str, args: Vec<NodeId>, off: usize) -> Result<NodeId, ParseError> {
+        let unary = |p: &mut Self, op: UnOp, args: &[NodeId]| -> Result<NodeId, ParseError> {
+            if args.len() != 1 {
+                return Err(ParseError {
+                    message: format!("{name} expects 1 argument, got {}", args.len()),
+                    offset: off,
+                });
+            }
+            Ok(p.arena.un(op, args[0]))
+        };
+        match name {
+            "t" => unary(self, UnOp::T, &args),
+            "sum" => unary(self, UnOp::Sum, &args),
+            "rowSums" => unary(self, UnOp::RowSums, &args),
+            "colSums" => unary(self, UnOp::ColSums, &args),
+            "exp" => unary(self, UnOp::Exp, &args),
+            "log" => unary(self, UnOp::Log, &args),
+            "sqrt" => unary(self, UnOp::Sqrt, &args),
+            "abs" => unary(self, UnOp::Abs, &args),
+            "sign" => unary(self, UnOp::Sign, &args),
+            "sigmoid" => unary(self, UnOp::Sigmoid, &args),
+            "sprop" => unary(self, UnOp::Sprop, &args),
+            "matrix" => {
+                if args.len() != 3 {
+                    return Err(ParseError {
+                        message: "matrix expects 3 arguments (value, rows, cols)".into(),
+                        offset: off,
+                    });
+                }
+                let as_num = |p: &Self, id: NodeId| -> Option<f64> {
+                    match p.arena.node(id) {
+                        crate::arena::LaNode::Scalar(n) => Some(n.get()),
+                        _ => None,
+                    }
+                };
+                match (as_num(self, args[0]), as_num(self, args[1]), as_num(self, args[2])) {
+                    (Some(v), Some(r), Some(c)) => Ok(self.arena.fill(v, r as u64, c as u64)),
+                    _ => Err(ParseError {
+                        message: "matrix() arguments must be literals".into(),
+                        offset: off,
+                    }),
+                }
+            }
+            "min" | "max" => {
+                if args.len() != 2 {
+                    return Err(ParseError {
+                        message: format!("{name} expects 2 arguments"),
+                        offset: off,
+                    });
+                }
+                let op = if name == "min" { BinOp::Min } else { BinOp::Max };
+                Ok(self.arena.bin(op, args[0], args[1]))
+            }
+            _ => Err(ParseError {
+                message: format!("unknown function `{name}`"),
+                offset: off,
+            }),
+        }
+    }
+}
+
+/// Parse a DML-like expression into `arena`, returning the root node.
+pub fn parse_expr(arena: &mut ExprArena, src: &str) -> Result<NodeId, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        arena,
+        src_len: src.len(),
+    };
+    let root = p.expr_bp(0)?;
+    if p.pos != p.toks.len() {
+        return p.err("trailing input");
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::LaNode;
+
+    fn roundtrip(src: &str) -> String {
+        let mut a = ExprArena::new();
+        let root = parse_expr(&mut a, src).unwrap();
+        a.display(root)
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(roundtrip("a + b * c"), "a + b * c");
+        assert_eq!(roundtrip("(a + b) * c"), "(a + b) * c");
+        assert_eq!(roundtrip("a %*% b + c"), "a %*% b + c");
+        assert_eq!(roundtrip("a %*% (b + c)"), "a %*% (b + c)");
+        // %*% binds tighter than *, so no parens are needed on re-print
+        assert_eq!(roundtrip("a * b %*% c"), "a * b %*% c");
+    }
+
+    #[test]
+    fn pow_right_assoc_and_tight() {
+        let mut a = ExprArena::new();
+        let r1 = parse_expr(&mut a, "x^2^3").unwrap();
+        let r2 = parse_expr(&mut a, "x^(2^3)").unwrap();
+        assert_eq!(r1, r2);
+        let r3 = parse_expr(&mut a, "-x^2").unwrap();
+        let r4 = parse_expr(&mut a, "-(x^2)").unwrap();
+        assert_eq!(r3, r4);
+    }
+
+    #[test]
+    fn functions() {
+        assert_eq!(roundtrip("t(X)"), "t(X)");
+        assert_eq!(roundtrip("sum(rowSums(X))"), "sum(rowSums(X))");
+        assert_eq!(roundtrip("min(X, Y)"), "min(X, Y)");
+        assert_eq!(
+            roundtrip("sum((X - U %*% t(V))^2)"),
+            "sum((X - U %*% t(V))^2)"
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(roundtrip("X > 0"), "X > 0");
+        assert_eq!(roundtrip("(X > 0) - (X < 0)"), "(X > 0) - (X < 0)");
+    }
+
+    #[test]
+    fn numbers() {
+        let mut a = ExprArena::new();
+        let r = parse_expr(&mut a, "1.5e2").unwrap();
+        match a.node(r) {
+            LaNode::Scalar(n) => assert_eq!(n.get(), 150.0),
+            other => panic!("expected scalar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_subexpressions_after_parse() {
+        let mut a = ExprArena::new();
+        let r = parse_expr(&mut a, "(U %*% t(V)) * (U %*% t(V))").unwrap();
+        // hash-consing merges the two UV^T occurrences:
+        // U, V, t(V), U%*%t(V), mul — 5 distinct nodes
+        assert_eq!(a.dag_size(r), 5);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mut a = ExprArena::new();
+        assert!(parse_expr(&mut a, "").is_err());
+        assert!(parse_expr(&mut a, "a +").is_err());
+        assert!(parse_expr(&mut a, "a b").is_err());
+        assert!(parse_expr(&mut a, "foo(a)").is_err());
+        assert!(parse_expr(&mut a, "a % b").is_err());
+        assert!(parse_expr(&mut a, "(a").is_err());
+    }
+
+    #[test]
+    fn unary_minus() {
+        assert_eq!(roundtrip("-X"), "-X");
+        assert_eq!(roundtrip("-(X + Y)"), "-(X + Y)");
+        assert_eq!(roundtrip("a - -b"), "a - -b");
+    }
+}

@@ -1,0 +1,131 @@
+//! Globally interned strings.
+//!
+//! Matrix names (`X`, `U`), relational attribute/index names (`i0`, `j3`)
+//! and uninterpreted-function names all flow through the e-graph, pattern
+//! matcher and cost model, where they are compared and hashed constantly.
+//! Interning makes those operations integer comparisons.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string. Two [`Symbol`]s are equal iff their spellings are.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    table: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            names: Vec::new(),
+            table: HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Intern `name`, returning its unique symbol.
+    pub fn new(name: &str) -> Symbol {
+        {
+            let int = interner().read().unwrap();
+            if let Some(&id) = int.table.get(name) {
+                return Symbol(id);
+            }
+        }
+        let mut int = interner().write().unwrap();
+        if let Some(&id) = int.table.get(name) {
+            return Symbol(id);
+        }
+        let id = int.names.len() as u32;
+        // Interned strings live for the program's lifetime; leaking gives
+        // `&'static str` access without per-lookup allocation.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        int.names.push(leaked);
+        int.table.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The spelling this symbol was interned with.
+    pub fn as_str(self) -> &'static str {
+        interner().read().unwrap().names[self.0 as usize]
+    }
+
+    /// A stable integer id (useful as a dense map key).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::new(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("X");
+        let b = Symbol::new("X");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "X");
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        assert_ne!(Symbol::new("foo_sym"), Symbol::new("bar_sym"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = Symbol::new("rowSums");
+        assert_eq!(s.to_string(), "rowSums");
+        assert_eq!(format!("{s:?}"), "rowSums");
+    }
+
+    #[test]
+    fn concurrent_interning() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|i| Symbol::new(&format!("concurrent_{}", (t + i) % 50)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Same spelling must yield the same symbol across threads.
+        for row in &all {
+            for s in row {
+                assert_eq!(*s, Symbol::new(s.as_str()));
+            }
+        }
+    }
+}

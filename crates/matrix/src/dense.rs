@@ -1,0 +1,209 @@
+//! Row-major dense matrices.
+
+use std::fmt;
+
+/// A dense row-major `f64` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Dense {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f64>,
+}
+
+impl Dense {
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Dense {
+        assert_eq!(data.len(), rows * cols, "data length must match shape");
+        Dense { rows, cols, data }
+    }
+
+    pub fn zeros(rows: usize, cols: usize) -> Dense {
+        Dense {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    pub fn filled(rows: usize, cols: usize, v: f64) -> Dense {
+        Dense {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
+    }
+
+    pub fn scalar(v: f64) -> Dense {
+        Dense::new(1, 1, vec![v])
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Broadcast-aware access: size-1 dimensions repeat.
+    #[inline]
+    pub fn bget(&self, r: usize, c: usize) -> f64 {
+        let r = if self.rows == 1 { 0 } else { r };
+        let c = if self.cols == 1 { 0 } else { c };
+        self.get(r, c)
+    }
+
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    pub fn is_scalar(&self) -> bool {
+        self.rows == 1 && self.cols == 1
+    }
+
+    pub fn transpose(&self) -> Dense {
+        let mut out = Dense::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    pub fn matmul(&self, other: &Dense) -> Dense {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Dense::zeros(m, n);
+        // i-k-j loop order: streams over `other`'s rows
+        for i in 0..m {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (kk, &a) in arow.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Dense {
+        Dense {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise combine with broadcasting.
+    pub fn zip(&self, other: &Dense, f: impl Fn(f64, f64) -> f64) -> Dense {
+        let rows = self.rows.max(other.rows);
+        let cols = self.cols.max(other.cols);
+        let mut out = Dense::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                out.set(r, c, f(self.bget(r, c), other.bget(r, c)));
+            }
+        }
+        out
+    }
+
+    pub fn row_sums(&self) -> Dense {
+        let mut out = Dense::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self.row(r).iter().sum();
+        }
+        out
+    }
+
+    pub fn col_sums(&self) -> Dense {
+        let mut out = Dense::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    pub fn approx_eq(&self, other: &Dense, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())))
+    }
+}
+
+impl fmt::Debug for Dense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Dense {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", &self.row(r)[..self.cols.min(8)])?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Dense::new(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Dense::new(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Dense::new(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn broadcast_zip() {
+        let a = Dense::new(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let col = Dense::new(2, 1, vec![10., 20.]);
+        let row = Dense::new(1, 3, vec![1., 2., 3.]);
+        let s = Dense::scalar(100.);
+        assert_eq!(a.zip(&col, |x, y| x + y).data, vec![11., 12., 13., 24., 25., 26.]);
+        assert_eq!(a.zip(&row, |x, y| x * y).data, vec![1., 4., 9., 4., 10., 18.]);
+        assert_eq!(a.zip(&s, |x, y| x + y).get(1, 2), 106.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let a = Dense::new(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.row_sums().data, vec![6., 15.]);
+        assert_eq!(a.col_sums().data, vec![5., 7., 9.]);
+        assert_eq!(a.sum(), 21.0);
+    }
+
+    #[test]
+    fn nnz_counts_exact_zeros() {
+        let a = Dense::new(2, 2, vec![0., 1., 0., 2.]);
+        assert_eq!(a.nnz(), 2);
+    }
+}

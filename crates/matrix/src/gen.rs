@@ -1,0 +1,133 @@
+//! Synthetic data generators.
+//!
+//! The paper evaluates on synthetic datasets produced by SystemML's
+//! algorithm-specific generators; these are the equivalents. All
+//! generators take an explicit RNG so benchmark tables regenerate
+//! identically.
+
+use crate::dense::Dense;
+use crate::matrix::Matrix;
+use crate::sparse::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for a named experiment.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Dense matrix with entries uniform in `[lo, hi)`.
+pub fn rand_dense(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut StdRng) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| rng.random_range(lo..hi))
+        .collect();
+    Matrix::Dense(Dense::new(rows, cols, data))
+}
+
+/// Sparse matrix with approximately `sparsity · rows · cols` non-zeros,
+/// values uniform in `[lo, hi)`.
+pub fn rand_sparse(
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    lo: f64,
+    hi: f64,
+    rng: &mut StdRng,
+) -> Matrix {
+    assert!((0.0..=1.0).contains(&sparsity));
+    let target = ((rows * cols) as f64 * sparsity).round() as usize;
+    let mut triplets = Vec::with_capacity(target);
+    for _ in 0..target {
+        let r = rng.random_range(0..rows);
+        let c = rng.random_range(0..cols);
+        let mut v = rng.random_range(lo..hi);
+        if v == 0.0 {
+            v = 1.0;
+        }
+        triplets.push((r, c, v));
+    }
+    Matrix::Sparse(Csr::from_triplets(rows, cols, triplets))
+}
+
+/// 0/1 label column vector.
+pub fn rand_labels(rows: usize, rng: &mut StdRng) -> Matrix {
+    let data = (0..rows)
+        .map(|_| f64::from(rng.random_bool(0.5)))
+        .collect();
+    Matrix::Dense(Dense::new(rows, 1, data))
+}
+
+/// ±1 label column vector (SVM-style).
+pub fn rand_sign_labels(rows: usize, rng: &mut StdRng) -> Matrix {
+    let data = (0..rows)
+        .map(|_| if rng.random_bool(0.5) { 1.0 } else { -1.0 })
+        .collect();
+    Matrix::Dense(Dense::new(rows, 1, data))
+}
+
+/// Non-negative sparse count data (PNMF-style document-term matrix).
+pub fn rand_counts(
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    max_count: u32,
+    rng: &mut StdRng,
+) -> Matrix {
+    let target = ((rows * cols) as f64 * sparsity).round() as usize;
+    let mut triplets = Vec::with_capacity(target);
+    for _ in 0..target {
+        triplets.push((
+            rng.random_range(0..rows),
+            rng.random_range(0..cols),
+            rng.random_range(1..=max_count) as f64,
+        ));
+    }
+    Matrix::Sparse(Csr::from_triplets(rows, cols, triplets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_in_range() {
+        let mut r = rng(1);
+        let m = rand_dense(10, 10, -1.0, 1.0, &mut r);
+        assert!(!m.is_sparse());
+        assert!(m.to_dense().data.iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn sparse_hits_target_sparsity() {
+        let mut r = rng(2);
+        let m = rand_sparse(100, 100, 0.05, 0.0, 1.0, &mut r);
+        let s = m.sparsity();
+        assert!(s > 0.03 && s < 0.06, "sparsity {s}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = rand_sparse(50, 50, 0.1, -1.0, 1.0, &mut rng(42));
+        let b = rand_sparse(50, 50, 0.1, -1.0, 1.0, &mut rng(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_binary() {
+        let mut r = rng(3);
+        let y = rand_labels(100, &mut r);
+        assert!(y.to_dense().data.iter().all(|&v| v == 0.0 || v == 1.0));
+        let s = rand_sign_labels(100, &mut r);
+        assert!(s.to_dense().data.iter().all(|&v| v == 1.0 || v == -1.0));
+    }
+
+    #[test]
+    fn counts_positive() {
+        let mut r = rng(4);
+        let m = rand_counts(50, 60, 0.02, 9, &mut r);
+        assert!(m.is_sparse());
+        if let Matrix::Sparse(s) = &m {
+            assert!(s.values.iter().all(|&v| v >= 1.0));
+        }
+    }
+}

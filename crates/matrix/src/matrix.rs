@@ -1,0 +1,382 @@
+//! The unified matrix value: dense or CSR, with SystemML-style dynamic
+//! representation selection.
+//!
+//! Operations pick the representation of their result the way SystemML's
+//! runtime does: element-wise multiplication with a sparse operand stays
+//! sparse, addition densifies beyond a threshold, matrix multiplication
+//! with a sparse left operand uses the row-streaming kernel, and
+//! zero-preserving maps stay sparse.
+
+use crate::dense::Dense;
+use crate::sparse::Csr;
+
+/// Densify sparse results above this fill fraction (SystemML uses 0.4).
+const DENSIFY_THRESHOLD: f64 = 0.4;
+
+/// A matrix in either representation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Matrix {
+    Dense(Dense),
+    Sparse(Csr),
+}
+
+impl From<Dense> for Matrix {
+    fn from(d: Dense) -> Matrix {
+        Matrix::Dense(d)
+    }
+}
+
+impl From<Csr> for Matrix {
+    fn from(s: Csr) -> Matrix {
+        Matrix::Sparse(s)
+    }
+}
+
+impl Matrix {
+    pub fn scalar(v: f64) -> Matrix {
+        Matrix::Dense(Dense::scalar(v))
+    }
+
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix::Sparse(Csr::zeros(rows, cols))
+    }
+
+    pub fn filled(rows: usize, cols: usize, v: f64) -> Matrix {
+        if v == 0.0 {
+            Matrix::zeros(rows, cols)
+        } else {
+            Matrix::Dense(Dense::filled(rows, cols, v))
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        match self {
+            Matrix::Dense(d) => d.rows,
+            Matrix::Sparse(s) => s.rows,
+        }
+    }
+
+    pub fn cols(&self) -> usize {
+        match self {
+            Matrix::Dense(d) => d.cols,
+            Matrix::Sparse(s) => s.cols,
+        }
+    }
+
+    pub fn is_scalar(&self) -> bool {
+        self.rows() == 1 && self.cols() == 1
+    }
+
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Matrix::Sparse(_))
+    }
+
+    pub fn nnz(&self) -> usize {
+        match self {
+            Matrix::Dense(d) => d.nnz(),
+            Matrix::Sparse(s) => s.nnz(),
+        }
+    }
+
+    pub fn sparsity(&self) -> f64 {
+        let cells = self.rows() * self.cols();
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells as f64
+        }
+    }
+
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        match self {
+            Matrix::Dense(d) => d.get(r, c),
+            Matrix::Sparse(s) => s.row(r).find(|&(cc, _)| cc == c).map_or(0.0, |(_, v)| v),
+        }
+    }
+
+    /// Scalar value of a 1×1 matrix.
+    pub fn as_scalar(&self) -> f64 {
+        assert!(self.is_scalar(), "not a scalar: {}x{}", self.rows(), self.cols());
+        self.get(0, 0)
+    }
+
+    pub fn to_dense(&self) -> Dense {
+        match self {
+            Matrix::Dense(d) => d.clone(),
+            Matrix::Sparse(s) => s.to_dense(),
+        }
+    }
+
+    fn maybe_sparsify(s: Csr) -> Matrix {
+        if s.sparsity() > DENSIFY_THRESHOLD {
+            Matrix::Dense(s.to_dense())
+        } else {
+            Matrix::Sparse(s)
+        }
+    }
+
+    pub fn transpose(&self) -> Matrix {
+        match self {
+            Matrix::Dense(d) => Matrix::Dense(d.transpose()),
+            Matrix::Sparse(s) => Matrix::Sparse(s.transpose()),
+        }
+    }
+
+    /// Matrix multiplication with representation-aware kernels.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        match (self, other) {
+            (Matrix::Sparse(a), Matrix::Dense(b)) => Matrix::Dense(a.matmul_dense(b)),
+            (Matrix::Dense(a), Matrix::Sparse(b)) => Matrix::Dense(b.rmatmul_dense(a)),
+            (Matrix::Sparse(a), Matrix::Sparse(b)) => {
+                // S·S: stream rows of a against rows of b
+                let mut triplets = Vec::new();
+                for r in 0..a.rows {
+                    let mut acc: std::collections::HashMap<usize, f64> =
+                        std::collections::HashMap::new();
+                    for (k, va) in a.row(r) {
+                        for (c, vb) in b.row(k) {
+                            *acc.entry(c).or_insert(0.0) += va * vb;
+                        }
+                    }
+                    triplets.extend(acc.into_iter().map(|(c, v)| (r, c, v)));
+                }
+                Matrix::maybe_sparsify(Csr::from_triplets(a.rows, b.cols, triplets))
+            }
+            (Matrix::Dense(a), Matrix::Dense(b)) => Matrix::Dense(a.matmul(b)),
+        }
+    }
+
+    /// Element-wise multiply with broadcasting; sparse-aware.
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        match (self, other) {
+            (Matrix::Sparse(a), b) if compatible_broadcast(self, other) => {
+                Matrix::maybe_sparsify(a.mul_elem_dense(&b.to_dense()))
+            }
+            (a, Matrix::Sparse(b)) if compatible_broadcast(other, self) => {
+                Matrix::maybe_sparsify(b.mul_elem_dense(&a.to_dense()))
+            }
+            (a, b) => Matrix::Dense(a.to_dense().zip(&b.to_dense(), |x, y| x * y)),
+        }
+    }
+
+    /// Element-wise add with broadcasting.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        match (self, other) {
+            (Matrix::Sparse(a), Matrix::Sparse(b))
+                if a.rows == b.rows && a.cols == b.cols =>
+            {
+                Matrix::maybe_sparsify(a.add(b))
+            }
+            (a, b) => Matrix::Dense(a.to_dense().zip(&b.to_dense(), |x, y| x + y)),
+        }
+    }
+
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        match (self, other) {
+            (Matrix::Sparse(a), Matrix::Sparse(b))
+                if a.rows == b.rows && a.cols == b.cols =>
+            {
+                Matrix::maybe_sparsify(a.add(&b.scale(-1.0)))
+            }
+            (a, b) => Matrix::Dense(a.to_dense().zip(&b.to_dense(), |x, y| x - y)),
+        }
+    }
+
+    pub fn div(&self, other: &Matrix) -> Matrix {
+        match self {
+            // 0 / y = 0: division preserves the left operand's zeros
+            Matrix::Sparse(a) if compatible_broadcast(self, other) => {
+                let d = other.to_dense();
+                Matrix::maybe_sparsify(a.map_row_col(|r, c, v| v / d.bget(r, c)))
+            }
+            _ => Matrix::Dense(self.to_dense().zip(&other.to_dense(), |x, y| x / y)),
+        }
+    }
+
+    /// Element-wise binary op via densification (comparisons, min/max,
+    /// pow).
+    pub fn zip(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        Matrix::Dense(self.to_dense().zip(&other.to_dense(), f))
+    }
+
+    /// Point-wise map. `zero_preserving` enables the sparse fast path
+    /// (caller asserts `f(0) == 0`).
+    pub fn map(&self, zero_preserving: bool, f: impl Fn(f64) -> f64) -> Matrix {
+        match self {
+            Matrix::Sparse(s) if zero_preserving => {
+                Matrix::maybe_sparsify(s.map_zero_preserving(f))
+            }
+            m => Matrix::Dense(m.to_dense().map(f)),
+        }
+    }
+
+    pub fn scale(&self, k: f64) -> Matrix {
+        match self {
+            Matrix::Sparse(s) => Matrix::Sparse(s.scale(k)),
+            Matrix::Dense(d) => Matrix::Dense(d.map(|v| v * k)),
+        }
+    }
+
+    pub fn row_sums(&self) -> Matrix {
+        Matrix::Dense(match self {
+            Matrix::Dense(d) => d.row_sums(),
+            Matrix::Sparse(s) => s.row_sums(),
+        })
+    }
+
+    pub fn col_sums(&self) -> Matrix {
+        Matrix::Dense(match self {
+            Matrix::Dense(d) => d.col_sums(),
+            Matrix::Sparse(s) => s.col_sums(),
+        })
+    }
+
+    pub fn sum(&self) -> f64 {
+        match self {
+            Matrix::Dense(d) => d.sum(),
+            Matrix::Sparse(s) => s.sum(),
+        }
+    }
+
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.to_dense().approx_eq(&other.to_dense(), tol)
+    }
+}
+
+/// Can `rhs` broadcast against the (sparse) `lhs` shape for a
+/// zero-preserving operation?
+fn compatible_broadcast(lhs: &Matrix, rhs: &Matrix) -> bool {
+    let (r, c) = (lhs.rows(), lhs.cols());
+    let (br, bc) = (rhs.rows(), rhs.cols());
+    (br == r || br == 1) && (bc == c || bc == 1)
+}
+
+impl Csr {
+    /// Position-aware zero-preserving map (used by broadcast division).
+    pub fn map_row_col(&self, f: impl Fn(usize, usize, f64) -> f64) -> Csr {
+        let mut out = self.clone();
+        let mut k = 0;
+        for r in 0..self.rows {
+            let span = self.indptr[r]..self.indptr[r + 1];
+            for idx in span {
+                let c = self.indices[idx] as usize;
+                out.values[k] = f(r, c, self.values[idx]);
+                k += 1;
+            }
+        }
+        out.prune()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse() -> Matrix {
+        Matrix::Sparse(Csr::from_triplets(
+            3,
+            3,
+            vec![(0, 1, 2.0), (1, 0, -1.0), (2, 2, 4.0)],
+        ))
+    }
+
+    fn dense() -> Matrix {
+        Matrix::Dense(Dense::new(
+            3,
+            3,
+            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
+        ))
+    }
+
+    #[test]
+    fn mixed_matmul_agrees_with_dense() {
+        let s = sparse();
+        let d = dense();
+        let want = Matrix::Dense(s.to_dense().matmul(&d.to_dense()));
+        assert!(s.matmul(&d).approx_eq(&want, 1e-12));
+        let want2 = Matrix::Dense(d.to_dense().matmul(&s.to_dense()));
+        assert!(d.matmul(&s).approx_eq(&want2, 1e-12));
+    }
+
+    #[test]
+    fn sparse_sparse_matmul() {
+        let s = sparse();
+        let got = s.matmul(&s);
+        let want = Matrix::Dense(s.to_dense().matmul(&s.to_dense()));
+        assert!(got.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn elementwise_mul_stays_sparse() {
+        let s = sparse();
+        let d = dense();
+        let got = s.mul(&d);
+        assert!(got.is_sparse());
+        assert_eq!(got.nnz(), 3);
+        let want = Matrix::Dense(s.to_dense().zip(&d.to_dense(), |a, b| a * b));
+        assert!(got.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn broadcast_scalar_and_vectors() {
+        let d = dense();
+        let two = Matrix::scalar(2.0);
+        assert_eq!(d.mul(&two).get(2, 2), 18.0);
+        let col = Matrix::Dense(Dense::new(3, 1, vec![1., 0., 2.]));
+        let got = sparse().mul(&col);
+        assert_eq!(got.get(1, 0), 0.0);
+        assert_eq!(got.get(2, 2), 8.0);
+    }
+
+    #[test]
+    fn densify_threshold_respected() {
+        // adding two half-full sparse matrices crosses the threshold
+        let a = Csr::from_triplets(2, 2, vec![(0, 0, 1.), (0, 1, 1.)]);
+        let b = Csr::from_triplets(2, 2, vec![(1, 0, 1.), (1, 1, 1.)]);
+        let got = Matrix::Sparse(a).add(&Matrix::Sparse(b));
+        assert!(!got.is_sparse(), "100% fill must densify");
+    }
+
+    #[test]
+    fn division_preserves_zeros() {
+        let s = sparse();
+        let d = dense();
+        let got = s.div(&d);
+        assert!(got.is_sparse());
+        assert_eq!(got.get(0, 0), 0.0);
+        assert_eq!(got.get(0, 1), 2.0 / 2.0);
+    }
+
+    #[test]
+    fn map_zero_preserving_path() {
+        let s = sparse();
+        let got = s.map(true, |v| v * v);
+        assert!(got.is_sparse());
+        assert_eq!(got.get(2, 2), 16.0);
+        let got = s.map(false, f64::exp);
+        assert!(!got.is_sparse());
+        assert_eq!(got.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = sparse();
+        assert_eq!(s.sum(), 5.0);
+        assert_eq!(s.row_sums().to_dense().data, vec![2., -1., 4.]);
+        assert_eq!(s.col_sums().to_dense().data, vec![-1., 2., 4.]);
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        let s = Matrix::scalar(7.5);
+        assert!(s.is_scalar());
+        assert_eq!(s.as_scalar(), 7.5);
+    }
+
+    #[test]
+    fn zeros_and_filled() {
+        assert_eq!(Matrix::zeros(5, 4).nnz(), 0);
+        assert!(Matrix::filled(2, 2, 0.0).is_sparse());
+        assert_eq!(Matrix::filled(2, 2, 3.0).sum(), 12.0);
+    }
+}

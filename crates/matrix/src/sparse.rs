@@ -1,0 +1,368 @@
+//! CSR (compressed sparse row) matrices.
+//!
+//! The sparsity-exploiting kernels the paper's optimizations rely on:
+//! SPORES rewrites only pay off when `X * Y`, `X %*% v` and friends skip
+//! the zero cells of a sparse operand — these are those kernels.
+
+use crate::dense::Dense;
+
+/// CSR sparse matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    pub rows: usize,
+    pub cols: usize,
+    /// `indptr[r]..indptr[r+1]` spans row `r`'s entries.
+    pub indptr: Vec<usize>,
+    pub indices: Vec<u32>,
+    pub values: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from (row, col, value) triplets (duplicates summed,
+    /// zeros dropped).
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        mut triplets: Vec<(usize, usize, f64)>,
+    ) -> Csr {
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        // sum duplicates in place
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(triplets.len());
+        for (r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+            match merged.last_mut() {
+                Some((lr, lc, lv)) if *lr == r && *lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        merged.retain(|&(_, _, v)| v != 0.0);
+
+        let mut indptr = vec![0usize; rows + 1];
+        let mut indices = Vec::with_capacity(merged.len());
+        let mut values = Vec::with_capacity(merged.len());
+        for (r, c, v) in merged {
+            indices.push(c as u32);
+            values.push(v);
+            indptr[r + 1] = indices.len();
+        }
+        // make indptr monotone (rows without entries inherit the prefix)
+        for r in 0..rows {
+            if indptr[r + 1] < indptr[r] {
+                indptr[r + 1] = indptr[r];
+            }
+        }
+        Csr {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    pub fn zeros(rows: usize, cols: usize) -> Csr {
+        Csr {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: vec![],
+            values: vec![],
+        }
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn sparsity(&self) -> f64 {
+        if self.rows * self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows * self.cols) as f64
+        }
+    }
+
+    /// Entries of row `r` as (col, value) pairs.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let span = self.indptr[r]..self.indptr[r + 1];
+        self.indices[span.clone()]
+            .iter()
+            .zip(&self.values[span])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    pub fn to_dense(&self) -> Dense {
+        let mut out = Dense::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    pub fn from_dense(d: &Dense) -> Csr {
+        let mut triplets = Vec::new();
+        for r in 0..d.rows {
+            for c in 0..d.cols {
+                let v = d.get(r, c);
+                if v != 0.0 {
+                    triplets.push((r, c, v));
+                }
+            }
+        }
+        Csr::from_triplets(d.rows, d.cols, triplets)
+    }
+
+    /// CSR transpose (counting sort over columns).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                let pos = cursor[c];
+                cursor[c] += 1;
+                indices[pos] = r as u32;
+                values[pos] = v;
+            }
+        }
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Sparse × dense → dense. Work is O(nnz · n).
+    pub fn matmul_dense(&self, other: &Dense) -> Dense {
+        assert_eq!(self.cols, other.rows);
+        let n = other.cols;
+        let mut out = Dense::zeros(self.rows, n);
+        for r in 0..self.rows {
+            let orow = &mut out.data[r * n..(r + 1) * n];
+            for (k, v) in self.row(r) {
+                let brow = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += v * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense × sparse → dense (via the transpose trick). O(nnz · m).
+    pub fn rmatmul_dense(&self, left: &Dense) -> Dense {
+        assert_eq!(left.cols, self.rows);
+        let m = left.rows;
+        let mut out = Dense::zeros(m, self.cols);
+        for k in 0..self.rows {
+            for (c, v) in self.row(k) {
+                for i in 0..m {
+                    out.data[i * self.cols + c] += left.get(i, k) * v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise multiply by anything (broadcast-aware on the dense
+    /// side): only the sparse entries are touched.
+    pub fn mul_elem_dense(&self, other: &Dense) -> Csr {
+        let mut values = self.values.clone();
+        let mut k = 0;
+        for r in 0..self.rows {
+            for (c, _) in self.row(r) {
+                values[k] *= other.bget(r, c);
+                k += 1;
+            }
+        }
+        let mut out = self.clone();
+        out.values = values;
+        out.prune()
+    }
+
+    /// Point-wise map that preserves zeros (`f(0) == 0` is the caller's
+    /// responsibility); touches only stored entries.
+    pub fn map_zero_preserving(&self, f: impl Fn(f64) -> f64) -> Csr {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v = f(*v);
+        }
+        out.prune()
+    }
+
+    /// Remove explicit zeros.
+    pub fn prune(mut self) -> Csr {
+        if self.values.iter().all(|&v| v != 0.0) {
+            return self;
+        }
+        let mut indptr = vec![0usize; self.rows + 1];
+        let mut indices = Vec::with_capacity(self.indices.len());
+        let mut values = Vec::with_capacity(self.values.len());
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                if v != 0.0 {
+                    indices.push(c as u32);
+                    values.push(v);
+                }
+            }
+            indptr[r + 1] = indices.len();
+        }
+        self.indptr = indptr;
+        self.indices = indices;
+        self.values = values;
+        self
+    }
+
+    /// Sparse + sparse (same shape).
+    pub fn add(&self, other: &Csr) -> Csr {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let mut triplets = Vec::with_capacity(self.nnz() + other.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                triplets.push((r, c, v));
+            }
+            for (c, v) in other.row(r) {
+                triplets.push((r, c, v));
+            }
+        }
+        Csr::from_triplets(self.rows, self.cols, triplets)
+    }
+
+    /// Scale all entries.
+    pub fn scale(&self, k: f64) -> Csr {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v *= k;
+        }
+        out.prune()
+    }
+
+    pub fn row_sums(&self) -> Dense {
+        let mut out = Dense::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self.row(r).map(|(_, v)| v).sum();
+        }
+        out
+    }
+
+    pub fn col_sums(&self) -> Dense {
+        let mut out = Dense::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                out.data[c] += v;
+            }
+        }
+        out
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [[0, 5, 0], [7, 0, 0]]
+        Csr::from_triplets(2, 3, vec![(0, 1, 5.0), (1, 0, 7.0)])
+    }
+
+    #[test]
+    fn triplets_roundtrip() {
+        let s = sample();
+        assert_eq!(s.nnz(), 2);
+        let d = s.to_dense();
+        assert_eq!(d.data, vec![0., 5., 0., 7., 0., 0.]);
+        assert_eq!(Csr::from_dense(&d), s);
+    }
+
+    #[test]
+    fn duplicate_triplets_sum() {
+        let s = Csr::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.0), (1, 1, 3.0)]);
+        assert_eq!(s.to_dense().data, vec![3., 0., 0., 3.]);
+    }
+
+    #[test]
+    fn zero_triplets_dropped() {
+        let s = Csr::from_triplets(2, 2, vec![(0, 0, 0.0), (1, 0, 2.0)]);
+        assert_eq!(s.nnz(), 1);
+    }
+
+    #[test]
+    fn transpose_matches_dense() {
+        let s = sample();
+        assert_eq!(s.transpose().to_dense(), s.to_dense().transpose());
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let s = sample();
+        let d = Dense::new(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let got = s.matmul_dense(&d);
+        let want = s.to_dense().matmul(&d);
+        assert!(got.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn dense_times_sparse_matches() {
+        let s = sample();
+        let d = Dense::new(4, 2, vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+        let got = s.rmatmul_dense(&d);
+        let want = d.matmul(&s.to_dense());
+        assert!(got.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn elementwise_mul_stays_sparse() {
+        let s = sample();
+        let d = Dense::filled(2, 3, 2.0);
+        let got = s.mul_elem_dense(&d);
+        assert_eq!(got.nnz(), 2);
+        assert_eq!(got.to_dense().get(0, 1), 10.0);
+        // broadcast against a column vector
+        let col = Dense::new(2, 1, vec![10.0, 0.0]);
+        let got = s.mul_elem_dense(&col);
+        assert_eq!(got.nnz(), 1, "zero-broadcast row must prune");
+        assert_eq!(got.to_dense().get(0, 1), 50.0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let s = sample();
+        let sum = s.add(&s);
+        assert_eq!(sum.to_dense().data, vec![0., 10., 0., 14., 0., 0.]);
+        assert_eq!(s.scale(-1.0).sum(), -12.0);
+        assert_eq!(s.scale(0.0).nnz(), 0);
+    }
+
+    #[test]
+    fn aggregates_match_dense() {
+        let s = sample();
+        let d = s.to_dense();
+        assert_eq!(s.row_sums().data, d.row_sums().data);
+        assert_eq!(s.col_sums().data, d.col_sums().data);
+        assert_eq!(s.sum(), d.sum());
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let s = Csr::from_triplets(4, 3, vec![(2, 1, 1.0)]);
+        assert_eq!(s.row(0).count(), 0);
+        assert_eq!(s.row(2).count(), 1);
+        assert_eq!(s.transpose().to_dense(), s.to_dense().transpose());
+    }
+}

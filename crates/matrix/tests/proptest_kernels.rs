@@ -1,0 +1,94 @@
+//! Property tests: every sparse kernel agrees with the dense oracle.
+
+use proptest::prelude::*;
+use spores_matrix::{Csr, Dense, Matrix};
+
+fn dense_matrix(max: usize) -> impl Strategy<Value = Dense> {
+    (1..=max, 1..=max).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-5i8..=5, r * c).prop_map(move |v| {
+            Dense::new(r, c, v.into_iter().map(f64::from).collect())
+        })
+    })
+}
+
+fn sparse_like(d: &Dense) -> Csr {
+    Csr::from_dense(d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn csr_roundtrip(d in dense_matrix(8)) {
+        let s = sparse_like(&d);
+        prop_assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn transpose_agrees(d in dense_matrix(8)) {
+        let s = sparse_like(&d);
+        prop_assert_eq!(s.transpose().to_dense(), d.transpose());
+    }
+
+    #[test]
+    fn transpose_involution(d in dense_matrix(8)) {
+        let s = sparse_like(&d);
+        prop_assert_eq!(s.transpose().transpose(), s);
+    }
+
+    #[test]
+    fn add_and_scale_agree(d in dense_matrix(6)) {
+        let s = sparse_like(&d);
+        let sum = s.add(&s).to_dense();
+        prop_assert_eq!(sum, d.zip(&d, |a, b| a + b));
+        let scaled = s.scale(-2.0).to_dense();
+        prop_assert_eq!(scaled, d.map(|v| v * -2.0));
+    }
+
+    #[test]
+    fn aggregates_agree(d in dense_matrix(8)) {
+        let s = sparse_like(&d);
+        prop_assert_eq!(s.row_sums().data, d.row_sums().data);
+        prop_assert_eq!(s.col_sums().data, d.col_sums().data);
+        prop_assert!((s.sum() - d.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spmm_agrees(a in dense_matrix(6), b in dense_matrix(6)) {
+        // reshape b to be conformable
+        let k = a.cols;
+        let b = Dense::new(k, b.cols, (0..k * b.cols).map(|i| b.data[i % b.data.len()]).collect());
+        let s = sparse_like(&a);
+        let got = s.matmul_dense(&b);
+        let want = a.matmul(&b);
+        prop_assert!(got.approx_eq(&want, 1e-9));
+    }
+
+    #[test]
+    fn matrix_enum_ops_agree(a in dense_matrix(6), b in dense_matrix(6)) {
+        // same-shape element-wise ops across all representation pairs
+        let b = Dense::new(a.rows, a.cols,
+            (0..a.rows * a.cols).map(|i| b.data[i % b.data.len()]).collect());
+        let variants = |d: &Dense| vec![
+            Matrix::Dense(d.clone()),
+            Matrix::Sparse(Csr::from_dense(d)),
+        ];
+        let want_mul = a.zip(&b, |x, y| x * y);
+        let want_add = a.zip(&b, |x, y| x + y);
+        let want_sub = a.zip(&b, |x, y| x - y);
+        for ma in variants(&a) {
+            for mb in variants(&b) {
+                prop_assert!(ma.mul(&mb).to_dense().approx_eq(&want_mul, 1e-9));
+                prop_assert!(ma.add(&mb).to_dense().approx_eq(&want_add, 1e-9));
+                prop_assert!(ma.sub(&mb).to_dense().approx_eq(&want_sub, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_preserving_map_agrees(d in dense_matrix(8)) {
+        let m = Matrix::Sparse(sparse_like(&d));
+        let got = m.map(true, |v| v * v).to_dense();
+        prop_assert_eq!(got, d.map(|v| v * v));
+    }
+}

@@ -1,0 +1,8 @@
+//! The five evaluation workloads of the paper (§4.2) and the harness
+//! that compiles them under `base` / `opt2` / SPORES and executes them.
+
+pub mod runner;
+pub mod workloads;
+
+pub use runner::{compile, execute, run, CompileReport, Compiled, Mode, RunReport};
+pub use workloads::{als, figure15_suite, glm, mlr, pnmf, svm, Scale, Statement, Workload};

@@ -1,0 +1,333 @@
+//! Compile-and-run harness for the workloads.
+//!
+//! Reproduces the three configurations of §4.2:
+//!
+//! * [`Mode::Base`]   — SystemML optimization level 1: local rewrites
+//!   only, no operator fusion.
+//! * [`Mode::Opt2`]   — level 2 (SystemML's default): all hand-coded
+//!   sum-product rewrites + fusion.
+//! * [`Mode::Spores`] — the SPORES optimizer (saturation + extraction),
+//!   running inside the same pipeline and executor.
+//!
+//! Compilation walks the statements in order, maintaining shape/sparsity
+//! metadata for assigned variables; execution then loops the compiled
+//! statements with persistent state, accumulating wall-clock time and
+//! the deterministic [`ExecStats`] counters.
+
+use crate::workloads::Workload;
+use spores_core::{
+    ExtractorKind, Optimizer, OptimizerConfig, PhaseTimings, VarMeta,
+};
+use spores_egraph::Scheduler;
+use spores_exec::{ExecConfig, ExecError, ExecStats, Executor};
+use spores_ir::{ExprArena, NodeId, Symbol};
+use spores_systemml::{HeuristicRewriter, OptLevel, VarInfo};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Which optimizer compiles the program.
+#[derive(Clone, Debug)]
+pub enum Mode {
+    Base,
+    Opt2,
+    Spores {
+        scheduler: Scheduler,
+        extractor: ExtractorKind,
+    },
+}
+
+impl Mode {
+    /// The default SPORES configuration (sampling + greedy, the paper's
+    /// recommended setting after §4.3).
+    pub fn spores() -> Mode {
+        Mode::Spores {
+            scheduler: Scheduler::default(),
+            extractor: ExtractorKind::Greedy,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Base => "base",
+            Mode::Opt2 => "opt2",
+            Mode::Spores {
+                extractor: ExtractorKind::Greedy,
+                scheduler: Scheduler::Sampling { .. },
+            } => "S+greedy",
+            Mode::Spores {
+                extractor: ExtractorKind::Ilp,
+                scheduler: Scheduler::Sampling { .. },
+            } => "S+ILP",
+            Mode::Spores {
+                extractor: ExtractorKind::Greedy,
+                scheduler: Scheduler::DepthFirst,
+            } => "D+greedy",
+            Mode::Spores {
+                extractor: ExtractorKind::Ilp,
+                scheduler: Scheduler::DepthFirst,
+            } => "D+ILP",
+        }
+    }
+
+    fn fusion(&self) -> bool {
+        !matches!(self, Mode::Base)
+    }
+}
+
+/// A compiled program: one optimized DAG per statement.
+pub struct Compiled {
+    pub statements: Vec<(Symbol, ExprArena, NodeId)>,
+    pub report: CompileReport,
+}
+
+/// Compile-time measurements (Figure 16).
+#[derive(Clone, Debug, Default)]
+pub struct CompileReport {
+    pub total: Duration,
+    /// Per-phase breakdown summed over statements (SPORES modes only).
+    pub phases: Option<PhaseTimings>,
+    /// Did saturation converge on every statement?
+    pub converged: bool,
+    /// Compile-time timeout tripped (depth-first on large programs).
+    pub timed_out: bool,
+    /// Peak e-graph size over the statements.
+    pub max_e_nodes: usize,
+}
+
+/// Execution measurements (Figures 15/17).
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    pub mode: &'static str,
+    pub compile: CompileReport,
+    pub exec_time: Duration,
+    pub stats: ExecStats,
+    /// Final values of scalar (1×1) variables, for cross-mode validation.
+    pub scalars: HashMap<Symbol, f64>,
+}
+
+/// Saturation budget used by the SPORES modes (the paper's 2.5 s cap).
+pub const SATURATION_TIMEOUT: Duration = Duration::from_millis(2500);
+
+/// Compile `workload` under `mode`.
+pub fn compile(workload: &Workload, mode: &Mode) -> Compiled {
+    let (arena, roots) = workload.parse();
+    let t0 = Instant::now();
+
+    // metadata for inputs; computed targets are added as we go
+    let mut meta: HashMap<Symbol, VarMeta> = workload
+        .input_meta()
+        .into_iter()
+        .map(|(s, (shape, sparsity))| (s, VarMeta { shape, sparsity }))
+        .collect();
+
+    let mut statements = Vec::with_capacity(roots.len());
+    let mut phases = PhaseTimings::default();
+    let mut converged = true;
+    let mut timed_out = false;
+    let mut max_e_nodes = 0;
+
+    for (target, root) in roots {
+        let shape_env: spores_ir::ShapeEnv =
+            meta.iter().map(|(&s, m)| (s, m.shape)).collect();
+        let out_shape = arena
+            .shape_of(root, &shape_env)
+            .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
+
+        let (new_arena, new_root) = match mode {
+            Mode::Base | Mode::Opt2 => {
+                let level = if matches!(mode, Mode::Base) {
+                    OptLevel::Base
+                } else {
+                    OptLevel::Opt2
+                };
+                let vars: HashMap<Symbol, VarInfo> = meta
+                    .iter()
+                    .map(|(&s, m)| {
+                        (
+                            s,
+                            VarInfo {
+                                shape: m.shape,
+                                sparsity: m.sparsity,
+                            },
+                        )
+                    })
+                    .collect();
+                let r = HeuristicRewriter::new(level).rewrite(&arena, root, &vars);
+                (r.arena, r.root)
+            }
+            Mode::Spores {
+                scheduler,
+                extractor,
+            } => {
+                let opt = Optimizer::new(OptimizerConfig {
+                    scheduler: scheduler.clone(),
+                    extractor: *extractor,
+                    time_limit: SATURATION_TIMEOUT,
+                    // sampling spreads match applications across rules, so
+                    // it needs more iterations than depth-first to reach
+                    // the fixpoint (§4.3: "sampling takes longer to
+                    // converge when full saturation is possible")
+                    iter_limit: 100,
+                    ilp_time_limit: std::time::Duration::from_secs(2),
+                    ..OptimizerConfig::default()
+                });
+                let got = opt
+                    .optimize(&arena, root, &meta)
+                    .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
+                phases.translate += got.timings.translate;
+                phases.saturate += got.timings.saturate;
+                phases.extract += got.timings.extract;
+                phases.lower += got.timings.lower;
+                converged &= got.saturation.converged;
+                timed_out |= matches!(
+                    got.saturation.stop_reason,
+                    Some(spores_egraph::StopReason::TimeLimit(_))
+                );
+                max_e_nodes = max_e_nodes.max(got.saturation.e_nodes);
+                (got.arena, got.root)
+            }
+        };
+        statements.push((target, new_arena, new_root));
+        // computed variables: dense estimate unless already known
+        meta.entry(target).or_insert(VarMeta {
+            shape: out_shape,
+            sparsity: 1.0,
+        });
+    }
+
+    let report = CompileReport {
+        total: t0.elapsed(),
+        phases: matches!(mode, Mode::Spores { .. }).then_some(phases),
+        converged,
+        timed_out,
+        max_e_nodes,
+    };
+    Compiled { statements, report }
+}
+
+/// Execute a compiled program for the workload's iteration count.
+pub fn execute(
+    workload: &Workload,
+    compiled: &Compiled,
+    mode: &Mode,
+) -> Result<RunReport, ExecError> {
+    let mut exec = Executor::new(ExecConfig {
+        fusion: mode.fusion(),
+    });
+    let mut env = workload.inputs.clone();
+    let t0 = Instant::now();
+    for _ in 0..workload.iterations {
+        for (target, arena, root) in &compiled.statements {
+            let value = exec.run(arena, *root, &env)?;
+            env.insert(*target, value);
+        }
+    }
+    let exec_time = t0.elapsed();
+    let scalars = env
+        .iter()
+        .filter(|(_, m)| m.is_scalar())
+        .map(|(&s, m)| (s, m.as_scalar()))
+        .collect();
+    Ok(RunReport {
+        mode: mode.label(),
+        compile: compiled.report.clone(),
+        exec_time,
+        stats: exec.stats,
+        scalars,
+    })
+}
+
+/// Compile + execute in one call.
+pub fn run(workload: &Workload, mode: &Mode) -> Result<RunReport, ExecError> {
+    let compiled = compile(workload, mode);
+    execute(workload, &compiled, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    fn check_modes_agree(w: &Workload) {
+        let base = run(w, &Mode::Base).unwrap();
+        let opt2 = run(w, &Mode::Opt2).unwrap();
+        let spores = run(w, &Mode::spores()).unwrap();
+        for (name, v) in &base.scalars {
+            let o = opt2.scalars[name];
+            let s = spores.scalars[name];
+            let tol = 1e-6 * (1.0 + v.abs());
+            assert!(
+                (v - o).abs() < tol,
+                "{} {name}: base {v} vs opt2 {o}",
+                w.name
+            );
+            assert!(
+                (v - s).abs() < tol,
+                "{} {name}: base {v} vs spores {s}",
+                w.name
+            );
+        }
+        assert!(!base.scalars.is_empty(), "{} must track a scalar", w.name);
+    }
+
+    #[test]
+    fn als_modes_agree() {
+        check_modes_agree(&workloads::als(60, 40, 4, 11));
+    }
+
+    #[test]
+    fn glm_modes_agree() {
+        check_modes_agree(&workloads::glm(80, 12, 12));
+    }
+
+    #[test]
+    fn svm_modes_agree() {
+        check_modes_agree(&workloads::svm(80, 12, 13));
+    }
+
+    #[test]
+    fn mlr_modes_agree() {
+        check_modes_agree(&workloads::mlr(80, 10, 14));
+    }
+
+    #[test]
+    fn pnmf_modes_agree() {
+        check_modes_agree(&workloads::pnmf(50, 40, 4, 15));
+    }
+
+    #[test]
+    fn spores_beats_base_on_als_flops() {
+        let w = workloads::als(400, 300, 8, 21);
+        let base = run(&w, &Mode::Base).unwrap();
+        let spores = run(&w, &Mode::spores()).unwrap();
+        assert!(
+            spores.stats.flops < base.stats.flops,
+            "spores {} vs base {}",
+            spores.stats.flops,
+            base.stats.flops
+        );
+    }
+
+    #[test]
+    fn pnmf_spores_avoids_dense_product_allocation() {
+        let w = workloads::pnmf(300, 400, 6, 22);
+        let opt2 = run(&w, &Mode::Opt2).unwrap();
+        let spores = run(&w, &Mode::spores()).unwrap();
+        assert!(
+            spores.stats.cells_allocated < opt2.stats.cells_allocated,
+            "spores {} vs opt2 {}",
+            spores.stats.cells_allocated,
+            opt2.stats.cells_allocated
+        );
+    }
+
+    #[test]
+    fn compile_report_records_phases_for_spores_only() {
+        let w = workloads::glm(50, 8, 31);
+        let c = compile(&w, &Mode::spores());
+        assert!(c.report.phases.is_some());
+        assert!(c.report.max_e_nodes > 0);
+        let c2 = compile(&w, &Mode::Opt2);
+        assert!(c2.report.phases.is_none());
+    }
+}

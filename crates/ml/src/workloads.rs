@@ -1,0 +1,300 @@
+//! The five evaluation workloads of §4.2: ALS, GLM, SVM, MLR, PNMF.
+//!
+//! Each workload is a small iterative ML program written as a sequence of
+//! DML-like assignment statements over synthetic data (the paper uses
+//! SystemML's algorithm-specific generators; `spores_matrix::gen` is our
+//! equivalent). The statements carry exactly the inner-loop expressions
+//! the paper's analysis discusses:
+//!
+//! * **ALS** — `(U %*% t(V) - X) %*% V`, which SPORES expands to
+//!   `U Vᵀ V − X V` to exploit X's sparsity (up to 5× in the paper);
+//! * **PNMF** — `sum(W %*% H)` shared with `sum(X * log(W %*% H))`, where
+//!   SystemML's CSE-preservation heuristics block the rewrite (3×);
+//! * **MLR** — `P*X − P*rowSums(P)*X`, which factors to `sprop(P)*X`;
+//! * **GLM/SVM** — inner loops whose gains come from fusion, where
+//!   SPORES finds the same plans SystemML does.
+
+use spores_ir::{ExprArena, NodeId, Shape, Symbol};
+use spores_matrix::{gen, Matrix};
+use std::collections::HashMap;
+
+/// One assignment `target = expr;` of the per-iteration program.
+#[derive(Clone, Debug)]
+pub struct Statement {
+    pub target: Symbol,
+    pub src: String,
+}
+
+impl Statement {
+    fn new(target: &str, src: impl Into<String>) -> Statement {
+        Statement {
+            target: Symbol::new(target),
+            src: src.into(),
+        }
+    }
+}
+
+/// A workload: initial data + per-iteration statements.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    pub name: &'static str,
+    /// Human-readable data size, e.g. `"2Kx1K"`.
+    pub size_label: String,
+    pub statements: Vec<Statement>,
+    pub inputs: HashMap<Symbol, Matrix>,
+    pub iterations: usize,
+}
+
+impl Workload {
+    /// Shape + sparsity of every input variable.
+    pub fn input_meta(&self) -> HashMap<Symbol, (Shape, f64)> {
+        self.inputs
+            .iter()
+            .map(|(&s, m)| {
+                (
+                    s,
+                    (
+                        Shape::new(m.rows() as u64, m.cols() as u64),
+                        m.sparsity(),
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    /// Parse all statements into one arena; returns (arena, roots).
+    pub fn parse(&self) -> (ExprArena, Vec<(Symbol, NodeId)>) {
+        let mut arena = ExprArena::new();
+        let roots = self
+            .statements
+            .iter()
+            .map(|st| {
+                let root = spores_ir::parse_expr(&mut arena, &st.src)
+                    .unwrap_or_else(|e| panic!("{}: {} — {e}", self.name, st.src));
+                (st.target, root)
+            })
+            .collect();
+        (arena, roots)
+    }
+}
+
+fn label(rows: usize, cols: usize) -> String {
+    fn fmt(n: usize) -> String {
+        if n >= 1_000_000 {
+            format!("{}M", n / 1_000_000)
+        } else if n >= 1_000 {
+            format!("{}K", n / 1_000)
+        } else {
+            n.to_string()
+        }
+    }
+    format!("{}x{}", fmt(rows), fmt(cols))
+}
+
+/// Alternating least squares (rank-`rank` factorization of sparse X).
+pub fn als(rows: usize, cols: usize, rank: usize, seed: u64) -> Workload {
+    let mut r = gen::rng(seed);
+    let x = gen::rand_sparse(rows, cols, 0.01, 1.0, 5.0, &mut r);
+    let u = gen::rand_dense(rows, rank, 0.0, 1.0, &mut r);
+    let v = gen::rand_dense(cols, rank, 0.0, 1.0, &mut r);
+    Workload {
+        name: "ALS",
+        size_label: label(rows, cols),
+        statements: vec![
+            // the §4.2 expression: SPORES expands (U Vᵀ − X) V
+            Statement::new("GU", "(U %*% t(V) - X) %*% V"),
+            Statement::new("U", "U - 0.0001 * GU"),
+            Statement::new("GV", "t(t(U) %*% (U %*% t(V) - X))"),
+            Statement::new("V", "V - 0.0001 * GV"),
+            // tracked training loss — the §1 headline expression
+            Statement::new("loss", "sum((X - U %*% t(V))^2)"),
+        ],
+        inputs: HashMap::from([
+            (Symbol::new("X"), x),
+            (Symbol::new("U"), u),
+            (Symbol::new("V"), v),
+        ]),
+        iterations: 3,
+    }
+}
+
+/// Generalized linear model (logistic link), gradient descent.
+pub fn glm(rows: usize, cols: usize, seed: u64) -> Workload {
+    let mut r = gen::rng(seed);
+    let x = gen::rand_sparse(rows, cols, 0.01, -1.0, 1.0, &mut r);
+    let y = gen::rand_labels(rows, &mut r);
+    let w = gen::rand_dense(cols, 1, -0.1, 0.1, &mut r);
+    Workload {
+        name: "GLM",
+        size_label: label(rows, cols),
+        statements: vec![
+            Statement::new("P", "1 / (1 + exp(-(X %*% w)))"),
+            Statement::new("G", "t(X) %*% (P - y) + 0.01 * w"),
+            Statement::new("w", "w - 0.1 * G"),
+            Statement::new("obj", "sum((P - y)^2) + 0.01 * sum(w^2)"),
+        ],
+        inputs: HashMap::from([
+            (Symbol::new("X"), x),
+            (Symbol::new("y"), y),
+            (Symbol::new("w"), w),
+        ]),
+        iterations: 3,
+    }
+}
+
+/// L2-regularized support vector machine, (sub)gradient descent.
+pub fn svm(rows: usize, cols: usize, seed: u64) -> Workload {
+    let mut r = gen::rng(seed);
+    let x = gen::rand_sparse(rows, cols, 0.01, -1.0, 1.0, &mut r);
+    let y = gen::rand_sign_labels(rows, &mut r);
+    let w = gen::rand_dense(cols, 1, -0.1, 0.1, &mut r);
+    Workload {
+        name: "SVM",
+        size_label: label(rows, cols),
+        statements: vec![
+            Statement::new("out", "1 - y * (X %*% w)"),
+            Statement::new("sv", "out > 0"),
+            Statement::new("G", "0.01 * w - t(X) %*% (sv * out * y)"),
+            Statement::new("w", "w - 0.1 * G"),
+            Statement::new("obj", "0.5 * sum((sv * out)^2) + 0.01 * sum(w^2)"),
+        ],
+        inputs: HashMap::from([
+            (Symbol::new("X"), x),
+            (Symbol::new("y"), y),
+            (Symbol::new("w"), w),
+        ]),
+        iterations: 3,
+    }
+}
+
+/// Multinomial (here: binary) logistic regression with the paper's
+/// `P*X − P*rowSums(P)*X` inner-loop shape.
+pub fn mlr(rows: usize, cols: usize, seed: u64) -> Workload {
+    let mut r = gen::rng(seed);
+    let x = gen::rand_sparse(rows, cols, 0.01, -1.0, 1.0, &mut r);
+    let y = gen::rand_labels(rows, &mut r);
+    let w = gen::rand_dense(cols, 1, -0.1, 0.1, &mut r);
+    Workload {
+        name: "MLR",
+        size_label: label(rows, cols),
+        statements: vec![
+            Statement::new("P", "1 / (1 + exp(-(X %*% w)))"),
+            // §4.2: factors to sprop(P) * X = (P * (1 - P)) * X
+            Statement::new("D", "P * X - P * rowSums(P) * X"),
+            Statement::new("G", "t(colSums(D)) + 0.01 * w"),
+            Statement::new("w", "w - 0.1 * G"),
+            Statement::new("obj", "sum((P - y)^2)"),
+        ],
+        inputs: HashMap::from([
+            (Symbol::new("X"), x),
+            (Symbol::new("y"), y),
+            (Symbol::new("w"), w),
+        ]),
+        iterations: 3,
+    }
+}
+
+/// Poisson non-negative matrix factorization.
+pub fn pnmf(rows: usize, cols: usize, rank: usize, seed: u64) -> Workload {
+    let mut r = gen::rng(seed);
+    let x = gen::rand_counts(rows, cols, 0.01, 9, &mut r);
+    let w = gen::rand_dense(rows, rank, 0.1, 1.0, &mut r);
+    let h = gen::rand_dense(rank, cols, 0.1, 1.0, &mut r);
+    Workload {
+        name: "PNMF",
+        size_label: label(rows, cols),
+        statements: vec![
+            // multiplicative updates
+            Statement::new("H", "H * (t(W) %*% (X / (W %*% H))) / t(colSums(W))"),
+            Statement::new("W", "W * ((X / (W %*% H)) %*% t(H)) / t(rowSums(H))"),
+            // §4.2: the objective shares W %*% H between both sums;
+            // SystemML's CSE guard blocks its own sum(WH) rewrite here
+            Statement::new("obj", "sum(W %*% H) - sum(X * log(W %*% H))"),
+        ],
+        inputs: HashMap::from([
+            (Symbol::new("X"), x),
+            (Symbol::new("W"), w),
+            (Symbol::new("H"), h),
+        ]),
+        iterations: 3,
+    }
+}
+
+/// The Figure 15/17 size ladders, scaled down ~100× from the paper's
+/// cluster sizes so a laptop regenerates the tables in minutes
+/// (documented in EXPERIMENTS.md).
+pub fn figure15_suite(scale: Scale) -> Vec<Workload> {
+    let s = scale.factor();
+    vec![
+        als(2_000 * s / 10, 1_000, 10, 101),
+        glm(1_000 * s, 100, 102),
+        svm(1_000 * s, 100, 103),
+        mlr(2_000 * s, 20, 104),
+        pnmf(100 * s, 1_000, 10, 105),
+    ]
+}
+
+/// Data-size rungs for the run-time figures.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    Small,
+    Medium,
+    Large,
+}
+
+impl Scale {
+    pub fn factor(self) -> usize {
+        match self {
+            Scale::Small => 1,
+            Scale::Medium => 10,
+            Scale::Large => 100,
+        }
+    }
+
+    pub fn all() -> [Scale; 3] {
+        [Scale::Small, Scale::Medium, Scale::Large]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_parse_and_shape_check() {
+        for w in [
+            als(100, 50, 5, 1),
+            glm(100, 20, 2),
+            svm(100, 20, 3),
+            mlr(100, 10, 4),
+            pnmf(60, 50, 4, 5),
+        ] {
+            let (arena, roots) = w.parse();
+            // every statement must shape-check against the accumulated env
+            let mut env: spores_ir::ShapeEnv = w
+                .input_meta()
+                .into_iter()
+                .map(|(s, (sh, _))| (s, sh))
+                .collect();
+            for (target, root) in roots {
+                let shape = arena
+                    .shape_of(root, &env)
+                    .unwrap_or_else(|e| panic!("{} / {target}: {e}", w.name));
+                env.insert(target, shape);
+            }
+        }
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(als(2_000, 1_000, 10, 1).size_label, "2Kx1K");
+        assert_eq!(pnmf(1_000_000, 1_000, 10, 1).size_label, "1Mx1K");
+    }
+
+    #[test]
+    fn suite_has_five_workloads() {
+        let suite = figure15_suite(Scale::Small);
+        let names: Vec<_> = suite.iter().map(|w| w.name).collect();
+        assert_eq!(names, vec!["ALS", "GLM", "SVM", "MLR", "PNMF"]);
+    }
+}

@@ -1,0 +1,12 @@
+//! The heuristic baseline optimizer and the Figure 14 rewrite corpus.
+//!
+//! Reproduces SystemML's hand-coded algebraic rewrite pass — the system
+//! the paper compares against — including the heuristic guards whose
+//! failure modes motivate SPORES (§3): conflicting rewrites, phase
+//! ordering, CSE-preservation guards, and non-compositionality.
+
+pub mod patterns;
+pub mod rewriter;
+
+pub use patterns::{RewritePattern, Validation, CORPUS};
+pub use rewriter::{HeuristicRewriter, OptLevel, Rewritten, VarInfo};

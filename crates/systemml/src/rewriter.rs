@@ -1,0 +1,525 @@
+//! The heuristic baseline optimizer (SystemML's algebraic-rewrite pass).
+//!
+//! This is the comparator the paper evaluates against (§4.2):
+//!
+//! * `base` — SystemML optimization level 1: constant folding and local
+//!   pattern simplifications only; no sum-product rewrites, no fusion.
+//! * `opt2` — level 2 (SystemML's default): all hand-coded sum-product
+//!   rewrites with their heuristic guards, CSE, constant folding.
+//!
+//! The guards reproduce the failure modes §3 and §4.2 describe:
+//!
+//! * `sum(A %*% B)` only rewrites when the product has **no other
+//!   consumer** (CSE preservation) — which is exactly why SystemML
+//!   misses the PNMF optimization;
+//! * rewrites are applied in a fixed phase order by syntactic pattern,
+//!   so compositions the patterns don't anticipate (the ALS expansion
+//!   `(U Vᵀ − X) V → U Vᵀ V − X V`, the MLR factoring) are missed;
+//! * each rule tests its own shape/sparsity side conditions.
+
+use spores_ir::{BinOp, ExprArena, LaNode, NodeId, Shape, ShapeEnv, Symbol, UnOp};
+use std::collections::HashMap;
+
+/// SystemML optimization levels used in the evaluation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OptLevel {
+    /// Level 1: local simplifications only (the paper's `base`).
+    Base,
+    /// Level 2: + hand-coded sum-product rewrites and fusion (`opt2`).
+    Opt2,
+}
+
+/// Variable metadata the rewriter consults (shape + sparsity).
+#[derive(Copy, Clone, Debug)]
+pub struct VarInfo {
+    pub shape: Shape,
+    pub sparsity: f64,
+}
+
+/// Result of a rewrite pass.
+#[derive(Clone, Debug)]
+pub struct Rewritten {
+    pub arena: ExprArena,
+    pub root: NodeId,
+    /// Names of rules that fired, in application order.
+    pub applied: Vec<&'static str>,
+}
+
+/// The baseline rewriter.
+pub struct HeuristicRewriter {
+    pub level: OptLevel,
+}
+
+struct Ctx {
+    /// number of parents per node (CSE guard)
+    uses: Vec<u32>,
+}
+
+impl HeuristicRewriter {
+    pub fn new(level: OptLevel) -> Self {
+        HeuristicRewriter { level }
+    }
+
+    /// Rewrite to fixpoint (bounded passes).
+    pub fn rewrite(
+        &self,
+        arena: &ExprArena,
+        root: NodeId,
+        vars: &HashMap<Symbol, VarInfo>,
+    ) -> Rewritten {
+        let mut cur_arena = arena.clone();
+        let mut cur_root = root;
+        let mut applied = Vec::new();
+        for _pass in 0..8 {
+            let before = cur_arena.display(cur_root);
+            let (next_arena, next_root) =
+                self.one_pass(&cur_arena, cur_root, vars, &mut applied);
+            let after = next_arena.display(next_root);
+            cur_arena = next_arena;
+            cur_root = next_root;
+            if before == after {
+                break;
+            }
+        }
+        Rewritten {
+            arena: cur_arena,
+            root: cur_root,
+            applied,
+        }
+    }
+
+    fn one_pass(
+        &self,
+        arena: &ExprArena,
+        root: NodeId,
+        vars: &HashMap<Symbol, VarInfo>,
+        applied: &mut Vec<&'static str>,
+    ) -> (ExprArena, NodeId) {
+        let env: ShapeEnv = vars.iter().map(|(&k, v)| (k, v.shape)).collect();
+        // shape inference validates the statement before rewriting
+        if arena.infer_shapes(root, &env).is_err() {
+            return (arena.clone(), root);
+        }
+        let mut uses = vec![0u32; arena.len()];
+        for id in arena.postorder(root) {
+            for c in arena.node(id).children() {
+                uses[c.index()] += 1;
+            }
+        }
+        let ctx = Ctx { uses };
+
+        let mut out = ExprArena::new();
+        let mut memo: HashMap<NodeId, NodeId> = HashMap::new();
+        let new_root = self.rec(arena, root, &ctx, &mut out, &mut memo, applied);
+        (out, new_root)
+    }
+
+    fn rec(
+        &self,
+        arena: &ExprArena,
+        id: NodeId,
+        ctx: &Ctx,
+        out: &mut ExprArena,
+        memo: &mut HashMap<NodeId, NodeId>,
+        applied: &mut Vec<&'static str>,
+    ) -> NodeId {
+        if let Some(&done) = memo.get(&id) {
+            return done;
+        }
+        // children first
+        let rebuilt = match *arena.node(id) {
+            LaNode::Var(v) => out.insert(LaNode::Var(v)),
+            LaNode::Scalar(n) => out.insert(LaNode::Scalar(n)),
+            LaNode::Fill(n, r, c) => out.insert(LaNode::Fill(n, r, c)),
+            LaNode::Un(op, a) => {
+                let a = self.rec(arena, a, ctx, out, memo, applied);
+                out.un(op, a)
+            }
+            LaNode::Bin(op, a, b) => {
+                let a = self.rec(arena, a, ctx, out, memo, applied);
+                let b = self.rec(arena, b, ctx, out, memo, applied);
+                out.bin(op, a, b)
+            }
+        };
+        // then rewrite the rebuilt node (rules see simplified children)
+        let result = self.simplify(rebuilt, arena, id, ctx, out, applied);
+        memo.insert(id, result);
+        result
+    }
+
+    /// Apply the first matching rule at `id` (in `out`); `orig` is the
+    /// corresponding node in the input arena (for use counts).
+    fn simplify(
+        &self,
+        id: NodeId,
+        orig_arena: &ExprArena,
+        orig: NodeId,
+        ctx: &Ctx,
+        out: &mut ExprArena,
+        applied: &mut Vec<&'static str>,
+    ) -> NodeId {
+        let mut id = id;
+        // constant folding runs at every level
+        if let Some(folded) = fold_constants(out, id) {
+            id = folded;
+        }
+        if let Some((name, new)) = local_simplify(out, id) {
+            applied.push(name);
+            id = new;
+        }
+        if self.level == OptLevel::Opt2 {
+            if let Some((name, new)) = self.sum_product_rewrites(out, id, orig_arena, orig, ctx)
+            {
+                applied.push(name);
+                id = new;
+            }
+        }
+        id
+    }
+
+    /// The hand-coded sum-product rewrites (Figure 14 families) with
+    /// their heuristic guards.
+    fn sum_product_rewrites(
+        &self,
+        out: &mut ExprArena,
+        id: NodeId,
+        orig_arena: &ExprArena,
+        orig: NodeId,
+        ctx: &Ctx,
+    ) -> Option<(&'static str, NodeId)> {
+        let node = *out.node(id);
+        match node {
+            // SumMatrixMult: sum(A %*% B) -> sum(t(colSums(A)) * rowSums(B))
+            // CSE guard: only when the product has no other consumer —
+            // the heuristic that misfires on PNMF (§4.2).
+            LaNode::Un(UnOp::Sum, mm) => {
+                if let LaNode::Bin(BinOp::MatMul, a, b) = *out.node(mm) {
+                    let orig_mm = match orig_arena.node(orig) {
+                        LaNode::Un(UnOp::Sum, m) => *m,
+                        _ => return None,
+                    };
+                    if ctx.uses.get(orig_mm.index()).copied().unwrap_or(0) > 1 {
+                        return None; // preserve the CSE
+                    }
+                    // DotProductSum special case: vector ᵀ· vector stays
+                    let sa = shape_in(out, a);
+                    if sa.map(|s| s.rows == 1).unwrap_or(false) {
+                        return None; // already a dot product
+                    }
+                    let ca = out.col_sums(a);
+                    let t = out.t(ca);
+                    let rb = out.row_sums(b);
+                    let prod = out.mul(t, rb);
+                    let s = out.sum(prod);
+                    return Some(("SumMatrixMult", s));
+                }
+                // pushdownSumOnAdd: sum(A + B) -> sum(A) + sum(B)
+                if let LaNode::Bin(BinOp::Add, a, b) = *out.node(mm) {
+                    let sa = out.sum(a);
+                    let sb = out.sum(b);
+                    return Some(("pushdownSumOnAdd", out.add(sa, sb)));
+                }
+                // UnaryAggReorgOperation: sum(t(X)) -> sum(X)
+                if let LaNode::Un(UnOp::T, x) = *out.node(mm) {
+                    return Some(("UnaryAggReorgOperation", out.sum(x)));
+                }
+                // UnnecessaryAggregates: sum(rowSums/colSums(X)) -> sum(X)
+                if let LaNode::Un(UnOp::RowSums | UnOp::ColSums, x) = *out.node(mm) {
+                    return Some(("UnnecessaryAggregates", out.sum(x)));
+                }
+                // pushdownSumBinaryMult: sum(s * X) -> s * sum(X)
+                if let LaNode::Bin(BinOp::Mul, a, b) = *out.node(mm) {
+                    if shape_in(out, a).map(|s| s.is_scalar()).unwrap_or(false) {
+                        let sx = out.sum(b);
+                        return Some(("pushdownSumBinaryMult", out.mul(a, sx)));
+                    }
+                    if shape_in(out, b).map(|s| s.is_scalar()).unwrap_or(false) {
+                        let sx = out.sum(a);
+                        return Some(("pushdownSumBinaryMult", out.mul(b, sx)));
+                    }
+                    // DotProductSum: sum(v * v) -> t(v) %*% v
+                    if a == b && shape_in(out, a).map(|s| s.cols == 1).unwrap_or(false) {
+                        let t = out.t(a);
+                        return Some(("DotProductSum", out.matmul(t, a)));
+                    }
+                }
+                // DotProductSum: sum(v^2) -> t(v) %*% v
+                if let LaNode::Bin(BinOp::Pow, v, two) = *out.node(mm) {
+                    if matches!(out.node(two), LaNode::Scalar(n) if n.get() == 2.0)
+                        && shape_in(out, v).map(|s| s.cols == 1).unwrap_or(false)
+                    {
+                        let t = out.t(v);
+                        return Some(("DotProductSum", out.matmul(t, v)));
+                    }
+                }
+                None
+            }
+            // ColSumsMVMult / pushdownUnaryAggTransposeOp
+            LaNode::Un(UnOp::ColSums, inner) => {
+                if let LaNode::Un(UnOp::T, x) = *out.node(inner) {
+                    let rs = out.row_sums(x);
+                    return Some(("pushdownUnaryAggTransposeOp", out.t(rs)));
+                }
+                None
+            }
+            LaNode::Un(UnOp::RowSums, inner) => {
+                if let LaNode::Un(UnOp::T, x) = *out.node(inner) {
+                    let cs = out.col_sums(x);
+                    return Some(("pushdownUnaryAggTransposeOp", out.t(cs)));
+                }
+                None
+            }
+            // BinaryToUnaryOperation: X*X -> X^2; X+X -> X*2
+            LaNode::Bin(BinOp::Mul, a, b) if a == b => {
+                let two = out.lit(2.0);
+                Some(("BinaryToUnaryOperation", out.pow(a, two)))
+            }
+            LaNode::Bin(BinOp::Add, a, b) if a == b => {
+                let two = out.lit(2.0);
+                Some(("BinaryToUnaryOperation", out.mul(a, two)))
+            }
+            // DistributiveBinaryOperation: X - Y*X -> (1 - Y)*X
+            LaNode::Bin(BinOp::Sub, x, yx) => {
+                if let LaNode::Bin(BinOp::Mul, y, x2) = *out.node(yx) {
+                    if x2 == x {
+                        let one = out.lit(1.0);
+                        let oneminus = out.sub(one, y);
+                        return Some(("DistributiveBinaryOperation", out.mul(oneminus, x)));
+                    }
+                    if y == x {
+                        let one = out.lit(1.0);
+                        let oneminus = out.sub(one, x2);
+                        return Some(("DistributiveBinaryOperation", out.mul(x, oneminus)));
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+fn shape_in(arena: &ExprArena, id: NodeId) -> Option<Shape> {
+    // local re-inference: rules only query shapes of already-built nodes
+    // whose leaves carry no env — fall back to structural guesses
+    match arena.node(id) {
+        LaNode::Scalar(_) => Some(Shape::scalar()),
+        LaNode::Fill(_, r, c) => Some(Shape::new(*r, *c)),
+        LaNode::Un(UnOp::RowSums, _) => None,
+        _ => None,
+    }
+}
+
+/// Constant folding over scalar literals.
+fn fold_constants(arena: &mut ExprArena, id: NodeId) -> Option<NodeId> {
+    let lit = |arena: &ExprArena, n: NodeId| -> Option<f64> {
+        match arena.node(n) {
+            LaNode::Scalar(v) => Some(v.get()),
+            _ => None,
+        }
+    };
+    match *arena.node(id) {
+        LaNode::Bin(op, a, b) => {
+            let (x, y) = (lit(arena, a)?, lit(arena, b)?);
+            let v = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Pow => x.powf(y),
+                BinOp::Min => x.min(y),
+                BinOp::Max => x.max(y),
+                BinOp::Gt => f64::from(x > y),
+                BinOp::Lt => f64::from(x < y),
+                BinOp::Ge => f64::from(x >= y),
+                BinOp::Le => f64::from(x <= y),
+                BinOp::MatMul => return None,
+            };
+            (v.is_finite()).then(|| arena.lit(v))
+        }
+        LaNode::Un(op, a) => {
+            let x = lit(arena, a)?;
+            let v = match op {
+                UnOp::Neg => -x,
+                UnOp::Exp => x.exp(),
+                UnOp::Log => x.ln(),
+                UnOp::Sqrt => x.sqrt(),
+                UnOp::Abs => x.abs(),
+                UnOp::Sign => x.signum(),
+                UnOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+                UnOp::Sprop => x * (1.0 - x),
+                _ => return None,
+            };
+            (v.is_finite()).then(|| arena.lit(v))
+        }
+        _ => None,
+    }
+}
+
+/// Level-1 local simplifications (no sum-product reasoning).
+fn local_simplify(arena: &mut ExprArena, id: NodeId) -> Option<(&'static str, NodeId)> {
+    let is_lit = |arena: &ExprArena, n: NodeId, v: f64| -> bool {
+        matches!(arena.node(n), LaNode::Scalar(s) if s.get() == v)
+    };
+    match *arena.node(id) {
+        // UnnecessaryBinaryOperation: X*1, 1*X, X+0, 0+X, X-0, X/1
+        LaNode::Bin(BinOp::Mul, a, b) if is_lit(arena, b, 1.0) => {
+            Some(("UnnecessaryBinaryOperation", a))
+        }
+        LaNode::Bin(BinOp::Mul, a, b) if is_lit(arena, a, 1.0) => {
+            Some(("UnnecessaryBinaryOperation", b))
+        }
+        LaNode::Bin(BinOp::Add, a, b) if is_lit(arena, b, 0.0) => {
+            Some(("UnnecessaryBinaryOperation", a))
+        }
+        LaNode::Bin(BinOp::Add, a, b) if is_lit(arena, a, 0.0) => {
+            Some(("UnnecessaryBinaryOperation", b))
+        }
+        LaNode::Bin(BinOp::Sub, a, b) if is_lit(arena, b, 0.0) => {
+            Some(("UnnecessaryBinaryOperation", a))
+        }
+        LaNode::Bin(BinOp::Div, a, b) if is_lit(arena, b, 1.0) => {
+            Some(("UnnecessaryBinaryOperation", a))
+        }
+        // UnnecessaryReorgOperation: t(t(X)) -> X
+        LaNode::Un(UnOp::T, inner) => match *arena.node(inner) {
+            LaNode::Un(UnOp::T, x) => Some(("UnnecessaryReorgOperation", x)),
+            _ => None,
+        },
+        // UnnecessaryMinus: -(-X) -> X
+        LaNode::Un(UnOp::Neg, inner) => match *arena.node(inner) {
+            LaNode::Un(UnOp::Neg, x) => Some(("UnnecessaryMinus", x)),
+            _ => None,
+        },
+        // sigmoid folding: 1/(1+exp(-X)) -> sigmoid(X)
+        LaNode::Bin(BinOp::Div, one, denom) if is_lit(arena, one, 1.0) => {
+            if let LaNode::Bin(BinOp::Add, one2, ex) = *arena.node(denom) {
+                if is_lit(arena, one2, 1.0) {
+                    if let LaNode::Un(UnOp::Exp, negx) = *arena.node(ex) {
+                        if let LaNode::Un(UnOp::Neg, x) = *arena.node(negx) {
+                            return Some(("FuseSigmoid", arena.un(UnOp::Sigmoid, x)));
+                        }
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spores_ir::parse_expr;
+
+    fn vars(list: &[(&str, (u64, u64), f64)]) -> HashMap<Symbol, VarInfo> {
+        list.iter()
+            .map(|&(n, (r, c), s)| {
+                (
+                    Symbol::new(n),
+                    VarInfo {
+                        shape: Shape::new(r, c),
+                        sparsity: s,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn rewrite(src: &str, level: OptLevel, vs: &HashMap<Symbol, VarInfo>) -> String {
+        let mut arena = ExprArena::new();
+        let root = parse_expr(&mut arena, src).unwrap();
+        let r = HeuristicRewriter::new(level).rewrite(&arena, root, vs);
+        r.arena.display(r.root)
+    }
+
+    #[test]
+    fn constant_folding_at_all_levels() {
+        let vs = vars(&[("X", (4, 4), 1.0)]);
+        assert_eq!(rewrite("(3 - 2) * X", OptLevel::Base, &vs), "X");
+        assert_eq!(rewrite("X + (2 - 2)", OptLevel::Base, &vs), "X");
+    }
+
+    #[test]
+    fn local_simplifications() {
+        let vs = vars(&[("X", (4, 4), 1.0)]);
+        assert_eq!(rewrite("t(t(X))", OptLevel::Base, &vs), "X");
+        assert_eq!(rewrite("-(-X)", OptLevel::Base, &vs), "X");
+        assert_eq!(rewrite("X * 1", OptLevel::Base, &vs), "X");
+    }
+
+    #[test]
+    fn sigmoid_fusion_after_constant_folding() {
+        // the §3 phase-ordering example: (3-2)/(1+exp(-X)) must fold the
+        // constant first, then recognize the sigmoid
+        let vs = vars(&[("X", (4, 4), 1.0)]);
+        assert_eq!(
+            rewrite("(3 - 2) / (1 + exp(-X))", OptLevel::Base, &vs),
+            "sigmoid(X)"
+        );
+    }
+
+    #[test]
+    fn sum_mm_rewrites_at_opt2_only() {
+        let vs = vars(&[("A", (50, 20), 1.0), ("B", (20, 40), 1.0)]);
+        let base = rewrite("sum(A %*% B)", OptLevel::Base, &vs);
+        assert_eq!(base, "sum(A %*% B)");
+        let opt2 = rewrite("sum(A %*% B)", OptLevel::Opt2, &vs);
+        assert_eq!(opt2, "sum(t(colSums(A)) * rowSums(B))");
+    }
+
+    #[test]
+    fn cse_guard_blocks_pnmf_rewrite() {
+        // §4.2 PNMF: W%*%H appears twice, so the guard refuses to rewrite
+        // sum(W %*% H) — "neither fires", the paper's heuristic failure
+        let vs = vars(&[("W", (50, 5), 1.0), ("H", (5, 40), 1.0), ("X", (50, 40), 0.1)]);
+        let out = rewrite(
+            "sum(W %*% H) - sum(X * (W %*% H))",
+            OptLevel::Opt2,
+            &vs,
+        );
+        assert!(
+            out.contains("sum(W %*% H)"),
+            "CSE guard must block the rewrite: {out}"
+        );
+    }
+
+    #[test]
+    fn distributive_factoring() {
+        let vs = vars(&[("X", (10, 10), 1.0), ("Y", (10, 10), 1.0)]);
+        assert_eq!(
+            rewrite("X - Y*X", OptLevel::Opt2, &vs),
+            "(1 - Y) * X"
+        );
+    }
+
+    #[test]
+    fn binary_to_unary() {
+        let vs = vars(&[("X", (10, 10), 1.0)]);
+        assert_eq!(rewrite("X * X", OptLevel::Opt2, &vs), "X^2");
+        assert_eq!(rewrite("X + X", OptLevel::Opt2, &vs), "X * 2");
+    }
+
+    #[test]
+    fn als_expansion_is_missed() {
+        // §4.2: "SystemML simply does not consider distributing the
+        // multiplication and misses the optimization"
+        let vs = vars(&[
+            ("X", (100, 80), 0.01),
+            ("U", (100, 5), 1.0),
+            ("V", (80, 5), 1.0),
+        ]);
+        let out = rewrite("(U %*% t(V) - X) %*% V", OptLevel::Opt2, &vs);
+        assert_eq!(out, "(U %*% t(V) - X) %*% V", "baseline must miss this");
+    }
+
+    #[test]
+    fn applied_rules_recorded() {
+        let mut arena = ExprArena::new();
+        let root = parse_expr(&mut arena, "sum(t(X))").unwrap();
+        let vs = vars(&[("X", (5, 5), 1.0)]);
+        let r = HeuristicRewriter::new(OptLevel::Opt2).rewrite(&arena, root, &vs);
+        assert!(r.applied.contains(&"UnaryAggReorgOperation"));
+    }
+}

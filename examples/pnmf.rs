@@ -1,0 +1,39 @@
+//! PNMF: the heuristics-vs-saturation story of §4.2.
+//!
+//! ```text
+//! cargo run --release --example pnmf
+//! ```
+//!
+//! The objective `sum(W %*% H) − sum(X * log(W %*% H))` shares `W %*% H`
+//! between both terms. SystemML owns the rewrite
+//! `sum(W H) → colSums(W) · rowSums(H)` but guards it behind "no other
+//! consumer of W H" to protect the CSE — and the other consumer is
+//! guarded by its own rule the same way, so *neither* fires. Equality
+//! saturation holds every version in one e-graph and lets the global
+//! cost model decide, avoiding the dense m×n product entirely.
+
+use spores::ml::{compile, execute, workloads, Mode};
+
+fn main() {
+    let w = workloads::pnmf(1000, 1000, 10, 42);
+    println!("PNMF {} rank 10, {} iterations", w.size_label, w.iterations);
+    println!();
+    for mode in [Mode::Base, Mode::Opt2, Mode::spores()] {
+        let compiled = compile(&w, &mode);
+        println!("[{}] objective statement compiles to:", mode.label());
+        let (_, arena, root) = compiled
+            .statements
+            .iter()
+            .find(|(t, _, _)| t.as_str() == "obj")
+            .expect("obj statement");
+        println!("    obj = {}", arena.display(*root));
+        let r = execute(&w, &compiled, &mode).expect("runs");
+        println!(
+            "    exec {:.1} ms, flops {}, cells allocated {}",
+            r.exec_time.as_secs_f64() * 1e3,
+            r.stats.flops,
+            r.stats.cells_allocated,
+        );
+        println!();
+    }
+}

@@ -1,0 +1,27 @@
+//! SPORES — Sum-Product Optimization via Relational Equality Saturation.
+//!
+//! Facade crate re-exporting the whole reproduction of the VLDB 2020 paper
+//! by Wang et al. See the individual crates for details:
+//!
+//! * [`ir`] — linear-algebra surface AST, shapes, parsers.
+//! * [`egraph`] — the equality-saturation engine (e-graph, rewrites,
+//!   schedulers, extraction).
+//! * [`ilp`] — the 0-1 ILP solver used for optimal extraction (Figure 11).
+//! * [`core`] — the optimizer itself: LA↔RA translation (Figure 2), the
+//!   relational equality rules (Figure 3), class invariants (§3.2),
+//!   canonical forms (§2.3), cost model (Figure 12) and extraction.
+//! * [`matrix`] — dense/CSR kernels and synthetic data generators.
+//! * [`exec`] — the LA plan interpreter with FLOP accounting and the fused
+//!   operators SPORES targets (`mmchain`, `sprop`, `wsloss`).
+//! * [`systemml`] — the heuristic, hand-coded-rule baseline optimizer the
+//!   paper compares against (Figure 14 rule families).
+//! * [`ml`] — the five evaluation workloads: ALS, GLM, SVM, MLR, PNMF.
+
+pub use spores_core as core;
+pub use spores_egraph as egraph;
+pub use spores_exec as exec;
+pub use spores_ilp as ilp;
+pub use spores_ir as ir;
+pub use spores_matrix as matrix;
+pub use spores_ml as ml;
+pub use spores_systemml as systemml;

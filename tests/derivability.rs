@@ -1,0 +1,70 @@
+//! The Figure 14 experiment as a regression test: every hand-coded
+//! SystemML sum-product rewrite pattern in the corpus must be derivable
+//! from the relational rules (via canonical forms, e-graph saturation,
+//! or the nnz=0 invariant).
+
+use spores::core::analysis::{MathGraph, MetaAnalysis};
+use spores::core::translate::translate_pair;
+use spores::core::{canon_of_la, polyterm_isomorphic, VarMeta};
+use spores::egraph::{Runner, Scheduler};
+use spores::ir::{ExprArena, Symbol};
+use spores::systemml::{RewritePattern, Validation, CORPUS};
+use std::collections::HashMap;
+
+fn vars_of(p: &RewritePattern) -> HashMap<Symbol, VarMeta> {
+    p.vars
+        .iter()
+        .map(|&(n, r, c, s)| (Symbol::new(n), VarMeta::sparse(r, c, s)))
+        .collect()
+}
+
+fn derivable(p: &RewritePattern) -> bool {
+    let mut arena = ExprArena::new();
+    let lhs = spores::ir::parse_expr(&mut arena, p.lhs).unwrap();
+    let rhs = spores::ir::parse_expr(&mut arena, p.rhs).unwrap();
+    let vars = vars_of(p);
+
+    if p.validation == Validation::ZeroInvariant {
+        let tr = spores::core::translate(&arena, lhs, &vars).unwrap();
+        let mut eg = MathGraph::new(MetaAnalysis::new(tr.ctx.clone()));
+        let id = eg.add_expr(&tr.expr);
+        eg.rebuild();
+        return eg.class(id).data.sparsity == 0.0;
+    }
+
+    if let (Ok(a), Ok(b)) = (canon_of_la(&arena, lhs, &vars), canon_of_la(&arena, rhs, &vars))
+    {
+        if polyterm_isomorphic(&a, &b) {
+            return true;
+        }
+    }
+    let tr = translate_pair(&arena, lhs, rhs, &vars).unwrap();
+    let runner = Runner::new(MetaAnalysis::new(tr.ctx.clone()))
+        .with_expr(&tr.expr)
+        .with_scheduler(Scheduler::DepthFirst)
+        .with_node_limit(30_000)
+        .with_iter_limit(20)
+        .run(&spores::core::default_rules());
+    let root_class = runner.egraph.class(runner.roots[0]);
+    root_class.nodes.iter().any(|n| {
+        matches!(n, spores::core::Math::Add([l, r])
+            if runner.egraph.find(*l) == runner.egraph.find(*r))
+    })
+}
+
+#[test]
+fn all_figure_14_patterns_derive() {
+    let mut failures = Vec::new();
+    for p in CORPUS {
+        if !derivable(p) {
+            failures.push(format!("{}: {} => {}", p.method, p.lhs, p.rhs));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} patterns failed:\n{}",
+        failures.len(),
+        CORPUS.len(),
+        failures.join("\n")
+    );
+}

@@ -1,0 +1,121 @@
+//! Cross-crate pipeline property tests: for a corpus of LA expressions,
+//! the full SPORES pipeline (translate → saturate → extract → lower)
+//! must preserve execution semantics on the real execution engine, for
+//! both extractors, and never *increase* the estimated plan cost.
+
+use spores::core::{ExtractorKind, Optimizer, OptimizerConfig, VarMeta};
+use spores::exec::Executor;
+use spores::ir::{ExprArena, Symbol};
+use spores::matrix::{gen, Matrix};
+use std::collections::HashMap;
+
+struct Fixture {
+    vars: HashMap<Symbol, VarMeta>,
+    env: HashMap<Symbol, Matrix>,
+}
+
+fn fixture() -> Fixture {
+    let mut r = gen::rng(2024);
+    let dims: Vec<(&str, usize, usize, f64)> = vec![
+        ("X", 40, 30, 0.1),
+        ("Y", 40, 30, 1.0),
+        ("Z", 30, 20, 1.0),
+        ("u", 40, 1, 1.0),
+        ("v", 30, 1, 1.0),
+        ("w", 20, 1, 1.0),
+        ("s", 1, 1, 1.0),
+    ];
+    let mut vars = HashMap::new();
+    let mut env = HashMap::new();
+    for (name, rows, cols, sp) in dims {
+        let m = if sp < 1.0 {
+            gen::rand_sparse(rows, cols, sp, -1.0, 1.0, &mut r)
+        } else {
+            gen::rand_dense(rows, cols, -1.0, 1.0, &mut r)
+        };
+        vars.insert(
+            Symbol::new(name),
+            VarMeta::sparse(rows as u64, cols as u64, m.sparsity()),
+        );
+        env.insert(Symbol::new(name), m);
+    }
+    Fixture { vars, env }
+}
+
+const CORPUS: &[&str] = &[
+    "sum((X - u %*% t(v))^2)",
+    "sum(X * Y)",
+    "sum(X %*% Z)",
+    "rowSums(X * Y) + u",
+    "colSums(X) %*% v",
+    "t(u) %*% X %*% v",
+    "(X * Y) %*% Z",
+    "X %*% Z %*% w",
+    "sum(X^2) - 2 * sum(X * Y) + sum(Y^2)",
+    "s * sum(X %*% t(Y))",
+    "sigmoid(X %*% v)",
+    "t(X) %*% (u * u)",
+    "sum((X - Y)^2)",
+    "(u %*% t(v)) * X",
+    "X / (Y + 2)",
+    "sum(abs(X) * sign(X))",
+];
+
+fn check(src: &str, extractor: ExtractorKind) {
+    let f = fixture();
+    let mut arena = ExprArena::new();
+    let root = spores::ir::parse_expr(&mut arena, src).unwrap();
+    let opt = Optimizer::new(OptimizerConfig {
+        extractor,
+        node_limit: 6_000,
+        iter_limit: 15,
+        ..OptimizerConfig::default()
+    });
+    let r = opt.optimize(&arena, root, &f.vars).unwrap();
+    assert!(
+        r.cost_after <= r.cost_before + 1e-6,
+        "{src}: cost increased {} -> {}",
+        r.cost_before,
+        r.cost_after
+    );
+    let want = Executor::default().run(&arena, root, &f.env).unwrap();
+    let got = Executor::default().run(&r.arena, r.root, &f.env).unwrap();
+    assert!(
+        want.approx_eq(&got, 1e-6),
+        "{src} diverged via {}",
+        r.arena.display(r.root)
+    );
+}
+
+#[test]
+fn greedy_pipeline_preserves_semantics() {
+    for src in CORPUS {
+        check(src, ExtractorKind::Greedy);
+    }
+}
+
+#[test]
+fn ilp_pipeline_preserves_semantics() {
+    for src in CORPUS {
+        check(src, ExtractorKind::Ilp);
+    }
+}
+
+#[test]
+fn depth_first_scheduler_pipeline() {
+    let f = fixture();
+    for src in &CORPUS[..6] {
+        let mut arena = ExprArena::new();
+        let root = spores::ir::parse_expr(&mut arena, src).unwrap();
+        let opt = Optimizer::new(OptimizerConfig {
+            scheduler: spores::egraph::Scheduler::DepthFirst,
+            node_limit: 6_000,
+            iter_limit: 15,
+            ..OptimizerConfig::default()
+        });
+        let r = opt.optimize(&arena, root, &f.vars).unwrap();
+        let want = Executor::default().run(&arena, root, &f.env).unwrap();
+        let got = Executor::default().run(&r.arena, r.root, &f.env).unwrap();
+        assert!(want.approx_eq(&got, 1e-6), "{src}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Cross-mode agreement of the five evaluation workloads: the plans
+//! produced by base / opt2 / SPORES(greedy) / SPORES(ILP) must compute
+//! numerically identical results over several training iterations.
+
+use spores::core::ExtractorKind;
+use spores::egraph::Scheduler;
+use spores::ml::{run, workloads, Mode};
+
+fn all_modes() -> Vec<Mode> {
+    vec![
+        Mode::Base,
+        Mode::Opt2,
+        Mode::spores(),
+        Mode::Spores {
+            scheduler: Scheduler::DepthFirst,
+            extractor: ExtractorKind::Greedy,
+        },
+        Mode::Spores {
+            scheduler: Scheduler::default(),
+            extractor: ExtractorKind::Ilp,
+        },
+    ]
+}
+
+fn check(w: &workloads::Workload) {
+    let reports: Vec<_> = all_modes()
+        .iter()
+        .map(|m| run(w, m).unwrap_or_else(|e| panic!("{} {}: {e}", w.name, m.label())))
+        .collect();
+    let reference = &reports[0];
+    assert!(!reference.scalars.is_empty());
+    for r in &reports[1..] {
+        for (name, &v) in &reference.scalars {
+            let got = r.scalars[name];
+            assert!(
+                (v - got).abs() <= 1e-5 * (1.0 + v.abs()),
+                "{} {}: {name} = {v} (base) vs {got} ({})",
+                w.name,
+                r.mode,
+                r.mode
+            );
+        }
+    }
+}
+
+#[test]
+fn als_all_modes_agree() {
+    check(&workloads::als(80, 60, 4, 7));
+}
+
+#[test]
+fn glm_all_modes_agree() {
+    check(&workloads::glm(100, 15, 8));
+}
+
+#[test]
+fn svm_all_modes_agree() {
+    check(&workloads::svm(100, 15, 9));
+}
+
+#[test]
+fn mlr_all_modes_agree() {
+    check(&workloads::mlr(100, 12, 10));
+}
+
+#[test]
+fn pnmf_all_modes_agree() {
+    check(&workloads::pnmf(60, 50, 4, 11));
+}
+
+#[test]
+fn spores_never_slower_in_flops_at_scale() {
+    // deterministic counter comparison on medium-small sizes
+    for w in [
+        workloads::als(400, 300, 8, 21),
+        workloads::pnmf(200, 300, 6, 23),
+    ] {
+        let base = run(&w, &Mode::Base).unwrap();
+        let spores = run(&w, &Mode::spores()).unwrap();
+        assert!(
+            spores.stats.flops <= base.stats.flops,
+            "{}: spores {} > base {}",
+            w.name,
+            spores.stats.flops,
+            base.stats.flops
+        );
+    }
+}
