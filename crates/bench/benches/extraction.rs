@@ -14,10 +14,8 @@ fn saturated() -> (spores_egraph::Id, MathGraph) {
         .with_var("V", VarMeta::dense(500, 1))
         .with_index("i", 1000)
         .with_index("j", 500);
-    let expr = parse_math(
-        "(sum i (sum j (pow (+ (b i j X) (* -1 (* (b i _ U) (b j _ V)))) 2)))",
-    )
-    .unwrap();
+    let expr =
+        parse_math("(sum i (sum j (pow (+ (b i j X) (* -1 (* (b i _ U) (b j _ V)))) 2)))").unwrap();
     let runner = Runner::new(MetaAnalysis::new(ctx))
         .with_expr(&expr)
         .with_scheduler(Scheduler::DepthFirst)

@@ -9,7 +9,11 @@ use std::collections::HashMap;
 use std::hint::black_box;
 
 fn bench_optimize(c: &mut Criterion) {
-    type Case = (&'static str, &'static str, Vec<(&'static str, (u64, u64), f64)>);
+    type Case = (
+        &'static str,
+        &'static str,
+        Vec<(&'static str, (u64, u64), f64)>,
+    );
     let cases: Vec<Case> = vec![
         (
             "headline",

@@ -1,12 +1,21 @@
 //! Criterion micro-benchmarks for the equality-saturation engine:
-//! e-graph insertion/rebuild throughput and full saturation of the
-//! paper's headline expression under both schedulers.
+//! e-graph insertion/rebuild throughput, full saturation of the paper's
+//! headline expression under both schedulers, and indexed-vs-naive
+//! e-matching on saturated graphs of the evaluation workload shapes.
+//!
+//! With `--snapshot` (or `--snapshot-only`, which skips the criterion
+//! benches) this target also writes a machine-readable
+//! `BENCH_saturation.json` snapshot (indexed vs naive matching times per
+//! workload) to the repository root so later changes have a perf
+//! trajectory to compare against. A plain `cargo bench` never touches
+//! the committed snapshot.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use spores_core::analysis::{Context, MetaAnalysis, VarMeta};
-use spores_core::parse_math;
+use spores_core::{default_rules, parse_math, MathRewrite};
 use spores_egraph::{Runner, Scheduler};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn ctx() -> Context {
     Context::new()
@@ -21,12 +30,59 @@ fn headline() -> spores_core::MathExpr {
     parse_math("(sum i (sum j (pow (+ (b i j X) (* -1 (* (b i _ U) (b j _ V)))) 2)))").unwrap()
 }
 
+/// RA translations of the evaluation workloads' hot expressions
+/// (the shapes the paper's Figure 8 saturation loop is run on).
+fn workload_exprs() -> Vec<(&'static str, spores_core::MathExpr)> {
+    let parse = |s: &str| parse_math(s).unwrap();
+    vec![
+        ("headline", headline()),
+        // ALS residual step: (U Vᵀ − X) V
+        (
+            "als",
+            parse("(sum j (* (+ (* (b i _ U) (b j _ V)) (* -1 (b i j X))) (b j _ V)))"),
+        ),
+        // PNMF objective term: sum(W H)
+        ("pnmf", parse("(sum i (sum j (* (b i _ U) (b j _ V))))")),
+        // GLM-style weighted inner product: sum(X ⊙ u vᵀ)
+        (
+            "glm",
+            parse("(sum i (sum j (* (b i j X) (* (b i _ U) (b j _ V)))))"),
+        ),
+        // MLR-style link function under aggregation
+        ("mlr", parse("(sum i (sigmoid (* (b i j X) (b j _ V))))")),
+    ]
+}
+
+/// Saturate one workload expression into a sizable e-graph.
+fn saturated(expr: &spores_core::MathExpr) -> spores_core::analysis::MathGraph {
+    Runner::new(MetaAnalysis::new(ctx()))
+        .with_expr(expr)
+        .with_scheduler(Scheduler::Sampling {
+            match_limit: 40,
+            seed: 1,
+        })
+        .with_node_limit(5_000)
+        .with_iter_limit(8)
+        .run(&default_rules())
+        .egraph
+}
+
+fn search_all_indexed(rules: &[MathRewrite], eg: &spores_core::analysis::MathGraph) -> usize {
+    rules.iter().map(|r| r.search(eg).len()).sum()
+}
+
+fn search_all_naive(rules: &[MathRewrite], eg: &spores_core::analysis::MathGraph) -> usize {
+    rules
+        .iter()
+        .map(|r| r.searcher.naive_search(eg).len())
+        .sum()
+}
+
 fn bench_add_rebuild(c: &mut Criterion) {
     let expr = headline();
     c.bench_function("egraph/add_expr+rebuild", |b| {
         b.iter(|| {
-            let mut eg =
-                spores_core::analysis::MathGraph::new(MetaAnalysis::new(ctx()));
+            let mut eg = spores_core::analysis::MathGraph::new(MetaAnalysis::new(ctx()));
             let id = eg.add_expr(black_box(&expr));
             eg.rebuild();
             black_box(id)
@@ -36,7 +92,7 @@ fn bench_add_rebuild(c: &mut Criterion) {
 
 fn bench_saturation(c: &mut Criterion) {
     let expr = headline();
-    let rules = spores_core::default_rules();
+    let rules = default_rules();
     let mut group = c.benchmark_group("saturation/headline");
     group.sample_size(10);
     group.bench_function("depth_first", |b| {
@@ -67,5 +123,101 @@ fn bench_saturation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_add_rebuild, bench_saturation);
-criterion_main!(benches);
+fn bench_matching(c: &mut Criterion) {
+    let rules = default_rules();
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(10);
+    for (name, expr) in workload_exprs() {
+        let eg = saturated(&expr);
+        group.bench_function(&format!("{name}/indexed"), |b| {
+            b.iter(|| search_all_indexed(black_box(&rules), &eg))
+        });
+        group.bench_function(&format!("{name}/naive"), |b| {
+            b.iter(|| search_all_naive(black_box(&rules), &eg))
+        });
+    }
+    group.finish();
+}
+
+/// Time `f` over `reps` repetitions, returning mean ns per repetition.
+fn time_ns<R>(reps: u32, mut f: impl FnMut() -> R) -> u64 {
+    black_box(f()); // warm-up
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(f());
+    }
+    (start.elapsed().as_nanos() / u128::from(reps)) as u64
+}
+
+/// Write the `BENCH_saturation.json` perf snapshot to the repo root.
+fn emit_snapshot() {
+    const REPS: u32 = 10;
+    let rules = default_rules();
+    let mut entries = Vec::new();
+    for (name, expr) in workload_exprs() {
+        let eg = saturated(&expr);
+        let matches = search_all_indexed(&rules, &eg);
+        assert_eq!(
+            matches,
+            search_all_naive(&rules, &eg),
+            "indexed and naive matchers disagree on {name}"
+        );
+        let candidates: usize = rules.iter().map(|r| r.search_with_stats(&eg).1).sum();
+        let indexed_ns = time_ns(REPS, || search_all_indexed(&rules, &eg));
+        let naive_ns = time_ns(REPS, || search_all_naive(&rules, &eg));
+        let speedup = naive_ns as f64 / indexed_ns as f64;
+        println!(
+            "matching snapshot {name:>8}: classes {:>5}  indexed {:>9} ns  naive {:>9} ns  speedup {speedup:.2}x",
+            eg.number_of_classes(),
+            indexed_ns,
+            naive_ns,
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"workload\": \"{}\",\n",
+                "      \"classes\": {},\n",
+                "      \"nodes\": {},\n",
+                "      \"rules\": {},\n",
+                "      \"matches\": {},\n",
+                "      \"candidates_visited\": {},\n",
+                "      \"indexed_ns\": {},\n",
+                "      \"naive_ns\": {},\n",
+                "      \"speedup\": {:.3}\n",
+                "    }}"
+            ),
+            name,
+            eg.number_of_classes(),
+            eg.total_number_of_nodes(),
+            rules.len(),
+            matches,
+            candidates,
+            indexed_ns,
+            naive_ns,
+            speedup,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"saturation/matching\",\n  \"reps\": {REPS},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_saturation.json");
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}
+
+criterion_group!(benches, bench_add_rebuild, bench_saturation, bench_matching);
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args
+        .iter()
+        .any(|a| a == "--snapshot" || a == "--snapshot-only")
+    {
+        emit_snapshot();
+    }
+    if args.iter().any(|a| a == "--snapshot-only") {
+        return;
+    }
+    benches();
+}

@@ -28,7 +28,12 @@ fn sampling_sweep() {
     let tr = spores_core::translate(&arena, root, &vars).unwrap();
 
     let mut table = Table::new(&[
-        "match_limit", "iterations", "e-nodes", "converged", "saturate ms", "plan cost",
+        "match_limit",
+        "iterations",
+        "e-nodes",
+        "converged",
+        "saturate ms",
+        "plan cost",
     ]);
     for limit in [5usize, 10, 20, 40, 80, usize::MAX] {
         let scheduler = if limit == usize::MAX {

@@ -58,8 +58,10 @@ fn check(p: &RewritePattern, rules: &[spores_core::MathRewrite]) -> How {
     }
 
     // 1. canonical forms (Theorem 2.3)
-    if let (Ok(a), Ok(b)) = (canon_of_la(&arena, lhs, &vars), canon_of_la(&arena, rhs, &vars))
-    {
+    if let (Ok(a), Ok(b)) = (
+        canon_of_la(&arena, lhs, &vars),
+        canon_of_la(&arena, rhs, &vars),
+    ) {
         if polyterm_isomorphic(&a, &b) {
             return How::Canon;
         }
@@ -108,8 +110,7 @@ fn main() {
     let mut total = 0;
     let mut derived = 0;
     for method in spores_systemml::patterns::methods() {
-        let pats: Vec<&RewritePattern> =
-            CORPUS.iter().filter(|p| p.method == method).collect();
+        let pats: Vec<&RewritePattern> = CORPUS.iter().filter(|p| p.method == method).collect();
         let results: Vec<How> = pats.iter().map(|p| check(p, &rules)).collect();
         let ok = results.iter().filter(|&&h| h != How::Failed).count();
         total += pats.len();

@@ -23,7 +23,13 @@ fn main() {
     println!("Figure 15: run time [ms] (and flops / cells allocated) per optimizer");
     println!();
     let mut table = Table::new(&[
-        "Program", "Size", "Mode", "Exec ms", "Flops", "Alloc", "Speedup vs base",
+        "Program",
+        "Size",
+        "Mode",
+        "Exec ms",
+        "Flops",
+        "Alloc",
+        "Speedup vs base",
     ]);
     for &scale in &scales {
         for workload in spores_ml::figure15_suite(scale) {

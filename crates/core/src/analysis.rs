@@ -512,10 +512,7 @@ impl Analysis<Math> for MetaAnalysis {
                 did.1 = true;
             }
             (ka, kb) => {
-                debug_assert_eq!(
-                    ka, kb,
-                    "schema invariant violated: merged classes disagree"
-                );
+                debug_assert_eq!(ka, kb, "schema invariant violated: merged classes disagree");
             }
         }
 

@@ -349,24 +349,22 @@ fn match_atoms(
         for (x, y) in atom.indices.iter().zip(&cand.indices) {
             match (x, y) {
                 (IndexRef::Free(s), IndexRef::Free(t)) if s == t => {}
-                (IndexRef::Bound(p), IndexRef::Bound(q)) => {
-                    match bound_map[*p as usize] {
-                        Some(mapped) if mapped == *q => {}
-                        Some(_) => {
+                (IndexRef::Bound(p), IndexRef::Bound(q)) => match bound_map[*p as usize] {
+                    Some(mapped) if mapped == *q => {}
+                    Some(_) => {
+                        ok = false;
+                        break;
+                    }
+                    None => {
+                        if bound_used[*q as usize] {
                             ok = false;
                             break;
                         }
-                        None => {
-                            if bound_used[*q as usize] {
-                                ok = false;
-                                break;
-                            }
-                            bound_map[*p as usize] = Some(*q);
-                            bound_used[*q as usize] = true;
-                            added.push(*p);
-                        }
+                        bound_map[*p as usize] = Some(*q);
+                        bound_used[*q as usize] = true;
+                        added.push(*p);
                     }
-                }
+                },
                 _ => {
                     ok = false;
                     break;
@@ -480,9 +478,7 @@ impl<'a> Canonicalizer<'a> {
                     match self.expr.node(idx) {
                         Sym(s) => indices.push(IndexRef::Free(*s)),
                         NoIdx => {}
-                        other => {
-                            return Err(CanonError(format!("bad bind index {other:?}")))
-                        }
+                        other => return Err(CanonError(format!("bad bind index {other:?}"))),
                     }
                 }
                 Polyterm::atom_of(TensorRef::Var(name), indices)
@@ -506,7 +502,9 @@ impl<'a> Canonicalizer<'a> {
             Pow([a, k]) => {
                 // literal small integer exponents expand into products
                 let kp = self.canon(k)?;
-                if kp.terms.is_empty() && (kp.constant.fract() == 0.0) && kp.constant >= 1.0
+                if kp.terms.is_empty()
+                    && (kp.constant.fract() == 0.0)
+                    && kp.constant >= 1.0
                     && kp.constant <= 8.0
                 {
                     let base = self.canon(a)?;
@@ -652,14 +650,9 @@ pub fn canon_of_la(
     root: spores_ir::NodeId,
     vars: &HashMap<Symbol, crate::analysis::VarMeta>,
 ) -> Result<Polyterm, CanonError> {
-    let tr = crate::translate::translate(arena, root, vars)
-        .map_err(|e| CanonError(e.to_string()))?;
-    let mut dims: HashMap<Symbol, u64> = tr
-        .ctx
-        .index_dims
-        .iter()
-        .map(|(&s, &d)| (s, d))
-        .collect();
+    let tr =
+        crate::translate::translate(arena, root, vars).map_err(|e| CanonError(e.to_string()))?;
+    let mut dims: HashMap<Symbol, u64> = tr.ctx.index_dims.iter().map(|(&s, &d)| (s, d)).collect();
     let mut p = canonical_form(&tr.expr, &dims)?;
     // rename the result attributes to role names shared by both sides
     for (attr, role) in [(tr.row, "@r"), (tr.col, "@c")] {
@@ -765,14 +758,7 @@ mod tests {
         let vars = HashMap::from([(Symbol::new("X"), x), (Symbol::new("Y"), y)]);
         let dim_usize: HashMap<Symbol, usize> =
             d.iter().map(|&(s, v)| (Symbol::new(s), v)).collect();
-        let direct = eval_ra(
-            &parse_math(src).unwrap(),
-            None,
-            None,
-            &vars,
-            &dim_usize,
-        )
-        .unwrap();
+        let direct = eval_ra(&parse_math(src).unwrap(), None, None, &vars, &dim_usize).unwrap();
         let via_canon = eval_polyterm(&p, &vars, &dim_usize);
         assert!((direct.get(0, 0) - via_canon).abs() < 1e-9);
     }
@@ -897,22 +883,12 @@ mod tests {
             &[("X", (5, 4)), ("Y", (5, 4))],
             false,
         );
-        check_la_equiv(
-            "t(X) %*% X",
-            "X %*% t(X)",
-            &[("X", (5, 5))],
-            false,
-        );
+        check_la_equiv("t(X) %*% X", "X %*% t(X)", &[("X", (5, 5))], false);
     }
 
     #[test]
     fn equivalence_with_orientation() {
-        check_la_equiv(
-            "colSums(t(X))",
-            "t(rowSums(X))",
-            &[("X", (5, 7))],
-            true,
-        );
+        check_la_equiv("colSums(t(X))", "t(rowSums(X))", &[("X", (5, 7))], true);
         check_la_equiv("t(t(X))", "X", &[("X", (5, 7))], true);
     }
 
@@ -930,12 +906,7 @@ mod tests {
             &[("X", (3, 4)), ("Y", (3, 4))],
             true,
         );
-        check_la_equiv(
-            "exp(X)",
-            "exp(Y)",
-            &[("X", (3, 4)), ("Y", (3, 4))],
-            false,
-        );
+        check_la_equiv("exp(X)", "exp(Y)", &[("X", (3, 4)), ("Y", (3, 4))], false);
         // opaque transposition: exp commutes with t structurally
         check_la_equiv("t(exp(X))", "exp(t(X))", &[("X", (3, 4))], true);
     }

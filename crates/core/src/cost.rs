@@ -31,9 +31,7 @@ pub fn attr_count(meta: &Meta) -> Option<usize> {
     match &meta.kind {
         Kind::Scalar => Some(0),
         Kind::Rel(schema) => Some(schema.len()),
-        Kind::Mat(s) => {
-            Some(usize::from(s.rows > 1) + usize::from(s.cols > 1))
-        }
+        Kind::Mat(s) => Some(usize::from(s.rows > 1) + usize::from(s.cols > 1)),
         Kind::Index { .. } => Some(0),
         Kind::Unknown => None,
     }
@@ -151,9 +149,7 @@ mod tests {
 
     #[test]
     fn wide_nonjoin_is_inextricable() {
-        let mut eg = MathGraph::new(MetaAnalysis::new(
-            ctx().with_index("l", 7),
-        ));
+        let mut eg = MathGraph::new(MetaAnalysis::new(ctx().with_index("l", 7)));
         // a 3-attr union cannot be translated back to LA
         let id = eg.add_expr(
             &parse_math("(+ (* (b i j X) (b k _ V2)) (* (b i j X) (b k _ V2)))").unwrap(),

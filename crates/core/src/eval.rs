@@ -373,12 +373,7 @@ mod tests {
             .collect();
         let vars: HashMap<Symbol, VarMeta> = inputs
             .iter()
-            .map(|(n, t)| {
-                (
-                    Symbol::new(n),
-                    VarMeta::dense(t.rows as u64, t.cols as u64),
-                )
-            })
+            .map(|(n, t)| (Symbol::new(n), VarMeta::dense(t.rows as u64, t.cols as u64)))
             .collect();
 
         let la = eval_la(&arena, root, &tensors).unwrap();
@@ -425,13 +420,7 @@ mod tests {
         let u = t(3, 1, &[1., -1., 2.]);
         let v = t(4, 1, &[0.5, 2., -1., 1.]);
         let s = Tensor::scalar(3.0);
-        let inputs: Vec<(&str, Tensor)> = vec![
-            ("X", x),
-            ("Y", y),
-            ("u", u),
-            ("v", v),
-            ("s", s),
-        ];
+        let inputs: Vec<(&str, Tensor)> = vec![("X", x), ("Y", y), ("u", u), ("v", v), ("s", s)];
         for src in [
             "X + Y",
             "X - Y",

@@ -31,10 +31,7 @@ pub struct IlpStats {
 }
 
 /// Extract the cheapest plan greedily (§4.3's fast strategy).
-pub fn extract_greedy(
-    egraph: &EGraph<Math, MetaAnalysis>,
-    root: Id,
-) -> Option<(f64, MathExpr)> {
+pub fn extract_greedy(egraph: &EGraph<Math, MetaAnalysis>, root: Id) -> Option<(f64, MathExpr)> {
     let extractor = Extractor::new(egraph, NnzCost);
     extractor.find_best(root)
 }
@@ -107,7 +104,11 @@ pub fn extract_ilp(
     }
     for (&cid, &cv) in &class_var {
         // G(c): a selected class needs at least one of its operators
-        let members: Vec<u32> = egraph.class(cid).nodes.iter().enumerate()
+        let members: Vec<u32> = egraph
+            .class(cid)
+            .nodes
+            .iter()
+            .enumerate()
             .filter_map(|(ni, _)| op_var.get(&(cid, ni)).copied())
             .collect();
         debug_assert!(!members.is_empty());
@@ -169,10 +170,7 @@ pub fn extract_ilp(
             }
             Err(cycle) => {
                 // ban this particular cyclic justification and re-solve
-                let vars: Vec<u32> = cycle
-                    .iter()
-                    .map(|&(cid, ni)| op_var[&(cid, ni)])
-                    .collect();
+                let vars: Vec<u32> = cycle.iter().map(|&(cid, ni)| op_var[&(cid, ni)]).collect();
                 problem.forbid_all(&vars);
                 stats.n_clauses += 1;
             }
@@ -306,7 +304,10 @@ mod tests {
         let (gc, ge) = extract_greedy(&eg, root).unwrap();
         let (ic, ie, stats) = extract_ilp(&eg, root, &Solver::default()).unwrap();
         assert!(stats.optimal);
-        assert!((gc - ic).abs() < 1e-6, "greedy {gc} ({ge}) vs ilp {ic} ({ie})");
+        assert!(
+            (gc - ic).abs() < 1e-6,
+            "greedy {gc} ({ge}) vs ilp {ic} ({ie})"
+        );
     }
 
     #[test]
@@ -322,7 +323,10 @@ mod tests {
             // ILP optimizes DAG cost; greedy tree cost is an upper bound
             assert!(ic <= gc + 1e-6, "{src}: ilp {ic} > greedy {gc}");
             // the extracted plan must still be in the root class
-            assert_eq!(eg.lookup_expr(&expr).map(|i| eg.find(i)), Some(eg.find(root)));
+            assert_eq!(
+                eg.lookup_expr(&expr).map(|i| eg.find(i)),
+                Some(eg.find(root))
+            );
         }
     }
 
@@ -358,8 +362,7 @@ mod tests {
     #[test]
     fn extracts_factored_form_for_sparse_input() {
         // Σ_ij (X · (U⊗V)): joining X first keeps everything sparse
-        let (root, eg) =
-            saturated("(sum i (sum j (* (b i j X) (* (b i _ U) (b j _ V)))))");
+        let (root, eg) = saturated("(sum i (sum j (* (b i j X) (* (b i _ U) (b j _ V)))))");
         let (cost, expr, stats) = extract_ilp(&eg, root, &Solver::default()).unwrap();
         assert!(stats.optimal);
         // the dense outer product has nnz 500_000; a sparse plan stays ≈ 500

@@ -45,11 +45,7 @@ impl Homomorphism {
     /// (Corollary 2).
     pub fn then(&self, other: &Homomorphism) -> Homomorphism {
         Homomorphism {
-            map: self
-                .map
-                .iter()
-                .map(|&q| other.map[q as usize])
-                .collect(),
+            map: self.map.iter().map(|&q| other.map[q as usize]).collect(),
         }
     }
 }
@@ -73,9 +69,7 @@ fn maps_onto(a: &Term, b: &Term, map: &[u32]) -> bool {
     let mut b_atoms: Vec<(usize, bool)> = (0..b.atoms.len()).map(|i| (i, false)).collect();
     for (ai, atom) in a.atoms.iter().enumerate() {
         let found = b_atoms.iter_mut().find(|(bi, used)| {
-            !*used
-                && b.atoms[*bi].tensor == atom.tensor
-                && b.atoms[*bi].indices == image[ai]
+            !*used && b.atoms[*bi].tensor == atom.tensor && b.atoms[*bi].indices == image[ai]
         });
         match found {
             Some((_, used)) => *used = true,
@@ -175,9 +169,7 @@ mod tests {
         let t1 = term_of(
             "(sum v (sum w (sum s (sum z (* (b i v A) (* (b v w B) (* (b i s A) (b s z B))))))))",
         );
-        let t2 = term_of(
-            "(sum j (sum k (* (b i j A) (* (b j k B) (* (b i j A) (b j k B))))))",
-        );
+        let t2 = term_of("(sum j (sum k (* (b i j A) (* (b j k B) (* (b i j A) (b j k B))))))");
         let hom = find_homomorphism(&t1, &t2).expect("homomorphism exists");
         assert!(hom.is_surjective(t2.n_bound));
         // but not in the other direction, so they are NOT isomorphic
@@ -221,9 +213,8 @@ mod tests {
         let spread = term_of(
             "(sum v (sum w (sum s (sum z (* (b i v A) (* (b v w B) (* (b i s A) (b s z B))))))))",
         );
-        let collapsed = term_of(
-            "(sum j (sum k (* (b i j A) (* (b j k B) (* (b i j A) (b j k B))))))",
-        );
+        let collapsed =
+            term_of("(sum j (sum k (* (b i j A) (* (b j k B) (* (b i j A) (b j k B))))))");
         let terms = vec![collapsed, spread];
         let minimal = minimal_terms(&terms);
         assert_eq!(minimal, vec![1], "the spread term is minimal");

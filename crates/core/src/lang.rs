@@ -146,11 +146,11 @@ impl Language for Math {
     fn children(&self) -> &[Id] {
         use Math::*;
         match self {
-            Add(c) | Mul(c) | Agg(c) | LAdd(c) | LSub(c) | LMul(c) | LDiv(c) | MMul(c)
-            | Pow(c) | Gt(c) | Lt(c) | Ge(c) | Le(c) | BMin(c) | BMax(c) => c,
+            Add(c) | Mul(c) | Agg(c) | LAdd(c) | LSub(c) | LMul(c) | LDiv(c) | MMul(c) | Pow(c)
+            | Gt(c) | Lt(c) | Ge(c) | Le(c) | BMin(c) | BMax(c) => c,
             Bind(c) | Unbind(c) => c,
-            Dim(c) | LTrs(c) | Srow(c) | Scol(c) | Sall(c) | Inv(c) | Exp(c) | Log(c)
-            | Sqrt(c) | Abs(c) | Sign(c) | Sigmoid(c) | Sprop(c) => std::slice::from_ref(c),
+            Dim(c) | LTrs(c) | Srow(c) | Scol(c) | Sall(c) | Inv(c) | Exp(c) | Log(c) | Sqrt(c)
+            | Abs(c) | Sign(c) | Sigmoid(c) | Sprop(c) => std::slice::from_ref(c),
             Lit(_) | Sym(_) | NoIdx => &[],
         }
     }
@@ -158,11 +158,11 @@ impl Language for Math {
     fn children_mut(&mut self) -> &mut [Id] {
         use Math::*;
         match self {
-            Add(c) | Mul(c) | Agg(c) | LAdd(c) | LSub(c) | LMul(c) | LDiv(c) | MMul(c)
-            | Pow(c) | Gt(c) | Lt(c) | Ge(c) | Le(c) | BMin(c) | BMax(c) => c,
+            Add(c) | Mul(c) | Agg(c) | LAdd(c) | LSub(c) | LMul(c) | LDiv(c) | MMul(c) | Pow(c)
+            | Gt(c) | Lt(c) | Ge(c) | Le(c) | BMin(c) | BMax(c) => c,
             Bind(c) | Unbind(c) => c,
-            Dim(c) | LTrs(c) | Srow(c) | Scol(c) | Sall(c) | Inv(c) | Exp(c) | Log(c)
-            | Sqrt(c) | Abs(c) | Sign(c) | Sigmoid(c) | Sprop(c) => std::slice::from_mut(c),
+            Dim(c) | LTrs(c) | Srow(c) | Scol(c) | Sall(c) | Inv(c) | Exp(c) | Log(c) | Sqrt(c)
+            | Abs(c) | Sign(c) | Sigmoid(c) | Sprop(c) => std::slice::from_mut(c),
             Lit(_) | Sym(_) | NoIdx => &mut [],
         }
     }
@@ -218,7 +218,8 @@ impl Language for Math {
     fn from_op(op: &str, children: Vec<Id>) -> Result<Self, String> {
         use Math::*;
         let c2 = |children: Vec<Id>| -> Result<[Id; 2], String> {
-            <[Id; 2]>::try_from(children).map_err(|c| format!("{op} expects 2 args, got {}", c.len()))
+            <[Id; 2]>::try_from(children)
+                .map_err(|c| format!("{op} expects 2 args, got {}", c.len()))
         };
         let c1 = |children: Vec<Id>| -> Result<Id, String> {
             if children.len() == 1 {
@@ -312,8 +313,14 @@ mod tests {
     #[test]
     fn numbers_and_symbols() {
         let e = parse_math("(* 2.5 X)").unwrap();
-        assert!(matches!(e.node(spores_egraph::Id::from(0usize)), Math::Lit(_)));
-        assert!(matches!(e.node(spores_egraph::Id::from(1usize)), Math::Sym(_)));
+        assert!(matches!(
+            e.node(spores_egraph::Id::from(0usize)),
+            Math::Lit(_)
+        ));
+        assert!(matches!(
+            e.node(spores_egraph::Id::from(1usize)),
+            Math::Sym(_)
+        ));
     }
 
     #[test]

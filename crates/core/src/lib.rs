@@ -1,23 +1,25 @@
 //! SPORES: the relational equality-saturation optimizer (paper core).
 pub mod analysis;
-pub mod lang;
 pub mod canon;
 pub mod cost;
 pub mod eval;
-pub mod homomorphism;
 pub mod extract;
+pub mod homomorphism;
+pub mod lang;
 pub mod lower;
 pub mod optimizer;
 pub mod rules;
 pub mod translate;
 
-pub use analysis::{Context, Kind, Meta, MetaAnalysis, MathGraph, Schema, VarMeta};
-pub use lang::{parse_math, Math, MathExpr};
-pub use rules::{custom_rules, default_rules, req_rules, MathRewrite};
-pub use translate::{translate, Translation};
+pub use analysis::{Context, Kind, MathGraph, Meta, MetaAnalysis, Schema, VarMeta};
+pub use canon::{canon_of_la, canonical_form, la_equivalent, polyterm_isomorphic, Polyterm};
 pub use cost::{node_cost, NnzCost};
 pub use extract::{extract_greedy, extract_ilp, IlpStats};
-pub use lower::{lower, LowerError};
-pub use canon::{canon_of_la, canonical_form, la_equivalent, polyterm_isomorphic, Polyterm};
 pub use homomorphism::{find_homomorphism, minimal_terms, Homomorphism};
-pub use optimizer::{ExtractorKind, Optimized, Optimizer, OptimizerConfig, PhaseTimings, SaturationStats};
+pub use lang::{parse_math, Math, MathExpr};
+pub use lower::{lower, LowerError};
+pub use optimizer::{
+    ExtractorKind, Optimized, Optimizer, OptimizerConfig, PhaseTimings, SaturationStats,
+};
+pub use rules::{custom_rules, default_rules, req_rules, MathRewrite};
+pub use translate::{translate, Translation};

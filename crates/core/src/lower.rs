@@ -124,9 +124,7 @@ fn compute_schemas(expr: &MathExpr) -> Result<Vec<Attrs>, LowerError> {
             Agg([i, body]) => {
                 let sym = match expr.node(*i) {
                     Sym(s) => *s,
-                    other => {
-                        return Err(LowerError(format!("bad aggregate index {other:?}")))
-                    }
+                    other => return Err(LowerError(format!("bad aggregate index {other:?}"))),
                 };
                 schemas[body.index()]
                     .iter()
@@ -257,17 +255,16 @@ impl<'a> Lower<'a> {
                 // element-wise multiply; outer products (disjoint vector
                 // schemas) become rank-1 matmuls
                 let (sa, sb) = (self.schema(a).clone(), self.schema(b).clone());
-                if row.is_some()
-                    && col.is_some()
-                    && sa.len() == 1
-                    && sb.len() == 1
-                    && sa != sb
-                {
+                if row.is_some() && col.is_some() && sa.len() == 1 && sb.len() == 1 && sa != sb {
                     // u(i) * v(j) = u %*% t(v)
                     let (ra, ca) = self.child_wants(&sa, row, col);
                     let (rb, cb) = self.child_wants(&sb, row, col);
                     // ensure a is the row side
-                    let (a, b, sa2) = if ra.is_some() { (a, b, (ra, ca)) } else { (b, a, (rb, cb)) };
+                    let (a, b, sa2) = if ra.is_some() {
+                        (a, b, (ra, ca))
+                    } else {
+                        (b, a, (rb, cb))
+                    };
                     let _ = sa2;
                     let fa = self.lower_id(a, row, None)?;
                     let fb = self.lower_id(b, None, col)?;
@@ -523,9 +520,7 @@ impl<'a> Lower<'a> {
     ) -> Result<(), LowerError> {
         // point-wise merge factors with identical attr sets containing k
         loop {
-            let with_k: Vec<usize> = (0..factors.len())
-                .filter(|&i| factors[i].has(k))
-                .collect();
+            let with_k: Vec<usize> = (0..factors.len()).filter(|&i| factors[i].has(k)).collect();
             match with_k.len() {
                 0 => {
                     // Σ_k over something without k: scale by dim(k)
@@ -916,9 +911,7 @@ fn clean_rec(arena: &mut ExprArena, id: NodeId, memo: &mut FxHashMap<NodeId, Nod
         LaNode::Bin(BinOp::Mul, a, b) => {
             let ca = clean_rec(arena, a, memo);
             let cb = clean_rec(arena, b, memo);
-            let one = |arena: &ExprArena, id: NodeId| {
-                matches!(arena.node(id), LaNode::Scalar(n) if n.get() == 1.0)
-            };
+            let one = |arena: &ExprArena, id: NodeId| matches!(arena.node(id), LaNode::Scalar(n) if n.get() == 1.0);
             // a reciprocal factor folds back into a division, keeping
             // SystemML's sparse-division kernels (wdivmm) applicable
             let recip = |arena: &ExprArena, id: NodeId| -> Option<NodeId> {
@@ -987,12 +980,7 @@ mod tests {
             .collect();
         let vars: HashMap<Symbol, VarMeta> = inputs
             .iter()
-            .map(|(n, t)| {
-                (
-                    Symbol::new(n),
-                    VarMeta::dense(t.rows as u64, t.cols as u64),
-                )
-            })
+            .map(|(n, t)| (Symbol::new(n), VarMeta::dense(t.rows as u64, t.cols as u64)))
             .collect();
         let expected = eval_la(&arena, root, &tensors).unwrap();
 
@@ -1014,8 +1002,14 @@ mod tests {
 
     fn corpus_inputs() -> Vec<(&'static str, Tensor)> {
         vec![
-            ("X", t(3, 4, &[1., -2., 3., 0., 0., 5., -1., 2., 4., 0., 0., 1.])),
-            ("Y", t(3, 4, &[2., 0., 1., 1., -3., 1., 0., 0., 2., 2., 1., -1.])),
+            (
+                "X",
+                t(3, 4, &[1., -2., 3., 0., 0., 5., -1., 2., 4., 0., 0., 1.]),
+            ),
+            (
+                "Y",
+                t(3, 4, &[2., 0., 1., 1., -3., 1., 0., 0., 2., 2., 1., -1.]),
+            ),
             ("u", t(3, 1, &[1., -1., 2.])),
             ("v", t(4, 1, &[0.5, 2., -1., 1.])),
             ("s", Tensor::scalar(3.0)),
@@ -1108,10 +1102,8 @@ mod tests {
     fn multiway_contraction_lowers_like_mmchain() {
         // Σ_j Σ_k A(i,j) B(j,k) C(k,l) — the three-factor contraction an
         // extracted plan may contain (wide joins fuse, §DESIGN)
-        let expr = crate::lang::parse_math(
-            "(sum j (sum k (* (b i j A) (* (b j k B) (b k l C)))))",
-        )
-        .unwrap();
+        let expr = crate::lang::parse_math("(sum j (sum k (* (b i j A) (* (b j k B) (b k l C)))))")
+            .unwrap();
         let ctx = crate::analysis::Context::new()
             .with_var("A", VarMeta::dense(2, 3))
             .with_var("B", VarMeta::dense(3, 4))
@@ -1137,8 +1129,8 @@ mod tests {
                     4,
                     5,
                     &[
-                        1., 2., 0., 1., -1., 0., 1., 1., 0., 2., 2., 0., 1., 1., 0., 1., 1.,
-                        0., 2., 1.,
+                        1., 2., 0., 1., -1., 0., 1., 1., 0., 2., 2., 0., 1., 1., 0., 1., 1., 0.,
+                        2., 1.,
                     ],
                 ),
             ),

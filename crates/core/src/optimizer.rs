@@ -75,6 +75,12 @@ pub struct SaturationStats {
     /// Did saturation converge (reach a fixpoint) within the limits?
     pub converged: bool,
     pub stop_reason: Option<StopReason>,
+    /// Total candidate classes the op-head index proposed across all
+    /// rules and iterations (the classes the matcher actually visited;
+    /// without the index this would be rules × iterations × classes).
+    pub candidates_visited: usize,
+    /// Total (class, subst) match instances found across the run.
+    pub matches_found: usize,
 }
 
 /// The optimizer's output.
@@ -161,6 +167,13 @@ impl Optimizer {
             e_classes: runner.egraph.number_of_classes(),
             converged: runner.saturated(),
             stop_reason: runner.stop_reason.clone(),
+            candidates_visited: runner
+                .iterations
+                .iter()
+                .flat_map(|it| &it.rules)
+                .map(|r| r.candidates)
+                .sum(),
+            matches_found: runner.iterations.iter().map(|it| it.matches_found).sum(),
         };
         let egraph = runner.egraph;
         let eroot = runner.roots[0];
@@ -197,9 +210,9 @@ impl Optimizer {
 
         // ---- lower back to LA ---------------------------------------------
         let t0 = Instant::now();
-        let lowered = extracted.as_ref().and_then(|(_, plan)| {
-            lower(plan, tr.row, tr.col, &tr.ctx).ok()
-        });
+        let lowered = extracted
+            .as_ref()
+            .and_then(|(_, plan)| lower(plan, tr.row, tr.col, &tr.ctx).ok());
         let t_lower = t0.elapsed();
 
         let timings = PhaseTimings {
@@ -309,11 +322,7 @@ mod tests {
 
     #[test]
     fn optimized_plan_preserves_semantics() {
-        let vs = vars(&[
-            ("X", (6, 5), 1.0),
-            ("u", (6, 1), 1.0),
-            ("v", (5, 1), 1.0),
-        ]);
+        let vs = vars(&[("X", (6, 5), 1.0), ("u", (6, 1), 1.0), ("v", (5, 1), 1.0)]);
         let src = "sum((X - u %*% t(v))^2)";
         let mut arena = ExprArena::new();
         let root = parse_expr(&mut arena, src).unwrap();
@@ -324,7 +333,9 @@ mod tests {
             let mut v = Vec::with_capacity(rows * cols);
             let mut state = seed;
             for _ in 0..rows * cols {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 v.push(((state >> 33) % 1000) as f64 / 100.0 - 5.0);
             }
             Tensor::new(rows, cols, v)
@@ -385,6 +396,9 @@ mod tests {
         assert!(got.timings.saturate > Duration::ZERO);
         assert!(got.timings.total() >= got.timings.saturate);
         assert!(got.saturation.e_nodes > 0);
+        // the indexed matcher's stats thread through to the optimizer
+        assert!(got.saturation.matches_found > 0);
+        assert!(got.saturation.candidates_visited > 0);
     }
 
     #[test]

@@ -44,8 +44,16 @@ pub fn req_rules() -> Vec<MathRewrite> {
         rw("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))"),
         rw("factor", "(+ (* ?a ?b) (* ?a ?c))", "(* ?a (+ ?b ?c))"),
         // (2) aggregates distribute over union, both directions
-        rw("push-agg-add", "(sum ?i (+ ?a ?b))", "(+ (sum ?i ?a) (sum ?i ?b))"),
-        rw("pull-agg-add", "(+ (sum ?i ?a) (sum ?i ?b))", "(sum ?i (+ ?a ?b))"),
+        rw(
+            "push-agg-add",
+            "(sum ?i (+ ?a ?b))",
+            "(+ (sum ?i ?a) (sum ?i ?b))",
+        ),
+        rw(
+            "pull-agg-add",
+            "(+ (sum ?i ?a) (sum ?i ?b))",
+            "(sum ?i (+ ?a ?b))",
+        ),
         // (3) join commutes with aggregation when the index is free of A
         rw_if_free("push-join-agg", "(* ?a (sum ?i ?b))", "(sum ?i (* ?a ?b))"),
         rw_if_free("pull-join-agg", "(sum ?i (* ?a ?b))", "(* ?a (sum ?i ?b))"),
@@ -77,10 +85,7 @@ pub fn req_rules() -> Vec<MathRewrite> {
             if bd.sparsity != 0.0 {
                 return false;
             }
-            match (
-                egraph.class(a).data.kind.attrs(),
-                bd.kind.attrs(),
-            ) {
+            match (egraph.class(a).data.kind.attrs(), bd.kind.attrs()) {
                 (Some(sa), Some(sb)) => sb.iter().all(|s| sa.contains(s)),
                 _ => false,
             }
@@ -120,7 +125,11 @@ pub fn custom_rules() -> Vec<MathRewrite> {
         rw("sprop-fuse", "(+ ?p (* -1 (* ?p ?p)))", "(sprop ?p)"),
         // sign(x) = (x > 0) - (x < 0)
         rw("sign-def", "(+ (gt ?x 0) (* -1 (lt ?x 0)))", "(sign ?x)"),
-        rw("sign-def-rev", "(sign ?x)", "(+ (gt ?x 0) (* -1 (lt ?x 0)))"),
+        rw(
+            "sign-def-rev",
+            "(sign ?x)",
+            "(+ (gt ?x 0) (* -1 (lt ?x 0)))",
+        ),
         // |x| = sign(x) · x
         rw("abs-def", "(* (sign ?x) ?x)", "(abs ?x)"),
         rw("abs-def-rev", "(abs ?x)", "(* (sign ?x) ?x)"),
@@ -220,10 +229,7 @@ mod tests {
 
     #[test]
     fn nested_aggregates_commute() {
-        assert_derives(
-            "(sum i (sum j (b i j X)))",
-            "(sum j (sum i (b i j X)))",
-        );
+        assert_derives("(sum i (sum j (b i j X)))", "(sum j (sum i (b i j X)))");
     }
 
     #[test]
@@ -252,10 +258,7 @@ mod tests {
 
     #[test]
     fn sigmoid_fusion() {
-        assert_derives(
-            "(inv (+ 1 (exp (* -1 (b i _ U)))))",
-            "(sigmoid (b i _ U))",
-        );
+        assert_derives("(inv (+ 1 (exp (* -1 (b i _ U)))))", "(sigmoid (b i _ U))");
     }
 
     #[test]
@@ -274,6 +277,29 @@ mod tests {
             "(* (+ 3 (* -1 2)) (inv (+ 1 (exp (* -1 (b i _ U))))))",
             "(sigmoid (b i _ U))",
         );
+    }
+
+    #[test]
+    fn indexed_matching_agrees_with_naive_on_real_rules() {
+        // Every default rule, run against a saturated graph of the
+        // paper's headline shape: the op-head-indexed compiled matcher
+        // must produce exactly the interpreted all-classes result.
+        let (_, eg) =
+            saturate("(sum i (sum j (pow (+ (b i j X) (* -1 (* (b i _ U) (b j _ V)))) 2)))");
+        for rule in default_rules() {
+            let (indexed, candidates) = rule.search_with_stats(&eg);
+            let naive = rule.searcher.naive_search(&eg);
+            assert_eq!(indexed.len(), naive.len(), "rule {}", rule.name);
+            for (a, b) in indexed.iter().zip(&naive) {
+                assert_eq!(a.eclass, b.eclass, "rule {}", rule.name);
+                assert_eq!(a.substs, b.substs, "rule {}", rule.name);
+            }
+            assert!(
+                candidates <= eg.number_of_classes(),
+                "rule {} visited more candidates than classes",
+                rule.name
+            );
+        }
     }
 
     #[test]

@@ -180,12 +180,7 @@ impl<'a> Translator<'a> {
         (a.id, b_id, row, col)
     }
 
-    fn pointwise2(
-        &mut self,
-        a: Frag,
-        b: Frag,
-        mk: impl FnOnce([Id; 2]) -> Math,
-    ) -> Frag {
+    fn pointwise2(&mut self, a: Frag, b: Frag, mk: impl FnOnce([Id; 2]) -> Math) -> Frag {
         let (a_id, b_id, row, col) = self.unify(a, b);
         let id = self.builder.add(mk([a_id, b_id]));
         Frag { id, row, col }
@@ -502,10 +497,7 @@ mod tests {
     #[test]
     fn matmul_is_aggregated_join() {
         let t = tr("X %*% Y", &[("X", (3, 4)), ("Y", (4, 5))]);
-        assert_eq!(
-            t.expr.to_string(),
-            "(sum i1 (* (b i0 i1 X) (b i1 i3 Y)))"
-        );
+        assert_eq!(t.expr.to_string(), "(sum i1 (* (b i0 i1 X) (b i1 i3 Y)))");
     }
 
     #[test]
@@ -531,10 +523,7 @@ mod tests {
     #[test]
     fn subtraction_becomes_negated_union() {
         let t = tr("X - Y", &[("X", (3, 4)), ("Y", (3, 4))]);
-        assert_eq!(
-            t.expr.to_string(),
-            "(+ (b i0 i1 X) (* -1 (b i0 i1 Y)))"
-        );
+        assert_eq!(t.expr.to_string(), "(+ (b i0 i1 X) (* -1 (b i0 i1 Y)))");
     }
 
     #[test]

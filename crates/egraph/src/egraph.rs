@@ -9,7 +9,7 @@
 
 use crate::analysis::Analysis;
 use crate::hash::FxHashMap;
-use crate::language::{Id, Language, RecExpr};
+use crate::language::{Id, Language, OpKey, RecExpr};
 use crate::unionfind::UnionFind;
 use std::fmt;
 
@@ -53,6 +53,15 @@ pub struct EGraph<L: Language, A: Analysis<L>> {
     pending: Vec<(L, Id)>,
     /// (node, its class) pairs whose analysis data must be re-made
     analysis_pending: Vec<(L, Id)>,
+    /// op head -> sorted canonical ids of classes containing a node
+    /// with that head. The e-matching index: `Pattern::search` only
+    /// visits the classes listed under its root operator instead of
+    /// every class. [`EGraph::add`] appends (fresh ids are strictly
+    /// increasing, so vectors stay sorted); [`EGraph::rebuild`]
+    /// recomputes. Between a union and the next rebuild the index may
+    /// list merged-away ids, which is fine: search requires a clean
+    /// graph.
+    op_index: FxHashMap<OpKey, Vec<Id>>,
     n_unions: usize,
     clean: bool,
 }
@@ -72,6 +81,7 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             classes: FxHashMap::default(),
             pending: Vec::new(),
             analysis_pending: Vec::new(),
+            op_index: FxHashMap::default(),
             n_unions: 0,
             clean: true,
         }
@@ -132,6 +142,13 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         node.map_children(|c| self.find(c))
     }
 
+    /// The canonical ids of classes containing a node whose head matches
+    /// `key` — the candidate set indexed e-matching visits. Sorted for
+    /// deterministic iteration order. Only meaningful on a clean graph.
+    pub fn classes_with_op(&self, key: OpKey) -> &[Id] {
+        self.op_index.get(&key).map_or(&[], |ids| ids.as_slice())
+    }
+
     /// Look up the class containing `enode` without inserting it.
     pub fn lookup(&self, enode: L) -> Option<Id> {
         let enode = self.canonicalize(enode);
@@ -146,6 +163,9 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             return self.find(existing);
         }
         let id = self.unionfind.make_set();
+        let ids = self.op_index.entry(enode.op_key()).or_default();
+        debug_assert!(ids.last() < Some(&id), "fresh ids keep the index sorted");
+        ids.push(id);
         let data = A::make(self, &enode);
         let class = EClass {
             id,
@@ -199,15 +219,17 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         self.clean = false;
 
         // Keep the class with more parents as root to move less data.
-        let (root, other) =
-            if self.classes[&a].parents.len() >= self.classes[&b].parents.len() {
-                (a, b)
-            } else {
-                (b, a)
-            };
+        let (root, other) = if self.classes[&a].parents.len() >= self.classes[&b].parents.len() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         self.unionfind.union(root, other);
 
         let other_class = self.classes.remove(&other).expect("class exists");
+        // op_index is NOT updated here: it is only read on clean graphs,
+        // and rebuild recomputes it wholesale, so per-union repointing
+        // would be pure overhead in the congruence-repair hot loop.
         // The merged-away class's parents may now be congruent with other
         // nodes; queue them for memo repair.
         self.pending.extend(other_class.parents.iter().cloned());
@@ -285,6 +307,20 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             class.parents.sort_unstable();
             class.parents.dedup();
         }
+
+        // Recompute the op-head index from the canonicalized classes.
+        // This drops ids of merged-away classes and keys whose nodes
+        // were deduplicated, keeping the index exactly in sync.
+        self.op_index.clear();
+        for (&id, class) in &self.classes {
+            for node in &class.nodes {
+                self.op_index.entry(node.op_key()).or_default().push(id);
+            }
+        }
+        for ids in self.op_index.values_mut() {
+            ids.sort_unstable();
+            ids.dedup();
+        }
     }
 
     /// Are the two expressions in the same class (without inserting)?
@@ -334,6 +370,33 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
                     panic!("congruence violated: {node:?} in classes {other} and {id}");
                 }
                 seen.insert(node, id);
+            }
+        }
+        // op-head index: must map each head to exactly the canonical
+        // classes containing a node with that head, sorted
+        let mut want: FxHashMap<OpKey, Vec<Id>> = FxHashMap::default();
+        for (&id, class) in &self.classes {
+            for node in &class.nodes {
+                want.entry(node.op_key()).or_default().push(id);
+            }
+        }
+        for ids in want.values_mut() {
+            ids.sort_unstable();
+            ids.dedup();
+        }
+        for (key, ids) in &want {
+            let got = self
+                .op_index
+                .get(key)
+                .unwrap_or_else(|| panic!("op index is missing key {key:?} (classes {ids:?})"));
+            assert_eq!(got, ids, "op index for {key:?} disagrees with the classes");
+        }
+        for (key, ids) in &self.op_index {
+            if !ids.is_empty() {
+                assert!(
+                    want.contains_key(key),
+                    "op index has stale key {key:?} -> {ids:?}"
+                );
             }
         }
     }

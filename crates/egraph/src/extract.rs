@@ -92,14 +92,12 @@ impl<'a, L: Language, A: Analysis<L>, CF: CostFunction<L, A>> Extractor<'a, L, A
     fn node_total_cost(&self, class: Id, node: &L) -> f64 {
         let best = &self.best;
         let egraph = self.egraph;
-        let child_cost =
-            |id: Id| -> f64 { best.get(&egraph.find(id)).map_or(f64::INFINITY, |(c, _)| *c) };
+        let child_cost = |id: Id| -> f64 {
+            best.get(&egraph.find(id))
+                .map_or(f64::INFINITY, |(c, _)| *c)
+        };
         // Nodes with un-extractable children are themselves un-extractable.
-        if node
-            .children()
-            .iter()
-            .any(|&c| !child_cost(c).is_finite())
-        {
+        if node.children().iter().any(|&c| !child_cost(c).is_finite()) {
             return f64::INFINITY;
         }
         self.cost_fn.cost(egraph, class, node, &child_cost)
@@ -154,9 +152,7 @@ mod tests {
         // (x + x) rewritten to (* x 2) — AstSize prefers either (both 3
         // nodes), but ((x + x) + (x + x)) vs (* (* x 2) 2): sharing makes
         // DAG small but AstSize counts tree size.
-        let rules = vec![
-            Rewrite::<Arith, ()>::new("double", "(+ ?a ?a)", "(* ?a 2)").unwrap(),
-        ];
+        let rules = vec![Rewrite::<Arith, ()>::new("double", "(+ ?a ?a)", "(* ?a 2)").unwrap()];
         let expr = parse_rec_expr("(+ (+ x x) (+ x x))").unwrap();
         let runner = Runner::<Arith, ()>::default()
             .with_expr(&expr)
@@ -207,12 +203,9 @@ mod tests {
                 own + enode.children().iter().map(|&c| child(c)).sum::<f64>()
             }
         }
-        let rules =
-            vec![Rewrite::<Arith, ()>::new("double", "(+ ?a ?a)", "(* ?a 2)").unwrap()];
+        let rules = vec![Rewrite::<Arith, ()>::new("double", "(+ ?a ?a)", "(* ?a 2)").unwrap()];
         let expr = parse_rec_expr("(+ x x)").unwrap();
-        let runner = Runner::<Arith, ()>::default()
-            .with_expr(&expr)
-            .run(&rules);
+        let runner = Runner::<Arith, ()>::default().with_expr(&expr).run(&rules);
         let ext = Extractor::new(&runner.egraph, MulIsExpensive);
         let (_, best) = ext.find_best(runner.roots[0]).unwrap();
         assert_eq!(best.to_string(), "(+ x x)", "mul should be avoided");

@@ -6,6 +6,7 @@
 //! same representation egg uses.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// An e-class id (also used as node index inside a [`RecExpr`]).
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -35,6 +36,26 @@ impl fmt::Debug for Id {
     }
 }
 
+/// A hashable key identifying an e-node's operator head, used by the
+/// e-graph's op-head index to narrow e-matching to candidate classes.
+///
+/// The contract mirrors [`Language::matches`]: whenever `a.matches(b)`,
+/// `a.op_key() == b.op_key()` must hold. The reverse need not hold — a
+/// key collision only costs a wasted `matches` check, never a missed
+/// match.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct OpKey(u64);
+
+impl OpKey {
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    pub fn from_raw(raw: u64) -> OpKey {
+        OpKey(raw)
+    }
+}
+
 /// Trait for e-node languages.
 ///
 /// Implementors are plain enums whose variants embed child [`Id`]s; all
@@ -57,6 +78,24 @@ pub trait Language: Clone + Eq + Ord + std::hash::Hash + fmt::Debug {
     ///
     /// Used by the pattern and expression parsers.
     fn from_op(op: &str, children: Vec<Id>) -> Result<Self, String>;
+
+    /// The operator-head key for the e-graph's op index.
+    ///
+    /// The default is consistent with any `matches` that compares the
+    /// enum discriminant for operators and full payload for leaves (all
+    /// languages in this workspace): leaves hash their payload, interior
+    /// nodes hash only their discriminant. Override if `matches` is
+    /// coarser than the discriminant, keeping the invariant
+    /// `a.matches(b) ⟹ a.op_key() == b.op_key()`.
+    fn op_key(&self) -> OpKey {
+        let mut h = crate::hash::FxHasher::default();
+        if self.is_leaf() {
+            self.hash(&mut h);
+        } else {
+            std::mem::discriminant(self).hash(&mut h);
+        }
+        OpKey(h.finish())
+    }
 
     /// Replace every child with `f(child)`.
     fn map_children(mut self, mut f: impl FnMut(Id) -> Id) -> Self {

@@ -7,8 +7,9 @@
 //!   ([`EGraph::rebuild`]), following the design of egg.
 //! * [`Analysis`] — e-class analyses, the "class invariants" of paper
 //!   §3.2 (schema, sparsity, constant folding in `spores-core`).
-//! * [`Pattern`] / [`Rewrite`] — s-expression patterns, backtracking
-//!   e-matching, conditional rewrites.
+//! * [`Pattern`] / [`Rewrite`] — s-expression patterns compiled to flat
+//!   match programs, op-head-indexed e-matching (only candidate classes
+//!   are visited), conditional rewrites.
 //! * [`Runner`] — the saturation loop with iteration/node/time limits and
 //!   the two match-application strategies of §3.1: depth-first and
 //!   sampling.
@@ -31,8 +32,8 @@ pub use analysis::{Analysis, DidMerge};
 pub use egraph::{EClass, EGraph};
 pub use extract::{AstSize, CostFunction, Extractor};
 pub use hash::{FxHashMap, FxHashSet};
-pub use language::{parse_rec_expr, Id, Language, RecExpr};
+pub use language::{parse_rec_expr, Id, Language, OpKey, RecExpr};
 pub use pattern::{ENodeOrVar, Pattern, SearchMatches, Subst, Var};
 pub use rewrite::{Applier, Condition, Rewrite};
-pub use runner::{Iteration, Runner, Scheduler, StopReason};
+pub use runner::{Iteration, RuleIterStats, Runner, Scheduler, StopReason};
 pub use unionfind::UnionFind;

@@ -6,8 +6,10 @@
 
 use crate::analysis::Analysis;
 use crate::egraph::EGraph;
-use crate::language::{Id, Language, RecExpr};
+use crate::language::{Id, Language, OpKey, RecExpr};
 use spores_ir::{SExp, Symbol};
+use std::borrow::Cow;
+use std::collections::VecDeque;
 use std::fmt;
 
 /// A pattern variable, e.g. `?a`.
@@ -111,12 +113,144 @@ impl<L: Language> Language for ENodeOrVar<L> {
             L::from_op(op, children).map(ENodeOrVar::ENode)
         }
     }
+
+    fn op_key(&self) -> OpKey {
+        match self {
+            // Delegate so a pattern head keys identically to the e-nodes
+            // it matches (the default would hash ENodeOrVar's own
+            // discriminant instead of the inner language's).
+            ENodeOrVar::ENode(n) => n.op_key(),
+            // Variables never consult the op index; any stable key works.
+            ENodeOrVar::Var(v) => {
+                use std::hash::{Hash, Hasher};
+                let mut h = crate::hash::FxHasher::default();
+                v.hash(&mut h);
+                OpKey::from_raw(h.finish())
+            }
+        }
+    }
 }
 
-/// A compiled pattern.
+/// One instruction of the compiled pattern machine. Registers hold
+/// e-class ids; `Bind` is the only backtracking point.
+#[derive(Clone, Debug)]
+enum Insn<L> {
+    /// For each e-node of the class in register `reg` whose head matches
+    /// `node`, write its children into registers `out..out + arity` and
+    /// continue; exhausting the nodes backtracks.
+    Bind { reg: usize, node: L, out: usize },
+    /// Backtrack unless registers `a` and `b` hold the same class
+    /// (non-linear patterns such as `(* ?x ?x)`).
+    Compare { a: usize, b: usize },
+}
+
+/// A pattern lowered once into a flat instruction sequence, executed
+/// directly against each candidate class's node vector. Replaces the
+/// per-match recursive interpretation of the AST: no recursion over
+/// pattern nodes, no re-canonicalization of already-canonical children,
+/// and head tests against pre-extracted operator templates.
+#[derive(Clone, Debug)]
+struct Program<L> {
+    insns: Vec<Insn<L>>,
+    /// Register holding each pattern variable's binding, in first-occurrence order.
+    subst_regs: Vec<(Var, usize)>,
+    n_regs: usize,
+}
+
+impl<L: Language> Program<L> {
+    /// Lower `ast` breadth-first: register 0 is the candidate root class;
+    /// every `Bind` allocates a contiguous block for its children, so all
+    /// registers are written before any instruction reads them.
+    fn compile(ast: &RecExpr<ENodeOrVar<L>>) -> Program<L> {
+        let mut insns = Vec::new();
+        let mut subst_regs: Vec<(Var, usize)> = Vec::new();
+        let mut n_regs = 1usize;
+        let mut work: VecDeque<(Id, usize)> = VecDeque::from([(ast.root(), 0)]);
+        while let Some((pat, reg)) = work.pop_front() {
+            match ast.node(pat) {
+                ENodeOrVar::Var(v) => match subst_regs.iter().find(|(u, _)| u == v) {
+                    Some(&(_, bound)) => insns.push(Insn::Compare { a: bound, b: reg }),
+                    None => subst_regs.push((*v, reg)),
+                },
+                ENodeOrVar::ENode(n) => {
+                    let out = n_regs;
+                    n_regs += n.children().len();
+                    insns.push(Insn::Bind {
+                        reg,
+                        node: n.clone(),
+                        out,
+                    });
+                    for (i, &child) in n.children().iter().enumerate() {
+                        work.push_back((child, out + i));
+                    }
+                }
+            }
+        }
+        Program {
+            insns,
+            subst_regs,
+            n_regs,
+        }
+    }
+
+    /// Run the program with `eclass` (canonical) in the root register,
+    /// collecting one [`Subst`] per successful execution path.
+    fn run<A: Analysis<L>>(&self, egraph: &EGraph<L, A>, eclass: Id) -> Vec<Subst> {
+        let mut regs = vec![eclass; self.n_regs];
+        let mut out = Vec::new();
+        self.exec(egraph, 0, &mut regs, &mut out);
+        out
+    }
+
+    fn exec<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+        pc: usize,
+        regs: &mut [Id],
+        out: &mut Vec<Subst>,
+    ) {
+        let Some(insn) = self.insns.get(pc) else {
+            let mut subst = Subst::default();
+            for &(var, reg) in &self.subst_regs {
+                subst.insert(var, regs[reg]);
+            }
+            out.push(subst);
+            return;
+        };
+        match insn {
+            Insn::Bind { reg, node, out: o } => {
+                let class = egraph.class(regs[*reg]);
+                let arity = node.children().len();
+                for enode in class.iter() {
+                    if !node.matches(enode) {
+                        continue;
+                    }
+                    debug_assert_eq!(enode.children().len(), arity);
+                    regs[*o..*o + arity].copy_from_slice(enode.children());
+                    self.exec(egraph, pc + 1, regs, out);
+                }
+            }
+            Insn::Compare { a, b } => {
+                // Class node vectors are canonical after rebuild, so the
+                // registers compare directly; `find` guards the root
+                // register, which callers may pass non-canonically.
+                if egraph.find(regs[*a]) == egraph.find(regs[*b]) {
+                    self.exec(egraph, pc + 1, regs, out);
+                }
+            }
+        }
+    }
+}
+
+/// A compiled pattern: the s-expression AST plus its lowered [`Program`].
+///
+/// Both fields are private so they cannot drift apart: the only way to
+/// build a `Pattern` is [`Pattern::new`]/[`Pattern::parse`], which
+/// compile the program from the AST.
 #[derive(Clone, Debug)]
 pub struct Pattern<L> {
-    pub ast: RecExpr<ENodeOrVar<L>>,
+    ast: RecExpr<ENodeOrVar<L>>,
+    program: Program<L>,
 }
 
 /// All matches of a pattern inside one e-class.
@@ -128,7 +262,13 @@ pub struct SearchMatches {
 
 impl<L: Language> Pattern<L> {
     pub fn new(ast: RecExpr<ENodeOrVar<L>>) -> Self {
-        Pattern { ast }
+        let program = Program::compile(&ast);
+        Pattern { ast, program }
+    }
+
+    /// The pattern's abstract syntax tree.
+    pub fn ast(&self) -> &RecExpr<ENodeOrVar<L>> {
+        &self.ast
     }
 
     /// Parse a pattern from s-expression syntax, e.g. `(* ?a (+ ?b ?c))`.
@@ -136,7 +276,7 @@ impl<L: Language> Pattern<L> {
         let sexp = spores_ir::parse_sexp(src).map_err(|e| e.to_string())?;
         let mut ast = RecExpr::default();
         add_pattern_sexp::<L>(&sexp, &mut ast)?;
-        Ok(Pattern { ast })
+        Ok(Pattern::new(ast))
     }
 
     /// The variables appearing in this pattern.
@@ -152,25 +292,78 @@ impl<L: Language> Pattern<L> {
         vars
     }
 
-    /// Search every e-class for matches.
+    /// The candidate classes the op-head index yields for this pattern:
+    /// classes containing a node with the pattern root's head, or every
+    /// class when the root is a variable. Sorted (deterministic order).
+    fn candidates<'g, A: Analysis<L>>(&self, egraph: &'g EGraph<L, A>) -> Cow<'g, [Id]> {
+        match self.ast.node(self.ast.root()) {
+            ENodeOrVar::ENode(n) => Cow::Borrowed(egraph.classes_with_op(n.op_key())),
+            ENodeOrVar::Var(_) => Cow::Owned(egraph.class_ids()),
+        }
+    }
+
+    /// Search for matches, visiting only the classes the op-head index
+    /// proposes for the pattern root instead of every e-class.
     pub fn search<A: Analysis<L>>(&self, egraph: &EGraph<L, A>) -> Vec<SearchMatches> {
+        self.search_with_stats(egraph).0
+    }
+
+    /// Like [`Pattern::search`], also reporting how many candidate
+    /// classes the op-head index proposed (the classes actually visited).
+    pub fn search_with_stats<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+    ) -> (Vec<SearchMatches>, usize) {
+        debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
+        let candidates = self.candidates(egraph);
+        let visited = candidates.len();
+        let matches = candidates
+            .iter()
+            .filter_map(|&id| self.search_eclass(egraph, id))
+            .collect();
+        (matches, visited)
+    }
+
+    /// Search one e-class for matches by executing the compiled program.
+    pub fn search_eclass<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+        eclass: Id,
+    ) -> Option<SearchMatches> {
+        let eclass = egraph.find(eclass);
+        let substs = self.program.run(egraph, eclass);
+        Self::finish_matches(eclass, substs)
+    }
+
+    /// Search every e-class with the interpreted matcher — the reference
+    /// implementation the compiled machine is differentially tested (and
+    /// benchmarked) against. Prefer [`Pattern::search`].
+    pub fn naive_search<A: Analysis<L>>(&self, egraph: &EGraph<L, A>) -> Vec<SearchMatches> {
         debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
         let mut out = Vec::new();
         for id in egraph.class_ids() {
-            if let Some(m) = self.search_eclass(egraph, id) {
+            if let Some(m) = self.naive_search_eclass(egraph, id) {
                 out.push(m);
             }
         }
         out
     }
 
-    /// Search one e-class for matches.
-    pub fn search_eclass<A: Analysis<L>>(
+    /// Search one e-class by interpreting the pattern AST (see
+    /// [`Pattern::naive_search`]).
+    pub fn naive_search_eclass<A: Analysis<L>>(
         &self,
         egraph: &EGraph<L, A>,
         eclass: Id,
     ) -> Option<SearchMatches> {
-        let mut substs = self.match_id(egraph, self.ast.root(), eclass, Subst::default());
+        let substs = self.match_id(egraph, self.ast.root(), eclass, Subst::default());
+        Self::finish_matches(egraph.find(eclass), substs)
+    }
+
+    /// Normalize, order, and dedup raw substitutions into a
+    /// [`SearchMatches`] (shared by both matchers so their outputs are
+    /// directly comparable).
+    fn finish_matches(eclass: Id, mut substs: Vec<Subst>) -> Option<SearchMatches> {
         for s in &mut substs {
             s.normalize();
         }
@@ -179,10 +372,7 @@ impl<L: Language> Pattern<L> {
         if substs.is_empty() {
             None
         } else {
-            Some(SearchMatches {
-                eclass: egraph.find(eclass),
-                substs,
-            })
+            Some(SearchMatches { eclass, substs })
         }
     }
 
@@ -420,5 +610,90 @@ mod tests {
         let x: RecExpr<Arith> = parse_rec_expr("(neg z)").unwrap();
         let e = p.instantiate(&|_| x.clone());
         assert_eq!(e.to_string(), "(+ (neg z) (* (neg z) 2))");
+    }
+
+    /// The patterns the compiled/indexed matcher is checked against the
+    /// interpreted reference on, across all unit-test graph shapes.
+    fn differential_patterns() -> Vec<Pattern<Arith>> {
+        [
+            "?a",
+            "(+ ?a ?b)",
+            "(+ ?a ?a)",
+            "(* ?a (+ ?b ?c))",
+            "(+ (neg ?a) ?b)",
+            "(neg (neg ?a))",
+            "(+ 1 ?x)",
+            "(* ?a 2)",
+            "x",
+            "7",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn compiled_matcher_agrees_with_naive() {
+        let mut eg = EG::default();
+        let a = add_str(&mut eg, "(* x (+ y 2))");
+        let b = add_str(&mut eg, "(+ (neg x) (* x 2))");
+        add_str(&mut eg, "(+ 1 (neg (neg y)))");
+        eg.union(a, b);
+        eg.rebuild();
+        let x = add_str(&mut eg, "x");
+        let y = add_str(&mut eg, "y");
+        eg.union(x, y);
+        eg.rebuild();
+        for p in differential_patterns() {
+            let (indexed, candidates) = p.search_with_stats(&eg);
+            let naive = p.naive_search(&eg);
+            assert_eq!(indexed.len(), naive.len(), "pattern {p}");
+            for (i, n) in indexed.iter().zip(&naive) {
+                assert_eq!(i.eclass, n.eclass, "pattern {p}");
+                assert_eq!(i.substs, n.substs, "pattern {p}");
+            }
+            assert!(candidates <= eg.number_of_classes(), "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn index_narrows_candidates_for_nonvar_roots() {
+        let mut eg = EG::default();
+        add_str(&mut eg, "(* (+ x y) (neg z))");
+        eg.rebuild();
+        // exactly one class holds a `+` node; the index must propose
+        // only that class, not all six
+        let p: Pattern<Arith> = "(+ ?a ?b)".parse().unwrap();
+        let (matches, candidates) = p.search_with_stats(&eg);
+        assert_eq!(candidates, 1);
+        assert_eq!(matches.len(), 1);
+        // a variable root cannot be narrowed: every class is a candidate
+        let pv: Pattern<Arith> = "?a".parse().unwrap();
+        let (_, all) = pv.search_with_stats(&eg);
+        assert_eq!(all, eg.number_of_classes());
+        // a head that occurs nowhere proposes nothing
+        let pm: Pattern<Arith> = "(* (* ?a ?b) ?c)".parse().unwrap();
+        let (none, multiplies) = pm.search_with_stats(&eg);
+        assert_eq!(multiplies, 1, "one class holds a `*` node");
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn index_stays_consistent_across_union_rebuild() {
+        let mut eg = EG::default();
+        let a = add_str(&mut eg, "(+ x y)");
+        let b = add_str(&mut eg, "(* x y)");
+        let p: Pattern<Arith> = "(+ ?a ?b)".parse().unwrap();
+        eg.rebuild();
+        assert_eq!(p.search(&eg).len(), 1);
+        // merging the + class into the * class must leave the + head
+        // discoverable under the merged class id
+        eg.union(a, b);
+        eg.rebuild();
+        let m = p.search(&eg);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].eclass, eg.find(a));
+        assert_eq!(m[0].eclass, eg.find(b));
+        eg.check_invariants();
     }
 }

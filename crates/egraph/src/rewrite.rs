@@ -70,12 +70,8 @@ impl<L: Language + Send + Sync + 'static, A: Analysis<L>> Rewrite<L, A> {
     /// Build a `lhs => rhs` rule from pattern strings.
     pub fn new(name: impl Into<String>, lhs: &str, rhs: &str) -> Result<Self, String> {
         let name = name.into();
-        let searcher: Pattern<L> = lhs
-            .parse()
-            .map_err(|e| format!("rule {name}, lhs: {e}"))?;
-        let applier: Pattern<L> = rhs
-            .parse()
-            .map_err(|e| format!("rule {name}, rhs: {e}"))?;
+        let searcher: Pattern<L> = lhs.parse().map_err(|e| format!("rule {name}, lhs: {e}"))?;
+        let applier: Pattern<L> = rhs.parse().map_err(|e| format!("rule {name}, rhs: {e}"))?;
         // every rhs variable must be bound by the lhs
         let lhs_vars = searcher.vars();
         for v in applier.vars() {
@@ -112,6 +108,12 @@ impl<L: Language, A: Analysis<L>> Rewrite<L, A> {
     /// Search the whole e-graph for matches of this rule's lhs.
     pub fn search(&self, egraph: &EGraph<L, A>) -> Vec<SearchMatches> {
         self.searcher.search(egraph)
+    }
+
+    /// Search, also reporting how many candidate classes the op-head
+    /// index proposed for this rule's lhs (for scheduler statistics).
+    pub fn search_with_stats(&self, egraph: &EGraph<L, A>) -> (Vec<SearchMatches>, usize) {
+        self.searcher.search_with_stats(egraph)
     }
 
     /// Apply this rule to one (class, subst) match. Returns the number of

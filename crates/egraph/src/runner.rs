@@ -49,6 +49,19 @@ pub enum StopReason {
     TimeLimit(Duration),
 }
 
+/// Per-rule statistics for one saturation iteration.
+#[derive(Clone, Debug, Default)]
+pub struct RuleIterStats {
+    pub rule: String,
+    /// Classes the op-head index proposed for this rule's lhs (the
+    /// classes actually visited by the compiled matcher).
+    pub candidates: usize,
+    /// (class, subst) instances found.
+    pub matches: usize,
+    /// Instances applied after scheduling (sampling may drop some).
+    pub applied: usize,
+}
+
 /// Statistics for one saturation iteration.
 #[derive(Clone, Debug, Default)]
 pub struct Iteration {
@@ -60,6 +73,8 @@ pub struct Iteration {
     pub search_time: Duration,
     pub apply_time: Duration,
     pub rebuild_time: Duration,
+    /// Per-rule candidate/match/apply counts, in rule order.
+    pub rules: Vec<RuleIterStats>,
 }
 
 /// Equality-saturation runner with limits and statistics.
@@ -134,10 +149,6 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
     /// Run saturation to convergence or until a limit trips.
     pub fn run(mut self, rules: &[Rewrite<L, A>]) -> Self {
         let start = Instant::now();
-        let mut rng = match self.scheduler {
-            Scheduler::Sampling { seed, .. } => StdRng::seed_from_u64(seed),
-            Scheduler::DepthFirst => StdRng::seed_from_u64(0),
-        };
         if !self.egraph.is_clean() {
             self.egraph.rebuild();
         }
@@ -163,23 +174,36 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
             // Flatten each rule's matches to (class, subst) instances.
             let mut per_rule: Vec<Vec<(Id, Subst)>> = Vec::with_capacity(rules.len());
             for rule in rules {
+                let (matches, candidates) = rule.search_with_stats(&self.egraph);
                 let mut instances = Vec::new();
-                for m in rule.search(&self.egraph) {
+                for m in matches {
                     for s in m.substs {
                         instances.push((m.eclass, s));
                     }
                 }
                 iter.matches_found += instances.len();
+                iter.rules.push(RuleIterStats {
+                    rule: rule.name.clone(),
+                    candidates,
+                    matches: instances.len(),
+                    applied: 0,
+                });
                 per_rule.push(instances);
             }
             iter.search_time = t.elapsed();
 
             // --- scheduling + apply phase ----------------------------
             let t = Instant::now();
-            for (rule, mut instances) in rules.iter().zip(per_rule) {
-                if let Scheduler::Sampling { match_limit, .. } = self.scheduler {
+            for (i, (rule, mut instances)) in rules.iter().zip(per_rule).enumerate() {
+                if let Scheduler::Sampling { match_limit, seed } = self.scheduler {
+                    // Each rule samples from its own RNG stream derived
+                    // from the seed, the iteration, and the rule *name*,
+                    // so which matches a rule applies is stable under
+                    // rule reordering.
+                    let mut rng = rule_rng(seed, self.iterations.len() as u64, &rule.name);
                     sample_in_place(&mut instances, match_limit, &mut rng);
                 }
+                iter.rules[i].applied = instances.len();
                 for (class, subst) in instances {
                     iter.unions += rule.apply_match(&mut self.egraph, class, &subst);
                     iter.matches_applied += 1;
@@ -208,6 +232,18 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
         }
         self
     }
+}
+
+/// Deterministic RNG stream for one rule in one iteration: a hash of the
+/// scheduler seed, the iteration number, and the rule name. Independent
+/// of the rule's position in the rule list.
+fn rule_rng(seed: u64, iteration: u64, name: &str) -> StdRng {
+    use std::hash::Hasher;
+    let mut h = crate::hash::FxHasher::default();
+    h.write(name.as_bytes());
+    h.write_u64(seed);
+    h.write_u64(iteration);
+    StdRng::seed_from_u64(h.finish())
 }
 
 /// Keep a uniform sample of `limit` elements of `v` (partial Fisher-Yates).
@@ -247,10 +283,7 @@ mod tests {
             .run(&rules());
         assert!(runner.saturated(), "{:?}", runner.stop_reason);
         let flipped = parse_rec_expr::<Arith>("(+ y x)").unwrap();
-        assert_eq!(
-            runner.egraph.lookup_expr(&flipped),
-            Some(runner.roots[0])
-        );
+        assert_eq!(runner.egraph.lookup_expr(&flipped), Some(runner.roots[0]));
     }
 
     #[test]
@@ -263,7 +296,10 @@ mod tests {
             .with_scheduler(Scheduler::DepthFirst)
             .run(&rules());
         assert_eq!(
-            runner.egraph.lookup_expr(&rhs).map(|id| runner.egraph.find(id)),
+            runner
+                .egraph
+                .lookup_expr(&rhs)
+                .map(|id| runner.egraph.find(id)),
             Some(runner.roots[0])
         );
     }
@@ -308,7 +344,10 @@ mod tests {
             .run(&rules());
         assert!(runner.saturated());
         assert_eq!(
-            runner.egraph.lookup_expr(&rhs).map(|id| runner.egraph.find(id)),
+            runner
+                .egraph
+                .lookup_expr(&rhs)
+                .map(|id| runner.egraph.find(id)),
             Some(runner.roots[0])
         );
     }
@@ -323,5 +362,82 @@ mod tests {
         let last = runner.iterations.last().unwrap();
         assert!(last.egraph_nodes > 0);
         assert_eq!(last.unions, 0, "last iteration must be a fixpoint");
+    }
+
+    #[test]
+    fn per_rule_stats_are_recorded() {
+        let expr = parse_rec_expr("(* (+ x y) z)").unwrap();
+        let rules = rules();
+        let runner = Runner::<Arith, ()>::default()
+            .with_expr(&expr)
+            .with_scheduler(Scheduler::DepthFirst)
+            .run(&rules);
+        let first = &runner.iterations[0];
+        assert_eq!(first.rules.len(), rules.len());
+        for (stat, rule) in first.rules.iter().zip(&rules) {
+            assert_eq!(stat.rule, rule.name);
+            if stat.matches > 0 {
+                assert!(stat.candidates > 0, "matches require candidates");
+            }
+            assert_eq!(
+                stat.applied, stat.matches,
+                "depth-first applies every match"
+            );
+        }
+        // (* (+ x y) z): one class matches comm-mul, one comm-add
+        assert_eq!(first.rules[0].matches, 1, "comm-add");
+        assert_eq!(first.rules[1].matches, 1, "comm-mul");
+        let total: usize = first.rules.iter().map(|r| r.matches).sum();
+        assert_eq!(total, first.matches_found);
+    }
+
+    /// Which flipped `(+ b a)` forms exist after one sampled iteration —
+    /// the observable trace of *which* matches the sampler picked.
+    fn sampled_flips(rule_order: &[Rewrite<Arith, ()>]) -> Vec<String> {
+        let mut runner = Runner::<Arith, ()>::default().with_scheduler(Scheduler::Sampling {
+            match_limit: 2,
+            seed: 99,
+        });
+        let pairs = [
+            ("a", "b"),
+            ("c", "d"),
+            ("e", "f"),
+            ("g", "h"),
+            ("i", "j"),
+            ("k", "l"),
+        ];
+        for (l, r) in pairs {
+            let e = parse_rec_expr(&format!("(+ {l} {r})")).unwrap();
+            runner = runner.with_expr(&e);
+        }
+        let runner = runner.with_iter_limit(1).run(rule_order);
+        let mut flipped = Vec::new();
+        for (l, r) in pairs {
+            let e = parse_rec_expr::<Arith>(&format!("(+ {r} {l})")).unwrap();
+            if runner.egraph.lookup_expr(&e).is_some() {
+                flipped.push(format!("(+ {r} {l})"));
+            }
+        }
+        flipped
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_rule_under_reordering() {
+        let fwd = rules();
+        let mut rev = rules();
+        rev.reverse();
+        let a = sampled_flips(&fwd);
+        let b = sampled_flips(&rev);
+        assert!(!a.is_empty(), "match_limit 2 of 6 must flip something");
+        assert!(
+            a.len() < 6,
+            "sampling must not apply every comm-add match in one iteration"
+        );
+        assert_eq!(
+            a, b,
+            "which matches a rule samples must not depend on rule order"
+        );
+        // and repeated runs are identical outright
+        assert_eq!(a, sampled_flips(&fwd));
     }
 }

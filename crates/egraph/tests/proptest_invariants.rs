@@ -3,7 +3,7 @@
 //! and equality is correctly propagated.
 
 use proptest::prelude::*;
-use spores_egraph::{EGraph, Id, Language, RecExpr};
+use spores_egraph::{EGraph, Id, Language, Pattern, RecExpr};
 
 /// Tiny arithmetic language for property testing.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -51,10 +51,7 @@ impl Language for Node {
         match (op, children.len()) {
             ("+", 2) => Ok(Node::Add([children[0], children[1]])),
             ("neg", 1) => Ok(Node::Neg(children[0])),
-            (s, 0) => s
-                .parse::<u8>()
-                .map(Node::Leaf)
-                .map_err(|e| e.to_string()),
+            (s, 0) => s.parse::<u8>().map(Node::Leaf).map_err(|e| e.to_string()),
             _ => Err("bad arity".into()),
         }
     }
@@ -78,6 +75,56 @@ fn steps() -> impl Strategy<Value = Vec<Step>> {
         ],
         1..40,
     )
+}
+
+/// Build an e-graph from a construction script + unions, rebuilt clean.
+fn build_graph(script: &[Step], unions: &[(usize, usize)]) -> EGraph<Node, ()> {
+    let mut eg: EGraph<Node, ()> = EGraph::default();
+    let mut ids: Vec<Id> = Vec::new();
+    for step in script {
+        let id = match *step {
+            Step::Leaf(v) => eg.add(Node::Leaf(v)),
+            Step::Add(a, b) if !ids.is_empty() => {
+                let a = ids[a % ids.len()];
+                let b = ids[b % ids.len()];
+                eg.add(Node::Add([a, b]))
+            }
+            Step::Neg(a) if !ids.is_empty() => {
+                let a = ids[a % ids.len()];
+                eg.add(Node::Neg(a))
+            }
+            _ => eg.add(Node::Leaf(0)),
+        };
+        ids.push(id);
+    }
+    for &(a, b) in unions {
+        let a = ids[a % ids.len()];
+        let b = ids[b % ids.len()];
+        eg.union(a, b);
+    }
+    eg.rebuild();
+    eg
+}
+
+/// Patterns exercising every machine feature: variable roots, repeated
+/// (non-linear) variables, nesting, and literal leaves.
+fn differential_patterns() -> Vec<Pattern<Node>> {
+    [
+        "?a",
+        "(+ ?a ?b)",
+        "(+ ?a ?a)",
+        "(neg ?a)",
+        "(neg (neg ?a))",
+        "(+ (neg ?a) ?b)",
+        "(+ ?a (+ ?b ?c))",
+        "(+ (+ ?a ?b) (+ ?c ?a))",
+        "(+ 1 ?x)",
+        "(neg 3)",
+        "2",
+    ]
+    .iter()
+    .map(|s| s.parse().unwrap())
+    .collect()
 }
 
 proptest! {
@@ -127,6 +174,57 @@ proptest! {
         eg.rebuild();
         prop_assert_eq!(eg.find(na), eg.find(nb));
         prop_assert_eq!(eg.find(nna), eg.find(nnb));
+        eg.check_invariants();
+    }
+
+    #[test]
+    fn indexed_compiled_search_equals_naive(
+        script in steps(),
+        unions in prop::collection::vec((any::<usize>(), any::<usize>()), 0..8),
+    ) {
+        // The tentpole property: for any graph and any pattern, the
+        // op-head-indexed compiled matcher returns exactly the matches
+        // of the interpreted all-classes reference matcher.
+        let eg = build_graph(&script, &unions);
+        for p in differential_patterns() {
+            let (indexed, candidates) = p.search_with_stats(&eg);
+            let naive = p.naive_search(&eg);
+            prop_assert_eq!(indexed.len(), naive.len(), "pattern {}", &p);
+            for (i, n) in indexed.iter().zip(&naive) {
+                prop_assert_eq!(i.eclass, n.eclass, "pattern {}", &p);
+                prop_assert_eq!(&i.substs, &n.substs, "pattern {}", &p);
+            }
+            prop_assert!(
+                candidates <= eg.number_of_classes(),
+                "index proposed more candidates than classes exist"
+            );
+        }
+    }
+
+    #[test]
+    fn op_index_consistent_after_union_rebuild(
+        script in steps(),
+        unions in prop::collection::vec((any::<usize>(), any::<usize>()), 0..8),
+    ) {
+        // classes_with_op must agree with a from-scratch scan of the
+        // canonical classes, for every op head present in the graph.
+        let eg = build_graph(&script, &unions);
+        let mut heads = std::collections::BTreeSet::new();
+        for class in eg.classes() {
+            for node in class.iter() {
+                heads.insert(node.op_key());
+            }
+        }
+        for key in heads {
+            let mut want: Vec<Id> = eg
+                .classes()
+                .filter(|c| c.iter().any(|n| n.op_key() == key))
+                .map(|c| eg.find(c.id))
+                .collect();
+            want.sort();
+            let got = eg.classes_with_op(key).to_vec();
+            prop_assert_eq!(got, want, "op index out of sync for {:?}", key);
+        }
         eg.check_invariants();
     }
 

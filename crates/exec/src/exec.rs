@@ -454,8 +454,7 @@ impl Executor {
             LaNode::Bin(BinOp::Sub, p, q) => match arena.node(*q) {
                 LaNode::Bin(BinOp::Mul, x, y) if x == y && x == p => Some(*p),
                 LaNode::Bin(BinOp::Pow, x, k)
-                    if x == p
-                        && matches!(arena.node(*k), LaNode::Scalar(v) if v.get() == 2.0) =>
+                    if x == p && matches!(arena.node(*k), LaNode::Scalar(v) if v.get() == 2.0) =>
                 {
                     Some(*p)
                 }
@@ -518,9 +517,8 @@ impl Executor {
                 let j = i + len - 1;
                 cost[i][j] = u64::MAX;
                 for k in i..j {
-                    let c = cost[i][k]
-                        + cost[k + 1][j]
-                        + (dims[i] * dims[k + 1] * dims[j + 1]) as u64;
+                    let c =
+                        cost[i][k] + cost[k + 1][j] + (dims[i] * dims[k + 1] * dims[j + 1]) as u64;
                     if c < cost[i][j] {
                         cost[i][j] = c;
                         split[i][j] = k;
@@ -558,9 +556,7 @@ mod tests {
     use spores_matrix::gen;
 
     fn env(list: Vec<(&str, Matrix)>) -> HashMap<Symbol, Matrix> {
-        list.into_iter()
-            .map(|(n, m)| (Symbol::new(n), m))
-            .collect()
+        list.into_iter().map(|(n, m)| (Symbol::new(n), m)).collect()
     }
 
     fn run(src: &str, e: &HashMap<Symbol, Matrix>) -> (Matrix, ExecStats) {
@@ -589,12 +585,7 @@ mod tests {
         let (out, _) = run("sum(X * Y + X)", &e);
         let x = e[&Symbol::new("X")].to_dense();
         let y = e[&Symbol::new("Y")].to_dense();
-        let want: f64 = x
-            .data
-            .iter()
-            .zip(&y.data)
-            .map(|(a, b)| a * b + a)
-            .sum();
+        let want: f64 = x.data.iter().zip(&y.data).map(|(a, b)| a * b + a).sum();
         assert!((out.as_scalar() - want).abs() < 1e-9);
     }
 

@@ -19,4 +19,4 @@ pub mod problem;
 pub mod solver;
 
 pub use problem::{Clause, Lit, Problem};
-pub use solver::{SolveResult, Solution, Solver};
+pub use solver::{Solution, SolveResult, Solver};

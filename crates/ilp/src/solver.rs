@@ -188,11 +188,7 @@ impl<'p> Search<'p> {
         let assignment: Vec<bool> = self.assign.iter().map(|&a| a == 1).collect();
         debug_assert!(self.problem.check(&assignment));
         let cost = self.cost;
-        if self
-            .best
-            .as_ref()
-            .is_none_or(|b| cost < b.cost - 1e-12)
-        {
+        if self.best.as_ref().is_none_or(|b| cost < b.cost - 1e-12) {
             self.best = Some(Solution { assignment, cost });
         }
     }

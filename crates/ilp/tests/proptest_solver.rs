@@ -13,10 +13,8 @@ struct Instance {
 
 fn instances() -> impl Strategy<Value = Instance> {
     (1usize..=9).prop_flat_map(|n| {
-        let clauses = prop::collection::vec(
-            prop::collection::vec((0..n, any::<bool>()), 1..=3),
-            0..=10,
-        );
+        let clauses =
+            prop::collection::vec(prop::collection::vec((0..n, any::<bool>()), 1..=3), 0..=10);
         let costs = prop::collection::vec(0u8..50, n..=n);
         (costs, clauses).prop_map(|(costs, clauses)| Instance { costs, clauses })
     })

@@ -484,9 +484,6 @@ mod tests {
         let v = a.var("V");
         let m = a.matmul(u, v);
         let m2 = a.mul(m, u);
-        assert_eq!(
-            a.free_vars(m2),
-            vec![Symbol::new("U"), Symbol::new("V")]
-        );
+        assert_eq!(a.free_vars(m2), vec![Symbol::new("U"), Symbol::new("V")]);
     }
 }

@@ -118,8 +118,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             }
             _ if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
                 {
                     i += 1;
                 }
@@ -285,7 +284,11 @@ impl<'a> Parser<'a> {
                         _ => None,
                     }
                 };
-                match (as_num(self, args[0]), as_num(self, args[1]), as_num(self, args[2])) {
+                match (
+                    as_num(self, args[0]),
+                    as_num(self, args[1]),
+                    as_num(self, args[2]),
+                ) {
                     (Some(v), Some(r), Some(c)) => Ok(self.arena.fill(v, r as u64, c as u64)),
                     _ => Err(ParseError {
                         message: "matrix() arguments must be literals".into(),
@@ -300,7 +303,11 @@ impl<'a> Parser<'a> {
                         offset: off,
                     });
                 }
-                let op = if name == "min" { BinOp::Min } else { BinOp::Max };
+                let op = if name == "min" {
+                    BinOp::Min
+                } else {
+                    BinOp::Max
+                };
                 Ok(self.arena.bin(op, args[0], args[1]))
             }
             _ => Err(ParseError {

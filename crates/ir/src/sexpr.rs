@@ -186,7 +186,12 @@ mod tests {
 
     #[test]
     fn display_round_trip() {
-        for s in ["(sum i (* (b i j A) (b j k B)))", "x", "(f)", "(f (g (h x)))"] {
+        for s in [
+            "(sum i (* (b i j A) (b j k B)))",
+            "x",
+            "(f)",
+            "(f (g (h x)))",
+        ] {
             let e = parse_sexp(s).unwrap();
             assert_eq!(parse_sexp(&e.to_string()).unwrap(), e);
         }

@@ -188,8 +188,14 @@ mod tests {
         let col = Dense::new(2, 1, vec![10., 20.]);
         let row = Dense::new(1, 3, vec![1., 2., 3.]);
         let s = Dense::scalar(100.);
-        assert_eq!(a.zip(&col, |x, y| x + y).data, vec![11., 12., 13., 24., 25., 26.]);
-        assert_eq!(a.zip(&row, |x, y| x * y).data, vec![1., 4., 9., 4., 10., 18.]);
+        assert_eq!(
+            a.zip(&col, |x, y| x + y).data,
+            vec![11., 12., 13., 24., 25., 26.]
+        );
+        assert_eq!(
+            a.zip(&row, |x, y| x * y).data,
+            vec![1., 4., 9., 4., 10., 18.]
+        );
         assert_eq!(a.zip(&s, |x, y| x + y).get(1, 2), 106.0);
     }
 

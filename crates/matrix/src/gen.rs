@@ -18,9 +18,7 @@ pub fn rng(seed: u64) -> StdRng {
 
 /// Dense matrix with entries uniform in `[lo, hi)`.
 pub fn rand_dense(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut StdRng) -> Matrix {
-    let data = (0..rows * cols)
-        .map(|_| rng.random_range(lo..hi))
-        .collect();
+    let data = (0..rows * cols).map(|_| rng.random_range(lo..hi)).collect();
     Matrix::Dense(Dense::new(rows, cols, data))
 }
 
@@ -51,9 +49,7 @@ pub fn rand_sparse(
 
 /// 0/1 label column vector.
 pub fn rand_labels(rows: usize, rng: &mut StdRng) -> Matrix {
-    let data = (0..rows)
-        .map(|_| f64::from(rng.random_bool(0.5)))
-        .collect();
+    let data = (0..rows).map(|_| f64::from(rng.random_bool(0.5))).collect();
     Matrix::Dense(Dense::new(rows, 1, data))
 }
 

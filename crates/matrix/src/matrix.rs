@@ -96,7 +96,12 @@ impl Matrix {
 
     /// Scalar value of a 1×1 matrix.
     pub fn as_scalar(&self) -> f64 {
-        assert!(self.is_scalar(), "not a scalar: {}x{}", self.rows(), self.cols());
+        assert!(
+            self.is_scalar(),
+            "not a scalar: {}x{}",
+            self.rows(),
+            self.cols()
+        );
         self.get(0, 0)
     }
 
@@ -162,9 +167,7 @@ impl Matrix {
     /// Element-wise add with broadcasting.
     pub fn add(&self, other: &Matrix) -> Matrix {
         match (self, other) {
-            (Matrix::Sparse(a), Matrix::Sparse(b))
-                if a.rows == b.rows && a.cols == b.cols =>
-            {
+            (Matrix::Sparse(a), Matrix::Sparse(b)) if a.rows == b.rows && a.cols == b.cols => {
                 Matrix::maybe_sparsify(a.add(b))
             }
             (a, b) => Matrix::Dense(a.to_dense().zip(&b.to_dense(), |x, y| x + y)),
@@ -173,9 +176,7 @@ impl Matrix {
 
     pub fn sub(&self, other: &Matrix) -> Matrix {
         match (self, other) {
-            (Matrix::Sparse(a), Matrix::Sparse(b))
-                if a.rows == b.rows && a.cols == b.cols =>
-            {
+            (Matrix::Sparse(a), Matrix::Sparse(b)) if a.rows == b.rows && a.cols == b.cols => {
                 Matrix::maybe_sparsify(a.add(&b.scale(-1.0)))
             }
             (a, b) => Matrix::Dense(a.to_dense().zip(&b.to_dense(), |x, y| x - y)),
@@ -281,11 +282,7 @@ mod tests {
     }
 
     fn dense() -> Matrix {
-        Matrix::Dense(Dense::new(
-            3,
-            3,
-            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
-        ))
+        Matrix::Dense(Dense::new(3, 3, vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]))
     }
 
     #[test]

@@ -20,11 +20,7 @@ pub struct Csr {
 impl Csr {
     /// Build from (row, col, value) triplets (duplicates summed,
     /// zeros dropped).
-    pub fn from_triplets(
-        rows: usize,
-        cols: usize,
-        mut triplets: Vec<(usize, usize, f64)>,
-    ) -> Csr {
+    pub fn from_triplets(rows: usize, cols: usize, mut triplets: Vec<(usize, usize, f64)>) -> Csr {
         triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
         // sum duplicates in place
         let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(triplets.len());

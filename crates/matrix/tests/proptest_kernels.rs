@@ -5,9 +5,8 @@ use spores_matrix::{Csr, Dense, Matrix};
 
 fn dense_matrix(max: usize) -> impl Strategy<Value = Dense> {
     (1..=max, 1..=max).prop_flat_map(|(r, c)| {
-        prop::collection::vec(-5i8..=5, r * c).prop_map(move |v| {
-            Dense::new(r, c, v.into_iter().map(f64::from).collect())
-        })
+        prop::collection::vec(-5i8..=5, r * c)
+            .prop_map(move |v| Dense::new(r, c, v.into_iter().map(f64::from).collect()))
     })
 }
 

@@ -15,9 +15,7 @@
 //! the deterministic [`ExecStats`] counters.
 
 use crate::workloads::Workload;
-use spores_core::{
-    ExtractorKind, Optimizer, OptimizerConfig, PhaseTimings, VarMeta,
-};
+use spores_core::{ExtractorKind, Optimizer, OptimizerConfig, PhaseTimings, VarMeta};
 use spores_egraph::Scheduler;
 use spores_exec::{ExecConfig, ExecError, ExecStats, Executor};
 use spores_ir::{ExprArena, NodeId, Symbol};
@@ -127,8 +125,7 @@ pub fn compile(workload: &Workload, mode: &Mode) -> Compiled {
     let mut max_e_nodes = 0;
 
     for (target, root) in roots {
-        let shape_env: spores_ir::ShapeEnv =
-            meta.iter().map(|(&s, m)| (s, m.shape)).collect();
+        let shape_env: spores_ir::ShapeEnv = meta.iter().map(|(&s, m)| (s, m.shape)).collect();
         let out_shape = arena
             .shape_of(root, &shape_env)
             .unwrap_or_else(|e| panic!("{}: {e}", workload.name));

@@ -53,10 +53,7 @@ impl Workload {
             .map(|(&s, m)| {
                 (
                     s,
-                    (
-                        Shape::new(m.rows() as u64, m.cols() as u64),
-                        m.sparsity(),
-                    ),
+                    (Shape::new(m.rows() as u64, m.cols() as u64), m.sparsity()),
                 )
             })
             .collect()

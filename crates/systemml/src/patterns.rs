@@ -62,36 +62,96 @@ macro_rules! pat {
 /// The full corpus. Grouped by method, in the order of Figure 14.
 pub static CORPUS: &[RewritePattern] = &[
     // --- UnnecessaryOuterProduct (3) ---------------------------------
-    pat!("UnnecessaryOuterProduct", "X * (Y %*% matrix(1, 1, 6))", "X * Y",
-         [("X", M, N, 1.0), ("Y", M, 1, 1.0)]),
-    pat!("UnnecessaryOuterProduct", "X * (matrix(1, 8, 1) %*% Y)", "X * Y",
-         [("X", M, N, 1.0), ("Y", 1, N, 1.0)]),
-    pat!("UnnecessaryOuterProduct", "X / (Y %*% matrix(1, 1, 6))", "X / Y",
-         [("X", M, N, 1.0), ("Y", M, 1, 1.0)]),
+    pat!(
+        "UnnecessaryOuterProduct",
+        "X * (Y %*% matrix(1, 1, 6))",
+        "X * Y",
+        [("X", M, N, 1.0), ("Y", M, 1, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryOuterProduct",
+        "X * (matrix(1, 8, 1) %*% Y)",
+        "X * Y",
+        [("X", M, N, 1.0), ("Y", 1, N, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryOuterProduct",
+        "X / (Y %*% matrix(1, 1, 6))",
+        "X / Y",
+        [("X", M, N, 1.0), ("Y", M, 1, 1.0)]
+    ),
     // --- ColwiseAgg (3) ------------------------------------------------
     pat!("ColwiseAgg", "colSums(X)", "sum(X)", [("X", M, 1, 1.0)]),
     pat!("ColwiseAgg", "colSums(X)", "X", [("X", 1, N, 1.0)]),
-    pat!("ColwiseAgg", "colSums(X)", "t(rowSums(t(X)))", [("X", M, N, 1.0)]),
+    pat!(
+        "ColwiseAgg",
+        "colSums(X)",
+        "t(rowSums(t(X)))",
+        [("X", M, N, 1.0)]
+    ),
     // --- RowwiseAgg (3) ------------------------------------------------
     pat!("RowwiseAgg", "rowSums(X)", "sum(X)", [("X", 1, N, 1.0)]),
     pat!("RowwiseAgg", "rowSums(X)", "X", [("X", M, 1, 1.0)]),
-    pat!("RowwiseAgg", "rowSums(X)", "t(colSums(t(X)))", [("X", M, N, 1.0)]),
+    pat!(
+        "RowwiseAgg",
+        "rowSums(X)",
+        "t(colSums(t(X)))",
+        [("X", M, N, 1.0)]
+    ),
     // --- ColSumsMVMult (1) ----------------------------------------------
-    pat!("ColSumsMVMult", "colSums(X * Y)", "t(Y) %*% X",
-         [("X", M, N, 1.0), ("Y", M, 1, 1.0)]),
+    pat!(
+        "ColSumsMVMult",
+        "colSums(X * Y)",
+        "t(Y) %*% X",
+        [("X", M, N, 1.0), ("Y", M, 1, 1.0)]
+    ),
     // --- RowSumsMVMult (1) ----------------------------------------------
-    pat!("RowSumsMVMult", "rowSums(X * Y)", "X %*% t(Y)",
-         [("X", M, N, 1.0), ("Y", 1, N, 1.0)]),
+    pat!(
+        "RowSumsMVMult",
+        "rowSums(X * Y)",
+        "X %*% t(Y)",
+        [("X", M, N, 1.0), ("Y", 1, N, 1.0)]
+    ),
     // --- UnnecessaryAggregate (9): agg of a 1x1 is the scalar itself ----
     pat!("UnnecessaryAggregate", "sum(X)", "X", [("X", 1, 1, 1.0)]),
-    pat!("UnnecessaryAggregate", "rowSums(X)", "X", [("X", 1, 1, 1.0)]),
-    pat!("UnnecessaryAggregate", "colSums(X)", "X", [("X", 1, 1, 1.0)]),
-    pat!("UnnecessaryAggregate", "rowSums(t(X))", "X", [("X", 1, 1, 1.0)]),
-    pat!("UnnecessaryAggregate", "colSums(t(X))", "X", [("X", 1, 1, 1.0)]),
+    pat!(
+        "UnnecessaryAggregate",
+        "rowSums(X)",
+        "X",
+        [("X", 1, 1, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryAggregate",
+        "colSums(X)",
+        "X",
+        [("X", 1, 1, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryAggregate",
+        "rowSums(t(X))",
+        "X",
+        [("X", 1, 1, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryAggregate",
+        "colSums(t(X))",
+        "X",
+        [("X", 1, 1, 1.0)]
+    ),
     pat!("UnnecessaryAggregate", "t(X)", "X", [("X", 1, 1, 1.0)]),
-    pat!("UnnecessaryAggregate", "sum(rowSums(X))", "X", [("X", 1, 1, 1.0)]),
+    pat!(
+        "UnnecessaryAggregate",
+        "sum(rowSums(X))",
+        "X",
+        [("X", 1, 1, 1.0)]
+    ),
     pat!("UnnecessaryAggregate", "sum(t(X))", "X", [("X", 1, 1, 1.0)]),
-    pat!("UnnecessaryAggregate", "sum(X * X)", "X * X", [("X", 1, 1, 1.0)]),
+    pat!(
+        "UnnecessaryAggregate",
+        "sum(X * X)",
+        "X * X",
+        [("X", 1, 1, 1.0)]
+    ),
     // --- EmptyAgg (3): nnz(X) == 0 --------------------------------------
     pat!(zero "EmptyAgg", "sum(X)", "0", [("X", M, N, 0.0)]),
     pat!(zero "EmptyAgg", "rowSums(X)", "matrix(0, 8, 1)", [("X", M, N, 0.0)]),
@@ -106,108 +166,364 @@ pub static CORPUS: &[RewritePattern] = &[
     pat!(zero "EmptyMMult", "X %*% Y", "matrix(0, 8, 8)",
          [("X", M, N, 1.0), ("Y", N, M, 0.0)]),
     // --- IdentityRepMatrixMult (1) ------------------------------------------
-    pat!("IdentityRepMatrixMult", "X %*% matrix(1, 1, 1)", "X", [("X", M, 1, 1.0)]),
+    pat!(
+        "IdentityRepMatrixMult",
+        "X %*% matrix(1, 1, 1)",
+        "X",
+        [("X", M, 1, 1.0)]
+    ),
     // --- ScalarMatrixMult (2) --------------------------------------------
-    pat!("ScalarMatrixMult", "X %*% y", "X * y", [("X", M, 1, 1.0), ("y", 1, 1, 1.0)]),
-    pat!("ScalarMatrixMult", "y %*% X", "X * y", [("X", 1, N, 1.0), ("y", 1, 1, 1.0)]),
+    pat!(
+        "ScalarMatrixMult",
+        "X %*% y",
+        "X * y",
+        [("X", M, 1, 1.0), ("y", 1, 1, 1.0)]
+    ),
+    pat!(
+        "ScalarMatrixMult",
+        "y %*% X",
+        "X * y",
+        [("X", 1, N, 1.0), ("y", 1, 1, 1.0)]
+    ),
     // --- pushdownSumOnAdd (2) ---------------------------------------------
-    pat!("pushdownSumOnAdd", "sum(A + B)", "sum(A) + sum(B)",
-         [("A", M, N, 1.0), ("B", M, N, 1.0)]),
-    pat!("pushdownSumOnAdd", "sum(A - B)", "sum(A) - sum(B)",
-         [("A", M, N, 1.0), ("B", M, N, 1.0)]),
+    pat!(
+        "pushdownSumOnAdd",
+        "sum(A + B)",
+        "sum(A) + sum(B)",
+        [("A", M, N, 1.0), ("B", M, N, 1.0)]
+    ),
+    pat!(
+        "pushdownSumOnAdd",
+        "sum(A - B)",
+        "sum(A) - sum(B)",
+        [("A", M, N, 1.0), ("B", M, N, 1.0)]
+    ),
     // --- DotProductSum (2) ---------------------------------------------------
-    pat!("DotProductSum", "sum(v^2)", "t(v) %*% v", [("v", M, 1, 1.0)]),
-    pat!("DotProductSum", "sum(v * v)", "t(v) %*% v", [("v", M, 1, 1.0)]),
+    pat!(
+        "DotProductSum",
+        "sum(v^2)",
+        "t(v) %*% v",
+        [("v", M, 1, 1.0)]
+    ),
+    pat!(
+        "DotProductSum",
+        "sum(v * v)",
+        "t(v) %*% v",
+        [("v", M, 1, 1.0)]
+    ),
     // --- reorderMinusMatrixMult (2) -----------------------------------------
-    pat!("reorderMinusMatrixMult", "(-t(X)) %*% y", "-(t(X) %*% y)",
-         [("X", M, N, 1.0), ("y", M, 1, 1.0)]),
-    pat!("reorderMinusMatrixMult", "X %*% (-y)", "-(X %*% y)",
-         [("X", M, N, 1.0), ("y", N, 1, 1.0)]),
+    pat!(
+        "reorderMinusMatrixMult",
+        "(-t(X)) %*% y",
+        "-(t(X) %*% y)",
+        [("X", M, N, 1.0), ("y", M, 1, 1.0)]
+    ),
+    pat!(
+        "reorderMinusMatrixMult",
+        "X %*% (-y)",
+        "-(X %*% y)",
+        [("X", M, N, 1.0), ("y", N, 1, 1.0)]
+    ),
     // --- SumMatrixMult (3) -----------------------------------------------------
-    pat!("SumMatrixMult", "sum(A %*% B)", "sum(t(colSums(A)) * rowSums(B))",
-         [("A", M, N, 1.0), ("B", N, M, 1.0)]),
-    pat!("SumMatrixMult", "sum(A %*% v)", "sum(t(colSums(A)) * v)",
-         [("A", M, N, 1.0), ("v", N, 1, 1.0)]),
-    pat!("SumMatrixMult", "sum(t(v) %*% B)", "sum(v * rowSums(B))",
-         [("v", N, 1, 1.0), ("B", N, M, 1.0)]),
+    pat!(
+        "SumMatrixMult",
+        "sum(A %*% B)",
+        "sum(t(colSums(A)) * rowSums(B))",
+        [("A", M, N, 1.0), ("B", N, M, 1.0)]
+    ),
+    pat!(
+        "SumMatrixMult",
+        "sum(A %*% v)",
+        "sum(t(colSums(A)) * v)",
+        [("A", M, N, 1.0), ("v", N, 1, 1.0)]
+    ),
+    pat!(
+        "SumMatrixMult",
+        "sum(t(v) %*% B)",
+        "sum(v * rowSums(B))",
+        [("v", N, 1, 1.0), ("B", N, M, 1.0)]
+    ),
     // --- EmptyBinaryOperation (3) ------------------------------------------------
     pat!(zero "EmptyBinaryOperation", "X * Y", "matrix(0, 8, 6)",
          [("X", M, N, 1.0), ("Y", M, N, 0.0)]),
-    pat!("EmptyBinaryOperation", "X + Y", "X", [("X", M, N, 1.0), ("Y", M, N, 0.0)]),
-    pat!("EmptyBinaryOperation", "X - Y", "X", [("X", M, N, 1.0), ("Y", M, N, 0.0)]),
+    pat!(
+        "EmptyBinaryOperation",
+        "X + Y",
+        "X",
+        [("X", M, N, 1.0), ("Y", M, N, 0.0)]
+    ),
+    pat!(
+        "EmptyBinaryOperation",
+        "X - Y",
+        "X",
+        [("X", M, N, 1.0), ("Y", M, N, 0.0)]
+    ),
     // --- ScalarMVBinaryOperation (1) ----------------------------------------------
-    pat!("ScalarMVBinaryOperation", "X * y", "X * y", [("X", M, N, 1.0), ("y", 1, 1, 1.0)]),
+    pat!(
+        "ScalarMVBinaryOperation",
+        "X * y",
+        "X * y",
+        [("X", M, N, 1.0), ("y", 1, 1, 1.0)]
+    ),
     // --- UnnecessaryBinaryOperation (6) ----------------------------------------
-    pat!("UnnecessaryBinaryOperation", "X * 1", "X", [("X", M, N, 1.0)]),
-    pat!("UnnecessaryBinaryOperation", "1 * X", "X", [("X", M, N, 1.0)]),
-    pat!("UnnecessaryBinaryOperation", "X + 0", "X", [("X", M, N, 1.0)]),
-    pat!("UnnecessaryBinaryOperation", "0 + X", "X", [("X", M, N, 1.0)]),
-    pat!("UnnecessaryBinaryOperation", "X - 0", "X", [("X", M, N, 1.0)]),
-    pat!("UnnecessaryBinaryOperation", "X / 1", "X", [("X", M, N, 1.0)]),
+    pat!(
+        "UnnecessaryBinaryOperation",
+        "X * 1",
+        "X",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryBinaryOperation",
+        "1 * X",
+        "X",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryBinaryOperation",
+        "X + 0",
+        "X",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryBinaryOperation",
+        "0 + X",
+        "X",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryBinaryOperation",
+        "X - 0",
+        "X",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryBinaryOperation",
+        "X / 1",
+        "X",
+        [("X", M, N, 1.0)]
+    ),
     // --- BinaryToUnaryOperation (3) ------------------------------------------------
     pat!("BinaryToUnaryOperation", "X * X", "X^2", [("X", M, N, 1.0)]),
-    pat!("BinaryToUnaryOperation", "X + X", "X * 2", [("X", M, N, 1.0)]),
-    pat!("BinaryToUnaryOperation", "(X > 0) - (X < 0)", "sign(X)", [("X", M, N, 1.0)]),
+    pat!(
+        "BinaryToUnaryOperation",
+        "X + X",
+        "X * 2",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "BinaryToUnaryOperation",
+        "(X > 0) - (X < 0)",
+        "sign(X)",
+        [("X", M, N, 1.0)]
+    ),
     // --- MatrixMultScalarAdd (2) -----------------------------------------------------
-    pat!("MatrixMultScalarAdd", "s + U %*% t(V)", "U %*% t(V) + s",
-         [("s", 1, 1, 1.0), ("U", M, 2, 1.0), ("V", N, 2, 1.0)]),
-    pat!("MatrixMultScalarAdd", "s - U %*% t(V)", "-(U %*% t(V)) + s",
-         [("s", 1, 1, 1.0), ("U", M, 2, 1.0), ("V", N, 2, 1.0)]),
+    pat!(
+        "MatrixMultScalarAdd",
+        "s + U %*% t(V)",
+        "U %*% t(V) + s",
+        [("s", 1, 1, 1.0), ("U", M, 2, 1.0), ("V", N, 2, 1.0)]
+    ),
+    pat!(
+        "MatrixMultScalarAdd",
+        "s - U %*% t(V)",
+        "-(U %*% t(V)) + s",
+        [("s", 1, 1, 1.0), ("U", M, 2, 1.0), ("V", N, 2, 1.0)]
+    ),
     // --- DistributiveBinaryOperation (4) ------------------------------------------
-    pat!("DistributiveBinaryOperation", "X - Y*X", "(1 - Y) * X",
-         [("X", M, N, 1.0), ("Y", M, N, 1.0)]),
-    pat!("DistributiveBinaryOperation", "X + Y*X", "(1 + Y) * X",
-         [("X", M, N, 1.0), ("Y", M, N, 1.0)]),
-    pat!("DistributiveBinaryOperation", "X - X*Y", "X * (1 - Y)",
-         [("X", M, N, 1.0), ("Y", M, N, 1.0)]),
-    pat!("DistributiveBinaryOperation", "X*Y + X", "X * (Y + 1)",
-         [("X", M, N, 1.0), ("Y", M, N, 1.0)]),
+    pat!(
+        "DistributiveBinaryOperation",
+        "X - Y*X",
+        "(1 - Y) * X",
+        [("X", M, N, 1.0), ("Y", M, N, 1.0)]
+    ),
+    pat!(
+        "DistributiveBinaryOperation",
+        "X + Y*X",
+        "(1 + Y) * X",
+        [("X", M, N, 1.0), ("Y", M, N, 1.0)]
+    ),
+    pat!(
+        "DistributiveBinaryOperation",
+        "X - X*Y",
+        "X * (1 - Y)",
+        [("X", M, N, 1.0), ("Y", M, N, 1.0)]
+    ),
+    pat!(
+        "DistributiveBinaryOperation",
+        "X*Y + X",
+        "X * (Y + 1)",
+        [("X", M, N, 1.0), ("Y", M, N, 1.0)]
+    ),
     // --- BushyBinaryOperation (3) ---------------------------------------------------
-    pat!("BushyBinaryOperation", "X * (Y * (Z %*% v))", "(X * Y) * (Z %*% v)",
-         [("X", M, 1, 1.0), ("Y", M, 1, 1.0), ("Z", M, N, 1.0), ("v", N, 1, 1.0)]),
-    pat!("BushyBinaryOperation", "X * (Y * v)", "(X * Y) * v",
-         [("X", M, N, 1.0), ("Y", M, N, 1.0), ("v", M, 1, 1.0)]),
-    pat!("BushyBinaryOperation", "(X * Y) * Z", "X * (Y * Z)",
-         [("X", M, N, 1.0), ("Y", M, N, 1.0), ("Z", M, N, 1.0)]),
+    pat!(
+        "BushyBinaryOperation",
+        "X * (Y * (Z %*% v))",
+        "(X * Y) * (Z %*% v)",
+        [
+            ("X", M, 1, 1.0),
+            ("Y", M, 1, 1.0),
+            ("Z", M, N, 1.0),
+            ("v", N, 1, 1.0)
+        ]
+    ),
+    pat!(
+        "BushyBinaryOperation",
+        "X * (Y * v)",
+        "(X * Y) * v",
+        [("X", M, N, 1.0), ("Y", M, N, 1.0), ("v", M, 1, 1.0)]
+    ),
+    pat!(
+        "BushyBinaryOperation",
+        "(X * Y) * Z",
+        "X * (Y * Z)",
+        [("X", M, N, 1.0), ("Y", M, N, 1.0), ("Z", M, N, 1.0)]
+    ),
     // --- UnaryAggReorgOperation (3) -------------------------------------------------
-    pat!("UnaryAggReorgOperation", "sum(t(X))", "sum(X)", [("X", M, N, 1.0)]),
-    pat!("UnaryAggReorgOperation", "sum(-X)", "-sum(X)", [("X", M, N, 1.0)]),
-    pat!("UnaryAggReorgOperation", "sum(t(X) * 2)", "sum(X * 2)", [("X", M, N, 1.0)]),
+    pat!(
+        "UnaryAggReorgOperation",
+        "sum(t(X))",
+        "sum(X)",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "UnaryAggReorgOperation",
+        "sum(-X)",
+        "-sum(X)",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "UnaryAggReorgOperation",
+        "sum(t(X) * 2)",
+        "sum(X * 2)",
+        [("X", M, N, 1.0)]
+    ),
     // --- UnnecessaryAggregates (8) ---------------------------------------------------
-    pat!("UnnecessaryAggregates", "sum(rowSums(X))", "sum(X)", [("X", M, N, 1.0)]),
-    pat!("UnnecessaryAggregates", "sum(colSums(X))", "sum(X)", [("X", M, N, 1.0)]),
-    pat!("UnnecessaryAggregates", "rowSums(rowSums(X))", "rowSums(X)", [("X", M, N, 1.0)]),
-    pat!("UnnecessaryAggregates", "colSums(colSums(X))", "colSums(X)", [("X", M, N, 1.0)]),
-    pat!("UnnecessaryAggregates", "sum(sum(X))", "sum(X)", [("X", M, N, 1.0)]),
-    pat!("UnnecessaryAggregates", "colSums(rowSums(X))", "sum(X)", [("X", M, N, 1.0)]),
-    pat!("UnnecessaryAggregates", "rowSums(colSums(X))", "sum(X)", [("X", M, N, 1.0)]),
-    pat!("UnnecessaryAggregates", "sum(rowSums(X) + rowSums(Y))", "sum(X) + sum(Y)",
-         [("X", M, N, 1.0), ("Y", M, N, 1.0)]),
+    pat!(
+        "UnnecessaryAggregates",
+        "sum(rowSums(X))",
+        "sum(X)",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryAggregates",
+        "sum(colSums(X))",
+        "sum(X)",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryAggregates",
+        "rowSums(rowSums(X))",
+        "rowSums(X)",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryAggregates",
+        "colSums(colSums(X))",
+        "colSums(X)",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryAggregates",
+        "sum(sum(X))",
+        "sum(X)",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryAggregates",
+        "colSums(rowSums(X))",
+        "sum(X)",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryAggregates",
+        "rowSums(colSums(X))",
+        "sum(X)",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryAggregates",
+        "sum(rowSums(X) + rowSums(Y))",
+        "sum(X) + sum(Y)",
+        [("X", M, N, 1.0), ("Y", M, N, 1.0)]
+    ),
     // --- BinaryMatrixScalarOperation (3) ----------------------------------------------
-    pat!("BinaryMatrixScalarOperation", "sum(X * s)", "sum(X) * s",
-         [("X", 1, 1, 1.0), ("s", 1, 1, 1.0)]),
-    pat!("BinaryMatrixScalarOperation", "sum(X + s)", "sum(X) + s",
-         [("X", 1, 1, 1.0), ("s", 1, 1, 1.0)]),
-    pat!("BinaryMatrixScalarOperation", "sum(X / s)", "sum(X) / s",
-         [("X", 1, 1, 1.0), ("s", 1, 1, 1.0)]),
+    pat!(
+        "BinaryMatrixScalarOperation",
+        "sum(X * s)",
+        "sum(X) * s",
+        [("X", 1, 1, 1.0), ("s", 1, 1, 1.0)]
+    ),
+    pat!(
+        "BinaryMatrixScalarOperation",
+        "sum(X + s)",
+        "sum(X) + s",
+        [("X", 1, 1, 1.0), ("s", 1, 1, 1.0)]
+    ),
+    pat!(
+        "BinaryMatrixScalarOperation",
+        "sum(X / s)",
+        "sum(X) / s",
+        [("X", 1, 1, 1.0), ("s", 1, 1, 1.0)]
+    ),
     // --- pushdownUnaryAggTransposeOp (2) ------------------------------------------------
-    pat!("pushdownUnaryAggTransposeOp", "colSums(t(X))", "t(rowSums(X))", [("X", M, N, 1.0)]),
-    pat!("pushdownUnaryAggTransposeOp", "rowSums(t(X))", "t(colSums(X))", [("X", M, N, 1.0)]),
+    pat!(
+        "pushdownUnaryAggTransposeOp",
+        "colSums(t(X))",
+        "t(rowSums(X))",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "pushdownUnaryAggTransposeOp",
+        "rowSums(t(X))",
+        "t(colSums(X))",
+        [("X", M, N, 1.0)]
+    ),
     // --- pushdownCSETransposeScalarOp (1) ------------------------------------------------
-    pat!("pushdownCSETransposeScalarOp", "t(X^2)", "t(X)^2", [("X", M, N, 1.0)]),
+    pat!(
+        "pushdownCSETransposeScalarOp",
+        "t(X^2)",
+        "t(X)^2",
+        [("X", M, N, 1.0)]
+    ),
     // --- pushdownSumBinaryMult (2) ---------------------------------------------------------
-    pat!("pushdownSumBinaryMult", "sum(s * X)", "s * sum(X)",
-         [("s", 1, 1, 1.0), ("X", M, N, 1.0)]),
-    pat!("pushdownSumBinaryMult", "sum(X * s)", "s * sum(X)",
-         [("s", 1, 1, 1.0), ("X", M, N, 1.0)]),
+    pat!(
+        "pushdownSumBinaryMult",
+        "sum(s * X)",
+        "s * sum(X)",
+        [("s", 1, 1, 1.0), ("X", M, N, 1.0)]
+    ),
+    pat!(
+        "pushdownSumBinaryMult",
+        "sum(X * s)",
+        "s * sum(X)",
+        [("s", 1, 1, 1.0), ("X", M, N, 1.0)]
+    ),
     // --- UnnecessaryReorgOperation (2) --------------------------------------------------------
-    pat!("UnnecessaryReorgOperation", "t(t(X))", "X", [("X", M, N, 1.0)]),
-    pat!("UnnecessaryReorgOperation", "t(t(X) * 2)", "X * 2", [("X", M, N, 1.0)]),
+    pat!(
+        "UnnecessaryReorgOperation",
+        "t(t(X))",
+        "X",
+        [("X", M, N, 1.0)]
+    ),
+    pat!(
+        "UnnecessaryReorgOperation",
+        "t(t(X) * 2)",
+        "X * 2",
+        [("X", M, N, 1.0)]
+    ),
     // --- TransposeAggBinBinaryChains (2) ----------------------------------------------------
-    pat!("TransposeAggBinBinaryChains", "t(t(A) %*% t(B) + C)", "B %*% A + t(C)",
-         [("A", M, N, 1.0), ("B", N, M, 1.0), ("C", N, N, 1.0)]),
-    pat!("TransposeAggBinBinaryChains", "t(t(A) %*% t(B))", "B %*% A",
-         [("A", M, N, 1.0), ("B", N, M, 1.0)]),
+    pat!(
+        "TransposeAggBinBinaryChains",
+        "t(t(A) %*% t(B) + C)",
+        "B %*% A + t(C)",
+        [("A", M, N, 1.0), ("B", N, M, 1.0), ("C", N, N, 1.0)]
+    ),
+    pat!(
+        "TransposeAggBinBinaryChains",
+        "t(t(A) %*% t(B))",
+        "B %*% A",
+        [("A", M, N, 1.0), ("B", N, M, 1.0)]
+    ),
     // --- UnnecessaryMinus (1) --------------------------------------------------------------
     pat!("UnnecessaryMinus", "-(-X)", "X", [("X", M, N, 1.0)]),
 ];
@@ -292,8 +608,12 @@ mod tests {
                 .iter()
                 .map(|&(n, rr, cc, _)| (spores_ir::Symbol::new(n), spores_ir::Shape::new(rr, cc)))
                 .collect();
-            let ls = arena.shape_of(l, &env).unwrap_or_else(|e| panic!("{}: {e}", p.lhs));
-            let rs = arena.shape_of(r, &env).unwrap_or_else(|e| panic!("{}: {e}", p.rhs));
+            let ls = arena
+                .shape_of(l, &env)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.lhs));
+            let rs = arena
+                .shape_of(r, &env)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.rhs));
             assert_eq!(ls, rs, "{} vs {}", p.lhs, p.rhs);
         }
     }

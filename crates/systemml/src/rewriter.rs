@@ -72,8 +72,7 @@ impl HeuristicRewriter {
         let mut applied = Vec::new();
         for _pass in 0..8 {
             let before = cur_arena.display(cur_root);
-            let (next_arena, next_root) =
-                self.one_pass(&cur_arena, cur_root, vars, &mut applied);
+            let (next_arena, next_root) = self.one_pass(&cur_arena, cur_root, vars, &mut applied);
             let after = next_arena.display(next_root);
             cur_arena = next_arena;
             cur_root = next_root;
@@ -168,8 +167,7 @@ impl HeuristicRewriter {
             id = new;
         }
         if self.level == OptLevel::Opt2 {
-            if let Some((name, new)) = self.sum_product_rewrites(out, id, orig_arena, orig, ctx)
-            {
+            if let Some((name, new)) = self.sum_product_rewrites(out, id, orig_arena, orig, ctx) {
                 applied.push(name);
                 id = new;
             }
@@ -473,12 +471,12 @@ mod tests {
     fn cse_guard_blocks_pnmf_rewrite() {
         // §4.2 PNMF: W%*%H appears twice, so the guard refuses to rewrite
         // sum(W %*% H) — "neither fires", the paper's heuristic failure
-        let vs = vars(&[("W", (50, 5), 1.0), ("H", (5, 40), 1.0), ("X", (50, 40), 0.1)]);
-        let out = rewrite(
-            "sum(W %*% H) - sum(X * (W %*% H))",
-            OptLevel::Opt2,
-            &vs,
-        );
+        let vs = vars(&[
+            ("W", (50, 5), 1.0),
+            ("H", (5, 40), 1.0),
+            ("X", (50, 40), 0.1),
+        ]);
+        let out = rewrite("sum(W %*% H) - sum(X * (W %*% H))", OptLevel::Opt2, &vs);
         assert!(
             out.contains("sum(W %*% H)"),
             "CSE guard must block the rewrite: {out}"
@@ -488,10 +486,7 @@ mod tests {
     #[test]
     fn distributive_factoring() {
         let vs = vars(&[("X", (10, 10), 1.0), ("Y", (10, 10), 1.0)]);
-        assert_eq!(
-            rewrite("X - Y*X", OptLevel::Opt2, &vs),
-            "(1 - Y) * X"
-        );
+        assert_eq!(rewrite("X - Y*X", OptLevel::Opt2, &vs), "(1 - Y) * X");
     }
 
     #[test]

@@ -10,7 +10,12 @@ use spores::ir::{ExprArena, Symbol};
 use std::collections::HashMap;
 
 fn main() {
-    type Case = (&'static str, &'static str, &'static str, Vec<(&'static str, (u64, u64))>);
+    type Case = (
+        &'static str,
+        &'static str,
+        &'static str,
+        Vec<(&'static str, (u64, u64))>,
+    );
     let cases: Vec<Case> = vec![
         (
             "SumMatrixMult",

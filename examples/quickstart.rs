@@ -56,9 +56,18 @@ fn main() {
     // run both plans on real data to confirm they agree
     let mut rng = gen::rng(7);
     let env = HashMap::from([
-        (Symbol::new("X"), gen::rand_sparse(1000, 500, 0.001, -1.0, 1.0, &mut rng)),
-        (Symbol::new("u"), gen::rand_dense(1000, 1, -1.0, 1.0, &mut rng)),
-        (Symbol::new("v"), gen::rand_dense(500, 1, -1.0, 1.0, &mut rng)),
+        (
+            Symbol::new("X"),
+            gen::rand_sparse(1000, 500, 0.001, -1.0, 1.0, &mut rng),
+        ),
+        (
+            Symbol::new("u"),
+            gen::rand_dense(1000, 1, -1.0, 1.0, &mut rng),
+        ),
+        (
+            Symbol::new("v"),
+            gen::rand_dense(500, 1, -1.0, 1.0, &mut rng),
+        ),
     ]);
     let mut exec = Executor::default();
     let before = exec.run(&arena, root, &env).expect("runs");

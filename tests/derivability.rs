@@ -32,8 +32,10 @@ fn derivable(p: &RewritePattern) -> bool {
         return eg.class(id).data.sparsity == 0.0;
     }
 
-    if let (Ok(a), Ok(b)) = (canon_of_la(&arena, lhs, &vars), canon_of_la(&arena, rhs, &vars))
-    {
+    if let (Ok(a), Ok(b)) = (
+        canon_of_la(&arena, lhs, &vars),
+        canon_of_la(&arena, rhs, &vars),
+    ) {
         if polyterm_isomorphic(&a, &b) {
             return true;
         }

@@ -36,10 +36,18 @@ fn check_semantics(src: &str, arena: &ExprArena, root: spores::ir::NodeId) {
             Symbol::new("X"),
             gen::rand_sparse(1000, 500, 0.001, -2.0, 2.0, &mut rng),
         ),
-        (Symbol::new("u"), gen::rand_dense(1000, 1, -1.0, 1.0, &mut rng)),
-        (Symbol::new("v"), gen::rand_dense(500, 1, -1.0, 1.0, &mut rng)),
+        (
+            Symbol::new("u"),
+            gen::rand_dense(1000, 1, -1.0, 1.0, &mut rng),
+        ),
+        (
+            Symbol::new("v"),
+            gen::rand_dense(500, 1, -1.0, 1.0, &mut rng),
+        ),
     ]);
-    let want = Executor::default().run(&orig_arena, orig_root, &env).unwrap();
+    let want = Executor::default()
+        .run(&orig_arena, orig_root, &env)
+        .unwrap();
     let got = Executor::default().run(arena, root, &env).unwrap();
     let (w, g) = (want.as_scalar(), got.as_scalar());
     assert!(
