@@ -1,0 +1,192 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no network access to a
+//! registry, so the workspace vendors the subset of the criterion API its
+//! benches use: [`criterion_group!`] / [`criterion_main!`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `finish`, and [`Bencher::iter`].
+//!
+//! Measurement is intentionally simple: a short warm-up, then a fixed
+//! number of timed iterations, reporting min/mean. There is no outlier
+//! analysis, no HTML report, and no saved baselines — the numbers are
+//! still comparable within one run, which is all the in-repo benches
+//! need (e.g. indexed vs naive e-matching on the same workload).
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration timer handed to `bench_function` closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value alive (like criterion,
+    /// the value is dropped *outside* the timed section).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run a few untimed iterations.
+        for _ in 0..2 {
+            std::hint::black_box(routine());
+        }
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            let elapsed = start.elapsed();
+            drop(std::hint::black_box(out));
+            self.samples.push(elapsed);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{name:<50} time: [min {} mean {}] ({} samples)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The benchmark manager (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// No-op for API compatibility (real criterion prints a summary).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size.unwrap_or(self.parent.sample_size),
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// `criterion_group!(name, target...)` — a function running each target
+/// against a fresh default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group...)` — the benchmark `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        // 2 warmup + 3 timed
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(4);
+            g.bench_function("inner", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 6);
+    }
+}
