@@ -258,7 +258,7 @@ pub mod strategy {
         )*};
     }
 
-    impl_range_strategy!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
     macro_rules! impl_tuple_strategy {
         ($(($($s:ident . $idx:tt),+))*) => {$(

@@ -17,9 +17,9 @@ pub use cost::{node_cost, NnzCost};
 pub use extract::{extract_greedy, extract_ilp, IlpStats};
 pub use homomorphism::{find_homomorphism, minimal_terms, Homomorphism};
 pub use lang::{parse_math, Math, MathExpr};
-pub use lower::{lower, LowerError};
+pub use lower::{lower, lower_with_info, LowerError, Lowered};
 pub use optimizer::{
-    ExtractorKind, Optimized, Optimizer, OptimizerConfig, PhaseTimings, SaturationStats,
+    plan_cost, ExtractorKind, Optimized, Optimizer, OptimizerConfig, PhaseTimings, SaturationStats,
 };
 pub use rules::{custom_rules, default_rules, req_rules, MathRewrite};
 pub use translate::{translate, Translation};

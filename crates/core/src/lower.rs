@@ -63,6 +63,22 @@ struct Lower<'a> {
     arena: ExprArena,
     schemas: Vec<Attrs>,
     cache: FxHashMap<(Id, Option<Symbol>, Option<Symbol>), NodeId>,
+    /// Set when the emitted plan embeds a *concrete* index dimension as a
+    /// constant (a `dim` literal, a broadcast ones-vector, or a Σ-over-
+    /// absent-index scale). Such plans are only valid for the exact input
+    /// sizes they were lowered for — the optimizer service must not
+    /// re-instantiate them at other dimensions.
+    dim_constants: bool,
+}
+
+/// A lowered LA plan plus provenance facts about it.
+#[derive(Clone, Debug)]
+pub struct Lowered {
+    pub arena: ExprArena,
+    pub root: NodeId,
+    /// True when the plan embeds concrete index dimensions as constants
+    /// (see [`lower_with_info`]); such plans are not size-polymorphic.
+    pub dim_constants: bool,
 }
 
 /// Lower `expr` (a pure-RA plan) into an [`ExprArena`], materializing the
@@ -73,6 +89,17 @@ pub fn lower(
     col: Option<Symbol>,
     ctx: &Context,
 ) -> Result<(ExprArena, NodeId), LowerError> {
+    lower_with_info(expr, row, col, ctx).map(|l| (l.arena, l.root))
+}
+
+/// [`lower`], additionally reporting whether the plan embeds concrete
+/// dimension constants (and is therefore pinned to the input sizes).
+pub fn lower_with_info(
+    expr: &MathExpr,
+    row: Option<Symbol>,
+    col: Option<Symbol>,
+    ctx: &Context,
+) -> Result<Lowered, LowerError> {
     let schemas = compute_schemas(expr)?;
     let mut lw = Lower {
         expr,
@@ -80,6 +107,7 @@ pub fn lower(
         arena: ExprArena::new(),
         schemas,
         cache: FxHashMap::default(),
+        dim_constants: false,
     };
     let root_schema = lw.schemas[expr.root().index()].clone();
     let want: Attrs = row.iter().chain(col.iter()).copied().collect();
@@ -91,7 +119,11 @@ pub fn lower(
     let fac = lw.lower_id(expr.root(), row, col)?;
     let oriented = lw.orient(fac, row, col)?;
     let cleaned = cleanup(&mut lw.arena, oriented);
-    Ok((lw.arena, cleaned))
+    Ok(Lowered {
+        arena: lw.arena,
+        root: cleaned,
+        dim_constants: lw.dim_constants,
+    })
 }
 
 fn sorted(v: &Attrs) -> Attrs {
@@ -230,6 +262,7 @@ impl<'a> Lower<'a> {
             Dim(i) => {
                 let sym = self.index_sym(i)?;
                 let d = self.dim(sym)?;
+                self.dim_constants = true;
                 Ok(LFac {
                     la: self.arena.lit(d as f64),
                     row: None,
@@ -366,10 +399,12 @@ impl<'a> Lower<'a> {
         let (row, col) = (row.unwrap(), col.unwrap());
         if attr == row {
             let f = self.lower_id(v, Some(row), None)?;
+            self.dim_constants = true;
             let ones = self.arena.fill(1.0, 1, self.dim(col)?);
             Ok(self.arena.matmul(f.la, ones))
         } else if attr == col {
             let f = self.lower_id(v, None, Some(col))?;
+            self.dim_constants = true;
             let ones = self.arena.fill(1.0, self.dim(row)?, 1);
             Ok(self.arena.matmul(ones, f.la))
         } else {
@@ -417,6 +452,12 @@ impl<'a> Lower<'a> {
                 false
             }
         });
+        if scale != 1.0 {
+            // a concrete dimension product ends up in the plan (dim-1
+            // indexes are pinned by the leaf shape classes, so only a
+            // non-trivial scale makes the plan size-specific)
+            self.dim_constants = true;
+        }
 
         // lower every factor with its *natural* orientation (the bind's
         // own row/col roles), so `W %*% H` comes out instead of
@@ -523,8 +564,13 @@ impl<'a> Lower<'a> {
             let with_k: Vec<usize> = (0..factors.len()).filter(|&i| factors[i].has(k)).collect();
             match with_k.len() {
                 0 => {
-                    // Σ_k over something without k: scale by dim(k)
+                    // Σ_k over something without k: scale by dim(k).
+                    // dim-1 indexes are pinned by the leaf shape classes,
+                    // so only a non-trivial scale pins the plan's sizes.
                     let d = self.dim(k)? as f64;
+                    if d != 1.0 {
+                        self.dim_constants = true;
+                    }
                     let lit = self.arena.lit(d);
                     if let Some(f) = factors.first_mut() {
                         f.la = self.arena.mul(f.la, lit);

@@ -8,9 +8,9 @@
 use crate::analysis::{MetaAnalysis, VarMeta};
 use crate::cost::NnzCost;
 use crate::extract::{extract_greedy, extract_ilp, IlpStats};
-use crate::lower::lower;
+use crate::lower::lower_with_info;
 use crate::rules::{default_rules, MathRewrite};
-use crate::translate::{translate, TranslateError};
+use crate::translate::{translate, TranslateError, Translation};
 use spores_egraph::{Extractor, Runner, Scheduler, StopReason};
 use spores_ir::{ExprArena, NodeId, Symbol};
 use std::collections::HashMap;
@@ -99,6 +99,12 @@ pub struct Optimized {
     pub ilp: Option<IlpStats>,
     /// True when lowering failed and the input plan was returned as-is.
     pub fell_back: bool,
+    /// True when the optimized plan is valid for *any* concrete leaf
+    /// dimensions (of the same shape classes), i.e. lowering embedded no
+    /// concrete dimension constants. Plan caches may re-instantiate such
+    /// plans at other sizes; plans with `size_polymorphic == false` are
+    /// pinned to the exact input dimensions.
+    pub size_polymorphic: bool,
 }
 
 impl Optimized {
@@ -178,17 +184,8 @@ impl Optimizer {
         let egraph = runner.egraph;
         let eroot = runner.roots[0];
 
-        // cost of the input plan, for the before/after comparison: price
-        // the translated expression against the saturated graph's
-        // (merged, i.e. tightest) sparsity estimates
-        let cost_before = {
-            let mut pre = crate::analysis::MathGraph::new(MetaAnalysis::new(tr.ctx.clone()));
-            let id = pre.add_expr(&tr.expr);
-            pre.rebuild();
-            Extractor::new(&pre, NnzCost)
-                .best_cost(id)
-                .unwrap_or(f64::INFINITY)
-        };
+        // cost of the input plan, for the before/after comparison
+        let cost_before = translated_cost(&tr);
 
         // ---- extract -----------------------------------------------------
         let t0 = Instant::now();
@@ -212,7 +209,7 @@ impl Optimizer {
         let t0 = Instant::now();
         let lowered = extracted
             .as_ref()
-            .and_then(|(_, plan)| lower(plan, tr.row, tr.col, &tr.ctx).ok());
+            .and_then(|(_, plan)| lower_with_info(plan, tr.row, tr.col, &tr.ctx).ok());
         let t_lower = t0.elapsed();
 
         let timings = PhaseTimings {
@@ -223,15 +220,16 @@ impl Optimizer {
         };
 
         match (extracted, lowered) {
-            (Some((cost_after, _)), Some((out_arena, out_root))) => Ok(Optimized {
-                arena: out_arena,
-                root: out_root,
+            (Some((cost_after, _)), Some(low)) => Ok(Optimized {
+                arena: low.arena,
+                root: low.root,
                 timings,
                 saturation,
                 cost_before,
                 cost_after,
                 ilp: ilp_stats,
                 fell_back: false,
+                size_polymorphic: !low.dim_constants,
             }),
             _ => {
                 // extraction or lowering failed: return the input plan
@@ -244,10 +242,36 @@ impl Optimizer {
                     cost_after: cost_before,
                     ilp: ilp_stats,
                     fell_back: true,
+                    size_polymorphic: false,
                 })
             }
         }
     }
+}
+
+/// Price an already-translated plan with the greedy extractor: build a
+/// fresh (unsaturated) e-graph over the expression and read its best cost
+/// under [`NnzCost`].
+fn translated_cost(tr: &Translation) -> f64 {
+    let mut pre = crate::analysis::MathGraph::new(MetaAnalysis::new(tr.ctx.clone()));
+    let id = pre.add_expr(&tr.expr);
+    pre.rebuild();
+    Extractor::new(&pre, NnzCost)
+        .best_cost(id)
+        .unwrap_or(f64::INFINITY)
+}
+
+/// Cost-model estimate ([`NnzCost`], Figure 12) of an LA plan as-is — no
+/// saturation, no extraction search. This is what a plan cache's hit
+/// re-check pays: translate + one greedy pricing pass, orders of magnitude
+/// cheaper than the full pipeline.
+pub fn plan_cost(
+    arena: &ExprArena,
+    root: NodeId,
+    vars: &HashMap<Symbol, VarMeta>,
+) -> Result<f64, TranslateError> {
+    let tr = translate(arena, root, vars)?;
+    Ok(translated_cost(&tr))
 }
 
 #[cfg(test)]

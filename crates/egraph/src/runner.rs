@@ -38,6 +38,45 @@ impl Default for Scheduler {
     }
 }
 
+/// Per-rule backoff (ROADMAP "Per-rule scheduling").
+///
+/// AC rules keep re-finding the same matches long after they stop
+/// producing unions; searching them every iteration is pure overhead. The
+/// runner watches each rule's [`RuleIterStats`]: once a rule has matched
+/// without contributing a union for `fruitless_threshold` consecutive
+/// iterations, it is muted — search is skipped entirely — for
+/// `mute_iters` iterations, then re-admitted.
+///
+/// Muting never changes the fixpoint: a zero-union iteration only counts
+/// as saturation when no rule is muted; otherwise every rule is unmuted
+/// and the iteration retried, so [`StopReason::Saturated`] keeps its
+/// meaning (the e-graph is closed under *all* rules).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Consecutive match-without-union iterations before muting.
+    pub fruitless_threshold: usize,
+    /// How many iterations a muted rule sits out.
+    pub mute_iters: usize,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            fruitless_threshold: 3,
+            mute_iters: 4,
+        }
+    }
+}
+
+/// Mutable backoff bookkeeping for one rule.
+#[derive(Clone, Debug, Default)]
+struct BackoffState {
+    /// Consecutive iterations with matches but no unions.
+    fruitless: usize,
+    /// Muted while the iteration index is below this.
+    muted_until: usize,
+}
+
 /// Why the runner stopped.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StopReason {
@@ -60,6 +99,12 @@ pub struct RuleIterStats {
     pub matches: usize,
     /// Instances applied after scheduling (sampling may drop some).
     pub applied: usize,
+    /// Unions this rule's applications produced directly (congruence
+    /// unions surfaced later by `rebuild` are not attributed).
+    pub unions: usize,
+    /// True when backoff muted this rule for this iteration (its search
+    /// was skipped entirely).
+    pub muted: bool,
 }
 
 /// Statistics for one saturation iteration.
@@ -84,6 +129,7 @@ pub struct Runner<L: Language, A: Analysis<L>> {
     pub iterations: Vec<Iteration>,
     pub stop_reason: Option<StopReason>,
     scheduler: Scheduler,
+    backoff: Option<BackoffConfig>,
     iter_limit: usize,
     node_limit: usize,
     time_limit: Duration,
@@ -103,6 +149,7 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
             iterations: Vec::new(),
             stop_reason: None,
             scheduler: Scheduler::default(),
+            backoff: Some(BackoffConfig::default()),
             iter_limit: 30,
             node_limit: 50_000,
             time_limit: Duration::from_secs(10),
@@ -123,6 +170,18 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
 
     pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Set the per-rule backoff policy (on by default).
+    pub fn with_backoff(mut self, backoff: BackoffConfig) -> Self {
+        self.backoff = Some(backoff);
+        self
+    }
+
+    /// Disable per-rule backoff: search every rule every iteration.
+    pub fn without_backoff(mut self) -> Self {
+        self.backoff = None;
         self
     }
 
@@ -152,6 +211,7 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
         if !self.egraph.is_clean() {
             self.egraph.rebuild();
         }
+        let mut backoff_state = vec![BackoffState::default(); rules.len()];
 
         loop {
             if self.iterations.len() >= self.iter_limit {
@@ -168,12 +228,23 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
             }
 
             let mut iter = Iteration::default();
+            let iter_ix = self.iterations.len();
 
             // --- search phase ---------------------------------------
             let t = Instant::now();
             // Flatten each rule's matches to (class, subst) instances.
             let mut per_rule: Vec<Vec<(Id, Subst)>> = Vec::with_capacity(rules.len());
-            for rule in rules {
+            for (i, rule) in rules.iter().enumerate() {
+                if self.backoff.is_some() && iter_ix < backoff_state[i].muted_until {
+                    // muted: skip the search entirely
+                    iter.rules.push(RuleIterStats {
+                        rule: rule.name.clone(),
+                        muted: true,
+                        ..RuleIterStats::default()
+                    });
+                    per_rule.push(Vec::new());
+                    continue;
+                }
                 let (matches, candidates) = rule.search_with_stats(&self.egraph);
                 let mut instances = Vec::new();
                 for m in matches {
@@ -186,7 +257,7 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
                     rule: rule.name.clone(),
                     candidates,
                     matches: instances.len(),
-                    applied: 0,
+                    ..RuleIterStats::default()
                 });
                 per_rule.push(instances);
             }
@@ -200,14 +271,17 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
                     // from the seed, the iteration, and the rule *name*,
                     // so which matches a rule applies is stable under
                     // rule reordering.
-                    let mut rng = rule_rng(seed, self.iterations.len() as u64, &rule.name);
+                    let mut rng = rule_rng(seed, iter_ix as u64, &rule.name);
                     sample_in_place(&mut instances, match_limit, &mut rng);
                 }
                 iter.rules[i].applied = instances.len();
+                let mut rule_unions = 0;
                 for (class, subst) in instances {
-                    iter.unions += rule.apply_match(&mut self.egraph, class, &subst);
+                    rule_unions += rule.apply_match(&mut self.egraph, class, &subst);
                     iter.matches_applied += 1;
                 }
+                iter.rules[i].unions = rule_unions;
+                iter.unions += rule_unions;
             }
             iter.apply_time = t.elapsed();
 
@@ -216,12 +290,41 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
             iter.unions += self.egraph.rebuild();
             iter.rebuild_time = t.elapsed();
 
+            // --- backoff bookkeeping ---------------------------------
+            let mut any_muted = false;
+            if let Some(cfg) = self.backoff {
+                for (i, state) in backoff_state.iter_mut().enumerate() {
+                    let stats = &iter.rules[i];
+                    if stats.muted {
+                        any_muted = true;
+                        continue;
+                    }
+                    if stats.matches > 0 && stats.unions == 0 {
+                        state.fruitless += 1;
+                        if state.fruitless >= cfg.fruitless_threshold {
+                            state.muted_until = iter_ix + 1 + cfg.mute_iters;
+                            state.fruitless = 0;
+                        }
+                    } else {
+                        state.fruitless = 0;
+                    }
+                }
+            }
+
             iter.egraph_nodes = self.egraph.total_number_of_nodes();
             iter.egraph_classes = self.egraph.number_of_classes();
             let saturated = iter.unions == 0;
             self.iterations.push(iter);
 
             if saturated {
+                if any_muted {
+                    // A fixpoint among the *active* rules only: re-admit
+                    // everything and try again before declaring saturation.
+                    for state in &mut backoff_state {
+                        *state = BackoffState::default();
+                    }
+                    continue;
+                }
                 self.stop_reason = Some(StopReason::Saturated);
                 break;
             }
@@ -389,6 +492,94 @@ mod tests {
         assert_eq!(first.rules[1].matches, 1, "comm-mul");
         let total: usize = first.rules.iter().map(|r| r.matches).sum();
         assert_eq!(total, first.matches_found);
+    }
+
+    /// The default rules plus an identity rewrite: it matches every `+`
+    /// class each iteration and never produces a union — exactly the
+    /// fruitless-but-matching shape backoff exists to mute.
+    fn rules_with_identity() -> Vec<Rewrite<Arith, ()>> {
+        let mut rs = rules();
+        rs.push(Rewrite::new("identity-add", "(+ ?a ?b)", "(+ ?a ?b)").unwrap());
+        rs
+    }
+
+    #[test]
+    fn backoff_mutes_fruitless_rules_and_saturation_is_preserved() {
+        let expr = parse_rec_expr("(+ (+ (+ a b) (+ c d)) (+ (+ e f) (+ g h)))").unwrap();
+        let cfg = BackoffConfig {
+            fruitless_threshold: 2,
+            mute_iters: 3,
+        };
+        let runner = Runner::<Arith, ()>::default()
+            .with_expr(&expr)
+            .with_scheduler(Scheduler::DepthFirst)
+            .with_backoff(cfg)
+            .with_iter_limit(50)
+            .run(&rules_with_identity());
+        assert!(runner.saturated(), "{:?}", runner.stop_reason);
+        let muted_iters: usize = runner
+            .iterations
+            .iter()
+            .flat_map(|it| &it.rules)
+            .filter(|r| r.muted)
+            .count();
+        assert!(muted_iters > 0, "backoff never muted any rule");
+        // the final iteration must be a full-rule fixpoint: nothing muted
+        let last = runner.iterations.last().unwrap();
+        assert!(last.rules.iter().all(|r| !r.muted));
+        assert_eq!(last.unions, 0);
+        // and the e-graph is the same closure the no-backoff run reaches
+        let plain = Runner::<Arith, ()>::default()
+            .with_expr(&expr)
+            .with_scheduler(Scheduler::DepthFirst)
+            .without_backoff()
+            .with_iter_limit(50)
+            .run(&rules_with_identity());
+        assert!(plain.saturated());
+        assert_eq!(
+            runner.egraph.total_number_of_nodes(),
+            plain.egraph.total_number_of_nodes()
+        );
+        assert_eq!(
+            runner.egraph.number_of_classes(),
+            plain.egraph.number_of_classes()
+        );
+    }
+
+    #[test]
+    fn muted_rules_skip_search_work() {
+        let expr = parse_rec_expr("(+ (+ (+ a b) (+ c d)) (+ (+ e f) (+ g h)))").unwrap();
+        let runner = Runner::<Arith, ()>::default()
+            .with_expr(&expr)
+            .with_scheduler(Scheduler::DepthFirst)
+            .with_backoff(BackoffConfig {
+                fruitless_threshold: 1,
+                mute_iters: 2,
+            })
+            .with_iter_limit(50)
+            .run(&rules_with_identity());
+        for it in &runner.iterations {
+            for r in &it.rules {
+                if r.muted {
+                    assert_eq!(r.candidates, 0, "muted rule searched candidates");
+                    assert_eq!(r.matches, 0);
+                    assert_eq!(r.applied, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_rule_unions_sum_to_apply_unions() {
+        let expr = parse_rec_expr("(* (+ x y) z)").unwrap();
+        let runner = Runner::<Arith, ()>::default()
+            .with_expr(&expr)
+            .with_scheduler(Scheduler::DepthFirst)
+            .run(&rules());
+        for it in &runner.iterations {
+            let per_rule: usize = it.rules.iter().map(|r| r.unions).sum();
+            assert!(per_rule <= it.unions, "rebuild can only add unions");
+        }
     }
 
     /// Which flipped `(+ b a)` forms exist after one sampled iteration —

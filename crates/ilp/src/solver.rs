@@ -44,6 +44,17 @@ impl SolveResult {
 pub struct Solver {
     pub time_limit: Duration,
     pub node_limit: u64,
+    /// Warm-start incumbent bound: the objective value of a solution the
+    /// caller already knows to be achievable (e.g. the greedy extraction's
+    /// plan). Branches whose accumulated cost strictly exceeds the bound
+    /// are pruned before any incumbent is found, which is where
+    /// branch-and-bound loses most of its time on cold starts.
+    ///
+    /// Solutions *equal* to the bound are still found (pruning is strict),
+    /// so with an achievable bound [`SolveResult::Infeasible`] keeps its
+    /// meaning. With an unachievably low bound, `Infeasible` means "no
+    /// solution within the bound".
+    pub upper_bound: Option<f64>,
 }
 
 impl Default for Solver {
@@ -51,7 +62,16 @@ impl Default for Solver {
         Solver {
             time_limit: Duration::from_secs(10),
             node_limit: 10_000_000,
+            upper_bound: None,
         }
+    }
+}
+
+impl Solver {
+    /// This solver with a warm-start incumbent upper bound.
+    pub fn with_upper_bound(mut self, bound: f64) -> Self {
+        self.upper_bound = Some(bound);
+        self
     }
 }
 
@@ -65,6 +85,8 @@ struct Search<'p> {
     trail: Vec<u32>,
     cost: f64,
     best: Option<Solution>,
+    /// caller-provided achievable objective value (warm start)
+    upper_bound: Option<f64>,
     /// branchable vars, most expensive first
     branch_order: Vec<u32>,
     nodes: u64,
@@ -76,7 +98,7 @@ enum Propagation {
 }
 
 impl<'p> Search<'p> {
-    fn new(problem: &'p Problem) -> Self {
+    fn new(problem: &'p Problem, upper_bound: Option<f64>) -> Self {
         let n = problem.n_vars() as usize;
         let mut occurs = vec![Vec::new(); n];
         for (ci, clause) in problem.clauses.iter().enumerate() {
@@ -102,6 +124,7 @@ impl<'p> Search<'p> {
             trail: Vec::new(),
             cost: 0.0,
             best: None,
+            upper_bound,
             branch_order,
             nodes: 0,
         }
@@ -127,8 +150,21 @@ impl<'p> Search<'p> {
     }
 
     fn bound_exceeded(&self) -> bool {
-        match &self.best {
-            Some(best) => self.cost >= best.cost - 1e-12,
+        // Against the incumbent the check is ≥: an equal-cost solution is
+        // redundant. Against the warm-start bound it is strictly >: the
+        // bound's own solution must remain findable so completing the
+        // search still proves optimality.
+        if let Some(best) = &self.best {
+            if self.cost >= best.cost - 1e-12 {
+                return true;
+            }
+        }
+        match self.upper_bound {
+            // relative epsilon: objectives are nnz-scale (up to ~1e8+),
+            // where an absolute 1e-9 is below one ulp and summation-order
+            // drift between the caller's bound and our accumulation could
+            // otherwise prune the bound's own solution
+            Some(ub) => self.cost > ub + ub.abs() * 1e-9 + 1e-9,
             None => false,
         }
     }
@@ -272,7 +308,7 @@ impl Solver {
         if problem.clauses.iter().any(|c| c.lits.is_empty()) {
             return SolveResult::Infeasible;
         }
-        let mut search = Search::new(problem);
+        let mut search = Search::new(problem, self.upper_bound);
         let completed = search.run(Instant::now() + self.time_limit, self.node_limit);
         match (completed, search.best) {
             (true, Some(best)) => SolveResult::Optimal(best),
@@ -444,6 +480,79 @@ mod tests {
         let sol = sol.solution().unwrap();
         assert_eq!(sol.cost, (0..21).sum::<i32>() as f64);
         assert!(sol.assignment.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn warm_start_agrees_with_cold_solve() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for round in 0..100 {
+            let n = rng.random_range(1..=10usize);
+            let mut p = Problem::new();
+            for _ in 0..n {
+                p.add_var((rng.random_range(0..100u32)) as f64);
+            }
+            for _ in 0..rng.random_range(0..=10usize) {
+                let len = rng.random_range(1..=3usize);
+                let lits: Vec<_> = (0..len)
+                    .map(|_| {
+                        let var = rng.random_range(0..n as u32);
+                        if rng.random_bool(0.5) {
+                            crate::problem::Lit::pos(var)
+                        } else {
+                            crate::problem::Lit::neg(var)
+                        }
+                    })
+                    .collect();
+                p.add_clause(lits);
+            }
+            let cold = solve(&p);
+            // warm-start from an achievable bound: a feasible solution's
+            // cost (brute force gives us one); result must be unchanged
+            let Some(feasible) = brute_force(&p) else {
+                assert_eq!(cold, SolveResult::Infeasible, "round {round}");
+                continue;
+            };
+            let warm = Solver::default().with_upper_bound(feasible.cost).solve(&p);
+            match (&cold, &warm) {
+                (SolveResult::Optimal(c), SolveResult::Optimal(w)) => {
+                    assert!(
+                        (c.cost - w.cost).abs() < 1e-9,
+                        "round {round}: cold {} warm {}",
+                        c.cost,
+                        w.cost
+                    );
+                    assert!(p.check(&w.assignment));
+                }
+                other => panic!("round {round}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tight_warm_start_bound_still_finds_the_optimum() {
+        // bound == optimum: strict pruning must keep the optimal leaf
+        let mut p = Problem::new();
+        let root = p.add_var(0.0);
+        let cheap = p.add_var(1.0);
+        let pricey = p.add_var(10.0);
+        p.require(root);
+        p.imply_any(root, &[cheap, pricey]);
+        let warm = Solver::default().with_upper_bound(1.0).solve(&p);
+        match warm {
+            SolveResult::Optimal(s) => assert_eq!(s.cost, 1.0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unachievable_bound_reports_infeasible_within_bound() {
+        let mut p = Problem::new();
+        let a = p.add_var(5.0);
+        p.require(a);
+        let warm = Solver::default().with_upper_bound(1.0).solve(&p);
+        assert_eq!(warm, SolveResult::Infeasible);
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! Shape-polymorphic plan fingerprints.
+//!
+//! A production optimizer re-compiles the *same* algebraic shapes over and
+//! over: model-serving fleets re-optimize one script per request, iterative
+//! scripts re-optimize their loop body every epoch, and only the leaf
+//! dimensions and sparsities drift. The fingerprint makes that reuse
+//! addressable: it canonicalizes the expression DAG with leaf symbols
+//! α-renamed (the first leaf in canonical order becomes slot 0, the next
+//! distinct one slot 1, …) and leaf dimensions abstracted into coarse
+//! [`LeafClass`]es (scalar / row / col / matrix × sparsity bucket), so two
+//! requests that differ only in names and sizes map to the same key.
+//!
+//! The canonical form is a linear DAG serialization — not a tree
+//! unfolding — so fingerprints of heavily shared expressions stay linear
+//! in the arena, and two hash-consed arenas describing the same DAG
+//! serialize identically regardless of node-insertion order.
+
+use crate::arena::{ExprArena, LaNode, NodeId};
+use crate::shape::Shape;
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Coarse shape of a leaf: the four regimes the rewrite rules care about.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ShapeClass {
+    /// `1×1`.
+    Scalar,
+    /// `1×N`, `N > 1`.
+    Row,
+    /// `M×1`, `M > 1`.
+    Col,
+    /// `M×N`, both `> 1`.
+    Mat,
+}
+
+impl ShapeClass {
+    pub fn of(shape: Shape) -> ShapeClass {
+        match (shape.rows, shape.cols) {
+            (1, 1) => ShapeClass::Scalar,
+            (1, _) => ShapeClass::Row,
+            (_, 1) => ShapeClass::Col,
+            _ => ShapeClass::Mat,
+        }
+    }
+
+    fn code(self) -> char {
+        match self {
+            ShapeClass::Scalar => 's',
+            ShapeClass::Row => 'r',
+            ShapeClass::Col => 'c',
+            ShapeClass::Mat => 'm',
+        }
+    }
+}
+
+/// Sparsity regime of a leaf, bucketed so nearby densities share plans.
+///
+/// The boundaries straddle the densities the cost model's plan choices
+/// actually flip on: fully-dense factors, mildly sparse data, the ~1%
+/// regime of the evaluation workloads, and hyper-sparse inputs.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SparsityBucket {
+    /// `nnz/size ≥ 0.5` — treat as dense.
+    Dense,
+    /// `[0.05, 0.5)`.
+    Loose,
+    /// `[0.005, 0.05)` — the workloads' 1% regime.
+    Sparse,
+    /// `< 0.005` — the headline example's 0.1% regime.
+    Hyper,
+}
+
+impl SparsityBucket {
+    pub fn of(sparsity: f64) -> SparsityBucket {
+        if sparsity >= 0.5 {
+            SparsityBucket::Dense
+        } else if sparsity >= 0.05 {
+            SparsityBucket::Loose
+        } else if sparsity >= 0.005 {
+            SparsityBucket::Sparse
+        } else {
+            SparsityBucket::Hyper
+        }
+    }
+
+    fn code(self) -> char {
+        match self {
+            SparsityBucket::Dense => 'D',
+            SparsityBucket::Loose => 'L',
+            SparsityBucket::Sparse => 'S',
+            SparsityBucket::Hyper => 'H',
+        }
+    }
+}
+
+/// Abstracted metadata of one leaf variable.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LeafClass {
+    pub shape: ShapeClass,
+    pub sparsity: SparsityBucket,
+}
+
+impl LeafClass {
+    pub fn classify(shape: Shape, sparsity: f64) -> LeafClass {
+        LeafClass {
+            shape: ShapeClass::of(shape),
+            sparsity: SparsityBucket::of(sparsity),
+        }
+    }
+}
+
+impl fmt::Display for LeafClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.shape.code(), self.sparsity.code())
+    }
+}
+
+/// A leaf variable with no entry in the classification map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FingerprintError {
+    pub var: Symbol,
+}
+
+impl fmt::Display for FingerprintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no leaf class for variable {}", self.var)
+    }
+}
+
+impl std::error::Error for FingerprintError {}
+
+/// The canonical identity of an optimization request.
+///
+/// `canon` is an exact structural key (two requests collide iff their DAGs
+/// are identical after α-renaming and shape abstraction); `hash` is a
+/// 64-bit digest of it for cheap sharding and table lookup. `slots`
+/// records, per α-slot, which of the *caller's* symbols it stands for —
+/// the map a cached plan template is re-instantiated through.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fingerprint {
+    hash: u64,
+    canon: String,
+    slots: Vec<Symbol>,
+    classes: Vec<LeafClass>,
+}
+
+impl Fingerprint {
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The exact canonical serialization (collision-free cache key).
+    pub fn canon(&self) -> &str {
+        &self.canon
+    }
+
+    /// Caller symbol standing behind each α-slot, in slot order.
+    pub fn slots(&self) -> &[Symbol] {
+        &self.slots
+    }
+
+    /// Leaf class of each slot, in slot order.
+    pub fn classes(&self) -> &[LeafClass] {
+        &self.classes
+    }
+
+    /// The interned symbol a plan template uses for slot `k` (`$0`, `$1`, …).
+    pub fn slot_symbol(k: usize) -> Symbol {
+        Symbol::new(&format!("${k}"))
+    }
+
+    /// `caller symbol → slot symbol`: α-renames a request into template space.
+    pub fn to_template_map(&self) -> HashMap<Symbol, Symbol> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(k, &sym)| (sym, Fingerprint::slot_symbol(k)))
+            .collect()
+    }
+
+    /// `slot symbol → caller symbol`: instantiates a template for this request.
+    pub fn from_template_map(&self) -> HashMap<Symbol, Symbol> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(k, &sym)| (Fingerprint::slot_symbol(k), sym))
+            .collect()
+    }
+}
+
+/// FNV-1a, inlined so `spores-ir` stays dependency-free.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint the DAG rooted at `root`.
+///
+/// `classes` must cover every free variable of the expression. Scalar
+/// literals are kept concrete (they are algebraically significant:
+/// `x^2` and `x^3` must not share plans); `Fill` nodes keep their concrete
+/// dimensions (they are rare in source programs and dimension-bearing by
+/// construction).
+pub fn fingerprint(
+    arena: &ExprArena,
+    root: NodeId,
+    classes: &HashMap<Symbol, LeafClass>,
+) -> Result<Fingerprint, FingerprintError> {
+    use std::fmt::Write;
+
+    // The postorder sequence is determined purely by the DAG structure
+    // (children are followed in operand order and shared nodes are
+    // visited once), so numbering nodes by their position in it is
+    // canonical across arenas with different insertion orders.
+    let order = arena.postorder(root);
+    let mut canon_ix: HashMap<NodeId, usize> = HashMap::with_capacity(order.len());
+    let mut slots: Vec<Symbol> = Vec::new();
+    let mut slot_classes: Vec<LeafClass> = Vec::new();
+    let mut canon = String::with_capacity(order.len() * 8);
+
+    for (ix, &id) in order.iter().enumerate() {
+        canon_ix.insert(id, ix);
+        match arena.node(id) {
+            LaNode::Var(v) => {
+                let slot = match slots.iter().position(|s| s == v) {
+                    Some(k) => k,
+                    None => {
+                        let class = *classes.get(v).ok_or(FingerprintError { var: *v })?;
+                        slots.push(*v);
+                        slot_classes.push(class);
+                        slots.len() - 1
+                    }
+                };
+                write!(canon, "v{slot}:{};", slot_classes[slot]).unwrap();
+            }
+            LaNode::Scalar(n) => {
+                write!(canon, "s{:016x};", n.get().to_bits()).unwrap();
+            }
+            LaNode::Fill(n, r, c) => {
+                write!(canon, "f{:016x}:{r}x{c};", n.get().to_bits()).unwrap();
+            }
+            LaNode::Un(op, a) => {
+                write!(canon, "{}({});", op.name(), canon_ix[a]).unwrap();
+            }
+            LaNode::Bin(op, a, b) => {
+                write!(canon, "{}({},{});", op.token(), canon_ix[a], canon_ix[b]).unwrap();
+            }
+        }
+    }
+
+    Ok(Fingerprint {
+        hash: fnv1a(canon.as_bytes()),
+        canon,
+        slots,
+        classes: slot_classes,
+    })
+}
+
+impl ExprArena {
+    /// Rebuild the DAG rooted at `root` into a fresh arena with leaf
+    /// variables renamed through `map` (symbols absent from the map are
+    /// kept). Hash-consing in the target arena preserves sharing.
+    pub fn rename_vars(&self, root: NodeId, map: &HashMap<Symbol, Symbol>) -> (ExprArena, NodeId) {
+        let mut out = ExprArena::new();
+        let mut new_id: HashMap<NodeId, NodeId> = HashMap::new();
+        for id in self.postorder(root) {
+            let node = match self.node(id) {
+                LaNode::Var(v) => LaNode::Var(*map.get(v).unwrap_or(v)),
+                LaNode::Un(op, a) => LaNode::Un(*op, new_id[a]),
+                LaNode::Bin(op, a, b) => LaNode::Bin(*op, new_id[a], new_id[b]),
+                leaf => *leaf,
+            };
+            new_id.insert(id, out.insert(node));
+        }
+        (out, new_id[&root])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn classes(list: &[(&str, (u64, u64), f64)]) -> HashMap<Symbol, LeafClass> {
+        list.iter()
+            .map(|&(n, (r, c), s)| (Symbol::new(n), LeafClass::classify(Shape::new(r, c), s)))
+            .collect()
+    }
+
+    fn fp(src: &str, cls: &HashMap<Symbol, LeafClass>) -> Fingerprint {
+        let mut a = ExprArena::new();
+        let root = parse_expr(&mut a, src).unwrap();
+        fingerprint(&a, root, cls).unwrap()
+    }
+
+    #[test]
+    fn alpha_renaming_and_dims_are_abstracted() {
+        let a = fp(
+            "sum((X - u %*% t(v))^2)",
+            &classes(&[
+                ("X", (1000, 500), 0.001),
+                ("u", (1000, 1), 1.0),
+                ("v", (500, 1), 1.0),
+            ]),
+        );
+        let b = fp(
+            "sum((M - p %*% t(q))^2)",
+            &classes(&[
+                ("M", (800, 900), 0.002),
+                ("p", (800, 1), 0.7),
+                ("q", (900, 1), 1.0),
+            ]),
+        );
+        assert_eq!(a.canon(), b.canon());
+        assert_eq!(a.hash(), b.hash());
+        assert_eq!(a.slots().len(), 3);
+        // slots pair up positionally across the two requests
+        for (sa, sb) in a.slots().iter().zip(b.slots()) {
+            let map: HashMap<&str, &str> = [("X", "M"), ("u", "p"), ("v", "q")].into();
+            assert_eq!(map[&*sa.to_string()], &*sb.to_string());
+        }
+    }
+
+    #[test]
+    fn sparsity_bucket_distinguishes_regimes() {
+        let dense = classes(&[("X", (100, 100), 1.0)]);
+        let sparse = classes(&[("X", (100, 100), 0.01)]);
+        assert_ne!(
+            fp("sum(X^2)", &dense).hash(),
+            fp("sum(X^2)", &sparse).hash()
+        );
+    }
+
+    #[test]
+    fn shape_class_distinguishes_vectors_from_matrices() {
+        let col = classes(&[("X", (100, 1), 1.0)]);
+        let mat = classes(&[("X", (100, 100), 1.0)]);
+        assert_ne!(fp("sum(X^2)", &col).canon(), fp("sum(X^2)", &mat).canon());
+    }
+
+    #[test]
+    fn literals_stay_concrete() {
+        let cls = classes(&[("X", (100, 100), 1.0)]);
+        assert_ne!(fp("sum(X^2)", &cls).canon(), fp("sum(X^3)", &cls).canon());
+    }
+
+    #[test]
+    fn insertion_order_is_canonicalized() {
+        let cls = classes(&[("A", (10, 10), 1.0), ("B", (10, 10), 1.0)]);
+        // same DAG, different arena insertion orders
+        let mut a1 = ExprArena::new();
+        let x = a1.var("A");
+        let y = a1.var("B");
+        let r1 = a1.mul(x, y);
+        let mut a2 = ExprArena::new();
+        let junk = a2.var("B"); // B interned first this time
+        let _ = a2.t(junk);
+        let x = a2.var("A");
+        let r2 = a2.mul(x, junk);
+        let f1 = fingerprint(&a1, r1, &cls).unwrap();
+        let f2 = fingerprint(&a2, r2, &cls).unwrap();
+        assert_eq!(f1.canon(), f2.canon());
+        assert_eq!(f1.slots(), f2.slots());
+    }
+
+    #[test]
+    fn distinct_structure_distinct_fingerprint() {
+        let cls = classes(&[("A", (10, 10), 1.0), ("B", (10, 10), 1.0)]);
+        assert_ne!(fp("A + B", &cls).canon(), fp("A * B", &cls).canon());
+        // A+A has one slot, A+B two
+        assert_ne!(fp("A + A", &cls).canon(), fp("A + B", &cls).canon());
+        // A+B and B+A are α-equivalent when the leaf classes agree (the
+        // slot maps reconcile the operand order) …
+        assert_eq!(fp("A + B", &cls).canon(), fp("B + A", &cls).canon());
+        // … but not when the operands live in different regimes.
+        let mixed = classes(&[("A", (10, 10), 1.0), ("B", (10, 10), 0.001)]);
+        assert_ne!(fp("A + B", &mixed).canon(), fp("B + A", &mixed).canon());
+    }
+
+    #[test]
+    fn sharing_is_canonical_via_hash_consing() {
+        // (A*B) + (A*B): hash-consing collapses the shared product in both
+        // arenas, so the canon is a DAG serialization of 4 nodes.
+        let cls = classes(&[("A", (10, 10), 1.0), ("B", (10, 10), 1.0)]);
+        let f = fp("A * B + A * B", &cls);
+        assert_eq!(f.canon().matches(';').count(), 4);
+    }
+
+    #[test]
+    fn rename_vars_roundtrip() {
+        let mut a = ExprArena::new();
+        let root = parse_expr(&mut a, "sum((X - u %*% t(v))^2)").unwrap();
+        let cls = classes(&[
+            ("X", (1000, 500), 0.001),
+            ("u", (1000, 1), 1.0),
+            ("v", (500, 1), 1.0),
+        ]);
+        let f = fingerprint(&a, root, &cls).unwrap();
+        let (tpl, tpl_root) = a.rename_vars(root, &f.to_template_map());
+        assert_eq!(
+            tpl.free_vars(tpl_root),
+            (0..3).map(Fingerprint::slot_symbol).collect::<Vec<_>>()
+        );
+        let (back, back_root) = tpl.rename_vars(tpl_root, &f.from_template_map());
+        assert_eq!(back.display(back_root), a.display(root));
+    }
+}

@@ -14,14 +14,21 @@
 //!   broadcasting rules.
 //! * a DML-like expression [`parser`] (`sum((X - U %*% t(V))^2)`), used to
 //!   author the Figure 14 rewrite corpus and the ML workloads concisely.
+//! * [`Fingerprint`] — shape-polymorphic plan fingerprints: the canonical
+//!   DAG identity (leaves α-renamed, dimensions abstracted into shape ×
+//!   sparsity classes) the optimizer service's plan cache is keyed on.
 
 pub mod arena;
+pub mod fingerprint;
 pub mod parser;
 pub mod sexpr;
 pub mod shape;
 pub mod symbol;
 
 pub use arena::{BinOp, ExprArena, LaNode, NodeId, Num, UnOp};
+pub use fingerprint::{
+    fingerprint, Fingerprint, FingerprintError, LeafClass, ShapeClass, SparsityBucket,
+};
 pub use parser::{parse_expr, ParseError};
 pub use sexpr::{parse_sexp, SExp, SExpError};
 pub use shape::{Shape, ShapeEnv, ShapeError};

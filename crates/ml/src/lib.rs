@@ -4,5 +4,8 @@
 pub mod runner;
 pub mod workloads;
 
-pub use runner::{compile, execute, run, CompileReport, Compiled, Mode, RunReport};
+pub use runner::{
+    compile, compile_with_service, execute, run, statement_requests, CompileReport, Compiled, Mode,
+    RunReport,
+};
 pub use workloads::{als, figure15_suite, glm, mlr, pnmf, svm, Scale, Statement, Workload};

@@ -106,30 +106,57 @@ pub struct RunReport {
 /// Saturation budget used by the SPORES modes (the paper's 2.5 s cap).
 pub const SATURATION_TIMEOUT: Duration = Duration::from_millis(2500);
 
-/// Compile `workload` under `mode`.
-pub fn compile(workload: &Workload, mode: &Mode) -> Compiled {
-    let (arena, roots) = workload.parse();
-    let t0 = Instant::now();
+/// The compilation context of one statement: its target, its root in the
+/// shared arena, and the variable metadata visible at that point of the
+/// program (inputs plus earlier targets, which get a dense estimate —
+/// the single place that rule lives).
+struct StatementCtx {
+    target: Symbol,
+    root: spores_ir::NodeId,
+    meta: HashMap<Symbol, VarMeta>,
+}
 
-    // metadata for inputs; computed targets are added as we go
+/// Walk the statements in program order, threading shape/sparsity
+/// metadata for assigned variables exactly as compilation sees it.
+fn statement_contexts(workload: &Workload) -> (ExprArena, Vec<StatementCtx>) {
+    let (arena, roots) = workload.parse();
     let mut meta: HashMap<Symbol, VarMeta> = workload
         .input_meta()
         .into_iter()
         .map(|(s, (shape, sparsity))| (s, VarMeta { shape, sparsity }))
         .collect();
-
-    let mut statements = Vec::with_capacity(roots.len());
-    let mut phases = PhaseTimings::default();
-    let mut converged = true;
-    let mut timed_out = false;
-    let mut max_e_nodes = 0;
-
+    let mut contexts = Vec::with_capacity(roots.len());
     for (target, root) in roots {
         let shape_env: spores_ir::ShapeEnv = meta.iter().map(|(&s, m)| (s, m.shape)).collect();
         let out_shape = arena
             .shape_of(root, &shape_env)
             .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
+        contexts.push(StatementCtx {
+            target,
+            root,
+            meta: meta.clone(),
+        });
+        // computed variables: dense estimate unless already known
+        meta.entry(target).or_insert(VarMeta {
+            shape: out_shape,
+            sparsity: 1.0,
+        });
+    }
+    (arena, contexts)
+}
 
+/// Compile `workload` under `mode`.
+pub fn compile(workload: &Workload, mode: &Mode) -> Compiled {
+    let t0 = Instant::now();
+    let (arena, contexts) = statement_contexts(workload);
+
+    let mut statements = Vec::with_capacity(contexts.len());
+    let mut phases = PhaseTimings::default();
+    let mut converged = true;
+    let mut timed_out = false;
+    let mut max_e_nodes = 0;
+
+    for StatementCtx { target, root, meta } in contexts {
         let (new_arena, new_root) = match mode {
             Mode::Base | Mode::Opt2 => {
                 let level = if matches!(mode, Mode::Base) {
@@ -185,11 +212,6 @@ pub fn compile(workload: &Workload, mode: &Mode) -> Compiled {
             }
         };
         statements.push((target, new_arena, new_root));
-        // computed variables: dense estimate unless already known
-        meta.entry(target).or_insert(VarMeta {
-            shape: out_shape,
-            sparsity: 1.0,
-        });
     }
 
     let report = CompileReport {
@@ -238,6 +260,70 @@ pub fn execute(
 pub fn run(workload: &Workload, mode: &Mode) -> Result<RunReport, ExecError> {
     let compiled = compile(workload, mode);
     execute(workload, &compiled, mode)
+}
+
+/// The per-statement service requests of a workload, in statement order,
+/// paired with the statement targets. The metadata threading is shared
+/// with [`compile`] (via the same statement walk), so service-compiled
+/// plans see exactly the metadata `Mode::spores` compilation sees. Each
+/// request carries only the statement's own reachable sub-DAG and the
+/// metadata of its free variables, not the whole program.
+pub fn statement_requests(workload: &Workload) -> Vec<(Symbol, spores_service::Request)> {
+    let (arena, contexts) = statement_contexts(workload);
+    contexts
+        .into_iter()
+        .map(|StatementCtx { target, root, meta }| {
+            let (sub, sub_root) = arena.rename_vars(root, &HashMap::new());
+            let free: Vec<Symbol> = sub.free_vars(sub_root);
+            let vars = meta.into_iter().filter(|(s, _)| free.contains(s)).collect();
+            (target, spores_service::Request::new(sub, sub_root, vars))
+        })
+        .collect()
+}
+
+/// Compile `workload` through an [`OptimizerService`]: every statement
+/// becomes a service request (batched, so misses fan out across the
+/// worker pool), and repeated compilations of the same workload are
+/// served from the plan cache without re-running saturation.
+///
+/// The resulting plans execute under [`Mode::spores`]'s executor
+/// configuration (fusion on), so `execute(workload, &compiled,
+/// &Mode::spores())` works unchanged.
+pub fn compile_with_service(
+    workload: &Workload,
+    service: &spores_service::OptimizerService,
+) -> Compiled {
+    let t0 = Instant::now();
+    let (targets, requests): (Vec<_>, Vec<_>) = statement_requests(workload).into_iter().unzip();
+
+    let mut statements = Vec::with_capacity(targets.len());
+    let mut phases = PhaseTimings::default();
+    let mut converged = true;
+    let mut timed_out = false;
+    let mut max_e_nodes = 0;
+    for (target, served) in targets.into_iter().zip(service.optimize_batch(requests)) {
+        let served: spores_service::Served =
+            served.unwrap_or_else(|e| panic!("{}: {e}", workload.name));
+        phases.translate += served.timings.translate;
+        phases.saturate += served.timings.saturate;
+        phases.extract += served.timings.extract;
+        phases.lower += served.timings.lower;
+        converged &= served.converged;
+        timed_out |= served.timed_out;
+        max_e_nodes = max_e_nodes.max(served.e_nodes);
+        statements.push((target, served.arena, served.root));
+    }
+
+    let report = CompileReport {
+        total: t0.elapsed(),
+        // for cache hits, phase timings and saturation facts describe the
+        // *cached* pipeline run, not time spent in this call
+        phases: Some(phases),
+        converged,
+        timed_out,
+        max_e_nodes,
+    };
+    Compiled { statements, report }
 }
 
 #[cfg(test)]
@@ -316,6 +402,47 @@ mod tests {
             spores.stats.cells_allocated,
             opt2.stats.cells_allocated
         );
+    }
+
+    #[test]
+    fn service_compile_agrees_with_direct_spores_compile() {
+        use spores_service::{OptimizerService, ServiceConfig};
+        let svc = OptimizerService::new(ServiceConfig::default());
+        let mode = Mode::spores();
+        for w in [
+            workloads::als(60, 40, 4, 11),
+            workloads::pnmf(50, 40, 4, 15),
+        ] {
+            let direct = run(&w, &mode).unwrap();
+            let compiled = compile_with_service(&w, &svc);
+            let via_service = execute(&w, &compiled, &mode).unwrap();
+            for (name, v) in &direct.scalars {
+                let s = via_service.scalars[name];
+                let tol = 1e-6 * (1.0 + v.abs());
+                assert!(
+                    (v - s).abs() < tol,
+                    "{} {name}: direct {v} vs service {s}",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recompiling_a_workload_is_served_from_the_cache() {
+        use spores_service::{OptimizerService, ServiceConfig};
+        let svc = OptimizerService::new(ServiceConfig::default());
+        let w = workloads::glm(80, 12, 12);
+        let n_statements = w.statements.len() as u64;
+        compile_with_service(&w, &svc);
+        let cold = svc.stats();
+        assert_eq!(cold.hits, 0);
+        assert!(cold.misses >= 1);
+        // epoch 2: same statements, same metadata — all hits
+        compile_with_service(&w, &svc);
+        let warm = svc.stats();
+        assert_eq!(warm.misses, cold.misses, "warm compile re-ran the pipeline");
+        assert_eq!(warm.hits, n_statements);
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Sharded LRU plan cache keyed by canonical fingerprints.
+//!
+//! The cache maps a [`Fingerprint`]'s canonical form to a small set of
+//! *variants*: one size-polymorphic template (valid for any concrete
+//! dimensions of the same shape classes) and/or several size-pinned
+//! templates (plans whose lowering embedded concrete dimension constants,
+//! keyed by the exact per-slot shapes they were optimized for). Lookups
+//! take one shard mutex, chosen by the fingerprint hash, so concurrent
+//! requests for different shapes rarely contend.
+
+use spores_core::PhaseTimings;
+use spores_ir::{ExprArena, Fingerprint, NodeId, Shape};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// An optimized plan over α-slot leaves (`$0`, `$1`, …), ready to be
+/// re-instantiated against a caller's symbols.
+#[derive(Clone, Debug)]
+pub struct PlanTemplate {
+    pub arena: ExprArena,
+    pub root: NodeId,
+}
+
+/// One cache entry: the plan template plus the facts needed to decide
+/// whether (and how cheaply) a later request may reuse it.
+#[derive(Clone, Debug)]
+pub struct CachedPlan {
+    pub template: PlanTemplate,
+    /// [`spores_core::NnzCost`] estimate at creation time.
+    pub cost: f64,
+    /// Pipeline phase timings of the run that produced the template.
+    pub timings: PhaseTimings,
+    /// Did the producing run's saturation reach a fixpoint?
+    pub converged: bool,
+    /// Did the producing run's saturation hit its wall-clock budget?
+    pub timed_out: bool,
+    /// E-graph size of the producing run.
+    pub e_nodes: usize,
+    /// Valid for any concrete sizes within the fingerprint's classes.
+    pub size_polymorphic: bool,
+    /// Concrete per-slot shapes the template was optimized for (the
+    /// exact-match key when `size_polymorphic` is false).
+    pub slot_shapes: Vec<Shape>,
+}
+
+impl CachedPlan {
+    /// May a request with these per-slot shapes reuse this template?
+    pub fn admits(&self, slot_shapes: &[Shape]) -> bool {
+        self.size_polymorphic || self.slot_shapes == slot_shapes
+    }
+}
+
+struct Entry {
+    plan: std::sync::Arc<CachedPlan>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<String, Vec<Entry>>,
+    len: usize,
+}
+
+/// Sharded LRU over `canon → [variants]`.
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard capacity (total capacity / shard count, at least 1).
+    shard_capacity: usize,
+    /// Cap on size-pinned variants kept per canonical form.
+    max_variants: usize,
+    /// Global LRU clock (coarse: one tick per touch).
+    tick: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ShardedCache {
+    pub fn new(shards: usize, capacity: usize, max_variants: usize) -> ShardedCache {
+        let shards = shards.max(1);
+        ShardedCache {
+            shard_capacity: (capacity / shards).max(1),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            max_variants: max_variants.max(1),
+            tick: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fp: &Fingerprint) -> &Mutex<Shard> {
+        &self.shards[(fp.hash() as usize) % self.shards.len()]
+    }
+
+    /// Fetch a template admitting these per-slot shapes, updating LRU state.
+    pub fn get(
+        &self,
+        fp: &Fingerprint,
+        slot_shapes: &[Shape],
+    ) -> Option<std::sync::Arc<CachedPlan>> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(fp).lock().unwrap();
+        let variants = shard.entries.get_mut(fp.canon())?;
+        let entry = variants.iter_mut().find(|e| e.plan.admits(slot_shapes))?;
+        entry.last_used = tick;
+        Some(entry.plan.clone())
+    }
+
+    /// Insert (or replace) the variant for this fingerprint + shape key,
+    /// evicting least-recently-used entries beyond the shard capacity.
+    pub fn insert(&self, fp: &Fingerprint, plan: CachedPlan) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let plan = std::sync::Arc::new(plan);
+        let mut shard = self.shard(fp).lock().unwrap();
+        let mut grew = 0isize;
+        let mut variant_evictions = 0u64;
+        {
+            let variants = shard.entries.entry(fp.canon().to_string()).or_default();
+            // replace the variant with the same reuse key, if any
+            let same_key = variants.iter_mut().find(|e| {
+                e.plan.size_polymorphic == plan.size_polymorphic
+                    && (plan.size_polymorphic || e.plan.slot_shapes == plan.slot_shapes)
+            });
+            match same_key {
+                Some(entry) => {
+                    entry.plan = plan;
+                    entry.last_used = tick;
+                }
+                None => {
+                    if variants.len() >= self.max_variants {
+                        // too many size-pinned variants: drop the stalest
+                        let stale = variants
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, e)| e.last_used)
+                            .map(|(i, _)| i)
+                            .expect("variants non-empty");
+                        variants.remove(stale);
+                        grew -= 1;
+                        variant_evictions += 1;
+                    }
+                    variants.push(Entry {
+                        plan,
+                        last_used: tick,
+                    });
+                    grew += 1;
+                }
+            }
+        }
+        shard.len = (shard.len as isize + grew) as usize;
+        self.evictions
+            .fetch_add(variant_evictions, Ordering::Relaxed);
+        while shard.len > self.shard_capacity {
+            evict_lru(&mut shard);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total cached templates across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries displaced by the LRU policy so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+fn evict_lru(shard: &mut Shard) {
+    let victim = shard
+        .entries
+        .iter()
+        .flat_map(|(canon, variants)| variants.iter().map(move |e| (canon.clone(), e.last_used)))
+        .min_by_key(|&(_, used)| used)
+        .map(|(canon, _)| canon);
+    let Some(canon) = victim else { return };
+    let variants = shard.entries.get_mut(&canon).expect("victim exists");
+    let stale = variants
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, e)| e.last_used)
+        .map(|(i, _)| i)
+        .expect("victim non-empty");
+    variants.remove(stale);
+    shard.len -= 1;
+    if variants.is_empty() {
+        shard.entries.remove(&canon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spores_ir::{fingerprint, LeafClass, Symbol};
+
+    fn fp_of(src: &str, rows: u64, cols: u64) -> (Fingerprint, ExprArena, NodeId) {
+        let mut a = ExprArena::new();
+        let root = spores_ir::parse_expr(&mut a, src).unwrap();
+        let classes: HashMap<Symbol, LeafClass> = a
+            .free_vars(root)
+            .into_iter()
+            .map(|v| (v, LeafClass::classify(Shape::new(rows, cols), 1.0)))
+            .collect();
+        let fp = fingerprint(&a, root, &classes).unwrap();
+        (fp, a, root)
+    }
+
+    fn plan(arena: &ExprArena, root: NodeId, poly: bool, shapes: Vec<Shape>) -> CachedPlan {
+        CachedPlan {
+            template: PlanTemplate {
+                arena: arena.clone(),
+                root,
+            },
+            cost: 1.0,
+            timings: PhaseTimings::default(),
+            converged: true,
+            timed_out: false,
+            e_nodes: 0,
+            size_polymorphic: poly,
+            slot_shapes: shapes,
+        }
+    }
+
+    #[test]
+    fn polymorphic_entry_admits_any_sizes() {
+        let cache = ShardedCache::new(4, 16, 4);
+        let (fp, a, root) = fp_of("X + Y", 10, 10);
+        cache.insert(&fp, plan(&a, root, true, vec![Shape::new(10, 10); 2]));
+        assert!(cache
+            .get(&fp, &[Shape::new(99, 77), Shape::new(99, 77)])
+            .is_some());
+    }
+
+    #[test]
+    fn pinned_entry_requires_exact_shapes() {
+        let cache = ShardedCache::new(4, 16, 4);
+        let (fp, a, root) = fp_of("X + Y", 10, 10);
+        let shapes = vec![Shape::new(10, 10); 2];
+        cache.insert(&fp, plan(&a, root, false, shapes.clone()));
+        assert!(cache.get(&fp, &shapes).is_some());
+        assert!(cache
+            .get(&fp, &[Shape::new(99, 77), Shape::new(99, 77)])
+            .is_none());
+        // a second size becomes its own variant
+        let other = vec![Shape::new(99, 77); 2];
+        cache.insert(&fp, plan(&a, root, false, other.clone()));
+        assert!(cache.get(&fp, &other).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_same_key() {
+        let cache = ShardedCache::new(1, 16, 4);
+        let (fp, a, root) = fp_of("X + Y", 10, 10);
+        cache.insert(&fp, plan(&a, root, true, vec![Shape::new(10, 10); 2]));
+        cache.insert(&fp, plan(&a, root, true, vec![Shape::new(10, 10); 2]));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let cache = ShardedCache::new(1, 2, 4);
+        let (fp1, a1, r1) = fp_of("X + Y", 10, 10);
+        let (fp2, a2, r2) = fp_of("X * Y", 10, 10);
+        let (fp3, a3, r3) = fp_of("X %*% Y", 10, 10);
+        let shapes = vec![Shape::new(10, 10); 2];
+        cache.insert(&fp1, plan(&a1, r1, true, shapes.clone()));
+        cache.insert(&fp2, plan(&a2, r2, true, shapes.clone()));
+        // touch fp1 so fp2 is the LRU victim
+        assert!(cache.get(&fp1, &shapes).is_some());
+        cache.insert(&fp3, plan(&a3, r3, true, shapes.clone()));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(&fp1, &shapes).is_some());
+        assert!(cache.get(&fp2, &shapes).is_none());
+        assert!(cache.get(&fp3, &shapes).is_some());
+    }
+}

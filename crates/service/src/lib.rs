@@ -1,0 +1,28 @@
+//! The SPORES optimizer as a *service*: a thread-safe front-end that
+//! memoizes optimization results behind shape-polymorphic plan
+//! fingerprints.
+//!
+//! The paper's pipeline (§4.3) pays translate → saturate → extract →
+//! lower on every statement, but production workloads — SystemML scripts
+//! looping over epochs, model-serving fleets compiling the same script
+//! per request — re-optimize the *same algebraic shapes* with only leaf
+//! dimensions and sparsities drifting. This crate adds the serving layer:
+//!
+//! * [`OptimizerService`] — worker pool + single-flight coalescing +
+//!   sharded LRU plan cache; hits skip saturation entirely and are
+//!   re-checked against the cost model so they are never worse than the
+//!   caller's own plan.
+//! * [`ShardedCache`]/[`CachedPlan`] — the cache: canonical fingerprint →
+//!   plan template (α-renamed leaves), with size-polymorphic templates
+//!   reusable at any dimensions of the same shape classes and size-pinned
+//!   templates keyed by exact shapes.
+//! * [`ServiceStats`] — hits/misses/coalesces/evictions/cost-rejections
+//!   plus a log₂ latency histogram.
+
+pub mod cache;
+pub mod service;
+pub mod stats;
+
+pub use cache::{CachedPlan, PlanTemplate, ShardedCache};
+pub use service::{OptimizerService, PlanSource, Request, Served, ServiceConfig, ServiceError};
+pub use stats::{LatencyHistogram, ServiceStats, StatsSnapshot};

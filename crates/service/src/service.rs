@@ -1,0 +1,603 @@
+//! The concurrent optimizer front-end.
+//!
+//! Request lifecycle:
+//!
+//! ```text
+//! request ── fingerprint ──► cache hit? ── instantiate + cost re-check ──► serve (µs)
+//!                │ miss                         │ re-check failed
+//!                ▼                              ▼
+//!        in-flight already? ──yes──► wait (coalesce)     inline pipeline
+//!                │ no
+//!                ▼
+//!        worker pool ── translate → saturate → extract → lower ──► cache + serve (ms)
+//! ```
+//!
+//! * **Hits** never run saturation: the cached template is α-instantiated
+//!   with the caller's symbols and re-priced under the caller's concrete
+//!   metadata ([`spores_core::plan_cost`]); if the template prices worse
+//!   than the caller's own input plan (beyond a small slack for
+//!   estimator drift, [`COST_SLACK`]) — possible when sizes drifted
+//!   within a sparsity bucket — the hit is rejected and the request falls
+//!   through to the full pipeline, so a hit is never meaningfully worse
+//!   than what greedy re-optimization would have returned for the input.
+//! * **Single-flight**: concurrent identical fingerprints run the
+//!   pipeline once; the rest wait on the same computation.
+//! * **Size-pinned templates** (plans that embed concrete dimension
+//!   constants, see [`spores_core::Optimized::size_polymorphic`]) are
+//!   only reused at exactly the sizes they were optimized for.
+
+use crate::cache::{CachedPlan, PlanTemplate, ShardedCache};
+use crate::stats::{ServiceStats, StatsSnapshot};
+use spores_core::{plan_cost, Optimized, Optimizer, OptimizerConfig, PhaseTimings, VarMeta};
+use spores_ir::{fingerprint, ExprArena, Fingerprint, LeafClass, NodeId, Shape, Symbol};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Relative slack for the hit-path cost re-check. The re-check exists to
+/// catch *regime-crossing* staleness — a cached plan that materializes
+/// something huge at the caller's sizes prices orders of magnitude worse
+/// than the caller's own plan. It must tolerate estimator-context drift:
+/// the pipeline prices plans against the saturated e-graph's merged
+/// (tightest) sparsity estimates, while the re-check prices against a
+/// fresh graph, which can legitimately disagree by a fraction of a
+/// percent on an optimal plan.
+const COST_SLACK: f64 = 0.02;
+const COST_EPS: f64 = 1e-6;
+
+/// Configuration of an [`OptimizerService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Pipeline configuration used for cache misses.
+    pub optimizer: OptimizerConfig,
+    /// Mutex-guarded cache shards (contention domain).
+    pub shards: usize,
+    /// Total cached plan templates across shards.
+    pub capacity: usize,
+    /// Worker threads running the pipeline for misses.
+    pub workers: usize,
+    /// Size-pinned variants kept per canonical fingerprint.
+    pub max_variants: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            optimizer: OptimizerConfig::default(),
+            shards: 8,
+            capacity: 1024,
+            workers: 4,
+            max_variants: 8,
+        }
+    }
+}
+
+/// One optimization request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub arena: ExprArena,
+    pub root: NodeId,
+    pub vars: HashMap<Symbol, VarMeta>,
+}
+
+impl Request {
+    pub fn new(arena: ExprArena, root: NodeId, vars: HashMap<Symbol, VarMeta>) -> Request {
+        Request { arena, root, vars }
+    }
+}
+
+/// How a request was satisfied.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Served from the plan cache.
+    Hit,
+    /// Ran the full pipeline.
+    Miss,
+    /// Waited on an identical in-flight optimization.
+    Coalesced,
+}
+
+/// A served plan.
+#[derive(Clone, Debug)]
+pub struct Served {
+    pub arena: ExprArena,
+    pub root: NodeId,
+    /// `NnzCost` estimate of the served plan. For misses this is the
+    /// pipeline's estimate (priced against the saturated e-graph's merged
+    /// sparsity bounds); for hits it is the re-check's fresh-graph
+    /// estimate under the caller's metadata. The two can differ by a
+    /// fraction of a percent on the same plan.
+    pub cost: f64,
+    pub source: PlanSource,
+    /// End-to-end service latency for this request.
+    pub latency: Duration,
+    /// Pipeline phase timings (of the cached run, for hits).
+    pub timings: PhaseTimings,
+    /// Saturation facts of the producing pipeline run (cached, for hits):
+    /// fixpoint reached, wall-clock budget tripped, e-graph size.
+    pub converged: bool,
+    pub timed_out: bool,
+    pub e_nodes: usize,
+}
+
+/// Service-level failure.
+#[derive(Clone, Debug)]
+pub enum ServiceError {
+    /// The request could not be fingerprinted or optimized.
+    Invalid(String),
+    /// The worker pool is gone (service shut down mid-request).
+    Shutdown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Invalid(m) => write!(f, "invalid request: {m}"),
+            ServiceError::Shutdown => write!(f, "optimizer service shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+type FlightResult = Result<Arc<CachedPlan>, String>;
+
+struct Job {
+    request: Request,
+    fp: Fingerprint,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    cache: ShardedCache,
+    stats: ServiceStats,
+    /// canon → waiters (single-flight registry). The submitting request's
+    /// own sender is registered too, so the worker resolves everyone the
+    /// same way.
+    inflight: Mutex<HashMap<String, Vec<Sender<FlightResult>>>>,
+}
+
+impl Inner {
+    /// Run the full pipeline and package the outcome as a cacheable plan.
+    fn run_pipeline(&self, request: &Request, fp: &Fingerprint) -> Result<Arc<CachedPlan>, String> {
+        let optimizer = Optimizer::new(self.config.optimizer.clone());
+        let got: Optimized = optimizer
+            .optimize(&request.arena, request.root, &request.vars)
+            .map_err(|e| e.to_string())?;
+        // α-rename the optimized plan into template space ($0, $1, …)
+        let (tpl_arena, tpl_root) = got.arena.rename_vars(got.root, &fp.to_template_map());
+        let plan = Arc::new(CachedPlan {
+            template: PlanTemplate {
+                arena: tpl_arena,
+                root: tpl_root,
+            },
+            cost: got.cost_after,
+            timings: got.timings,
+            converged: got.saturation.converged,
+            timed_out: matches!(
+                got.saturation.stop_reason,
+                Some(spores_egraph::StopReason::TimeLimit(_))
+            ),
+            e_nodes: got.saturation.e_nodes,
+            size_polymorphic: got.size_polymorphic,
+            slot_shapes: slot_shapes(fp, &request.vars),
+        });
+        if !got.fell_back {
+            self.cache.insert(fp, (*plan).clone());
+        }
+        Ok(plan)
+    }
+
+    /// Resolve the in-flight entry for `canon`, waking every waiter.
+    fn resolve(&self, canon: &str, result: &FlightResult) {
+        let waiters = self.inflight.lock().unwrap().remove(canon);
+        for tx in waiters.into_iter().flatten() {
+            // a waiter that gave up (dropped its receiver) is fine to miss
+            let _ = tx.send(result.clone());
+        }
+    }
+}
+
+fn worker_loop(inner: Arc<Inner>, rx: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let rx = rx.lock().unwrap();
+            match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return, // all senders dropped: shutdown
+            }
+        };
+        // A panicking pipeline must still resolve the in-flight entry —
+        // otherwise the submitter and every coalesced waiter block on
+        // their receivers forever.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inner.run_pipeline(&job.request, &job.fp)
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "optimizer pipeline panicked".to_string());
+            Err(format!("optimizer pipeline panicked: {msg}"))
+        });
+        inner.resolve(job.fp.canon(), &result);
+    }
+}
+
+/// A thread-safe, memoizing optimizer front-end. See the module docs.
+pub struct OptimizerService {
+    inner: Arc<Inner>,
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Per-slot concrete shapes of a request, in fingerprint slot order.
+fn slot_shapes(fp: &Fingerprint, vars: &HashMap<Symbol, VarMeta>) -> Vec<Shape> {
+    fp.slots()
+        .iter()
+        .map(|s| vars.get(s).map(|m| m.shape).unwrap_or(Shape::scalar()))
+        .collect()
+}
+
+impl OptimizerService {
+    pub fn new(config: ServiceConfig) -> OptimizerService {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            cache: ShardedCache::new(config.shards, config.capacity, config.max_variants),
+            stats: ServiceStats::default(),
+            inflight: Mutex::new(HashMap::new()),
+            config,
+        });
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers)
+            .map(|i| {
+                let inner = inner.clone();
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("spores-opt-{i}"))
+                    .spawn(move || worker_loop(inner, rx))
+                    .expect("spawn optimizer worker")
+            })
+            .collect();
+        OptimizerService {
+            inner,
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot(self.inner.cache.evictions())
+    }
+
+    /// Latency quantile (µs upper bound) over all served requests.
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        self.inner.stats.latency.quantile_us(q)
+    }
+
+    /// Number of cached plan templates.
+    pub fn cached_plans(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// Optimize one request, consulting the plan cache.
+    pub fn optimize(&self, request: Request) -> Result<Served, ServiceError> {
+        let t0 = Instant::now();
+        let fp = self.fingerprint_request(&request)?;
+
+        if let Some(served) = self.try_hit(&request, &fp, t0) {
+            return Ok(served);
+        }
+
+        match self.submit(&request, &fp) {
+            Submission::Wait { rx, coalesced } => self.finish(&request, &fp, rx, coalesced, t0),
+            Submission::Inline => {
+                let result = self.inner.run_pipeline(&request, &fp);
+                self.inner.resolve(fp.canon(), &result);
+                self.conclude_miss(&request, &fp, result, PlanSource::Miss, t0)
+            }
+        }
+    }
+
+    /// Optimize a whole workload: hits are served inline, misses fan out
+    /// across the worker pool concurrently (instead of one blocking
+    /// round-trip per statement).
+    pub fn optimize_batch(&self, requests: Vec<Request>) -> Vec<Result<Served, ServiceError>> {
+        enum Pending {
+            Done(Result<Served, ServiceError>),
+            Wait {
+                request: Request,
+                fp: Fingerprint,
+                rx: Receiver<FlightResult>,
+                coalesced: bool,
+                t0: Instant,
+            },
+        }
+        let pending: Vec<Pending> = requests
+            .into_iter()
+            .map(|request| {
+                // per-request clock: a request's latency spans from when
+                // *it* starts processing (not from batch start) to when
+                // its result is ready — for waiters that includes the
+                // in-flight pipeline run they queue behind
+                let t0 = Instant::now();
+                let fp = match self.fingerprint_request(&request) {
+                    Ok(fp) => fp,
+                    Err(e) => return Pending::Done(Err(e)),
+                };
+                if let Some(served) = self.try_hit(&request, &fp, t0) {
+                    return Pending::Done(Ok(served));
+                }
+                match self.submit(&request, &fp) {
+                    Submission::Wait { rx, coalesced } => Pending::Wait {
+                        request,
+                        fp,
+                        rx,
+                        coalesced,
+                        t0,
+                    },
+                    Submission::Inline => {
+                        let result = self.inner.run_pipeline(&request, &fp);
+                        self.inner.resolve(fp.canon(), &result);
+                        Pending::Done(self.conclude_miss(
+                            &request,
+                            &fp,
+                            result,
+                            PlanSource::Miss,
+                            t0,
+                        ))
+                    }
+                }
+            })
+            .collect();
+        pending
+            .into_iter()
+            .map(|p| match p {
+                Pending::Done(r) => r,
+                Pending::Wait {
+                    request,
+                    fp,
+                    rx,
+                    coalesced,
+                    t0,
+                } => self.finish(&request, &fp, rx, coalesced, t0),
+            })
+            .collect()
+    }
+
+    // ---- request plumbing -----------------------------------------------
+
+    fn fingerprint_request(&self, request: &Request) -> Result<Fingerprint, ServiceError> {
+        let classes: HashMap<Symbol, LeafClass> = request
+            .vars
+            .iter()
+            .map(|(&s, m)| (s, LeafClass::classify(m.shape, m.sparsity)))
+            .collect();
+        fingerprint(&request.arena, request.root, &classes)
+            .map_err(|e| ServiceError::Invalid(e.to_string()))
+    }
+
+    /// The cache-hit fast path: instantiate + cost re-check, no pipeline.
+    fn try_hit(&self, request: &Request, fp: &Fingerprint, t0: Instant) -> Option<Served> {
+        let shapes = slot_shapes(fp, &request.vars);
+        let plan = self.inner.cache.get(fp, &shapes)?;
+        match self.instantiate(request, fp, &plan) {
+            Ok(served) => {
+                self.inner
+                    .stats
+                    .hits
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let latency = t0.elapsed();
+                self.inner.stats.latency.record(latency);
+                Some(Served {
+                    latency,
+                    source: PlanSource::Hit,
+                    ..served
+                })
+            }
+            Err(RejectedHit) => {
+                self.inner
+                    .stats
+                    .cost_rejections
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// α-instantiate a template for this request's symbols.
+    fn materialize(plan: &CachedPlan, fp: &Fingerprint) -> (ExprArena, NodeId) {
+        plan.template
+            .arena
+            .rename_vars(plan.template.root, &fp.from_template_map())
+    }
+
+    /// Package a materialized plan with the template's provenance facts
+    /// (latency is stamped by the caller once the request concludes).
+    fn served(
+        plan: &CachedPlan,
+        arena: ExprArena,
+        root: NodeId,
+        cost: f64,
+        source: PlanSource,
+    ) -> Served {
+        Served {
+            arena,
+            root,
+            cost,
+            source,
+            latency: Duration::ZERO,
+            timings: plan.timings,
+            converged: plan.converged,
+            timed_out: plan.timed_out,
+            e_nodes: plan.e_nodes,
+        }
+    }
+
+    /// Instantiate a cached template for this request and re-check its
+    /// cost against the caller's own plan at the caller's metadata.
+    fn instantiate(
+        &self,
+        request: &Request,
+        fp: &Fingerprint,
+        plan: &CachedPlan,
+    ) -> Result<Served, RejectedHit> {
+        let (arena, root) = Self::materialize(plan, fp);
+        // a template priced worse than the caller's own input plan (or
+        // one that no longer type-checks) must not be served
+        let cost = plan_cost(&arena, root, &request.vars).map_err(|_| RejectedHit)?;
+        let input_cost =
+            plan_cost(&request.arena, request.root, &request.vars).map_err(|_| RejectedHit)?;
+        if cost > input_cost * (1.0 + COST_SLACK) + COST_EPS {
+            return Err(RejectedHit);
+        }
+        Ok(Self::served(plan, arena, root, cost, PlanSource::Hit))
+    }
+
+    /// Register in the single-flight table; enqueue a job if first.
+    fn submit(&self, request: &Request, fp: &Fingerprint) -> Submission {
+        let (tx, rx) = channel::<FlightResult>();
+        let first = {
+            let mut inflight = self.inner.inflight.lock().unwrap();
+            match inflight.get_mut(fp.canon()) {
+                Some(waiters) => {
+                    waiters.push(tx);
+                    false
+                }
+                None => {
+                    inflight.insert(fp.canon().to_string(), vec![tx]);
+                    true
+                }
+            }
+        };
+        if !first {
+            return Submission::Wait {
+                rx,
+                coalesced: true,
+            };
+        }
+        match &self.tx {
+            Some(jobs) => {
+                let job = Job {
+                    request: request.clone(),
+                    fp: fp.clone(),
+                };
+                if jobs.send(job).is_err() {
+                    // pool gone: run inline (resolve() wakes any waiters
+                    // that raced in behind us)
+                    return Submission::Inline;
+                }
+                Submission::Wait {
+                    rx,
+                    coalesced: false,
+                }
+            }
+            None => Submission::Inline,
+        }
+    }
+
+    /// Wait for the in-flight computation and serve its result.
+    fn finish(
+        &self,
+        request: &Request,
+        fp: &Fingerprint,
+        rx: Receiver<FlightResult>,
+        coalesced: bool,
+        t0: Instant,
+    ) -> Result<Served, ServiceError> {
+        let result = match rx.recv() {
+            Ok(r) => r,
+            Err(_) => return Err(ServiceError::Shutdown),
+        };
+        let source = if coalesced {
+            PlanSource::Coalesced
+        } else {
+            PlanSource::Miss
+        };
+        self.conclude_miss(request, fp, result, source, t0)
+    }
+
+    /// Turn a pipeline result into a served plan for *this* request.
+    fn conclude_miss(
+        &self,
+        request: &Request,
+        fp: &Fingerprint,
+        result: Result<Arc<CachedPlan>, String>,
+        source: PlanSource,
+        t0: Instant,
+    ) -> Result<Served, ServiceError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let plan = result.map_err(ServiceError::Invalid)?;
+        // The submitter's result was computed from this very request by
+        // the (deterministic) pipeline — serve it as-is; re-checking it
+        // could only trigger a pointless identical re-run. A *coalesced*
+        // waiter shares a result computed at the submitter's sizes, so it
+        // reuses it only under the same admission + cost re-check rule as
+        // a cache hit; otherwise it runs its own pipeline inline (the
+        // cache now likely holds the template, so this is rare).
+        let my_shapes = slot_shapes(fp, &request.vars);
+        let served = if source != PlanSource::Coalesced {
+            let (arena, root) = Self::materialize(&plan, fp);
+            Ok(Self::served(&plan, arena, root, plan.cost, source))
+        } else if plan.admits(&my_shapes) {
+            self.instantiate(request, fp, &plan)
+        } else {
+            Err(RejectedHit)
+        };
+        match served {
+            Ok(served) => {
+                match source {
+                    PlanSource::Coalesced => self.inner.stats.coalesced.fetch_add(1, Relaxed),
+                    _ => self.inner.stats.misses.fetch_add(1, Relaxed),
+                };
+                let latency = t0.elapsed();
+                self.inner.stats.latency.record(latency);
+                Ok(Served {
+                    latency,
+                    source,
+                    ..served
+                })
+            }
+            Err(RejectedHit) => {
+                self.inner.stats.cost_rejections.fetch_add(1, Relaxed);
+                let result = self.inner.run_pipeline(request, fp);
+                let plan = result.map_err(ServiceError::Invalid)?;
+                let (arena, root) = Self::materialize(&plan, fp);
+                self.inner.stats.misses.fetch_add(1, Relaxed);
+                let latency = t0.elapsed();
+                self.inner.stats.latency.record(latency);
+                Ok(Served {
+                    latency,
+                    ..Self::served(&plan, arena, root, plan.cost, PlanSource::Miss)
+                })
+            }
+        }
+    }
+}
+
+enum Submission {
+    Wait {
+        rx: Receiver<FlightResult>,
+        coalesced: bool,
+    },
+    Inline,
+}
+
+/// Marker: a cached template failed the hit admission/cost re-check.
+struct RejectedHit;
+
+impl Drop for OptimizerService {
+    fn drop(&mut self) {
+        // closing the channel ends the worker loops
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Lock-free service counters and a latency histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (µs): bucket `k` counts
+/// requests with `latency_us` in `[2^k, 2^(k+1))` (bucket 0 also takes
+/// sub-µs requests, the last bucket everything beyond).
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Histogram over request latencies, log₂-spaced in microseconds.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros() as u64;
+        let bucket = if us == 0 {
+            0
+        } else {
+            (63 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bucket counts, index `k` covering `[2^k, 2^(k+1))` µs.
+    pub fn snapshot(&self) -> [u64; LATENCY_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Total recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Approximate quantile (bucket upper bound), `q` in `[0, 1]`.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts = self.snapshot();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (k, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (k + 1);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Live counters of an [`crate::OptimizerService`].
+#[derive(Default)]
+pub struct ServiceStats {
+    /// Requests served from the cache (template instantiated).
+    pub hits: AtomicU64,
+    /// Requests that ran the full pipeline.
+    pub misses: AtomicU64,
+    /// Requests that piggybacked on an identical in-flight optimization.
+    pub coalesced: AtomicU64,
+    /// Cache hits rejected by the cost re-check (the cached template
+    /// priced worse than the caller's own plan at their sizes) and
+    /// re-optimized from scratch.
+    pub cost_rejections: AtomicU64,
+    /// End-to-end request latencies (hits and misses alike).
+    pub latency: LatencyHistogram,
+}
+
+impl ServiceStats {
+    /// Point-in-time copy of the counters. Evictions live on the cache,
+    /// not here — `evictions` is filled in by the snapshot's caller
+    /// ([`crate::OptimizerService::stats`]).
+    pub fn snapshot(&self, evictions: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions,
+            cost_rejections: self.cost_rejections.load(Ordering::Relaxed),
+            latency_p50_us: self.latency.quantile_us(0.5),
+            latency_p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+/// Plain-value view of [`ServiceStats`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    pub coalesced: u64,
+    pub evictions: u64,
+    pub cost_rejections: u64,
+    pub latency_p50_us: u64,
+    pub latency_p99_us: u64,
+}
+
+impl StatsSnapshot {
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses + self.coalesced
+    }
+
+    /// Fraction of requests that avoided the full pipeline.
+    pub fn hit_rate(&self) -> f64 {
+        let served = self.hits + self.coalesced;
+        let total = self.requests();
+        if total == 0 {
+            0.0
+        } else {
+            served as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2_us() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(1000));
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 1); // [1, 2) µs
+        assert_eq!(snap[1], 1); // [2, 4) µs
+        assert_eq!(snap[9], 1); // [512, 1024) µs
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = LatencyHistogram::default();
+        for us in [1u64, 2, 4, 8, 16, 500, 1000, 100_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert!(h.quantile_us(0.5) <= h.quantile_us(0.99));
+        assert!(h.quantile_us(0.99) >= 100_000);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let s = ServiceStats::default();
+        s.hits.fetch_add(3, Ordering::Relaxed);
+        s.misses.fetch_add(1, Ordering::Relaxed);
+        let snap = s.snapshot(0);
+        assert_eq!(snap.requests(), 4);
+        assert!((snap.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

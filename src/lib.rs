@@ -16,6 +16,8 @@
 //! * [`systemml`] — the heuristic, hand-coded-rule baseline optimizer the
 //!   paper compares against (Figure 14 rule families).
 //! * [`ml`] — the five evaluation workloads: ALS, GLM, SVM, MLR, PNMF.
+//! * [`service`] — the concurrent optimizer front-end: worker pool,
+//!   single-flight coalescing, and the shape-polymorphic plan cache.
 
 pub use spores_core as core;
 pub use spores_egraph as egraph;
@@ -24,4 +26,5 @@ pub use spores_ilp as ilp;
 pub use spores_ir as ir;
 pub use spores_matrix as matrix;
 pub use spores_ml as ml;
+pub use spores_service as service;
 pub use spores_systemml as systemml;

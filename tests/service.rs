@@ -1,0 +1,151 @@
+//! Tier-1 integration tests for the optimizer service: concurrent
+//! correctness under a mixed repeated/fresh request stream, and the
+//! warm-path latency win over cold pipeline runs.
+
+use spores::core::{plan_cost, OptimizerConfig, VarMeta};
+use spores::ir::{parse_expr, ExprArena, Symbol};
+use spores::service::{OptimizerService, PlanSource, Request, ServiceConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn vars(list: &[(&str, (u64, u64), f64)]) -> HashMap<Symbol, VarMeta> {
+    list.iter()
+        .map(|&(n, (r, c), s)| (Symbol::new(n), VarMeta::sparse(r, c, s)))
+        .collect()
+}
+
+fn request(src: &str, vs: &HashMap<Symbol, VarMeta>) -> Request {
+    let mut arena = ExprArena::new();
+    let root = parse_expr(&mut arena, src).unwrap();
+    Request::new(arena, root, vs.clone())
+}
+
+/// The paper's hot statements (§4.2) as service request constructors,
+/// parameterized by a size knob so threads can generate both repeated
+/// and fresh shapes.
+fn workload_request(kind: usize, size: u64) -> Request {
+    let (m, n) = (200 + size * 10, 100 + size * 5);
+    match kind % 4 {
+        // §1 headline / ALS loss
+        0 => request(
+            "sum((X - u %*% t(v))^2)",
+            &vars(&[("X", (m, n), 0.001), ("u", (m, 1), 1.0), ("v", (n, 1), 1.0)]),
+        ),
+        // ALS residual step
+        1 => request(
+            "(U %*% t(V) - X) %*% V",
+            &vars(&[("X", (m, n), 0.001), ("U", (m, 8), 1.0), ("V", (n, 8), 1.0)]),
+        ),
+        // PNMF objective term
+        2 => request(
+            "sum(W %*% H)",
+            &vars(&[("W", (m, 8), 1.0), ("H", (8, n), 1.0)]),
+        ),
+        // MLR inner loop
+        _ => request(
+            "P * X - P * rowSums(P) * X",
+            &vars(&[("P", (m, 1), 1.0), ("X", (m, 1), 0.01)]),
+        ),
+    }
+}
+
+#[test]
+fn concurrent_stress_mixed_repeated_and_fresh_shapes() {
+    const THREADS: usize = 8;
+    const REQUESTS_PER_THREAD: usize = 12;
+
+    let svc = Arc::new(OptimizerService::new(ServiceConfig {
+        optimizer: OptimizerConfig {
+            node_limit: 4_000,
+            iter_limit: 8,
+            ..OptimizerConfig::default()
+        },
+        workers: 4,
+        ..ServiceConfig::default()
+    }));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let svc = svc.clone();
+            std::thread::spawn(move || {
+                for i in 0..REQUESTS_PER_THREAD {
+                    let kind = (t + i) % 4;
+                    // threads repeat a small set of sizes (cache traffic,
+                    // coalescing) and sprinkle in fresh ones (misses)
+                    let size = if i % 3 == 0 {
+                        (t + i) as u64 % 17
+                    } else {
+                        (i % 2) as u64
+                    };
+                    let req = workload_request(kind, size);
+                    let served = svc.optimize(req.clone()).expect("request served");
+                    // every served plan must price no worse than the
+                    // caller's own input plan under the caller's metadata
+                    let served_cost =
+                        plan_cost(&served.arena, served.root, &req.vars).expect("plan prices");
+                    let input_cost =
+                        plan_cost(&req.arena, req.root, &req.vars).expect("input prices");
+                    // 2% = the service's documented cost re-check slack
+                    assert!(
+                        served_cost <= input_cost * 1.021 + 1e-6,
+                        "thread {t} req {i}: served {served_cost} > input {input_cost}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+
+    let stats = svc.stats();
+    assert_eq!(
+        stats.requests() as usize,
+        THREADS * REQUESTS_PER_THREAD,
+        "{stats:?}"
+    );
+    assert!(stats.hits > 0, "repeated shapes never hit: {stats:?}");
+    assert!(stats.misses > 0, "fresh shapes never missed: {stats:?}");
+    // every request's latency was recorded
+    assert!(svc.latency_quantile_us(1.0) > 0);
+}
+
+#[test]
+fn warm_cache_is_much_faster_than_cold_pipeline() {
+    let svc = OptimizerService::new(ServiceConfig {
+        optimizer: OptimizerConfig {
+            node_limit: 8_000,
+            iter_limit: 15,
+            ..OptimizerConfig::default()
+        },
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    let vs = vars(&[
+        ("X", (1000, 500), 0.001),
+        ("u", (1000, 1), 1.0),
+        ("v", (500, 1), 1.0),
+    ]);
+    let src = "sum((X - u %*% t(v))^2)";
+
+    let t0 = Instant::now();
+    let cold = svc.optimize(request(src, &vs)).unwrap();
+    let cold_time = t0.elapsed();
+    assert_eq!(cold.source, PlanSource::Miss);
+
+    const WARM_ROUNDS: u32 = 10;
+    let t0 = Instant::now();
+    for _ in 0..WARM_ROUNDS {
+        let warm = svc.optimize(request(src, &vs)).unwrap();
+        assert_eq!(warm.source, PlanSource::Hit);
+    }
+    let warm_time = t0.elapsed() / WARM_ROUNDS;
+
+    // the acceptance bar is 10× in the benches; assert a conservative 5×
+    // here so CI noise cannot flake the test
+    assert!(
+        warm_time * 5 < cold_time,
+        "warm {warm_time:?} not ≫ cold {cold_time:?}"
+    );
+}
