@@ -1,0 +1,204 @@
+//! Workload-mode benchmarks: ONE shared-e-graph saturation for a whole
+//! workload vs. N independent per-statement saturations, on the §4.2
+//! evaluation workloads.
+//!
+//! Modes:
+//!
+//! * plain `cargo bench --bench workload` — criterion wall-time benches
+//!   (shared one-pass vs per-statement compile) per workload;
+//! * `-- --smoke` — one pass per workload comparing wall time and
+//!   `candidates_visited` (total rule-matching work), asserting the
+//!   acceptance bar: the one-pass saturation does less total matching
+//!   work than the per-statement sum on ≥ 3 of the 5 workloads; run by
+//!   CI;
+//! * `-- --snapshot` / `--snapshot-only` — additionally rewrite the
+//!   committed `BENCH_workload.json`.
+
+use criterion::{criterion_group, Criterion};
+use spores_core::{Optimizer, SaturationStats, WorkloadOptimized};
+use spores_ml::workloads::{self, Workload};
+use spores_ml::{workload_bundle, workload_optimizer_config, WorkloadBundle};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The benchmark roster: all five §4.2 workloads at bench-scale sizes.
+fn roster() -> Vec<Workload> {
+    vec![
+        workloads::als(200, 100, 8, 51),
+        workloads::glm(200, 40, 52),
+        workloads::svm(200, 40, 53),
+        workloads::mlr(200, 20, 54),
+        workloads::pnmf(150, 120, 8, 55),
+    ]
+}
+
+fn optimizer() -> Optimizer {
+    Optimizer::new(workload_optimizer_config())
+}
+
+/// One shared-e-graph pass over the whole bundle.
+fn run_shared(bundle: &WorkloadBundle) -> WorkloadOptimized {
+    optimizer()
+        .optimize_workload(&bundle.expr, &bundle.vars)
+        .expect("workload optimizes")
+}
+
+/// N independent per-statement passes; returns the summed stats.
+fn run_per_statement(bundle: &WorkloadBundle) -> SaturationStats {
+    let mut total = SaturationStats {
+        iterations: 0,
+        e_nodes: 0,
+        e_classes: 0,
+        converged: true,
+        stop_reason: None,
+        candidates_visited: 0,
+        matches_found: 0,
+    };
+    for ix in 0..bundle.expr.len() {
+        let single = bundle.expr.single_statement(ix);
+        let got = optimizer()
+            .optimize_workload(&single, &bundle.vars)
+            .expect("statement optimizes");
+        total.iterations += got.saturation.iterations;
+        total.e_nodes += got.saturation.e_nodes;
+        total.e_classes += got.saturation.e_classes;
+        total.converged &= got.saturation.converged;
+        total.candidates_visited += got.saturation.candidates_visited;
+        total.matches_found += got.saturation.matches_found;
+    }
+    total
+}
+
+fn bench_shared_vs_per_statement(c: &mut Criterion) {
+    for w in roster() {
+        let bundle = workload_bundle(&w);
+        let mut group = c.benchmark_group(&format!("workload/{}", w.name.to_lowercase()));
+        group.sample_size(10);
+        group.bench_function("one_pass", |b| b.iter(|| black_box(run_shared(&bundle))));
+        group.bench_function("per_statement", |b| {
+            b.iter(|| black_box(run_per_statement(&bundle)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_shared_vs_per_statement);
+
+struct SmokeRow {
+    name: &'static str,
+    statements: usize,
+    shared_ns: u64,
+    per_statement_ns: u64,
+    shared_candidates: usize,
+    per_statement_candidates: usize,
+    shared_cost: f64,
+}
+
+fn smoke_rows() -> Vec<SmokeRow> {
+    roster()
+        .into_iter()
+        .map(|w| {
+            let bundle = workload_bundle(&w);
+            let t0 = Instant::now();
+            let shared = run_shared(&bundle);
+            let shared_ns = t0.elapsed().as_nanos() as u64;
+            let t0 = Instant::now();
+            let per = run_per_statement(&bundle);
+            let per_statement_ns = t0.elapsed().as_nanos() as u64;
+            assert!(!shared.fell_back, "{}: workload mode fell back", w.name);
+            SmokeRow {
+                name: w.name,
+                statements: bundle.expr.len(),
+                shared_ns,
+                per_statement_ns,
+                shared_candidates: shared.saturation.candidates_visited,
+                per_statement_candidates: per.candidates_visited,
+                shared_cost: shared.cost_after,
+            }
+        })
+        .collect()
+}
+
+fn smoke() {
+    let rows = smoke_rows();
+    let mut fewer_candidates = 0usize;
+    for row in &rows {
+        let wins = row.shared_candidates < row.per_statement_candidates;
+        fewer_candidates += usize::from(wins);
+        println!(
+            "workload smoke {:>5}: {} statements  one-pass {:>11} ns / {:>7} candidates  per-statement {:>11} ns / {:>7} candidates  {}",
+            row.name,
+            row.statements,
+            row.shared_ns,
+            row.shared_candidates,
+            row.per_statement_ns,
+            row.per_statement_candidates,
+            if wins { "one-pass does less matching" } else { "-" }
+        );
+    }
+    assert!(
+        fewer_candidates >= 3,
+        "acceptance: one-pass saturation must do less total rule-matching work \
+         (candidates_visited) than the per-statement sum on ≥ 3 of the 5 §4.2 \
+         workloads, got {fewer_candidates}"
+    );
+    println!(
+        "workload smoke OK: one-pass matching work wins on {fewer_candidates}/5 workloads (bar: 3)"
+    );
+}
+
+/// Write the `BENCH_workload.json` snapshot to the repo root.
+fn emit_snapshot() {
+    let rows = smoke_rows();
+    let mut entries = Vec::new();
+    for row in &rows {
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"workload\": \"{}\",\n",
+                "      \"statements\": {},\n",
+                "      \"one_pass_ns\": {},\n",
+                "      \"per_statement_ns\": {},\n",
+                "      \"one_pass_candidates\": {},\n",
+                "      \"per_statement_candidates\": {},\n",
+                "      \"one_pass_dag_cost\": {:.0}\n",
+                "    }}"
+            ),
+            row.name,
+            row.statements,
+            row.shared_ns,
+            row.per_statement_ns,
+            row.shared_candidates,
+            row.per_statement_candidates,
+            row.shared_cost,
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"workload/one_pass_vs_per_statement\",\n",
+            "  \"workloads\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_workload.json");
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    if has("--smoke") {
+        smoke();
+        return;
+    }
+    if has("--snapshot") || has("--snapshot-only") {
+        emit_snapshot();
+    }
+    if has("--snapshot-only") {
+        return;
+    }
+    benches();
+}

@@ -39,6 +39,26 @@ pub fn extract_greedy(egraph: &EGraph<Math, MetaAnalysis>, root: Id) -> Option<(
     extractor.find_best(root)
 }
 
+/// Multi-root greedy extraction: the cheapest term of every root built
+/// into ONE shared plan (per-class choices are global, so a sub-plan
+/// reachable from several roots appears once). Returns the plan's DAG
+/// cost — each distinct selected operator paid once *across roots* —
+/// the plan, and each root's node id within it.
+///
+/// Greedy choices still optimize per-class tree cost, so they can
+/// double-pay: a class may locally prefer an unshared cheap member over
+/// a slightly pricier one whose sub-plan another root already needs.
+/// [`extract_ilp_multi`] fixes that.
+pub fn extract_greedy_multi(
+    egraph: &EGraph<Math, MetaAnalysis>,
+    roots: &[Id],
+) -> Option<(f64, MathExpr, Vec<Id>)> {
+    let extractor = Extractor::new(egraph, NnzCost);
+    let (expr, ids) = extractor.find_best_multi(roots)?;
+    let cost = dag_cost(egraph, &expr);
+    Some((cost, expr, ids))
+}
+
 /// Extract the cheapest plan with the ILP encoding of Figure 11.
 ///
 /// Returns the plan, its cost (sum over *distinct* selected operators,
@@ -49,21 +69,43 @@ pub fn extract_ilp(
     root: Id,
     solver: &Solver,
 ) -> Option<(f64, MathExpr, IlpStats)> {
-    let root = egraph.find(root);
+    let (cost, expr, _, stats) = extract_ilp_multi(egraph, &[root], solver)?;
+    Some((cost, expr, stats))
+}
+
+/// Multi-root ILP extraction (the workload-level Figure 11 encoding).
+///
+/// One boolean program covers the whole workload: every root's class is
+/// asserted reachable (`B_c(root_k) = 1` for all k), the `F`/`G`
+/// implication clauses are shared, and the objective sums each `B_op`
+/// once — so a sub-plan selected on behalf of two roots is *paid for
+/// once*, which is exactly the cross-statement CSE the per-statement
+/// encoding cannot express. Cyclic justifications are excluded lazily
+/// per the multi-root walk, and the branch-and-bound warm-starts from
+/// the greedy multi-root plan's DAG cost.
+pub fn extract_ilp_multi(
+    egraph: &EGraph<Math, MetaAnalysis>,
+    roots: &[Id],
+    solver: &Solver,
+) -> Option<(f64, MathExpr, Vec<Id>, IlpStats)> {
+    let roots: Vec<Id> = roots.iter().map(|&r| egraph.find(r)).collect();
 
     // Eligibility fixpoint: reuse the greedy extractor — a class is
     // extractable iff greedy found any finite-cost term for it.
     let greedy = Extractor::new(egraph, NnzCost);
-    greedy.best_cost(root)?;
+    for &root in &roots {
+        greedy.best_cost(root)?;
+    }
 
-    // Warm start: the greedy plan is an achievable solution of the ILP
-    // (select exactly its operators), so its DAG cost — each distinct
-    // operator paid once, the objective the ILP minimizes — is an
-    // incumbent upper bound. Branch-and-bound prunes any branch that
-    // already costs more, long before it finds its first own incumbent.
+    // Warm start: the greedy multi-root plan is an achievable solution of
+    // the ILP (select exactly its operators), so its DAG cost — each
+    // distinct operator paid once across all roots, the objective the ILP
+    // minimizes — is an incumbent upper bound. Branch-and-bound prunes
+    // any branch that already costs more, long before it finds its first
+    // own incumbent.
     let warm_start = greedy
-        .find_best(root)
-        .map(|(_, expr)| dag_cost(egraph, &expr));
+        .find_best_multi(&roots)
+        .map(|(expr, _)| dag_cost(egraph, &expr));
 
     // ---- variables -----------------------------------------------------
     let mut problem = Problem::new();
@@ -126,7 +168,10 @@ pub fn extract_ilp(
         debug_assert!(!members.is_empty());
         problem.imply_any(cv, &members);
     }
-    problem.require(class_var[&root]);
+    // per-root reachability: every statement's class must be realized
+    for &root in &roots {
+        problem.require(class_var[&root]);
+    }
 
     let mut stats = IlpStats {
         n_vars: problem.n_vars() as usize,
@@ -145,7 +190,7 @@ pub fn extract_ilp(
         stats.rounds += 1;
         let remaining = deadline.saturating_duration_since(std::time::Instant::now());
         if remaining.is_zero() {
-            return greedy_fallback(egraph, root, stats);
+            return greedy_fallback(egraph, &roots, stats);
         }
         let round_solver = Solver {
             time_limit: remaining,
@@ -159,7 +204,7 @@ pub fn extract_ilp(
         let (solution, optimal) = match &result {
             SolveResult::Optimal(s) => (s, true),
             SolveResult::Unknown(Some(s)) => (s, false),
-            _ => return greedy_fallback(egraph, root, stats),
+            _ => return greedy_fallback(egraph, &roots, stats),
         };
         stats.optimal = optimal;
 
@@ -180,10 +225,10 @@ pub fn extract_ilp(
             best.map(|(_, ni)| ni)
         };
 
-        match build_acyclic(egraph, root, &chosen) {
-            Ok(expr) => {
+        match build_acyclic(egraph, &roots, &chosen) {
+            Ok((expr, ids)) => {
                 let cost = solution.cost;
-                return Some((cost, expr, stats));
+                return Some((cost, expr, ids, stats));
             }
             Err(cycle) => {
                 // ban this particular cyclic justification and re-solve
@@ -193,25 +238,30 @@ pub fn extract_ilp(
             }
         }
     }
-    greedy_fallback(egraph, root, stats)
+    greedy_fallback(egraph, &roots, stats)
 }
 
 fn greedy_fallback(
     egraph: &EGraph<Math, MetaAnalysis>,
-    root: Id,
+    roots: &[Id],
     mut stats: IlpStats,
-) -> Option<(f64, MathExpr, IlpStats)> {
+) -> Option<(f64, MathExpr, Vec<Id>, IlpStats)> {
     stats.optimal = false;
-    let (cost, expr) = extract_greedy(egraph, root)?;
-    Some((cost, expr, stats))
+    let (cost, expr, ids) = extract_greedy_multi(egraph, roots)?;
+    Some((cost, expr, ids, stats))
 }
 
-/// Walk the chosen ops from `root`; `Err` carries the ops on a cycle.
+/// `(class, node index)` ops lying on a cyclic justification.
+type CycleOps = Vec<(Id, usize)>;
+
+/// Walk the chosen ops from every root into one shared expression (one
+/// memo across roots, so shared selections materialize once); `Err`
+/// carries the ops on a cycle.
 fn build_acyclic(
     egraph: &EGraph<Math, MetaAnalysis>,
-    root: Id,
+    roots: &[Id],
     chosen: &dyn Fn(Id) -> Option<usize>,
-) -> Result<MathExpr, Vec<(Id, usize)>> {
+) -> Result<(MathExpr, Vec<Id>), CycleOps> {
     enum State {
         OnStack,
         Done(Id),
@@ -261,8 +311,11 @@ fn build_acyclic(
     let mut expr = MathExpr::default();
     let mut state = FxHashMap::default();
     let mut stack = Vec::new();
-    go(egraph, root, chosen, &mut expr, &mut state, &mut stack)?;
-    Ok(expr)
+    let mut ids = Vec::with_capacity(roots.len());
+    for &root in roots {
+        ids.push(go(egraph, root, chosen, &mut expr, &mut state, &mut stack)?);
+    }
+    Ok((expr, ids))
 }
 
 /// DAG cost of a concrete plan: each distinct node paid once.
@@ -384,6 +437,43 @@ mod tests {
             gc - ic >= outer_nnz - 1.0,
             "sharing must save ~one dense outer product: greedy {gc}, ilp {ic}"
         );
+    }
+
+    #[test]
+    fn multi_root_greedy_counts_shared_subplans_once() {
+        // both roots contain the dense outer product; the multi-root DAG
+        // cost must pay it once, i.e. be well below the per-root sum
+        let outer = "(* (b i _ U) (b j _ V))";
+        let mut eg = MathGraph::new(MetaAnalysis::new(ctx()));
+        let r1 = eg.add_expr(&parse_math(&format!("(* (b i j X) {outer})")).unwrap());
+        let r2 = eg.add_expr(&parse_math(&format!("(+ (b i j X) {outer})")).unwrap());
+        eg.rebuild();
+        let (c1, _) = extract_greedy(&eg, r1).unwrap();
+        let (c2, _) = extract_greedy(&eg, r2).unwrap();
+        let (multi, expr, ids) = extract_greedy_multi(&eg, &[r1, r2]).unwrap();
+        assert_eq!(ids.len(), 2);
+        let outer_nnz = 1000.0 * 500.0;
+        assert!(
+            c1 + c2 - multi >= outer_nnz - 1.0,
+            "shared outer product must be paid once: {c1} + {c2} vs {multi} ({expr})"
+        );
+    }
+
+    #[test]
+    fn multi_root_ilp_never_worse_than_multi_root_greedy() {
+        let (ra, eg1) = saturated("(sum j (* (b i j X) (b j _ V)))");
+        // a second root inside the same saturated graph
+        let mut eg = eg1;
+        let rb = eg.add_expr(&parse_math("(* (b i j X) (b i _ U))").unwrap());
+        eg.rebuild();
+        let (gc, _, _) = extract_greedy_multi(&eg, &[ra, rb]).unwrap();
+        let (ic, expr, ids, stats) = extract_ilp_multi(&eg, &[ra, rb], &Solver::default()).unwrap();
+        assert!(stats.optimal);
+        assert_eq!(ids.len(), 2);
+        assert!(ic <= gc + 1e-6, "ilp {ic} > greedy {gc} ({expr})");
+        // warm start bound from the greedy multi-root plan is recorded
+        let ub = stats.warm_start.expect("warm start recorded");
+        assert!(ic <= ub + 1e-6);
     }
 
     #[test]

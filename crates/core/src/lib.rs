@@ -10,16 +10,22 @@ pub mod lower;
 pub mod optimizer;
 pub mod rules;
 pub mod translate;
+pub mod workload;
 
 pub use analysis::{Context, Kind, MathGraph, Meta, MetaAnalysis, Schema, VarMeta};
 pub use canon::{canon_of_la, canonical_form, la_equivalent, polyterm_isomorphic, Polyterm};
 pub use cost::{node_cost, NnzCost};
-pub use extract::{extract_greedy, extract_ilp, IlpStats};
+pub use extract::{
+    dag_cost, extract_greedy, extract_greedy_multi, extract_ilp, extract_ilp_multi, IlpStats,
+};
 pub use homomorphism::{find_homomorphism, minimal_terms, Homomorphism};
 pub use lang::{parse_math, Math, MathExpr};
-pub use lower::{lower, lower_with_info, LowerError, Lowered};
+pub use lower::{lower, lower_with_info, lower_workload, LowerError, Lowered, LoweredWorkload};
 pub use optimizer::{
     plan_cost, ExtractorKind, Optimized, Optimizer, OptimizerConfig, PhaseTimings, SaturationStats,
 };
 pub use rules::{custom_rules, default_rules, req_rules, MathRewrite};
-pub use translate::{translate, Translation};
+pub use translate::{
+    translate, translate_workload, RootTranslation, Translation, WorkloadTranslation,
+};
+pub use workload::{workload_plan_cost, WorkloadOptimized};

@@ -100,6 +100,40 @@ pub fn lower_with_info(
     col: Option<Symbol>,
     ctx: &Context,
 ) -> Result<Lowered, LowerError> {
+    let lw = lower_workload(expr, &[(expr.root(), row, col)], ctx)?;
+    Ok(Lowered {
+        arena: lw.arena,
+        root: lw.roots[0],
+        dim_constants: lw.dim_constants,
+    })
+}
+
+/// A multi-root shared LA plan: all statements lowered into ONE
+/// hash-consed arena, so a sub-plan extraction shared across statements
+/// is bound to a single [`NodeId`] referenced by every consuming root —
+/// the executor computes it once per pass.
+#[derive(Clone, Debug)]
+pub struct LoweredWorkload {
+    pub arena: ExprArena,
+    /// Per-statement plan roots, in input order.
+    pub roots: Vec<NodeId>,
+    /// True when any statement's plan embeds concrete dimension
+    /// constants (see [`lower_with_info`]).
+    pub dim_constants: bool,
+}
+
+/// Lower every root of a multi-root RA plan into one shared arena.
+///
+/// `roots` pairs each root's node id in `expr` with its target
+/// orientation. The lowering cache and the output arena are shared
+/// across roots, so RA sub-plans the extractor shared come out as shared
+/// LA nodes (common subplans bound once), and the final peephole cleanup
+/// runs with one memo so that sharing survives it.
+pub fn lower_workload(
+    expr: &MathExpr,
+    roots: &[(Id, Option<Symbol>, Option<Symbol>)],
+    ctx: &Context,
+) -> Result<LoweredWorkload, LowerError> {
     let schemas = compute_schemas(expr)?;
     let mut lw = Lower {
         expr,
@@ -109,19 +143,26 @@ pub fn lower_with_info(
         cache: FxHashMap::default(),
         dim_constants: false,
     };
-    let root_schema = lw.schemas[expr.root().index()].clone();
-    let want: Attrs = row.iter().chain(col.iter()).copied().collect();
-    if sorted(&root_schema) != sorted(&want) {
-        return Err(LowerError(format!(
-            "root schema {root_schema:?} does not match requested orientation ({row:?}, {col:?})"
-        )));
+    let mut oriented = Vec::with_capacity(roots.len());
+    for &(id, row, col) in roots {
+        let root_schema = lw.schemas[id.index()].clone();
+        let want: Attrs = row.iter().chain(col.iter()).copied().collect();
+        if sorted(&root_schema) != sorted(&want) {
+            return Err(LowerError(format!(
+                "root schema {root_schema:?} does not match requested orientation ({row:?}, {col:?})"
+            )));
+        }
+        let fac = lw.lower_id(id, row, col)?;
+        oriented.push(lw.orient(fac, row, col)?);
     }
-    let fac = lw.lower_id(expr.root(), row, col)?;
-    let oriented = lw.orient(fac, row, col)?;
-    let cleaned = cleanup(&mut lw.arena, oriented);
-    Ok(Lowered {
+    let mut memo: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+    let cleaned = oriented
+        .into_iter()
+        .map(|r| clean_rec(&mut lw.arena, r, &mut memo))
+        .collect();
+    Ok(LoweredWorkload {
         arena: lw.arena,
-        root: cleaned,
+        roots: cleaned,
         dim_constants: lw.dim_constants,
     })
 }
@@ -917,11 +958,9 @@ impl<'a> Lower<'a> {
     }
 }
 
-/// Peephole cleanup: `x + (-1)·y → x − y`, `(-1)·y → -y`, `x · 1 → x`.
-fn cleanup(arena: &mut ExprArena, root: NodeId) -> NodeId {
-    let mut memo: FxHashMap<NodeId, NodeId> = FxHashMap::default();
-    clean_rec(arena, root, &mut memo)
-}
+// Peephole cleanup: `x + (-1)·y → x − y`, `(-1)·y → -y`, `x · 1 → x`.
+// (Run via `clean_rec` with a caller-owned memo so multi-root plans keep
+// their sharing through the cleanup.)
 
 fn is_neg_one(arena: &ExprArena, id: NodeId) -> bool {
     matches!(arena.node(id), LaNode::Scalar(n) if n.get() == -1.0)

@@ -132,6 +132,9 @@ struct Translator<'a> {
     index_dims: FxHashMap<Symbol, u64>,
     counter: usize,
     memo: FxHashMap<NodeId, Frag>,
+    /// Memoized reachable-node counts of built fragments (see
+    /// [`Translator::frag_size`]).
+    frag_sizes: FxHashMap<Id, usize>,
 }
 
 impl<'a> Translator<'a> {
@@ -151,33 +154,54 @@ impl<'a> Translator<'a> {
         self.shapes[id.index()].expect("shape inferred for reachable node")
     }
 
-    /// Align `b` with `a` for an element-wise (broadcasting) operation:
-    /// rename `b`'s attributes onto `a`'s where both have the dimension,
-    /// and return the fragment ids plus the result attributes.
+    /// Number of nodes reachable from `id` in the builder expression —
+    /// the amount of structure a rename would copy. Builder nodes are
+    /// immutable once added, so results are memoized per id (large
+    /// shared fragments are re-queried by every consuming statement).
+    fn frag_size(&mut self, id: Id) -> usize {
+        if let Some(&n) = self.frag_sizes.get(&id) {
+            return n;
+        }
+        let mut seen: FxHashMap<Id, ()> = FxHashMap::default();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if seen.insert(n, ()).is_none() {
+                stack.extend(self.builder.expr.node(n).children().iter().copied());
+            }
+        }
+        let size = seen.len();
+        self.frag_sizes.insert(id, size);
+        size
+    }
+
+    /// Align `a` and `b` for an element-wise (broadcasting) operation:
+    /// rename the *smaller* fragment's attributes onto the larger one's
+    /// and return the fragment ids (in operand order) plus the result
+    /// attributes. Renaming the smaller side keeps large fragments —
+    /// possibly shared across statements of a workload — byte-identical,
+    /// so cross-statement CSE survives attribute alignment.
     fn unify(&mut self, a: Frag, b: Frag) -> (Id, Id, Option<Symbol>, Option<Symbol>) {
+        let rename_a = self.frag_size(a.id) < self.frag_size(b.id);
+        let (keep, mv) = if rename_a { (b, a) } else { (a, b) };
         let mut map = HashMap::new();
-        let row = match (a.row, b.row) {
-            (Some(ra), Some(rb)) => {
-                if ra != rb {
-                    map.insert(rb, ra);
+        let mut pick = |kept: Option<Symbol>, moved: Option<Symbol>| match (kept, moved) {
+            (Some(k), Some(m)) => {
+                if m != k {
+                    map.insert(m, k);
                 }
-                Some(ra)
+                Some(k)
             }
-            (Some(ra), None) => Some(ra),
-            (None, rb) => rb,
+            (Some(k), None) => Some(k),
+            (None, m) => m,
         };
-        let col = match (a.col, b.col) {
-            (Some(ca), Some(cb)) => {
-                if ca != cb {
-                    map.insert(cb, ca);
-                }
-                Some(ca)
-            }
-            (Some(ca), None) => Some(ca),
-            (None, cb) => cb,
-        };
-        let b_id = self.builder.rename(b.id, &map);
-        (a.id, b_id, row, col)
+        let row = pick(keep.row, mv.row);
+        let col = pick(keep.col, mv.col);
+        let mv_id = self.builder.rename(mv.id, &map);
+        if rename_a {
+            (mv_id, keep.id, row, col)
+        } else {
+            (keep.id, mv_id, row, col)
+        }
     }
 
     fn pointwise2(&mut self, a: Frag, b: Frag, mk: impl FnOnce([Id; 2]) -> Math) -> Frag {
@@ -293,42 +317,57 @@ impl<'a> Translator<'a> {
                     }
                     Pow => self.pointwise2(fa, fb, Math::Pow),
                     MatMul => {
-                        // A(i,k) · B(k,j): rename B's row attr onto A's
-                        // col attr, join, aggregate the shared attr.
+                        // A(i,k) · B(k,j): align the contraction attrs,
+                        // join, aggregate the shared attr. As in `unify`,
+                        // the smaller fragment is the one renamed so big
+                        // (cross-statement shared) fragments stay intact.
                         //
                         // Because translation memoizes shared LA nodes,
                         // B may alias A's attributes (e.g. `t(X) %*% X`
                         // reuses one fragment for both occurrences of X).
-                        // Any attr of B that would collide with an attr
-                        // of A other than the contraction index must be
+                        // Any outer attr of the renamed side that would
+                        // collide with an attr of the kept side must be
                         // freshened, or the self-contraction collapses.
+                        let rename_a = self.frag_size(fa.id) < self.frag_size(fb.id);
                         let mut map = HashMap::new();
                         let k = match (fa.col, fb.row) {
-                            (Some(ka), Some(kb)) => {
-                                if ka != kb {
+                            (Some(ka), Some(kb)) if ka != kb => {
+                                if rename_a {
+                                    map.insert(ka, kb);
+                                    Some(kb)
+                                } else {
                                     map.insert(kb, ka);
+                                    Some(ka)
                                 }
-                                Some(ka)
                             }
-                            (Some(ka), None) => Some(ka),
+                            (Some(ka), _) => Some(ka),
                             (None, kb) => kb,
                         };
+                        let mut row = fa.row;
                         let mut col = fb.col;
-                        if let Some(cb) = fb.col {
+                        if rename_a {
+                            if let Some(ra) = fa.row {
+                                if Some(ra) == fb.col || Some(ra) == fb.row {
+                                    let fresh = self.fresh(self.index_dims[&ra]);
+                                    map.insert(ra, fresh);
+                                    row = Some(fresh);
+                                }
+                            }
+                        } else if let Some(cb) = fb.col {
                             if Some(cb) == fa.row || Some(cb) == fa.col {
                                 let fresh = self.fresh(self.index_dims[&cb]);
                                 map.insert(cb, fresh);
                                 col = Some(fresh);
                             }
                         }
-                        let b_id = self.builder.rename(fb.id, &map);
-                        let prod = self.builder.add(Math::Mul([fa.id, b_id]));
+                        let (a_id, b_id) = if rename_a {
+                            (self.builder.rename(fa.id, &map), fb.id)
+                        } else {
+                            (fa.id, self.builder.rename(fb.id, &map))
+                        };
+                        let prod = self.builder.add(Math::Mul([a_id, b_id]));
                         let id = self.agg(k, prod);
-                        Frag {
-                            id,
-                            row: fa.row,
-                            col,
-                        }
+                        Frag { id, row, col }
                     }
                     Min => self.pointwise2(fa, fb, Math::BMin),
                     Max => self.pointwise2(fa, fb, Math::BMax),
@@ -382,6 +421,7 @@ pub fn translate_pair(
         index_dims: FxHashMap::default(),
         counter: 0,
         memo: FxHashMap::default(),
+        frag_sizes: FxHashMap::default(),
     };
     let fl = tr.tr(lhs);
     let fr = tr.tr(rhs);
@@ -403,6 +443,88 @@ pub fn translate_pair(
     })
 }
 
+/// One statement of a translated workload: its relational plan plus the
+/// result orientation, mirroring [`Translation`] per root.
+#[derive(Clone, Debug)]
+pub struct RootTranslation {
+    pub name: Symbol,
+    pub expr: MathExpr,
+    pub row: Option<Symbol>,
+    pub col: Option<Symbol>,
+    pub shape: Shape,
+}
+
+/// The result of translating a whole workload bundle through ONE
+/// translator: statements share fragments (and therefore index names)
+/// wherever their LA DAGs share nodes, so adding every root to one
+/// e-graph puts repeated subexpressions in the same e-class.
+#[derive(Clone, Debug)]
+pub struct WorkloadTranslation {
+    pub roots: Vec<RootTranslation>,
+    /// One analysis context covering every statement.
+    pub ctx: Context,
+}
+
+/// Translate all roots of a workload bundle with a single translator.
+///
+/// `vars` must cover every leaf variable any root reads — for SSA
+/// bundles that includes the version symbols defined by earlier roots
+/// (with their estimated metadata), exactly like the per-statement
+/// pipeline sees them.
+pub fn translate_workload(
+    arena: &ExprArena,
+    roots: &[(Symbol, NodeId)],
+    vars: &HashMap<Symbol, VarMeta>,
+) -> Result<WorkloadTranslation, TranslateError> {
+    let env: spores_ir::ShapeEnv = vars.iter().map(|(&k, v)| (k, v.shape)).collect();
+    // merged shape inference: the arena interleaves the roots' sub-DAGs
+    let mut shapes: Vec<Option<Shape>> = vec![None; arena.len()];
+    for &(name, root) in roots {
+        let inferred = arena
+            .infer_shapes(root, &env)
+            .map_err(|e| TranslateError(format!("{name}: {e}")))?;
+        for (i, s) in inferred.into_iter().enumerate() {
+            if shapes[i].is_none() {
+                shapes[i] = s;
+            }
+        }
+    }
+    let mut tr = Translator {
+        arena,
+        shapes,
+        vars,
+        builder: Builder::default(),
+        index_dims: FxHashMap::default(),
+        counter: 0,
+        memo: FxHashMap::default(),
+        frag_sizes: FxHashMap::default(),
+    };
+    let mut out = Vec::with_capacity(roots.len());
+    for &(name, root) in roots {
+        let frag = tr.tr(root);
+        let shape = tr.shape(root);
+        out.push((name, frag, shape));
+    }
+    // RecExpr extraction re-numbers nodes per root; sharing is restored
+    // when the roots are added to one hash-consing e-graph.
+    let roots = out
+        .into_iter()
+        .map(|(name, frag, shape)| RootTranslation {
+            name,
+            expr: MathExpr::extract(&tr.builder.expr, frag.id),
+            row: frag.row,
+            col: frag.col,
+            shape,
+        })
+        .collect();
+    let mut ctx = Context::new();
+    for (&name, &meta) in vars {
+        ctx.vars.insert(name, meta);
+    }
+    ctx.index_dims = tr.index_dims;
+    Ok(WorkloadTranslation { roots, ctx })
+}
+
 /// Translate the LA expression rooted at `root` into a relational plan.
 pub fn translate(
     arena: &ExprArena,
@@ -421,6 +543,7 @@ pub fn translate(
         index_dims: FxHashMap::default(),
         counter: 0,
         memo: FxHashMap::default(),
+        frag_sizes: FxHashMap::default(),
     };
     let frag = tr.tr(root);
     let shape = tr.shape(root);
@@ -522,14 +645,16 @@ mod tests {
 
     #[test]
     fn subtraction_becomes_negated_union() {
+        // X's 1-node bind is the smaller fragment, so it is the side
+        // renamed onto the (wrapped) Y fragment's attributes
         let t = tr("X - Y", &[("X", (3, 4)), ("Y", (3, 4))]);
-        assert_eq!(t.expr.to_string(), "(+ (b i0 i1 X) (* -1 (b i0 i1 Y)))");
+        assert_eq!(t.expr.to_string(), "(+ (b i2 i3 X) (* -1 (b i2 i3 Y)))");
     }
 
     #[test]
     fn division_becomes_join_with_reciprocal() {
         let t = tr("X / Y", &[("X", (3, 4)), ("Y", (3, 4))]);
-        assert_eq!(t.expr.to_string(), "(* (b i0 i1 X) (inv (b i0 i1 Y)))");
+        assert_eq!(t.expr.to_string(), "(* (b i2 i3 X) (inv (b i2 i3 Y)))");
     }
 
     #[test]
@@ -551,7 +676,7 @@ mod tests {
         );
         assert_eq!(
             t.expr.to_string(),
-            "(sum i0 (sum i1 (pow (+ (b i0 i1 X) (* -1 (* (b i0 _ u) (b i1 _ v)))) 2)))"
+            "(sum i2 (sum i3 (pow (+ (b i2 i3 X) (* -1 (* (b i2 _ u) (b i3 _ v)))) 2)))"
         );
         assert!(t.row.is_none() && t.col.is_none());
     }
@@ -584,6 +709,38 @@ mod tests {
         let root = parse_expr(&mut arena, "X %*% Y").unwrap();
         let vs = vars(&[("X", (3, 4)), ("Y", (5, 6))]);
         assert!(translate(&arena, root, &vs).is_err());
+    }
+
+    #[test]
+    fn workload_translation_shares_fragments_across_statements() {
+        // `W %*% H` in two statements must translate to the *same* RA
+        // fragment (same indices), so one e-graph unifies them.
+        let mut arena = ExprArena::new();
+        let r1 = parse_expr(&mut arena, "sum(W %*% H)").unwrap();
+        let r2 = parse_expr(&mut arena, "sum(X * log(W %*% H))").unwrap();
+        let vs = vars(&[("W", (30, 4)), ("H", (4, 20)), ("X", (30, 20))]);
+        let roots = vec![(Symbol::new("a"), r1), (Symbol::new("b"), r2)];
+        let wt = translate_workload(&arena, &roots, &vs).unwrap();
+        assert_eq!(wt.roots.len(), 2);
+        let a = wt.roots[0].expr.to_string();
+        let b = wt.roots[1].expr.to_string();
+        // the aggregated-join fragment for W %*% H appears verbatim in both
+        let product = "(sum i1 (* (b i0 i1 W) (b i1 i3 H)))";
+        assert!(a.contains(product), "{a}");
+        assert!(b.contains(product), "{b}");
+        // and the context carries one dimension table for all statements
+        assert!(wt.ctx.index_dims.len() >= 3);
+    }
+
+    #[test]
+    fn workload_translation_matches_single_statement_translation() {
+        let mut arena = ExprArena::new();
+        let r1 = parse_expr(&mut arena, "sum((X - u %*% t(v))^2)").unwrap();
+        let vs = vars(&[("X", (30, 20)), ("u", (30, 1)), ("v", (20, 1))]);
+        let wt = translate_workload(&arena, &[(Symbol::new("loss"), r1)], &vs).unwrap();
+        let single = translate(&arena, r1, &vs).unwrap();
+        assert_eq!(wt.roots[0].expr.to_string(), single.expr.to_string());
+        assert_eq!(wt.roots[0].shape, single.shape);
     }
 
     #[test]

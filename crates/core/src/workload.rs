@@ -1,0 +1,433 @@
+//! Workload-level optimization: all statements in ONE e-graph.
+//!
+//! The per-statement pipeline ([`Optimizer::optimize`]) pays a full
+//! translate → saturate → extract → lower pass per statement and cannot
+//! see sharing *across* statements — PNMF's `W %*% H` appears in three
+//! statements and is re-derived (and re-paid) three times. This module
+//! adds the workload mode:
+//!
+//! 1. translate every statement of a [`WorkloadExpr`] with one
+//!    translator ([`translate_workload`]), so repeated LA sub-DAGs map
+//!    to identical RA fragments;
+//! 2. saturate **once** over a single e-graph holding every statement
+//!    root — one rule-matching pass over the union instead of N passes
+//!    over overlapping graphs;
+//! 3. extract one multi-root plan whose DAG cost pays each shared
+//!    e-class once across roots ([`extract_greedy_multi`] /
+//!    [`extract_ilp_multi`]);
+//! 4. lower into one shared arena where common subplans are bound once
+//!    ([`lower_workload`]) — `spores-exec`'s `run_many` then computes
+//!    them once per pass.
+
+use crate::analysis::{MathGraph, MetaAnalysis, VarMeta};
+use crate::cost::NnzCost;
+use crate::extract::{extract_greedy_multi, extract_ilp_multi, IlpStats};
+use crate::lower::lower_workload;
+use crate::optimizer::{plan_cost, ExtractorKind, Optimizer, PhaseTimings, SaturationStats};
+use crate::rules::default_rules;
+use crate::translate::{translate_workload, TranslateError};
+use spores_egraph::{Extractor, Id, Runner};
+use spores_ir::{ExprArena, NodeId, Symbol, WorkloadExpr};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The workload optimizer's output: one shared multi-root plan.
+#[derive(Clone, Debug)]
+pub struct WorkloadOptimized {
+    /// The shared plan arena; subplans common to several statements are
+    /// single nodes referenced by every consuming root.
+    pub arena: ExprArena,
+    /// Per-statement `(name, plan root)`, in input order.
+    pub roots: Vec<(Symbol, NodeId)>,
+    pub timings: PhaseTimings,
+    /// Statistics of the single shared saturation run.
+    pub saturation: SaturationStats,
+    /// Summed per-statement cost estimate of the *input* plans.
+    pub cost_before: f64,
+    /// DAG cost of the extracted multi-root plan: each shared e-class
+    /// paid once across all roots.
+    pub cost_after: f64,
+    pub ilp: Option<IlpStats>,
+    /// True when extraction or lowering failed and the input bundle was
+    /// returned as-is.
+    pub fell_back: bool,
+    /// See [`crate::Optimized::size_polymorphic`].
+    pub size_polymorphic: bool,
+}
+
+impl WorkloadOptimized {
+    /// Estimated cost improvement factor (≥ 1 when the optimizer helped).
+    pub fn speedup_estimate(&self) -> f64 {
+        if self.cost_after > 0.0 {
+            self.cost_before / self.cost_after
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl Optimizer {
+    /// Optimize a whole workload bundle in one shared e-graph. See the
+    /// module docs. `vars` must cover every leaf the bundle reads,
+    /// including version symbols defined by earlier roots of an SSA
+    /// bundle.
+    pub fn optimize_workload(
+        &self,
+        workload: &WorkloadExpr,
+        vars: &HashMap<Symbol, VarMeta>,
+    ) -> Result<WorkloadOptimized, TranslateError> {
+        let cfg = &self.config;
+
+        // ---- translate (one translator for all statements) -------------
+        let t0 = Instant::now();
+        let wt = translate_workload(&workload.arena, &workload.roots, vars)?;
+        let t_translate = t0.elapsed();
+
+        // ---- saturate (one e-graph, every statement a root) ------------
+        let t0 = Instant::now();
+        let rules = match &self.rules {
+            Some(r) => r.clone(),
+            None => default_rules(),
+        };
+        // The sampling scheduler caps match applications *per rule per
+        // iteration*; a union graph of N statements has ~N× the match
+        // surface, so an unscaled cap would need ~N× the iterations —
+        // and every extra iteration re-searches the whole union. Scaling
+        // the cap by N keeps the per-statement application rate of the
+        // per-statement pipeline, which is what makes one shared pass
+        // strictly cheaper in candidates visited than N separate passes.
+        let scheduler = match cfg.scheduler.clone() {
+            spores_egraph::Scheduler::Sampling { match_limit, seed } => {
+                spores_egraph::Scheduler::Sampling {
+                    match_limit: match_limit * workload.roots.len().max(1),
+                    seed,
+                }
+            }
+            s => s,
+        };
+        let mut runner = Runner::new(MetaAnalysis::new(wt.ctx.clone()))
+            .with_scheduler(scheduler)
+            .with_iter_limit(cfg.iter_limit)
+            .with_node_limit(cfg.node_limit)
+            .with_time_limit(cfg.time_limit);
+        for rt in &wt.roots {
+            runner = runner.with_expr(&rt.expr);
+        }
+        let runner = runner.run(&rules);
+        let t_saturate = t0.elapsed();
+        let saturation = SaturationStats {
+            iterations: runner.iterations.len(),
+            e_nodes: runner.egraph.total_number_of_nodes(),
+            e_classes: runner.egraph.number_of_classes(),
+            converged: runner.saturated(),
+            stop_reason: runner.stop_reason.clone(),
+            candidates_visited: runner
+                .iterations
+                .iter()
+                .flat_map(|it| &it.rules)
+                .map(|r| r.candidates)
+                .sum(),
+            matches_found: runner.iterations.iter().map(|it| it.matches_found).sum(),
+        };
+        let eroots = runner.roots.clone();
+        let egraph = runner.egraph;
+
+        // summed cost of the input plans (the before/after reference)
+        let cost_before = {
+            let mut pre = MathGraph::new(MetaAnalysis::new(wt.ctx.clone()));
+            let ids: Vec<Id> = wt.roots.iter().map(|rt| pre.add_expr(&rt.expr)).collect();
+            pre.rebuild();
+            let ext = Extractor::new(&pre, NnzCost);
+            ids.iter()
+                .map(|&id| ext.best_cost(id).unwrap_or(f64::INFINITY))
+                .sum()
+        };
+
+        // ---- extract one multi-root plan --------------------------------
+        let t0 = Instant::now();
+        let mut ilp_stats = None;
+        let extracted = match cfg.extractor {
+            ExtractorKind::Greedy => extract_greedy_multi(&egraph, &eroots),
+            ExtractorKind::Ilp => {
+                let solver = spores_ilp::Solver {
+                    time_limit: cfg.ilp_time_limit,
+                    ..spores_ilp::Solver::default()
+                };
+                extract_ilp_multi(&egraph, &eroots, &solver).map(|(c, e, ids, s)| {
+                    ilp_stats = Some(s);
+                    (c, e, ids)
+                })
+            }
+        };
+        let t_extract = t0.elapsed();
+
+        // ---- lower into one shared arena --------------------------------
+        let t0 = Instant::now();
+        let lowered = extracted.as_ref().and_then(|(_, expr, ids)| {
+            let specs: Vec<(Id, Option<Symbol>, Option<Symbol>)> = ids
+                .iter()
+                .zip(&wt.roots)
+                .map(|(&id, rt)| (id, rt.row, rt.col))
+                .collect();
+            lower_workload(expr, &specs, &wt.ctx).ok()
+        });
+        let t_lower = t0.elapsed();
+
+        let timings = PhaseTimings {
+            translate: t_translate,
+            saturate: t_saturate,
+            extract: t_extract,
+            lower: t_lower,
+        };
+
+        let names: Vec<Symbol> = workload.roots.iter().map(|&(n, _)| n).collect();
+        match (extracted, lowered) {
+            (Some((cost_after, _, _)), Some(low)) => Ok(WorkloadOptimized {
+                arena: low.arena,
+                roots: names.into_iter().zip(low.roots).collect(),
+                timings,
+                saturation,
+                cost_before,
+                cost_after,
+                ilp: ilp_stats,
+                fell_back: false,
+                size_polymorphic: !low.dim_constants,
+            }),
+            _ => {
+                // extraction or lowering failed: return the input bundle
+                Ok(WorkloadOptimized {
+                    arena: workload.arena.clone(),
+                    roots: workload.roots.clone(),
+                    timings,
+                    saturation,
+                    cost_before,
+                    cost_after: cost_before,
+                    ilp: ilp_stats,
+                    fell_back: true,
+                    size_polymorphic: false,
+                })
+            }
+        }
+    }
+}
+
+/// Summed [`plan_cost`] of a workload plan's roots, priced as-is under
+/// the caller's metadata — the workload analogue of the plan cache's hit
+/// re-check (shared subplans appear in each consuming root's term, so
+/// this is a consistent upper bound on both sides of the comparison).
+pub fn workload_plan_cost(
+    arena: &ExprArena,
+    roots: &[(Symbol, NodeId)],
+    vars: &HashMap<Symbol, VarMeta>,
+) -> Result<f64, TranslateError> {
+    let mut total = 0.0;
+    for &(_, root) in roots {
+        total += plan_cost(arena, root, vars)?;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_la, Tensor};
+    use crate::optimizer::OptimizerConfig;
+    use spores_ir::parse_expr;
+
+    fn vars(list: &[(&str, (u64, u64), f64)]) -> HashMap<Symbol, VarMeta> {
+        list.iter()
+            .map(|&(n, (r, c), s)| (Symbol::new(n), VarMeta::sparse(r, c, s)))
+            .collect()
+    }
+
+    fn bundle(stmts: &[(&str, &str)]) -> WorkloadExpr {
+        let mut arena = ExprArena::new();
+        let roots = stmts
+            .iter()
+            .map(|&(name, src)| (Symbol::new(name), parse_expr(&mut arena, src).unwrap()))
+            .collect();
+        WorkloadExpr::new(arena, roots).unwrap()
+    }
+
+    fn optimizer(kind: ExtractorKind) -> Optimizer {
+        Optimizer::new(OptimizerConfig {
+            extractor: kind,
+            node_limit: 8_000,
+            iter_limit: 15,
+            ..OptimizerConfig::default()
+        })
+    }
+
+    #[test]
+    fn workload_mode_shares_subplans_across_statements() {
+        // `W %*% H` is needed by both statements (under `/` and `log` it
+        // cannot be rewritten away); the shared plan must bind it once.
+        let w = bundle(&[
+            ("num", "t(W) %*% (X / (W %*% H))"),
+            ("obj", "sum(X * log(W %*% H))"),
+        ]);
+        let vs = vars(&[
+            ("W", (60, 4), 1.0),
+            ("H", (4, 50), 1.0),
+            ("X", (60, 50), 0.05),
+        ]);
+        let got = optimizer(ExtractorKind::Greedy)
+            .optimize_workload(&w, &vs)
+            .unwrap();
+        assert!(!got.fell_back);
+        assert_eq!(got.roots.len(), 2);
+        // the product appears exactly once in the shared arena …
+        let all: Vec<NodeId> = got
+            .arena
+            .postorder_multi(&got.roots.iter().map(|&(_, r)| r).collect::<Vec<_>>());
+        let products: Vec<NodeId> = all
+            .iter()
+            .copied()
+            .filter(|&id| got.arena.display(id) == "W %*% H")
+            .collect();
+        assert_eq!(products.len(), 1, "plan: {:?}", plans(&got));
+        // … and is reachable from both statement roots
+        for &(_, root) in &got.roots {
+            assert!(
+                got.arena.postorder(root).contains(&products[0]),
+                "root does not share the product: {:?}",
+                plans(&got)
+            );
+        }
+    }
+
+    fn plans(got: &WorkloadOptimized) -> Vec<String> {
+        got.roots
+            .iter()
+            .map(|&(n, r)| format!("{n} = {}", got.arena.display(r)))
+            .collect()
+    }
+
+    #[test]
+    fn workload_mode_cost_never_exceeds_per_statement_sum() {
+        let stmts = [
+            ("gu", "(U %*% t(V) - X) %*% V"),
+            ("loss", "sum((X - U %*% t(V))^2)"),
+        ];
+        let vs = vars(&[
+            ("X", (500, 300), 0.001),
+            ("U", (500, 8), 1.0),
+            ("V", (300, 8), 1.0),
+        ]);
+        let opt = optimizer(ExtractorKind::Greedy);
+        let whole = opt.optimize_workload(&bundle(&stmts), &vs).unwrap();
+        assert!(!whole.fell_back);
+        let mut per_statement = 0.0;
+        for (name, src) in stmts {
+            let got = opt.optimize_workload(&bundle(&[(name, src)]), &vs).unwrap();
+            assert!(!got.fell_back);
+            per_statement += got.cost_after;
+        }
+        // 1% relative slack: greedy tie-breaking between equal-cost
+        // members follows symbol-interning order, which depends on which
+        // tests ran earlier in the process — the same scheduler noise
+        // tests/workload_cse.rs documents. A genuine double-pay would be
+        // plan-sized, far beyond the slack.
+        assert!(
+            whole.cost_after <= per_statement * 1.01 + 1e-6,
+            "workload {} > per-statement sum {per_statement}",
+            whole.cost_after
+        );
+    }
+
+    #[test]
+    fn workload_plans_preserve_semantics() {
+        let w = bundle(&[
+            ("g", "(U %*% t(V) - X) %*% V"),
+            ("loss", "sum((X - U %*% t(V))^2)"),
+        ]);
+        let vs = vars(&[("X", (6, 5), 1.0), ("U", (6, 2), 1.0), ("V", (5, 2), 1.0)]);
+        let got = optimizer(ExtractorKind::Greedy)
+            .optimize_workload(&w, &vs)
+            .unwrap();
+        assert!(!got.fell_back);
+        let mk = |rows: usize, cols: usize, seed: u64| {
+            let mut v = Vec::with_capacity(rows * cols);
+            let mut state = seed;
+            for _ in 0..rows * cols {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                v.push(((state >> 33) % 1000) as f64 / 100.0 - 5.0);
+            }
+            Tensor::new(rows, cols, v)
+        };
+        let tensors = HashMap::from([
+            (Symbol::new("X"), mk(6, 5, 1)),
+            (Symbol::new("U"), mk(6, 2, 2)),
+            (Symbol::new("V"), mk(5, 2, 3)),
+        ]);
+        for (i, &(name, root)) in got.roots.iter().enumerate() {
+            let (_, input_root) = w.roots[i];
+            assert_eq!(w.roots[i].0, name);
+            let want = eval_la(&w.arena, input_root, &tensors).unwrap();
+            let have = eval_la(&got.arena, root, &tensors).unwrap();
+            assert!(
+                want.approx_eq(&have, 1e-6),
+                "{name} diverged: {} vs {:?} / {:?}",
+                got.arena.display(root),
+                want,
+                have
+            );
+        }
+    }
+
+    #[test]
+    fn ilp_workload_extraction_runs_end_to_end() {
+        let w = bundle(&[
+            ("a", "sum(X * (u %*% t(v)))"),
+            ("b", "colSums(X * (u %*% t(v)))"),
+        ]);
+        let vs = vars(&[
+            ("X", (80, 60), 0.01),
+            ("u", (80, 1), 1.0),
+            ("v", (60, 1), 1.0),
+        ]);
+        let got = optimizer(ExtractorKind::Ilp)
+            .optimize_workload(&w, &vs)
+            .unwrap();
+        assert!(!got.fell_back);
+        let stats = got.ilp.expect("ilp stats recorded");
+        assert!(stats.n_vars > 0);
+        // greedy multi-root warm start is threaded through
+        assert!(stats.warm_start.is_some());
+    }
+
+    #[test]
+    fn single_statement_workload_matches_optimize() {
+        let src = "sum((X - u %*% t(v))^2)";
+        let vs = vars(&[
+            ("X", (1000, 500), 0.001),
+            ("u", (1000, 1), 1.0),
+            ("v", (500, 1), 1.0),
+        ]);
+        let mut arena = ExprArena::new();
+        let root = parse_expr(&mut arena, src).unwrap();
+        let opt = optimizer(ExtractorKind::Greedy);
+        let single = opt.optimize(&arena, root, &vs).unwrap();
+        let whole = opt
+            .optimize_workload(&bundle(&[("loss", src)]), &vs)
+            .unwrap();
+        assert!(!whole.fell_back);
+        // same pipeline, same plan
+        assert_eq!(
+            whole.arena.display(whole.roots[0].1),
+            single.arena.display(single.root)
+        );
+    }
+
+    #[test]
+    fn workload_plan_cost_sums_roots() {
+        let w = bundle(&[("a", "sum(X^2)"), ("b", "rowSums(X)")]);
+        let vs = vars(&[("X", (100, 50), 0.1)]);
+        let total = workload_plan_cost(&w.arena, &w.roots, &vs).unwrap();
+        let a = plan_cost(&w.arena, w.roots[0].1, &vs).unwrap();
+        let b = plan_cost(&w.arena, w.roots[1].1, &vs).unwrap();
+        assert!((total - (a + b)).abs() < 1e-9);
+    }
+}

@@ -123,6 +123,24 @@ impl<'a, L: Language, A: Analysis<L>, CF: CostFunction<L, A>> Extractor<'a, L, A
         Some((cost, expr))
     }
 
+    /// Extract the cheapest term of every class in `roots` into ONE
+    /// shared [`RecExpr`] (one build cache across roots, so a sub-plan
+    /// reachable from several roots appears exactly once). Returns the
+    /// expression and each root's node id within it, in input order.
+    /// `None` when any root has no extractable representation.
+    pub fn find_best_multi(&self, roots: &[Id]) -> Option<(RecExpr<L>, Vec<Id>)> {
+        for &id in roots {
+            self.best_cost(id)?;
+        }
+        let mut expr = RecExpr::default();
+        let mut cache: FxHashMap<Id, Id> = FxHashMap::default();
+        let ids = roots
+            .iter()
+            .map(|&id| self.build(id, &mut expr, &mut cache))
+            .collect();
+        Some((expr, ids))
+    }
+
     fn build(&self, id: Id, expr: &mut RecExpr<L>, cache: &mut FxHashMap<Id, Id>) -> Id {
         let id = self.egraph.find(id);
         if let Some(&done) = cache.get(&id) {
@@ -183,6 +201,23 @@ mod tests {
         let (cost, best) = ext.find_best(x).unwrap();
         assert_eq!(best.to_string(), "x");
         assert_eq!(cost, 1.0);
+    }
+
+    #[test]
+    fn multi_root_extraction_shares_subterms() {
+        let mut eg: EGraph<Arith, ()> = EGraph::default();
+        let shared = eg.add_expr(&parse_rec_expr("(* x y)").unwrap());
+        let r1 = eg.add_expr(&parse_rec_expr("(+ (* x y) z)").unwrap());
+        let r2 = eg.add_expr(&parse_rec_expr("(+ (* x y) w)").unwrap());
+        eg.rebuild();
+        let ext = Extractor::new(&eg, AstSize);
+        let (expr, ids) = ext.find_best_multi(&[r1, r2, shared]).unwrap();
+        assert_eq!(ids.len(), 3);
+        // (* x y) built once: x, y, (* x y), z, (+ .. z), w, (+ .. w) = 7
+        assert_eq!(expr.len(), 7);
+        // the shared root is exactly the (* x y) node referenced by both sums
+        assert!(expr.node(ids[0]).children().contains(&ids[2]));
+        assert!(expr.node(ids[1]).children().contains(&ids[2]));
     }
 
     #[test]

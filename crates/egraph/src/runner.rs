@@ -45,7 +45,11 @@ impl Default for Scheduler {
 /// runner watches each rule's [`RuleIterStats`]: once a rule has matched
 /// without contributing a union for `fruitless_threshold` consecutive
 /// iterations, it is muted — search is skipped entirely — for
-/// `mute_iters` iterations, then re-admitted.
+/// `mute_iters` iterations, then re-admitted. With `exponential` set
+/// (the default), a rule that resumes its fruitless streak after being
+/// re-admitted is muted for twice as long each time, capped at
+/// `max_mute_iters`, so persistently useless rules converge to paying
+/// one probe per cap window instead of one per fixed-K window.
 ///
 /// Muting never changes the fixpoint: a zero-union iteration only counts
 /// as saturation when no rule is muted; otherwise every rule is unmuted
@@ -55,8 +59,12 @@ impl Default for Scheduler {
 pub struct BackoffConfig {
     /// Consecutive match-without-union iterations before muting.
     pub fruitless_threshold: usize,
-    /// How many iterations a muted rule sits out.
+    /// How many iterations a muted rule sits out (the base length).
     pub mute_iters: usize,
+    /// Double the mute length on every repeated fruitless streak.
+    pub exponential: bool,
+    /// Cap on the (exponentially grown) mute length.
+    pub max_mute_iters: usize,
 }
 
 impl Default for BackoffConfig {
@@ -64,7 +72,30 @@ impl Default for BackoffConfig {
         BackoffConfig {
             fruitless_threshold: 3,
             mute_iters: 4,
+            exponential: true,
+            max_mute_iters: 64,
         }
+    }
+}
+
+impl BackoffConfig {
+    /// Fixed-K muting (the PR-2 scheduler): every mute lasts `mute_iters`.
+    pub fn fixed(fruitless_threshold: usize, mute_iters: usize) -> BackoffConfig {
+        BackoffConfig {
+            fruitless_threshold,
+            mute_iters,
+            exponential: false,
+            max_mute_iters: mute_iters,
+        }
+    }
+
+    /// Mute length for the `streak`-th consecutive fruitless streak.
+    fn mute_len(&self, streak: u32) -> usize {
+        if !self.exponential {
+            return self.mute_iters;
+        }
+        let doubled = self.mute_iters.saturating_mul(1usize << streak.min(16));
+        doubled.min(self.max_mute_iters.max(self.mute_iters))
     }
 }
 
@@ -75,6 +106,9 @@ struct BackoffState {
     fruitless: usize,
     /// Muted while the iteration index is below this.
     muted_until: usize,
+    /// Completed fruitless streaks since the rule last produced a union
+    /// (drives the exponential mute-length growth).
+    streak: u32,
 }
 
 /// Why the runner stopped.
@@ -302,11 +336,16 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
                     if stats.matches > 0 && stats.unions == 0 {
                         state.fruitless += 1;
                         if state.fruitless >= cfg.fruitless_threshold {
-                            state.muted_until = iter_ix + 1 + cfg.mute_iters;
+                            state.muted_until = iter_ix + 1 + cfg.mute_len(state.streak);
+                            state.streak = state.streak.saturating_add(1);
                             state.fruitless = 0;
                         }
                     } else {
                         state.fruitless = 0;
+                        if stats.unions > 0 {
+                            // productive again: restart the exponential ladder
+                            state.streak = 0;
+                        }
                     }
                 }
             }
@@ -509,6 +548,7 @@ mod tests {
         let cfg = BackoffConfig {
             fruitless_threshold: 2,
             mute_iters: 3,
+            ..BackoffConfig::default()
         };
         let runner = Runner::<Arith, ()>::default()
             .with_expr(&expr)
@@ -555,6 +595,7 @@ mod tests {
             .with_backoff(BackoffConfig {
                 fruitless_threshold: 1,
                 mute_iters: 2,
+                ..BackoffConfig::default()
             })
             .with_iter_limit(50)
             .run(&rules_with_identity());
@@ -567,6 +608,63 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Total candidate classes the matcher visited for one rule.
+    fn rule_candidates(runner: &Runner<Arith, ()>, name: &str) -> usize {
+        runner
+            .iterations
+            .iter()
+            .flat_map(|it| &it.rules)
+            .filter(|r| r.rule == name)
+            .map(|r| r.candidates)
+            .sum()
+    }
+
+    #[test]
+    fn exponential_backoff_wastes_fewer_candidates_than_fixed_k() {
+        // AC-heavy input: the comm/assoc closure of a 6-leaf sum takes
+        // many sampled iterations to saturate, during which the identity
+        // rule keeps matching every `+` class without ever producing a
+        // union — the pure-waste shape backoff exists for.
+        let expr = parse_rec_expr("(+ (+ a b) (+ (+ c d) (+ e f)))").unwrap();
+        let run = |cfg: BackoffConfig| -> Runner<Arith, ()> {
+            Runner::<Arith, ()>::default()
+                .with_expr(&expr)
+                .with_scheduler(Scheduler::Sampling {
+                    match_limit: 2,
+                    seed: 5,
+                })
+                .with_backoff(cfg)
+                .with_iter_limit(600)
+                .with_node_limit(100_000)
+                .run(&rules_with_identity())
+        };
+        let fixed = run(BackoffConfig::fixed(1, 2));
+        let expo = run(BackoffConfig {
+            fruitless_threshold: 1,
+            mute_iters: 2,
+            exponential: true,
+            max_mute_iters: 64,
+        });
+        assert!(fixed.saturated(), "{:?}", fixed.stop_reason);
+        assert!(expo.saturated(), "{:?}", expo.stop_reason);
+        // saturation is the same closure either way
+        assert_eq!(
+            fixed.egraph.total_number_of_nodes(),
+            expo.egraph.total_number_of_nodes()
+        );
+        assert_eq!(
+            fixed.egraph.number_of_classes(),
+            expo.egraph.number_of_classes()
+        );
+        // ... but the doubling mute visits far fewer wasted candidates
+        let wasted_fixed = rule_candidates(&fixed, "identity-add");
+        let wasted_expo = rule_candidates(&expo, "identity-add");
+        assert!(
+            wasted_expo < wasted_fixed,
+            "exponential backoff must probe the fruitless rule less: {wasted_expo} vs {wasted_fixed}"
+        );
     }
 
     #[test]

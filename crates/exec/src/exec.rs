@@ -73,6 +73,33 @@ impl Executor {
         self.eval(arena, root, env, &mut memo)
     }
 
+    /// Evaluate a multi-root shared plan: the roots are evaluated in
+    /// order with ONE memo table, so subplans shared across roots (the
+    /// workload optimizer binds them once in the arena) are computed
+    /// exactly once per pass; each root's value is inserted into `env`
+    /// under its name before the next root runs, so later statements can
+    /// read earlier results as leaf variables.
+    ///
+    /// The bundle must be in SSA form (no root's name read at or before
+    /// its own definition) — the shape `spores_ir::WorkloadExpr`
+    /// validates — or earlier memoized leaf reads would go stale.
+    ///
+    /// The per-root values are left bound in `env` under the root names
+    /// (no extra copies; callers that need them read `env`).
+    pub fn run_many(
+        &mut self,
+        arena: &ExprArena,
+        roots: &[(Symbol, NodeId)],
+        env: &mut HashMap<Symbol, Matrix>,
+    ) -> Result<(), ExecError> {
+        let mut memo: HashMap<NodeId, Matrix> = HashMap::new();
+        for &(name, root) in roots {
+            let value = self.eval(arena, root, env, &mut memo)?;
+            env.insert(name, value);
+        }
+        Ok(())
+    }
+
     fn alloc(&mut self, m: &Matrix) {
         self.stats.intermediates += 1;
         self.stats.cells_allocated += match m {
@@ -587,6 +614,56 @@ mod tests {
         let y = e[&Symbol::new("Y")].to_dense();
         let want: f64 = x.data.iter().zip(&y.data).map(|(a, b)| a * b + a).sum();
         assert!((out.as_scalar() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_many_shares_work_and_binds_roots() {
+        let mut r = gen::rng(7);
+        let mut e = env(vec![
+            ("W", gen::rand_dense(12, 3, 0.1, 1.0, &mut r)),
+            ("H", gen::rand_dense(3, 10, 0.1, 1.0, &mut r)),
+        ]);
+        // two roots sharing the product node, the second reading the
+        // first root's binding as a leaf
+        let mut arena = ExprArena::new();
+        let w = arena.var("W");
+        let h = arena.var("H");
+        let wh = arena.matmul(w, h);
+        let s1 = arena.sum(wh);
+        let g = arena.var("g");
+        let s2 = {
+            let prod_sum = arena.row_sums(wh);
+            let total = arena.sum(prod_sum);
+            arena.mul(total, g)
+        };
+        let roots = vec![(Symbol::new("g"), s1), (Symbol::new("out"), s2)];
+
+        let mut exec = Executor::default();
+        exec.run_many(&arena, &roots, &mut e)
+            .expect("workload evaluates");
+        // shared product computed once: one matmul's worth of allocation
+        // plus the aggregates — strictly fewer intermediates than two
+        // independent runs
+        let shared_intermediates = exec.stats.intermediates;
+        let mut solo = Executor::default();
+        let base = env(vec![
+            ("W", e[&Symbol::new("W")].clone()),
+            ("H", e[&Symbol::new("H")].clone()),
+        ]);
+        solo.run(&arena, s1, &base).unwrap();
+        let mut with_g = base.clone();
+        with_g.insert(Symbol::new("g"), e[&Symbol::new("g")].clone());
+        solo.run(&arena, s2, &with_g).unwrap();
+        assert!(
+            shared_intermediates < solo.stats.intermediates,
+            "shared pass must reuse the product: {} vs {}",
+            shared_intermediates,
+            solo.stats.intermediates
+        );
+        // the env now carries both bindings;
+        // semantics: out = sum(WH) * g where g = sum(WH)
+        let total = e[&Symbol::new("g")].as_scalar();
+        assert!((e[&Symbol::new("out")].as_scalar() - total * total).abs() < 1e-9);
     }
 
     #[test]

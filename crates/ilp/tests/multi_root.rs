@@ -1,0 +1,139 @@
+//! Multi-root ILP extraction against hand-built e-graphs.
+//!
+//! The instance generalizes Figure 10 of the paper to *two roots*: each
+//! root's class offers (a) an exclusive member whose subplan costs
+//! ~400k and (b) a member reusing one shared subplan costing ~500k.
+//! Greedy chooses per class by tree cost, so each root takes its
+//! exclusive member — paying ~800k in total — while the multi-root ILP
+//! sees that the 500k subplan is paid once across both roots and picks
+//! the shared members (~500k total). The warm-start bound from the
+//! greedy multi-root plan must leave that optimum reachable.
+
+use spores_core::{
+    extract_greedy_multi, extract_ilp, extract_ilp_multi, parse_math, Context, MathGraph,
+    MetaAnalysis, VarMeta,
+};
+use spores_egraph::{Id, Language};
+use spores_ilp::Solver;
+
+fn ctx() -> Context {
+    Context::new()
+        // the shared expensive subplan: dense outer product U ⊗ V (500k)
+        .with_var("U", VarMeta::dense(1000, 1))
+        .with_var("V", VarMeta::dense(500, 1))
+        // the cheap per-root drivers (nnz 500 each; distinct leaves so
+        // the two roots stay distinct classes)
+        .with_var("X1", VarMeta::sparse(1000, 500, 0.001))
+        .with_var("X2", VarMeta::sparse(1000, 500, 0.001))
+        // the exclusive subplans: 0.8-dense joins (400k each)
+        .with_var("Y1", VarMeta::sparse(1000, 500, 0.8))
+        .with_var("W1", VarMeta::dense(1000, 500))
+        .with_var("Y2", VarMeta::sparse(1000, 500, 0.8))
+        .with_var("W2", VarMeta::dense(1000, 500))
+        .with_index("i", 1000)
+        .with_index("j", 500)
+}
+
+const SHARED_NNZ: f64 = 500_000.0; // U ⊗ V
+const EXCLUSIVE_NNZ: f64 = 400_000.0; // Y_k * W_k
+
+/// Build the two-root instance; returns (egraph, root1, root2).
+fn figure_10_two_roots() -> (MathGraph, Id, Id) {
+    let mut eg = MathGraph::new(MetaAnalysis::new(ctx()));
+    let shared = "(* (b i _ U) (b j _ V))";
+    let root = |eg: &mut MathGraph, k: usize| -> Id {
+        // exclusive member: X_k * (Y_k * W_k); shared member: X_k * (U ⊗ V)
+        let excl = eg.add_expr(
+            &parse_math(&format!("(* (b i j X{k}) (* (b i j Y{k}) (b i j W{k})))")).unwrap(),
+        );
+        let shar = eg.add_expr(&parse_math(&format!("(* (b i j X{k}) {shared})")).unwrap());
+        let (id, _) = eg.union(excl, shar);
+        id
+    };
+    let r1 = root(&mut eg, 1);
+    let r2 = root(&mut eg, 2);
+    eg.rebuild();
+    let (r1, r2) = (eg.find(r1), eg.find(r2));
+    (eg, r1, r2)
+}
+
+#[test]
+fn greedy_double_pays_the_shared_subplan_but_multi_root_ilp_does_not() {
+    let (eg, r1, r2) = figure_10_two_roots();
+    let (greedy_cost, _, ids) = extract_greedy_multi(&eg, &[r1, r2]).unwrap();
+    assert_eq!(ids.len(), 2);
+    // greedy takes both exclusive 400k subplans
+    assert!(
+        greedy_cost >= 2.0 * EXCLUSIVE_NNZ,
+        "greedy should double-pay: {greedy_cost}"
+    );
+    let (ilp_cost, expr, ids, stats) =
+        extract_ilp_multi(&eg, &[r1, r2], &Solver::default()).unwrap();
+    assert!(
+        stats.optimal,
+        "instance is small enough to prove optimality"
+    );
+    assert_eq!(ids.len(), 2);
+    // ILP pays the 500k subplan once: strictly under both 2×400k and
+    // greedy's multi-root DAG cost
+    assert!(
+        ilp_cost < greedy_cost - (2.0 * EXCLUSIVE_NNZ - SHARED_NNZ) + 10_000.0,
+        "ilp {ilp_cost} vs greedy {greedy_cost}"
+    );
+    assert!(
+        ilp_cost <= SHARED_NNZ + 10_000.0,
+        "ilp must share the outer product: {ilp_cost} ({expr})"
+    );
+    // both roots join their own driver against the SAME shared node in
+    // the extracted plan (one U ⊗ V, two distinct X_k binds)
+    let c1: Vec<Id> = expr.node(ids[0]).children().to_vec();
+    let c2: Vec<Id> = expr.node(ids[1]).children().to_vec();
+    assert_eq!(c1[1], c2[1], "roots must select the same shared subplan");
+    assert_ne!(c1[0], c2[0], "drivers are per-root");
+}
+
+#[test]
+fn per_root_ilp_cannot_see_the_cross_root_sharing() {
+    let (eg, r1, r2) = figure_10_two_roots();
+    // alone, each root's exclusive member IS optimal (400k < 500k) …
+    let (c1, _, s1) = extract_ilp(&eg, r1, &Solver::default()).unwrap();
+    let (c2, _, s2) = extract_ilp(&eg, r2, &Solver::default()).unwrap();
+    assert!(s1.optimal && s2.optimal);
+    assert!(c1 < SHARED_NNZ && c2 < SHARED_NNZ);
+    // … so the per-statement sum exceeds the workload-level optimum by
+    // roughly (2·400k − 500k)
+    let (multi, _, _, stats) = extract_ilp_multi(&eg, &[r1, r2], &Solver::default()).unwrap();
+    assert!(stats.optimal);
+    assert!(
+        c1 + c2 - multi >= 2.0 * EXCLUSIVE_NNZ - SHARED_NNZ - 10_000.0,
+        "per-root {c1}+{c2} vs multi {multi}"
+    );
+}
+
+#[test]
+fn warm_start_from_the_greedy_multi_root_plan_prunes_correctly() {
+    let (eg, r1, r2) = figure_10_two_roots();
+    let (greedy_cost, _, _) = extract_greedy_multi(&eg, &[r1, r2]).unwrap();
+    let (ilp_cost, _, _, stats) = extract_ilp_multi(&eg, &[r1, r2], &Solver::default()).unwrap();
+    // the recorded warm start is the greedy multi-root DAG cost, and an
+    // upper bound on the optimum
+    let ub = stats.warm_start.expect("warm start recorded");
+    assert!(
+        (ub - greedy_cost).abs() < 1e-6,
+        "warm start {ub} vs greedy {greedy_cost}"
+    );
+    assert!(ilp_cost <= ub + 1e-6);
+
+    // an explicit caller bound at the greedy cost must not change the
+    // optimum, and a *tight* bound (== optimum) must still find it:
+    // pruning against the warm bound is strict-only
+    for bound in [greedy_cost, ilp_cost] {
+        let solver = Solver::default().with_upper_bound(bound);
+        let (c, _, _, s) = extract_ilp_multi(&eg, &[r1, r2], &solver).unwrap();
+        assert!(s.optimal, "bound {bound} lost optimality");
+        assert!(
+            (c - ilp_cost).abs() < 1e-6,
+            "bound {bound} changed the optimum: {c} vs {ilp_cost}"
+        );
+    }
+}

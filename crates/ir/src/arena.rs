@@ -284,22 +284,32 @@ impl ExprArena {
     /// Nodes reachable from `root` in post order (children before parents),
     /// each exactly once.
     pub fn postorder(&self, root: NodeId) -> Vec<NodeId> {
+        self.postorder_multi(&[root])
+    }
+
+    /// Nodes reachable from any of `roots` in post order, each exactly
+    /// once. Earlier roots' sub-DAGs are visited first, so the order is
+    /// canonical for a given root sequence — the property the multi-root
+    /// workload fingerprint relies on.
+    pub fn postorder_multi(&self, roots: &[NodeId]) -> Vec<NodeId> {
         let mut order = Vec::new();
         let mut visited = vec![false; self.nodes.len()];
-        // explicit stack: (node, children_pushed)
-        let mut stack = vec![(root, false)];
-        while let Some((id, expanded)) = stack.pop() {
-            if visited[id.index()] {
-                continue;
-            }
-            if expanded {
-                visited[id.index()] = true;
-                order.push(id);
-            } else {
-                stack.push((id, true));
-                for c in self.node(id).children() {
-                    if !visited[c.index()] {
-                        stack.push((c, false));
+        for &root in roots {
+            // explicit stack: (node, children_pushed)
+            let mut stack = vec![(root, false)];
+            while let Some((id, expanded)) = stack.pop() {
+                if visited[id.index()] {
+                    continue;
+                }
+                if expanded {
+                    visited[id.index()] = true;
+                    order.push(id);
+                } else {
+                    stack.push((id, true));
+                    for c in self.node(id).children() {
+                        if !visited[c.index()] {
+                            stack.push((c, false));
+                        }
                     }
                 }
             }

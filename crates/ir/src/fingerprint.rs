@@ -211,13 +211,49 @@ pub fn fingerprint(
     root: NodeId,
     classes: &HashMap<Symbol, LeafClass>,
 ) -> Result<Fingerprint, FingerprintError> {
+    let (fp, _) = fingerprint_roots(arena, &[root], classes)?;
+    Ok(fp)
+}
+
+/// Fingerprint a whole *workload*: the multi-root DAG of all statement
+/// roots, in root order. The canonical form extends the single-root one
+/// with per-root markers (`R<node>:<slot|_>`) recording which canonical
+/// node each root selects and — when the root's name is itself read as a
+/// leaf by a later statement (SSA def-use wiring) — which α-slot that
+/// name occupies, so two workloads only collide when their statements,
+/// their sharing structure, *and* their def-use wiring all coincide.
+pub fn fingerprint_workload(
+    arena: &ExprArena,
+    roots: &[(Symbol, NodeId)],
+    classes: &HashMap<Symbol, LeafClass>,
+) -> Result<Fingerprint, FingerprintError> {
+    use std::fmt::Write;
+    let ids: Vec<NodeId> = roots.iter().map(|&(_, id)| id).collect();
+    let (mut fp, canon_ix) = fingerprint_roots(arena, &ids, classes)?;
+    for (name, id) in roots {
+        match fp.slots.iter().position(|s| s == name) {
+            Some(slot) => write!(fp.canon, "R{}:{slot};", canon_ix[id]).unwrap(),
+            None => write!(fp.canon, "R{}:_;", canon_ix[id]).unwrap(),
+        }
+    }
+    fp.hash = fnv1a(fp.canon.as_bytes());
+    Ok(fp)
+}
+
+/// Shared serializer; also returns the canonical node numbering so
+/// multi-root callers can reference nodes without re-traversing.
+fn fingerprint_roots(
+    arena: &ExprArena,
+    roots: &[NodeId],
+    classes: &HashMap<Symbol, LeafClass>,
+) -> Result<(Fingerprint, HashMap<NodeId, usize>), FingerprintError> {
     use std::fmt::Write;
 
     // The postorder sequence is determined purely by the DAG structure
     // (children are followed in operand order and shared nodes are
     // visited once), so numbering nodes by their position in it is
     // canonical across arenas with different insertion orders.
-    let order = arena.postorder(root);
+    let order = arena.postorder_multi(roots);
     let mut canon_ix: HashMap<NodeId, usize> = HashMap::with_capacity(order.len());
     let mut slots: Vec<Symbol> = Vec::new();
     let mut slot_classes: Vec<LeafClass> = Vec::new();
@@ -253,12 +289,15 @@ pub fn fingerprint(
         }
     }
 
-    Ok(Fingerprint {
-        hash: fnv1a(canon.as_bytes()),
-        canon,
-        slots,
-        classes: slot_classes,
-    })
+    Ok((
+        Fingerprint {
+            hash: fnv1a(canon.as_bytes()),
+            canon,
+            slots,
+            classes: slot_classes,
+        },
+        canon_ix,
+    ))
 }
 
 impl ExprArena {
@@ -266,18 +305,43 @@ impl ExprArena {
     /// variables renamed through `map` (symbols absent from the map are
     /// kept). Hash-consing in the target arena preserves sharing.
     pub fn rename_vars(&self, root: NodeId, map: &HashMap<Symbol, Symbol>) -> (ExprArena, NodeId) {
+        let (out, roots) = self.rename_vars_multi(&[root], map);
+        (out, roots[0])
+    }
+
+    /// [`ExprArena::rename_vars`] over a multi-root DAG: all roots land in
+    /// one fresh arena, so sub-plans shared across roots stay shared.
+    pub fn rename_vars_multi(
+        &self,
+        roots: &[NodeId],
+        map: &HashMap<Symbol, Symbol>,
+    ) -> (ExprArena, Vec<NodeId>) {
         let mut out = ExprArena::new();
+        let new_roots = roots.iter().map(|&r| out.graft(self, r, map)).collect();
+        (out, new_roots)
+    }
+
+    /// Copy the DAG rooted at `root` of `src` into `self`, renaming leaf
+    /// variables through `map`. Hash-consing in `self` shares structure
+    /// with everything already grafted, which is what lets a workload
+    /// bundle accumulate statements with cross-statement sharing.
+    pub fn graft(
+        &mut self,
+        src: &ExprArena,
+        root: NodeId,
+        map: &HashMap<Symbol, Symbol>,
+    ) -> NodeId {
         let mut new_id: HashMap<NodeId, NodeId> = HashMap::new();
-        for id in self.postorder(root) {
-            let node = match self.node(id) {
+        for id in src.postorder(root) {
+            let node = match src.node(id) {
                 LaNode::Var(v) => LaNode::Var(*map.get(v).unwrap_or(v)),
                 LaNode::Un(op, a) => LaNode::Un(*op, new_id[a]),
                 LaNode::Bin(op, a, b) => LaNode::Bin(*op, new_id[a], new_id[b]),
                 leaf => *leaf,
             };
-            new_id.insert(id, out.insert(node));
+            new_id.insert(id, self.insert(node));
         }
-        (out, new_id[&root])
+        new_id[&root]
     }
 }
 
@@ -389,6 +453,88 @@ mod tests {
         let cls = classes(&[("A", (10, 10), 1.0), ("B", (10, 10), 1.0)]);
         let f = fp("A * B + A * B", &cls);
         assert_eq!(f.canon().matches(';').count(), 4);
+    }
+
+    fn wfp(stmts: &[(&str, &str)], cls: &HashMap<Symbol, LeafClass>) -> Fingerprint {
+        let mut a = ExprArena::new();
+        let roots: Vec<(Symbol, NodeId)> = stmts
+            .iter()
+            .map(|&(n, src)| (Symbol::new(n), parse_expr(&mut a, src).unwrap()))
+            .collect();
+        fingerprint_workload(&a, &roots, cls).unwrap()
+    }
+
+    #[test]
+    fn workload_fingerprint_alpha_renames_across_statements() {
+        let a = wfp(
+            &[("g", "X %*% v"), ("h", "sum(g * g) + sum(X)")],
+            &classes(&[
+                ("X", (100, 50), 0.01),
+                ("v", (50, 1), 1.0),
+                ("g", (100, 1), 1.0),
+            ]),
+        );
+        let b = wfp(
+            &[("p", "M %*% w"), ("q", "sum(p * p) + sum(M)")],
+            &classes(&[
+                ("M", (900, 40), 0.02),
+                ("w", (40, 1), 1.0),
+                ("p", (900, 1), 1.0),
+            ]),
+        );
+        assert_eq!(a.canon(), b.canon());
+        assert_eq!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn workload_fingerprint_captures_def_use_wiring() {
+        let cls = classes(&[
+            ("X", (100, 50), 0.01),
+            ("v", (50, 1), 1.0),
+            ("g", (100, 1), 1.0),
+            ("u", (100, 1), 1.0),
+        ]);
+        // same statement texts, but the second workload reads an *input*
+        // `u` where the first reads the earlier root `g`
+        let wired = wfp(&[("g", "X %*% v"), ("out", "sum(g * g)")], &cls);
+        let unwired = wfp(&[("h", "X %*% v"), ("out", "sum(u * u)")], &cls);
+        assert_ne!(wired.canon(), unwired.canon());
+    }
+
+    #[test]
+    fn workload_fingerprint_distinguishes_root_selection() {
+        let cls = classes(&[("A", (10, 10), 1.0), ("B", (10, 10), 1.0)]);
+        // same DAG, roots select different nodes
+        let mut a1 = ExprArena::new();
+        let x = a1.var("A");
+        let y = a1.var("B");
+        let m = a1.mul(x, y);
+        let s = a1.sum(m);
+        let f1 = fingerprint_workload(&a1, &[(Symbol::new("r"), s)], &cls).unwrap();
+        let f2 = fingerprint_workload(&a1, &[(Symbol::new("r"), m)], &cls).unwrap();
+        assert_ne!(f1.canon(), f2.canon());
+        // and a single-root workload differs from the two-root one
+        let f3 = fingerprint_workload(&a1, &[(Symbol::new("r"), s), (Symbol::new("q"), m)], &cls)
+            .unwrap();
+        assert_ne!(f1.canon(), f3.canon());
+    }
+
+    #[test]
+    fn rename_vars_multi_preserves_sharing() {
+        let mut a = ExprArena::new();
+        let r1 = parse_expr(&mut a, "sum(W %*% H)").unwrap();
+        let r2 = parse_expr(&mut a, "sum(X * log(W %*% H))").unwrap();
+        let map: HashMap<Symbol, Symbol> = [(Symbol::new("W"), Symbol::new("$0"))].into();
+        let (out, roots) = a.rename_vars_multi(&[r1, r2], &map);
+        assert_eq!(roots.len(), 2);
+        // the shared W %*% H survived as one node
+        let shared: Vec<NodeId> = out
+            .postorder_multi(&roots)
+            .into_iter()
+            .filter(|&id| matches!(out.node(id), LaNode::Bin(crate::arena::BinOp::MatMul, _, _)))
+            .collect();
+        assert_eq!(shared.len(), 1);
+        assert_eq!(out.display(shared[0]), "$0 %*% H");
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * [`Fingerprint`] — shape-polymorphic plan fingerprints: the canonical
 //!   DAG identity (leaves α-renamed, dimensions abstracted into shape ×
 //!   sparsity classes) the optimizer service's plan cache is keyed on.
+//! * [`WorkloadExpr`] — a whole workload as named statement roots over
+//!   one shared arena (SSA form), the unit the workload-level optimizer
+//!   saturates in one e-graph; [`fingerprint_workload`] extends the
+//!   fingerprint over the multi-root DAG plus its def-use wiring.
 
 pub mod arena;
 pub mod fingerprint;
@@ -24,12 +28,15 @@ pub mod parser;
 pub mod sexpr;
 pub mod shape;
 pub mod symbol;
+pub mod workload;
 
 pub use arena::{BinOp, ExprArena, LaNode, NodeId, Num, UnOp};
 pub use fingerprint::{
-    fingerprint, Fingerprint, FingerprintError, LeafClass, ShapeClass, SparsityBucket,
+    fingerprint, fingerprint_workload, Fingerprint, FingerprintError, LeafClass, ShapeClass,
+    SparsityBucket,
 };
 pub use parser::{parse_expr, ParseError};
 pub use sexpr::{parse_sexp, SExp, SExpError};
 pub use shape::{Shape, ShapeEnv, ShapeError};
 pub use symbol::Symbol;
+pub use workload::{WorkloadError, WorkloadExpr};

@@ -5,7 +5,9 @@ pub mod runner;
 pub mod workloads;
 
 pub use runner::{
-    compile, compile_with_service, execute, run, statement_requests, CompileReport, Compiled, Mode,
-    RunReport,
+    compile, compile_with_service, compile_workload, compile_workload_with_service, execute,
+    execute_workload, run, run_workload_mode, statement_requests, workload_bundle,
+    workload_optimizer_config, CompileReport, Compiled, Mode, RunReport, WorkloadBundle,
+    WorkloadCompiled,
 };
 pub use workloads::{als, figure15_suite, glm, mlr, pnmf, svm, Scale, Statement, Workload};

@@ -15,10 +15,13 @@
 //! the deterministic [`ExecStats`] counters.
 
 use crate::workloads::Workload;
-use spores_core::{ExtractorKind, Optimizer, OptimizerConfig, PhaseTimings, VarMeta};
+use spores_core::{
+    ExtractorKind, Optimizer, OptimizerConfig, PhaseTimings, SaturationStats, VarMeta,
+    WorkloadOptimized,
+};
 use spores_egraph::Scheduler;
 use spores_exec::{ExecConfig, ExecError, ExecStats, Executor};
-use spores_ir::{ExprArena, NodeId, Symbol};
+use spores_ir::{ExprArena, NodeId, Symbol, WorkloadExpr};
 use spores_systemml::{HeuristicRewriter, OptLevel, VarInfo};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -262,6 +265,212 @@ pub fn run(workload: &Workload, mode: &Mode) -> Result<RunReport, ExecError> {
     execute(workload, &compiled, mode)
 }
 
+/// A workload program converted to a pure SSA expression bundle.
+///
+/// Sequential programs reassign variables (`U = U - 0.0001 * GU`), which
+/// is unsound to merge into one e-graph naively: two occurrences of `U`
+/// before and after the assignment denote different values. The bundle
+/// builder version-renames every assignment target (`U@1`, `U@2`, …) so
+/// each root binds a fresh name and later statements read exactly the
+/// version they mean — making all syntactic sharing in the bundle
+/// genuine value sharing.
+#[derive(Clone, Debug)]
+pub struct WorkloadBundle {
+    pub expr: WorkloadExpr,
+    /// Metadata for every leaf the bundle reads: the workload inputs
+    /// (original names) plus the version symbols of computed targets
+    /// (with the same estimates per-statement compilation uses).
+    pub vars: HashMap<Symbol, VarMeta>,
+    /// `target ← final version symbol`, applied after each pass.
+    pub writebacks: Vec<(Symbol, Symbol)>,
+}
+
+/// Build the SSA bundle of a workload's statements. See [`WorkloadBundle`].
+pub fn workload_bundle(workload: &Workload) -> WorkloadBundle {
+    let (parse_arena, roots) = workload.parse();
+    let mut vars: HashMap<Symbol, VarMeta> = workload
+        .input_meta()
+        .into_iter()
+        .map(|(s, (shape, sparsity))| (s, VarMeta { shape, sparsity }))
+        .collect();
+    let mut arena = ExprArena::new();
+    let mut cur: HashMap<Symbol, Symbol> = HashMap::new();
+    let mut versions: HashMap<Symbol, usize> = HashMap::new();
+    let mut bundle_roots = Vec::with_capacity(roots.len());
+    let mut writeback_order: Vec<Symbol> = Vec::new();
+    for (target, root) in roots {
+        // reads resolve through the *current* version map (the target's
+        // own RHS still reads the previous version)
+        let root_b = arena.graft(&parse_arena, root, &cur);
+        let shape_env: spores_ir::ShapeEnv = vars.iter().map(|(&s, m)| (s, m.shape)).collect();
+        let shape = arena
+            .shape_of(root_b, &shape_env)
+            .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
+        let k = versions.entry(target).and_modify(|k| *k += 1).or_insert(1);
+        let version = Symbol::new(&format!("{target}@{k}"));
+        // computed versions: keep the input's metadata when the target is
+        // an input of matching shape (the single rule statement_contexts
+        // applies), else a dense estimate
+        let meta = match vars.get(&target) {
+            Some(m) if m.shape == shape => *m,
+            _ => VarMeta {
+                shape,
+                sparsity: 1.0,
+            },
+        };
+        vars.insert(version, meta);
+        if !writeback_order.contains(&target) {
+            writeback_order.push(target);
+        }
+        cur.insert(target, version);
+        bundle_roots.push((version, root_b));
+    }
+    let writebacks = writeback_order.into_iter().map(|t| (t, cur[&t])).collect();
+    let expr =
+        WorkloadExpr::new(arena, bundle_roots).unwrap_or_else(|e| panic!("{}: {e}", workload.name));
+    WorkloadBundle {
+        expr,
+        vars,
+        writebacks,
+    }
+}
+
+/// A workload compiled in workload mode: ONE shared multi-root plan.
+pub struct WorkloadCompiled {
+    /// The shared plan arena (common subplans bound once).
+    pub arena: ExprArena,
+    /// Per-statement `(version symbol, plan root)`, in program order.
+    pub roots: Vec<(Symbol, NodeId)>,
+    /// `target ← final version` write-backs after each pass.
+    pub writebacks: Vec<(Symbol, Symbol)>,
+    pub report: CompileReport,
+    /// Statistics of the single shared saturation run (`None` when the
+    /// plan came from a service cache hit).
+    pub saturation: Option<SaturationStats>,
+}
+
+/// Compile a workload in workload mode: every statement saturated in one
+/// shared e-graph, one multi-root plan extracted (the ROADMAP's
+/// cross-statement CSE step).
+pub fn compile_workload(workload: &Workload) -> WorkloadCompiled {
+    let t0 = Instant::now();
+    let bundle = workload_bundle(workload);
+    let opt = Optimizer::new(workload_optimizer_config());
+    let got: WorkloadOptimized = opt
+        .optimize_workload(&bundle.expr, &bundle.vars)
+        .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
+    let report = CompileReport {
+        total: t0.elapsed(),
+        phases: Some(got.timings),
+        converged: got.saturation.converged,
+        timed_out: matches!(
+            got.saturation.stop_reason,
+            Some(spores_egraph::StopReason::TimeLimit(_))
+        ),
+        max_e_nodes: got.saturation.e_nodes,
+    };
+    WorkloadCompiled {
+        arena: got.arena,
+        roots: got.roots,
+        writebacks: bundle.writebacks,
+        report,
+        saturation: Some(got.saturation),
+    }
+}
+
+/// The optimizer configuration workload mode runs under (the same
+/// budgets `Mode::spores` uses per statement, spent once per workload).
+pub fn workload_optimizer_config() -> OptimizerConfig {
+    OptimizerConfig {
+        scheduler: Scheduler::default(),
+        extractor: ExtractorKind::Greedy,
+        time_limit: SATURATION_TIMEOUT,
+        iter_limit: 100,
+        ilp_time_limit: Duration::from_secs(2),
+        ..OptimizerConfig::default()
+    }
+}
+
+/// Execute a workload-mode compiled program for the workload's iteration
+/// count: each pass evaluates the shared plan's roots with one memo
+/// (shared subplans computed once), then writes final versions back to
+/// the original target names.
+pub fn execute_workload(
+    workload: &Workload,
+    compiled: &WorkloadCompiled,
+) -> Result<RunReport, ExecError> {
+    let mut exec = Executor::new(ExecConfig { fusion: true });
+    let mut env = workload.inputs.clone();
+    let t0 = Instant::now();
+    for _ in 0..workload.iterations {
+        exec.run_many(&compiled.arena, &compiled.roots, &mut env)?;
+        // move (not copy) each final version onto its target name
+        for (target, version) in &compiled.writebacks {
+            if let Some(v) = env.remove(version) {
+                env.insert(*target, v);
+            }
+        }
+        // drop the remaining version bindings so the next pass
+        // recomputes them
+        for (version, _) in &compiled.roots {
+            env.remove(version);
+        }
+    }
+    let exec_time = t0.elapsed();
+    let scalars = env
+        .iter()
+        .filter(|(_, m)| m.is_scalar())
+        .map(|(&s, m)| (s, m.as_scalar()))
+        .collect();
+    Ok(RunReport {
+        mode: "workload",
+        compile: compiled.report.clone(),
+        exec_time,
+        stats: exec.stats,
+        scalars,
+    })
+}
+
+/// Compile + execute a workload in workload mode.
+pub fn run_workload_mode(workload: &Workload) -> Result<RunReport, ExecError> {
+    let compiled = compile_workload(workload);
+    execute_workload(workload, &compiled)
+}
+
+/// Compile a workload in workload mode *through* an
+/// [`spores_service::OptimizerService`]: the whole bundle is one request
+/// keyed by its workload-level fingerprint, so a repeated workload is
+/// served from the cache as a single entry (one α-instantiation instead
+/// of one saturation per statement — or even N cache probes).
+pub fn compile_workload_with_service(
+    workload: &Workload,
+    service: &spores_service::OptimizerService,
+) -> WorkloadCompiled {
+    let t0 = Instant::now();
+    let bundle = workload_bundle(workload);
+    let served = service
+        .optimize_workload(spores_service::WorkloadRequest::new(
+            bundle.expr,
+            bundle.vars,
+        ))
+        .unwrap_or_else(|e| panic!("{}: {e}", workload.name));
+    let report = CompileReport {
+        total: t0.elapsed(),
+        // for cache hits these describe the *cached* pipeline run
+        phases: Some(served.timings),
+        converged: served.converged,
+        timed_out: served.timed_out,
+        max_e_nodes: served.e_nodes,
+    };
+    WorkloadCompiled {
+        arena: served.arena,
+        roots: served.roots,
+        writebacks: bundle.writebacks,
+        report,
+        saturation: None,
+    }
+}
+
 /// The per-statement service requests of a workload, in statement order,
 /// paired with the statement targets. The metadata threading is shared
 /// with [`compile`] (via the same statement walk), so service-compiled
@@ -405,6 +614,101 @@ mod tests {
     }
 
     #[test]
+    fn workload_bundle_is_ssa_and_tracks_versions() {
+        let w = workloads::als(40, 30, 3, 9);
+        let b = workload_bundle(&w);
+        assert_eq!(b.expr.len(), w.statements.len());
+        // U is assigned once → final version U@1; every target written back
+        let wb: HashMap<String, String> = b
+            .writebacks
+            .iter()
+            .map(|(t, v)| (t.to_string(), v.to_string()))
+            .collect();
+        assert_eq!(wb["U"], "U@1");
+        assert_eq!(wb["V"], "V@1");
+        assert_eq!(wb["loss"], "loss@1");
+        // statement 3 (GV) reads the *new* U: the version symbol is a leaf
+        let (_, gv_root) = b.expr.roots[2];
+        assert!(b
+            .expr
+            .arena
+            .free_vars(gv_root)
+            .contains(&Symbol::new("U@1")));
+        // and the bundle carries metadata for every read leaf
+        for leaf in b.expr.read_vars() {
+            assert!(b.vars.contains_key(&leaf), "no metadata for {leaf}");
+        }
+    }
+
+    fn check_workload_mode_agrees(w: &Workload) {
+        let base = run(w, &Mode::Base).unwrap();
+        let wl = run_workload_mode(w).unwrap();
+        for (name, v) in &base.scalars {
+            let s = wl.scalars[name];
+            let tol = 1e-6 * (1.0 + v.abs());
+            assert!(
+                (v - s).abs() < tol,
+                "{} {name}: base {v} vs workload {s}",
+                w.name
+            );
+        }
+        assert!(!base.scalars.is_empty());
+    }
+
+    #[test]
+    fn als_workload_mode_agrees() {
+        check_workload_mode_agrees(&workloads::als(60, 40, 4, 11));
+    }
+
+    #[test]
+    fn glm_workload_mode_agrees() {
+        check_workload_mode_agrees(&workloads::glm(80, 12, 12));
+    }
+
+    #[test]
+    fn svm_workload_mode_agrees() {
+        check_workload_mode_agrees(&workloads::svm(80, 12, 13));
+    }
+
+    #[test]
+    fn mlr_workload_mode_agrees() {
+        check_workload_mode_agrees(&workloads::mlr(80, 10, 14));
+    }
+
+    #[test]
+    fn pnmf_workload_mode_agrees() {
+        check_workload_mode_agrees(&workloads::pnmf(50, 40, 4, 15));
+    }
+
+    #[test]
+    fn workload_mode_saturates_once_for_all_statements() {
+        // ALS: the loss statement shares U Vᵀ with the gradients, and the
+        // shared pass's scaled sampling budget converges it in far fewer
+        // iterations than it needs alone (the per-statement run spends
+        // its whole iteration budget on it)
+        let w = workloads::als(60, 40, 4, 11);
+        let c = compile_workload(&w);
+        let sat = c.saturation.as_ref().expect("direct compile records stats");
+        assert!(sat.e_nodes > 0);
+        assert_eq!(c.roots.len(), w.statements.len());
+        // one shared pass must visit fewer candidates than the sum of
+        // independent per-statement passes (shared classes probed once)
+        let mut per_statement = 0usize;
+        let opt = Optimizer::new(workload_optimizer_config());
+        let bundle = workload_bundle(&w);
+        for ix in 0..bundle.expr.len() {
+            let single = bundle.expr.single_statement(ix);
+            let got = opt.optimize_workload(&single, &bundle.vars).unwrap();
+            per_statement += got.saturation.candidates_visited;
+        }
+        assert!(
+            sat.candidates_visited < per_statement,
+            "one-pass saturation must amortize matching: {} vs {per_statement}",
+            sat.candidates_visited
+        );
+    }
+
+    #[test]
     fn service_compile_agrees_with_direct_spores_compile() {
         use spores_service::{OptimizerService, ServiceConfig};
         let svc = OptimizerService::new(ServiceConfig::default());
@@ -425,6 +729,37 @@ mod tests {
                     w.name
                 );
             }
+        }
+    }
+
+    #[test]
+    fn workload_mode_via_service_agrees_and_caches_as_one_entry() {
+        use spores_service::{OptimizerService, ServiceConfig};
+        let svc = OptimizerService::new(ServiceConfig {
+            optimizer: workload_optimizer_config(),
+            ..ServiceConfig::default()
+        });
+        let w = workloads::pnmf(50, 40, 4, 15);
+        let direct = run_workload_mode(&w).unwrap();
+        let compiled = compile_workload_with_service(&w, &svc);
+        let via_service = execute_workload(&w, &compiled).unwrap();
+        for (name, v) in &direct.scalars {
+            let s = via_service.scalars[name];
+            let tol = 1e-6 * (1.0 + v.abs());
+            assert!((v - s).abs() < tol, "{name}: direct {v} vs service {s}");
+        }
+        let cold = svc.stats();
+        assert_eq!(cold.misses, 1, "the whole workload is ONE cache entry");
+        assert_eq!(cold.hits, 0);
+        // epoch 2: one hit for the whole program
+        let compiled2 = compile_workload_with_service(&w, &svc);
+        let warm = svc.stats();
+        assert_eq!(warm.misses, 1, "warm compile re-ran the pipeline");
+        assert_eq!(warm.hits, 1);
+        let rerun = execute_workload(&w, &compiled2).unwrap();
+        for (name, v) in &direct.scalars {
+            let s = rerun.scalars[name];
+            assert!((v - s).abs() < 1e-6 * (1.0 + v.abs()), "{name} after hit");
         }
     }
 

@@ -44,27 +44,57 @@ pub struct CachedPlan {
     pub slot_shapes: Vec<Shape>,
 }
 
-impl CachedPlan {
-    /// May a request with these per-slot shapes reuse this template?
-    pub fn admits(&self, slot_shapes: &[Shape]) -> bool {
-        self.size_polymorphic || self.slot_shapes == slot_shapes
+/// What the sharded cache needs to know about an entry to run its
+/// admission and variant-replacement policies. Implemented by the
+/// single-statement [`CachedPlan`] and the workload-level
+/// [`crate::workload::CachedWorkloadPlan`]. The admission rule itself is
+/// a provided method so both caches always enforce the same policy.
+pub trait CacheEntry {
+    /// Valid at any concrete sizes within the fingerprint's classes?
+    fn size_polymorphic(&self) -> bool;
+    /// Concrete per-slot shapes the entry was optimized for.
+    fn slot_shapes(&self) -> &[Shape];
+
+    /// May a request with these per-slot shapes reuse this entry?
+    fn admits(&self, slot_shapes: &[Shape]) -> bool {
+        self.size_polymorphic() || self.slot_shapes() == slot_shapes
     }
 }
 
-struct Entry {
-    plan: std::sync::Arc<CachedPlan>,
+impl CacheEntry for CachedPlan {
+    fn size_polymorphic(&self) -> bool {
+        self.size_polymorphic
+    }
+
+    fn slot_shapes(&self) -> &[Shape] {
+        &self.slot_shapes
+    }
+}
+
+struct Entry<P> {
+    plan: std::sync::Arc<P>,
     last_used: u64,
 }
 
-#[derive(Default)]
-struct Shard {
-    entries: HashMap<String, Vec<Entry>>,
+struct Shard<P> {
+    entries: HashMap<String, Vec<Entry<P>>>,
     len: usize,
 }
 
-/// Sharded LRU over `canon → [variants]`.
-pub struct ShardedCache {
-    shards: Vec<Mutex<Shard>>,
+impl<P> Default for Shard<P> {
+    fn default() -> Self {
+        Shard {
+            entries: HashMap::new(),
+            len: 0,
+        }
+    }
+}
+
+/// Sharded LRU over `canon → [variants]`, generic over the entry type
+/// (single-statement plan templates by default; workload templates via
+/// `ShardedCache<CachedWorkloadPlan>`).
+pub struct ShardedCache<P: CacheEntry = CachedPlan> {
+    shards: Vec<Mutex<Shard<P>>>,
     /// Per-shard capacity (total capacity / shard count, at least 1).
     shard_capacity: usize,
     /// Cap on size-pinned variants kept per canonical form.
@@ -74,8 +104,8 @@ pub struct ShardedCache {
     evictions: AtomicU64,
 }
 
-impl ShardedCache {
-    pub fn new(shards: usize, capacity: usize, max_variants: usize) -> ShardedCache {
+impl<P: CacheEntry> ShardedCache<P> {
+    pub fn new(shards: usize, capacity: usize, max_variants: usize) -> ShardedCache<P> {
         let shards = shards.max(1);
         ShardedCache {
             shard_capacity: (capacity / shards).max(1),
@@ -86,16 +116,12 @@ impl ShardedCache {
         }
     }
 
-    fn shard(&self, fp: &Fingerprint) -> &Mutex<Shard> {
+    fn shard(&self, fp: &Fingerprint) -> &Mutex<Shard<P>> {
         &self.shards[(fp.hash() as usize) % self.shards.len()]
     }
 
     /// Fetch a template admitting these per-slot shapes, updating LRU state.
-    pub fn get(
-        &self,
-        fp: &Fingerprint,
-        slot_shapes: &[Shape],
-    ) -> Option<std::sync::Arc<CachedPlan>> {
+    pub fn get(&self, fp: &Fingerprint, slot_shapes: &[Shape]) -> Option<std::sync::Arc<P>> {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard(fp).lock().unwrap();
         let variants = shard.entries.get_mut(fp.canon())?;
@@ -106,9 +132,9 @@ impl ShardedCache {
 
     /// Insert (or replace) the variant for this fingerprint + shape key,
     /// evicting least-recently-used entries beyond the shard capacity.
-    pub fn insert(&self, fp: &Fingerprint, plan: CachedPlan) {
+    /// Takes the caller's `Arc` so cached plans are shared, not copied.
+    pub fn insert(&self, fp: &Fingerprint, plan: std::sync::Arc<P>) {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed);
-        let plan = std::sync::Arc::new(plan);
         let mut shard = self.shard(fp).lock().unwrap();
         let mut grew = 0isize;
         let mut variant_evictions = 0u64;
@@ -116,8 +142,8 @@ impl ShardedCache {
             let variants = shard.entries.entry(fp.canon().to_string()).or_default();
             // replace the variant with the same reuse key, if any
             let same_key = variants.iter_mut().find(|e| {
-                e.plan.size_polymorphic == plan.size_polymorphic
-                    && (plan.size_polymorphic || e.plan.slot_shapes == plan.slot_shapes)
+                e.plan.size_polymorphic() == plan.size_polymorphic()
+                    && (plan.size_polymorphic() || e.plan.slot_shapes() == plan.slot_shapes())
             });
             match same_key {
                 Some(entry) => {
@@ -169,7 +195,7 @@ impl ShardedCache {
     }
 }
 
-fn evict_lru(shard: &mut Shard) {
+fn evict_lru<P>(shard: &mut Shard<P>) {
     let victim = shard
         .entries
         .iter()
@@ -208,8 +234,13 @@ mod tests {
         (fp, a, root)
     }
 
-    fn plan(arena: &ExprArena, root: NodeId, poly: bool, shapes: Vec<Shape>) -> CachedPlan {
-        CachedPlan {
+    fn plan(
+        arena: &ExprArena,
+        root: NodeId,
+        poly: bool,
+        shapes: Vec<Shape>,
+    ) -> std::sync::Arc<CachedPlan> {
+        std::sync::Arc::new(CachedPlan {
             template: PlanTemplate {
                 arena: arena.clone(),
                 root,
@@ -221,7 +252,7 @@ mod tests {
             e_nodes: 0,
             size_polymorphic: poly,
             slot_shapes: shapes,
-        }
+        })
     }
 
     #[test]

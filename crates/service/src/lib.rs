@@ -22,7 +22,9 @@
 pub mod cache;
 pub mod service;
 pub mod stats;
+pub mod workload;
 
-pub use cache::{CachedPlan, PlanTemplate, ShardedCache};
+pub use cache::{CacheEntry, CachedPlan, PlanTemplate, ShardedCache};
 pub use service::{OptimizerService, PlanSource, Request, Served, ServiceConfig, ServiceError};
 pub use stats::{LatencyHistogram, ServiceStats, StatsSnapshot};
+pub use workload::{CachedWorkloadPlan, ServedWorkload, WorkloadRequest};

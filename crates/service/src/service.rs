@@ -26,10 +26,15 @@
 //!   constants, see [`spores_core::Optimized::size_polymorphic`]) are
 //!   only reused at exactly the sizes they were optimized for.
 
-use crate::cache::{CachedPlan, PlanTemplate, ShardedCache};
+use crate::cache::{CacheEntry, CachedPlan, PlanTemplate, ShardedCache};
 use crate::stats::{ServiceStats, StatsSnapshot};
-use spores_core::{plan_cost, Optimized, Optimizer, OptimizerConfig, PhaseTimings, VarMeta};
-use spores_ir::{fingerprint, ExprArena, Fingerprint, LeafClass, NodeId, Shape, Symbol};
+use crate::workload::{CachedWorkloadPlan, ServedWorkload, WorkloadRequest};
+use spores_core::{
+    plan_cost, workload_plan_cost, Optimized, Optimizer, OptimizerConfig, PhaseTimings, VarMeta,
+};
+use spores_ir::{
+    fingerprint, fingerprint_workload, ExprArena, Fingerprint, LeafClass, NodeId, Shape, Symbol,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -153,6 +158,8 @@ struct Job {
 struct Inner {
     config: ServiceConfig,
     cache: ShardedCache,
+    /// Workload-level plan cache: one entry per whole statement bundle.
+    workload_cache: ShardedCache<CachedWorkloadPlan>,
     stats: ServiceStats,
     /// canon → waiters (single-flight registry). The submitting request's
     /// own sender is registered too, so the worker resolves everyone the
@@ -186,7 +193,7 @@ impl Inner {
             slot_shapes: slot_shapes(fp, &request.vars),
         });
         if !got.fell_back {
-            self.cache.insert(fp, (*plan).clone());
+            self.cache.insert(fp, plan.clone());
         }
         Ok(plan)
     }
@@ -248,6 +255,7 @@ impl OptimizerService {
         let workers = config.workers.max(1);
         let inner = Arc::new(Inner {
             cache: ShardedCache::new(config.shards, config.capacity, config.max_variants),
+            workload_cache: ShardedCache::new(config.shards, config.capacity, config.max_variants),
             stats: ServiceStats::default(),
             inflight: Mutex::new(HashMap::new()),
             config,
@@ -271,9 +279,11 @@ impl OptimizerService {
         }
     }
 
-    /// Live counters.
+    /// Live counters (evictions summed over both plan caches).
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.stats.snapshot(self.inner.cache.evictions())
+        self.inner
+            .stats
+            .snapshot(self.inner.cache.evictions() + self.inner.workload_cache.evictions())
     }
 
     /// Latency quantile (µs upper bound) over all served requests.
@@ -369,6 +379,154 @@ impl OptimizerService {
                 } => self.finish(&request, &fp, rx, coalesced, t0),
             })
             .collect()
+    }
+
+    /// Optimize a whole workload bundle as ONE unit: a single
+    /// workload-level fingerprint keys the cache, a hit re-instantiates
+    /// the entire multi-root template (µs), and a miss runs the shared
+    /// one-pass pipeline ([`spores_core::Optimizer::optimize_workload`])
+    /// inline and caches the α-renamed result.
+    pub fn optimize_workload(
+        &self,
+        request: WorkloadRequest,
+    ) -> Result<ServedWorkload, ServiceError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let t0 = Instant::now();
+        let classes: HashMap<Symbol, LeafClass> = request
+            .vars
+            .iter()
+            .map(|(&s, m)| (s, LeafClass::classify(m.shape, m.sparsity)))
+            .collect();
+        let fp = fingerprint_workload(&request.workload.arena, &request.workload.roots, &classes)
+            .map_err(|e| ServiceError::Invalid(e.to_string()))?;
+        let shapes = slot_shapes(&fp, &request.vars);
+
+        if let Some(plan) = self.inner.workload_cache.get(&fp, &shapes) {
+            match self.instantiate_workload(&request, &fp, &plan) {
+                Ok(mut served) => {
+                    self.inner.stats.hits.fetch_add(1, Relaxed);
+                    served.latency = t0.elapsed();
+                    self.inner.stats.latency.record(served.latency);
+                    return Ok(served);
+                }
+                Err(RejectedHit) => {
+                    self.inner.stats.cost_rejections.fetch_add(1, Relaxed);
+                }
+            }
+        }
+
+        // miss: run the shared pipeline inline (workload compiles are
+        // whole-program requests — rare and heavyweight enough that the
+        // per-statement worker pool's coalescing matters little here).
+        // The pipeline's own output is served directly; only the cache
+        // keeps the α-renamed template copy.
+        let (plan, arena, roots) = self.run_workload_pipeline(&request, &fp, &shapes)?;
+        self.inner.stats.misses.fetch_add(1, Relaxed);
+        let latency = t0.elapsed();
+        self.inner.stats.latency.record(latency);
+        Ok(ServedWorkload {
+            arena,
+            roots,
+            cost: plan.cost,
+            source: PlanSource::Miss,
+            latency,
+            timings: plan.timings,
+            converged: plan.converged,
+            timed_out: plan.timed_out,
+            e_nodes: plan.e_nodes,
+        })
+    }
+
+    /// Run the workload pipeline, cache the α-renamed multi-root
+    /// template, and return it along with the pipeline's direct output
+    /// (already in the caller's symbols — no re-instantiation needed).
+    #[allow(clippy::type_complexity)]
+    fn run_workload_pipeline(
+        &self,
+        request: &WorkloadRequest,
+        fp: &Fingerprint,
+        shapes: &[Shape],
+    ) -> Result<(Arc<CachedWorkloadPlan>, ExprArena, Vec<(Symbol, NodeId)>), ServiceError> {
+        let optimizer = Optimizer::new(self.inner.config.optimizer.clone());
+        let got = optimizer
+            .optimize_workload(&request.workload, &request.vars)
+            .map_err(|e| ServiceError::Invalid(e.to_string()))?;
+        let root_ids: Vec<NodeId> = got.roots.iter().map(|&(_, id)| id).collect();
+        let (tpl_arena, tpl_roots) = got
+            .arena
+            .rename_vars_multi(&root_ids, &fp.to_template_map());
+        let cost = workload_plan_cost(&got.arena, &got.roots, &request.vars)
+            .map_err(|e| ServiceError::Invalid(e.to_string()))?;
+        let plan = Arc::new(CachedWorkloadPlan {
+            arena: tpl_arena,
+            roots: tpl_roots,
+            cost,
+            timings: got.timings,
+            converged: got.saturation.converged,
+            timed_out: matches!(
+                got.saturation.stop_reason,
+                Some(spores_egraph::StopReason::TimeLimit(_))
+            ),
+            e_nodes: got.saturation.e_nodes,
+            size_polymorphic: got.size_polymorphic,
+            slot_shapes: shapes.to_vec(),
+        });
+        if !got.fell_back {
+            self.inner.workload_cache.insert(fp, plan.clone());
+        }
+        Ok((plan, got.arena, got.roots))
+    }
+
+    /// α-instantiate a workload template for this request's symbols; the
+    /// caller's root names are re-attached positionally.
+    fn materialize_workload(
+        plan: &CachedWorkloadPlan,
+        request: &WorkloadRequest,
+        fp: &Fingerprint,
+    ) -> (ExprArena, Vec<(Symbol, NodeId)>) {
+        let (arena, roots) = plan
+            .arena
+            .rename_vars_multi(&plan.roots, &fp.from_template_map());
+        let named = request
+            .workload
+            .roots
+            .iter()
+            .map(|&(name, _)| name)
+            .zip(roots)
+            .collect();
+        (arena, named)
+    }
+
+    /// Instantiate a cached workload template and re-check its summed
+    /// cost against the caller's own statements at the caller's metadata.
+    fn instantiate_workload(
+        &self,
+        request: &WorkloadRequest,
+        fp: &Fingerprint,
+        plan: &CachedWorkloadPlan,
+    ) -> Result<ServedWorkload, RejectedHit> {
+        let (arena, roots) = Self::materialize_workload(plan, request, fp);
+        let cost = workload_plan_cost(&arena, &roots, &request.vars).map_err(|_| RejectedHit)?;
+        let input_cost = workload_plan_cost(
+            &request.workload.arena,
+            &request.workload.roots,
+            &request.vars,
+        )
+        .map_err(|_| RejectedHit)?;
+        if cost > input_cost * (1.0 + COST_SLACK) + COST_EPS {
+            return Err(RejectedHit);
+        }
+        Ok(ServedWorkload {
+            arena,
+            roots,
+            cost,
+            source: PlanSource::Hit,
+            latency: Duration::ZERO,
+            timings: plan.timings,
+            converged: plan.converged,
+            timed_out: plan.timed_out,
+            e_nodes: plan.e_nodes,
+        })
     }
 
     // ---- request plumbing -----------------------------------------------

@@ -1,0 +1,90 @@
+//! Workload-level requests: whole programs served as one cache entry.
+//!
+//! A workload request carries an SSA statement bundle
+//! ([`spores_ir::WorkloadExpr`]) and is optimized by
+//! [`spores_core::Optimizer::optimize_workload`]: one shared e-graph,
+//! one saturation pass, one multi-root plan with cross-statement CSE.
+//! The cache key is the *workload-level* fingerprint
+//! ([`spores_ir::fingerprint_workload`]) — the same α-renaming the
+//! single-statement cache uses, applied over the multi-root DAG plus the
+//! def-use wiring of statement names — so a repeated workload hits the
+//! cache as ONE entry, and a hit re-instantiates the whole multi-root
+//! template (sharing preserved) without touching saturation.
+//!
+//! Hits run the same guard as single-statement hits: the instantiated
+//! template is re-priced under the caller's metadata and rejected when
+//! it prices worse than the caller's own statements (beyond the
+//! estimator-drift slack), so a workload hit is never meaningfully worse
+//! than not having had a cache at all.
+
+use crate::cache::CacheEntry;
+use crate::service::PlanSource;
+use spores_core::PhaseTimings;
+use spores_core::VarMeta;
+use spores_ir::{ExprArena, NodeId, Shape, Symbol, WorkloadExpr};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// One workload optimization request: an SSA bundle plus metadata for
+/// every leaf it reads (inputs *and* version symbols of earlier roots).
+#[derive(Clone, Debug)]
+pub struct WorkloadRequest {
+    pub workload: WorkloadExpr,
+    pub vars: HashMap<Symbol, VarMeta>,
+}
+
+impl WorkloadRequest {
+    pub fn new(workload: WorkloadExpr, vars: HashMap<Symbol, VarMeta>) -> WorkloadRequest {
+        WorkloadRequest { workload, vars }
+    }
+}
+
+/// A served workload plan: the shared multi-root arena plus provenance.
+#[derive(Clone, Debug)]
+pub struct ServedWorkload {
+    /// The shared plan arena (common subplans bound once).
+    pub arena: ExprArena,
+    /// Per-statement `(name, plan root)` in request order, names taken
+    /// from the caller's bundle.
+    pub roots: Vec<(Symbol, NodeId)>,
+    /// Summed [`spores_core::plan_cost`] of the served roots (pipeline
+    /// estimate for misses, fresh re-check estimate for hits).
+    pub cost: f64,
+    pub source: PlanSource,
+    pub latency: Duration,
+    /// Pipeline phase timings (of the cached run, for hits).
+    pub timings: PhaseTimings,
+    /// Saturation facts of the producing run (cached, for hits).
+    pub converged: bool,
+    pub timed_out: bool,
+    pub e_nodes: usize,
+}
+
+/// One workload cache entry: the α-renamed multi-root template plus the
+/// facts needed for admission, mirroring [`crate::cache::CachedPlan`].
+#[derive(Clone, Debug)]
+pub struct CachedWorkloadPlan {
+    /// Template arena over `$k` slot leaves.
+    pub arena: ExprArena,
+    /// Template plan roots, positionally matching the request's roots.
+    pub roots: Vec<NodeId>,
+    /// Summed plan cost at creation time.
+    pub cost: f64,
+    pub timings: PhaseTimings,
+    pub converged: bool,
+    pub timed_out: bool,
+    pub e_nodes: usize,
+    pub size_polymorphic: bool,
+    /// Concrete per-slot shapes the template was optimized for.
+    pub slot_shapes: Vec<Shape>,
+}
+
+impl CacheEntry for CachedWorkloadPlan {
+    fn size_polymorphic(&self) -> bool {
+        self.size_polymorphic
+    }
+
+    fn slot_shapes(&self) -> &[Shape] {
+        &self.slot_shapes
+    }
+}
