@@ -9,8 +9,9 @@
 //! * `-- --smoke` — one pass per workload comparing wall time and
 //!   `candidates_visited` (total rule-matching work), asserting the
 //!   acceptance bar: the one-pass saturation does less total matching
-//!   work than the per-statement sum on ≥ 3 of the 5 workloads; run by
-//!   CI;
+//!   work than the per-statement sum on ≥ 4 of the 5 workloads,
+//!   including GLM and PNMF (the PR-3 regressions) specifically; SVM is
+//!   the documented holdout (see `smoke`); run by CI;
 //! * `-- --snapshot` / `--snapshot-only` — additionally rewrite the
 //!   committed `BENCH_workload.json`.
 
@@ -53,6 +54,7 @@ fn run_per_statement(bundle: &WorkloadBundle) -> SaturationStats {
         stop_reason: None,
         candidates_visited: 0,
         matches_found: 0,
+        region_frozen_iters: 0,
     };
     for ix in 0..bundle.expr.len() {
         let single = bundle.expr.single_statement(ix);
@@ -122,9 +124,13 @@ fn smoke_rows() -> Vec<SmokeRow> {
 fn smoke() {
     let rows = smoke_rows();
     let mut fewer_candidates = 0usize;
+    let mut winners = Vec::new();
     for row in &rows {
         let wins = row.shared_candidates < row.per_statement_candidates;
         fewer_candidates += usize::from(wins);
+        if wins {
+            winners.push(row.name);
+        }
         println!(
             "workload smoke {:>5}: {} statements  one-pass {:>11} ns / {:>7} candidates  per-statement {:>11} ns / {:>7} candidates  {}",
             row.name,
@@ -136,14 +142,41 @@ fn smoke() {
             if wins { "one-pass does less matching" } else { "-" }
         );
     }
+    // Acceptance (dirty-class delta search + per-region convergence
+    // freezing): one-pass must beat the per-statement candidate sum on
+    // ≥ 4 of 5 workloads, and specifically on GLM and PNMF — the two
+    // the PR-3 shared-cap workload mode lost.
+    //
+    // Documented holdout — SVM, which this PR flips from a narrow win
+    // (4,437 vs 5,008 under the PR-3 pooled cap) to a narrow loss
+    // (~5.6k vs ~4.8k). The cause is the per-region budget itself: the
+    // pooled cap spread 40×N applications across whatever was hot,
+    // starving SVM's five nearly-disjoint statements just enough that
+    // the union run stalled (and stopped) early; per-region budgets
+    // give every live statement the per-statement application rate, so
+    // the union run now explores as deeply as the five solo runs
+    // combined — but SVM is the smallest §4.2 workload, its
+    // per-statement runs converge within a handful of iterations each,
+    // and its statements share little beyond input leaves, so there is
+    // almost no converged-region waste for freezing to reclaim against
+    // the union-sweep overhead of the hot phase. The trade buys the
+    // ALS/GLM/MLR flips (tens of thousands of candidate visits each)
+    // at the cost of a few hundred visits here.
     assert!(
-        fewer_candidates >= 3,
+        fewer_candidates >= 4,
         "acceptance: one-pass saturation must do less total rule-matching work \
-         (candidates_visited) than the per-statement sum on ≥ 3 of the 5 §4.2 \
+         (candidates_visited) than the per-statement sum on ≥ 4 of the 5 §4.2 \
          workloads, got {fewer_candidates}"
     );
+    for required in ["GLM", "PNMF"] {
+        assert!(
+            winners.contains(&required),
+            "acceptance: {required} (a PR-3 workload-mode regression) must be a \
+             one-pass win, winners: {winners:?}"
+        );
+    }
     println!(
-        "workload smoke OK: one-pass matching work wins on {fewer_candidates}/5 workloads (bar: 3)"
+        "workload smoke OK: one-pass matching work wins on {fewer_candidates}/5 workloads (bar: 4 incl. GLM+PNMF)"
     );
 }
 

@@ -36,6 +36,14 @@ pub struct OptimizerConfig {
     pub extractor: ExtractorKind,
     /// ILP solver budget (only used with [`ExtractorKind::Ilp`]).
     pub ilp_time_limit: Duration,
+    /// Workload mode only: per-region convergence freezing (on by
+    /// default). Statement regions that stop producing dirty classes
+    /// are frozen out of the rule-matching candidate set, and the
+    /// sampling cap scales with the number of *active* regions instead
+    /// of the statement count. Turning this off recovers the PR-3
+    /// behaviour (cap scaled by statement count, every region searched
+    /// every iteration).
+    pub region_freezing: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -47,6 +55,7 @@ impl Default for OptimizerConfig {
             time_limit: Duration::from_millis(2500),
             extractor: ExtractorKind::Greedy,
             ilp_time_limit: Duration::from_secs(5),
+            region_freezing: true,
         }
     }
 }
@@ -81,6 +90,10 @@ pub struct SaturationStats {
     pub candidates_visited: usize,
     /// Total (class, subst) match instances found across the run.
     pub matches_found: usize,
+    /// Workload mode: total (region, iteration) pairs during which a
+    /// statement's region sat frozen (0 for single-statement runs or
+    /// with region freezing disabled).
+    pub region_frozen_iters: usize,
 }
 
 /// The optimizer's output.
@@ -180,6 +193,7 @@ impl Optimizer {
                 .map(|r| r.candidates)
                 .sum(),
             matches_found: runner.iterations.iter().map(|it| it.matches_found).sum(),
+            region_frozen_iters: 0,
         };
         let egraph = runner.egraph;
         let eroot = runner.roots[0];

@@ -92,24 +92,36 @@ impl Optimizer {
         // The sampling scheduler caps match applications *per rule per
         // iteration*; a union graph of N statements has ~N× the match
         // surface, so an unscaled cap would need ~N× the iterations —
-        // and every extra iteration re-searches the whole union. Scaling
-        // the cap by N keeps the per-statement application rate of the
-        // per-statement pipeline, which is what makes one shared pass
-        // strictly cheaper in candidates visited than N separate passes.
-        let scheduler = match cfg.scheduler.clone() {
-            spores_egraph::Scheduler::Sampling { match_limit, seed } => {
-                spores_egraph::Scheduler::Sampling {
-                    match_limit: match_limit * workload.roots.len().max(1),
-                    seed,
+        // and every extra iteration re-searches the whole union. With
+        // region freezing (the default) the runner scales the cap by
+        // the number of *active* statement regions each iteration — the
+        // per-statement application rate of the per-statement pipeline
+        // while every statement is live, shrinking as statements
+        // converge — and drops converged regions' classes from every
+        // rule's candidate set. With freezing disabled we recover the
+        // old crude behaviour: cap scaled by the statement count for
+        // the whole run, every class searched every iteration.
+        let scheduler = if cfg.region_freezing {
+            cfg.scheduler.clone()
+        } else {
+            match cfg.scheduler.clone() {
+                spores_egraph::Scheduler::Sampling { match_limit, seed } => {
+                    spores_egraph::Scheduler::Sampling {
+                        match_limit: match_limit * workload.roots.len().max(1),
+                        seed,
+                    }
                 }
+                s => s,
             }
-            s => s,
         };
         let mut runner = Runner::new(MetaAnalysis::new(wt.ctx.clone()))
             .with_scheduler(scheduler)
             .with_iter_limit(cfg.iter_limit)
             .with_node_limit(cfg.node_limit)
             .with_time_limit(cfg.time_limit);
+        if cfg.region_freezing {
+            runner = runner.with_regions(spores_egraph::RegionConfig::default());
+        }
         for rt in &wt.roots {
             runner = runner.with_expr(&rt.expr);
         }
@@ -119,7 +131,14 @@ impl Optimizer {
             iterations: runner.iterations.len(),
             e_nodes: runner.egraph.total_number_of_nodes(),
             e_classes: runner.egraph.number_of_classes(),
-            converged: runner.saturated(),
+            // RegionsConverged is workload mode's saturation: every
+            // statement region reached the same per-region fixpoint the
+            // per-statement pipeline stops on.
+            converged: matches!(
+                runner.stop_reason,
+                Some(spores_egraph::StopReason::Saturated)
+                    | Some(spores_egraph::StopReason::RegionsConverged)
+            ),
             stop_reason: runner.stop_reason.clone(),
             candidates_visited: runner
                 .iterations
@@ -128,6 +147,11 @@ impl Optimizer {
                 .map(|r| r.candidates)
                 .sum(),
             matches_found: runner.iterations.iter().map(|it| it.matches_found).sum(),
+            region_frozen_iters: runner
+                .iterations
+                .iter()
+                .map(|it| it.frozen_regions.iter().filter(|&&f| f).count())
+                .sum(),
         };
         let eroots = runner.roots.clone();
         let egraph = runner.egraph;
@@ -418,6 +442,65 @@ mod tests {
         assert_eq!(
             whole.arena.display(whole.roots[0].1),
             single.arena.display(single.root)
+        );
+    }
+
+    /// Per-region convergence freezing: statement `a` (a bare
+    /// transpose) saturates within a couple of iterations while the
+    /// headline statement `b` needs many more. The fast region must
+    /// freeze (visible in `region_frozen_iters`), the run must converge
+    /// region-by-region, and the extracted multi-root plan must match
+    /// the non-freezing run: same per-root plans, same DAG cost.
+    #[test]
+    fn converged_statement_region_freezes_without_changing_the_plan() {
+        let stmts = [("a", "t(t(Y))"), ("b", "sum(W %*% H)")];
+        let vs = vars(&[
+            ("Y", (40, 30), 1.0),
+            ("W", (5000, 10), 1.0),
+            ("H", (10, 3000), 1.0),
+        ]);
+        let run = |freeze: bool| {
+            let opt = Optimizer::new(OptimizerConfig {
+                extractor: ExtractorKind::Greedy,
+                node_limit: 8_000,
+                iter_limit: 30,
+                region_freezing: freeze,
+                ..OptimizerConfig::default()
+            });
+            opt.optimize_workload(&bundle(&stmts), &vs).unwrap()
+        };
+        let frozen = run(true);
+        assert!(!frozen.fell_back);
+        assert!(frozen.saturation.converged, "workload must converge");
+        // statement a freezes within a few iterations and never thaws
+        // while statement b keeps working: from then on a's region
+        // contributes zero candidates, so every remaining iteration's
+        // frozen count includes it
+        assert!(
+            frozen.saturation.region_frozen_iters + 5 >= frozen.saturation.iterations,
+            "statement a's region froze for only {} of {} iterations",
+            frozen.saturation.region_frozen_iters,
+            frozen.saturation.iterations
+        );
+        let plain = run(false);
+        assert!(!plain.fell_back);
+        assert_eq!(plain.saturation.region_frozen_iters, 0);
+        // freezing changes how much is searched, never what is planned
+        for (f, p) in frozen.roots.iter().zip(&plain.roots) {
+            assert_eq!(f.0, p.0);
+            assert_eq!(
+                frozen.arena.display(f.1),
+                plain.arena.display(p.1),
+                "statement {} plan changed under freezing",
+                f.0
+            );
+        }
+        let rel = (frozen.cost_after - plain.cost_after).abs() / plain.cost_after.max(1.0);
+        assert!(
+            rel < 1e-9,
+            "plan cost changed under freezing: {} vs {}",
+            frozen.cost_after,
+            plain.cost_after
         );
     }
 

@@ -8,7 +8,7 @@
 //! `saturate`/`add` pseudo-code this realizes.
 
 use crate::analysis::Analysis;
-use crate::hash::FxHashMap;
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::language::{Id, Language, OpKey, RecExpr};
 use crate::unionfind::UnionFind;
 use std::fmt;
@@ -62,6 +62,17 @@ pub struct EGraph<L: Language, A: Analysis<L>> {
     /// list merged-away ids, which is fine: search requires a clean
     /// graph.
     op_index: FxHashMap<OpKey, Vec<Id>>,
+    /// Classes touched since the last [`EGraph::take_dirty`]: fresh
+    /// classes from [`EGraph::add`], the surviving root of every
+    /// [`EGraph::union`] (including congruence unions), and — closed
+    /// over at the end of [`EGraph::rebuild`] — every transitive
+    /// *ancestor* (via the parent relation) of a touched class, so that
+    /// a pattern match whose sub-term changed is re-findable from its
+    /// root. On a clean graph all ids are canonical and the set is
+    /// closed under parents; delta e-matching
+    /// ([`crate::Pattern::search_delta_with_stats`]) restricts the
+    /// op-head candidates to this set.
+    dirty: FxHashSet<Id>,
     n_unions: usize,
     clean: bool,
 }
@@ -82,6 +93,7 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             pending: Vec::new(),
             analysis_pending: Vec::new(),
             op_index: FxHashMap::default(),
+            dirty: FxHashSet::default(),
             n_unions: 0,
             clean: true,
         }
@@ -166,6 +178,10 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         let ids = self.op_index.entry(enode.op_key()).or_default();
         debug_assert!(ids.last() < Some(&id), "fresh ids keep the index sorted");
         ids.push(id);
+        // A fresh class only ever gains parents that are themselves
+        // fresh (later) adds, so marking just `id` keeps the dirty set
+        // closed under parents without a propagation pass here.
+        self.dirty.insert(id);
         let data = A::make(self, &enode);
         let class = EClass {
             id,
@@ -225,6 +241,9 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             (b, a)
         };
         self.unionfind.union(root, other);
+        // The surviving class's node set changes; ancestors are marked
+        // by the parent-closure pass at the end of `rebuild`.
+        self.dirty.insert(root);
 
         let other_class = self.classes.remove(&other).expect("class exists");
         // op_index is NOT updated here: it is only read on clean graphs,
@@ -282,8 +301,85 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             }
         }
         self.rebuild_classes();
+        self.refresh_dirty();
         self.clean = true;
         self.n_unions - n_unions_before
+    }
+
+    /// Canonicalize the dirty set and close it over the parent relation:
+    /// a match whose *sub*-term changed must be re-found from its root,
+    /// so every transitive ancestor of a touched class is dirty too.
+    /// Runs after `rebuild_classes`, when parent lists are canonical.
+    fn refresh_dirty(&mut self) {
+        let old = std::mem::take(&mut self.dirty);
+        let mut work: Vec<Id> = old.into_iter().map(|id| self.find(id)).collect();
+        let mut dirty = FxHashSet::default();
+        while let Some(id) = work.pop() {
+            if !dirty.insert(id) {
+                continue;
+            }
+            for &(_, pid) in &self.classes[&id].parents {
+                let pid = self.find(pid);
+                if !dirty.contains(&pid) {
+                    work.push(pid);
+                }
+            }
+        }
+        self.dirty = dirty;
+    }
+
+    /// The classes touched since the last [`EGraph::take_dirty`]
+    /// (canonical and closed under parents on a clean graph). See the
+    /// `dirty` field docs.
+    pub fn dirty_classes(&self) -> &FxHashSet<Id> {
+        &self.dirty
+    }
+
+    /// Take (and clear) the dirty set. The saturation driver calls this
+    /// once per iteration: the returned snapshot is the delta-search
+    /// candidate universe, and changes made afterwards accumulate into
+    /// a fresh set for the next iteration.
+    pub fn take_dirty(&mut self) -> FxHashSet<Id> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Explicitly mark a class dirty for the next delta sweep. The
+    /// saturation driver uses this to keep *pending* work visible: a
+    /// match the sampling scheduler found but did not apply re-marks its
+    /// root class, so delta search re-finds it next iteration instead of
+    /// losing it until the next full sweep.
+    pub fn mark_dirty(&mut self, id: Id) {
+        let id = self.find(id);
+        self.dirty.insert(id);
+    }
+
+    /// Per-root reachability over a clean graph: canonical class id →
+    /// bitmask over `roots` (bit `r` set iff `roots[r]` reaches the
+    /// class through some chain of e-node children). At most 64 roots.
+    /// This is the region map workload-mode convergence freezing uses:
+    /// a statement's "region" is everything its root can realize.
+    pub fn reachability_masks(&self, roots: &[Id]) -> FxHashMap<Id, u64> {
+        assert!(self.clean, "reachability requires a rebuilt e-graph");
+        assert!(roots.len() <= 64, "at most 64 roots for bitmask regions");
+        let mut masks: FxHashMap<Id, u64> = FxHashMap::default();
+        let mut stack: Vec<Id> = Vec::new();
+        for (r, &root) in roots.iter().enumerate() {
+            let bit = 1u64 << r;
+            stack.push(self.find(root));
+            while let Some(id) = stack.pop() {
+                let mask = masks.entry(id).or_insert(0);
+                if *mask & bit != 0 {
+                    continue;
+                }
+                *mask |= bit;
+                for node in &self.classes[&id].nodes {
+                    for &c in node.children() {
+                        stack.push(self.find(c));
+                    }
+                }
+            }
+        }
+        masks
     }
 
     /// Canonicalize and dedup every class's node and parent lists.
@@ -396,6 +492,33 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
                 assert!(
                     want.contains_key(key),
                     "op index has stale key {key:?} -> {ids:?}"
+                );
+            }
+        }
+        // dirty set: only canonical, live class ids (no merged-away ids
+        // lingering), every dirty class discoverable through the op-head
+        // index (each of its nodes' buckets lists it — otherwise delta
+        // search could never visit it), and closed under the parent
+        // relation (a clean parent of a dirty child would hide matches
+        // whose sub-term changed).
+        for &id in &self.dirty {
+            assert_eq!(id, self.find(id), "dirty set holds non-canonical id {id}");
+            let class = self
+                .classes
+                .get(&id)
+                .unwrap_or_else(|| panic!("dirty set holds dead class {id}"));
+            for node in &class.nodes {
+                assert!(
+                    self.classes_with_op(node.op_key()).contains(&id),
+                    "dirty class {id} missing from op bucket for {:?}",
+                    node.op_key()
+                );
+            }
+            for &(_, pid) in &class.parents {
+                let pid = self.find(pid);
+                assert!(
+                    self.dirty.contains(&pid),
+                    "dirty set not parent-closed: {id} dirty but parent {pid} clean"
                 );
             }
         }

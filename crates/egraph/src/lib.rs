@@ -35,5 +35,7 @@ pub use hash::{FxHashMap, FxHashSet};
 pub use language::{parse_rec_expr, Id, Language, OpKey, RecExpr};
 pub use pattern::{ENodeOrVar, Pattern, SearchMatches, Subst, Var};
 pub use rewrite::{Applier, Condition, Rewrite};
-pub use runner::{BackoffConfig, Iteration, RuleIterStats, Runner, Scheduler, StopReason};
+pub use runner::{
+    BackoffConfig, Iteration, RegionConfig, RuleIterStats, Runner, Scheduler, StopReason,
+};
 pub use unionfind::UnionFind;

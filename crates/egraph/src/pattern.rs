@@ -316,10 +316,99 @@ impl<L: Language> Pattern<L> {
     ) -> (Vec<SearchMatches>, usize) {
         debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
         let candidates = self.candidates(egraph);
-        let visited = candidates.len();
+        self.search_candidates(egraph, candidates.iter().copied())
+    }
+
+    /// Delta search: like [`Pattern::search_with_stats`] but restricted
+    /// to the classes in `dirty` — the op-head candidates for the
+    /// pattern root intersected with the dirty set.
+    ///
+    /// Because the e-graph closes the dirty set over the parent
+    /// relation ([`EGraph::dirty_classes`]), a match is new only if its
+    /// *root* class is dirty — a change at any bound child position
+    /// dirties every ancestor, so the root-level intersection already
+    /// covers sub-term changes and no per-child dirty test is needed.
+    /// Matches rooted in clean classes are exactly the matches the
+    /// previous full sweep already returned (modulo id canonicalization),
+    /// which is the property `tests/proptest_delta.rs` checks
+    /// differentially against [`Pattern::naive_search`].
+    pub fn search_delta_with_stats<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+        dirty: &crate::hash::FxHashSet<Id>,
+    ) -> (Vec<SearchMatches>, usize) {
+        debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
+        match self.ast.node(self.ast.root()) {
+            ENodeOrVar::ENode(n) => {
+                let bucket = egraph.classes_with_op(n.op_key());
+                // Intersect from the smaller side; either way the
+                // candidates come out in ascending id order (the
+                // bucket's order), so match order is deterministic and
+                // mode-independent.
+                if dirty.len() < bucket.len() {
+                    let mut ids: Vec<Id> = dirty
+                        .iter()
+                        .copied()
+                        .filter(|id| bucket.binary_search(id).is_ok())
+                        .collect();
+                    ids.sort_unstable();
+                    self.search_candidates(egraph, ids.into_iter())
+                } else {
+                    self.search_candidates(
+                        egraph,
+                        bucket.iter().copied().filter(|id| dirty.contains(id)),
+                    )
+                }
+            }
+            ENodeOrVar::Var(_) => {
+                // Canonicalize + dedup: a banked dirty set can hold a
+                // merged-away id alongside its canonical survivor (the
+                // ENode arm is screened by the rebuilt op-index, this
+                // arm is not), and visiting both would duplicate the
+                // class's matches.
+                let mut ids: Vec<Id> = dirty.iter().map(|&id| egraph.find(id)).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                self.search_candidates(egraph, ids.into_iter())
+            }
+        }
+    }
+
+    /// Like [`Pattern::search_with_stats`] but skipping the classes in
+    /// `excluded` (workload mode's frozen regions). With an empty
+    /// exclusion set this is exactly a full sweep.
+    pub fn search_except_with_stats<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+        excluded: &crate::hash::FxHashSet<Id>,
+    ) -> (Vec<SearchMatches>, usize) {
+        debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
+        let candidates = self.candidates(egraph);
+        self.search_candidates(
+            egraph,
+            candidates
+                .iter()
+                .copied()
+                .filter(|id| !excluded.contains(id)),
+        )
+    }
+
+    /// Run the compiled machine over `candidates`, reporting the matches
+    /// and how many classes were visited. All search entry points funnel
+    /// through here so `visited` counts identically in full, delta, and
+    /// frozen-filtered sweeps (satellite: `candidates_visited` stays
+    /// comparable across modes).
+    fn search_candidates<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+        candidates: impl Iterator<Item = Id>,
+    ) -> (Vec<SearchMatches>, usize) {
+        let mut visited = 0;
         let matches = candidates
-            .iter()
-            .filter_map(|&id| self.search_eclass(egraph, id))
+            .filter_map(|id| {
+                visited += 1;
+                self.search_eclass(egraph, id)
+            })
             .collect();
         (matches, visited)
     }

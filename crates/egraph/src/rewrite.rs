@@ -116,6 +116,26 @@ impl<L: Language, A: Analysis<L>> Rewrite<L, A> {
         self.searcher.search_with_stats(egraph)
     }
 
+    /// Delta search: only candidate classes in `dirty` are visited.
+    /// See [`Pattern::search_delta_with_stats`].
+    pub fn search_delta_with_stats(
+        &self,
+        egraph: &EGraph<L, A>,
+        dirty: &crate::hash::FxHashSet<Id>,
+    ) -> (Vec<SearchMatches>, usize) {
+        self.searcher.search_delta_with_stats(egraph, dirty)
+    }
+
+    /// Full sweep minus the classes in `excluded` (frozen regions).
+    /// See [`Pattern::search_except_with_stats`].
+    pub fn search_except_with_stats(
+        &self,
+        egraph: &EGraph<L, A>,
+        excluded: &crate::hash::FxHashSet<Id>,
+    ) -> (Vec<SearchMatches>, usize) {
+        self.searcher.search_except_with_stats(egraph, excluded)
+    }
+
     /// Apply this rule to one (class, subst) match. Returns the number of
     /// unions actually performed.
     pub fn apply_match(&self, egraph: &mut EGraph<L, A>, eclass: Id, subst: &Subst) -> usize {

@@ -13,6 +13,7 @@
 
 use crate::analysis::Analysis;
 use crate::egraph::EGraph;
+use crate::hash::FxHashSet;
 use crate::language::{Id, Language, RecExpr};
 use crate::pattern::Subst;
 use crate::rewrite::Rewrite;
@@ -99,6 +100,66 @@ impl BackoffConfig {
     }
 }
 
+/// Per-region (per-root) convergence freezing for multi-root runs
+/// (workload mode's "freeze saturated statement regions").
+///
+/// Each root of a multi-root run spans a *region*: the classes its root
+/// can realize ([`EGraph::reachability_masks`]). A region whose reachable
+/// set has produced no dirty classes for `quiet_iters` consecutive
+/// iterations is **frozen**: classes reachable only from frozen roots
+/// are dropped from every rule's candidate set (delta and full sweeps
+/// alike). With `per_region_budget`, `Scheduler::Sampling`'s
+/// `match_limit` is enforced *per region* (matches bucketed by the
+/// lowest-numbered region of their root class — a freeze-independent
+/// fairness partition, see `sample_per_region`) instead of one pooled
+/// cap — so every live statement progresses at the per-statement
+/// pipeline's application rate, no single hot statement can consume a
+/// multiplied budget, and a frozen region's *exclusive* classes lose
+/// their budget along with their candidates.
+///
+/// Classes shared with an active region stay active (regions overlap
+/// exactly where cross-statement CSE lives). Freezing is deliberately
+/// *lossy* in the same way per-statement stalls are: a frozen region
+/// never thaws, late dirt that parent-closes into its exclusive classes
+/// is discarded, and the run stops on
+/// [`StopReason::RegionsConverged`] once every region has individually
+/// stalled — exactly the work a per-statement pipeline would also have
+/// left undone (the tier-1 `workload_cse` suite bounds the resulting
+/// plan cost against the per-statement sum). Only with
+/// [`Runner::with_exact_saturation`] does a zero-union iteration
+/// instead unfreeze everything and run verification sweeps until a
+/// genuine all-rules fixpoint.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RegionConfig {
+    /// Consecutive iterations a region's reachable set must stay free of
+    /// dirty classes before the region is frozen.
+    pub quiet_iters: usize,
+    /// Enforce the sampling cap per region instead of globally. (With
+    /// more than 64 roots, region tracking is unavailable and this
+    /// falls back to one pooled cap of `match_limit × regions`.)
+    pub per_region_budget: bool,
+}
+
+impl Default for RegionConfig {
+    fn default() -> Self {
+        RegionConfig {
+            quiet_iters: 2,
+            per_region_budget: true,
+        }
+    }
+}
+
+/// Shared reachability map: class -> bitmask of roots that reach it.
+type RegionMasks = std::rc::Rc<crate::hash::FxHashMap<Id, u64>>;
+
+/// Bitmask with a bit set for every unfrozen region.
+fn active_region_mask(frozen: &[bool]) -> u64 {
+    frozen
+        .iter()
+        .enumerate()
+        .fold(0u64, |m, (r, &f)| if f { m } else { m | (1u64 << r) })
+}
+
 /// Mutable backoff bookkeeping for one rule.
 #[derive(Clone, Debug, Default)]
 struct BackoffState {
@@ -117,6 +178,13 @@ pub enum StopReason {
     /// No rule changed the graph: the e-graph represents the full
     /// transitive closure of the rules applied to the input.
     Saturated,
+    /// Multi-root runs with [`RegionConfig`] only: every statement
+    /// region individually reached its sampled fixpoint and froze —
+    /// the workload analogue of each per-statement pipeline stopping on
+    /// its own stall. (With [`Runner::with_exact_saturation`] the run
+    /// instead proceeds to a full verification sweep and can only stop
+    /// as [`StopReason::Saturated`] or on a limit.)
+    RegionsConverged,
     IterationLimit(usize),
     NodeLimit(usize),
     TimeLimit(Duration),
@@ -139,6 +207,11 @@ pub struct RuleIterStats {
     /// True when backoff muted this rule for this iteration (its search
     /// was skipped entirely).
     pub muted: bool,
+    /// True when this rule searched in delta mode (candidates restricted
+    /// to classes dirty since the previous iteration). `candidates`
+    /// counts the classes actually visited either way, so delta and
+    /// full-sweep numbers aggregate comparably.
+    pub delta: bool,
 }
 
 /// Statistics for one saturation iteration.
@@ -154,6 +227,9 @@ pub struct Iteration {
     pub rebuild_time: Duration,
     /// Per-rule candidate/match/apply counts, in rule order.
     pub rules: Vec<RuleIterStats>,
+    /// Per-root frozen flags for this iteration (empty unless region
+    /// tracking is enabled via [`Runner::with_regions`]).
+    pub frozen_regions: Vec<bool>,
 }
 
 /// Equality-saturation runner with limits and statistics.
@@ -164,6 +240,12 @@ pub struct Runner<L: Language, A: Analysis<L>> {
     pub stop_reason: Option<StopReason>,
     scheduler: Scheduler,
     backoff: Option<BackoffConfig>,
+    /// Delta (dirty-class) search between full sweeps (on by default).
+    delta: bool,
+    /// Exact verification sweeps (off by default; see
+    /// [`Runner::with_exact_saturation`]).
+    exact: bool,
+    regions: Option<RegionConfig>,
     iter_limit: usize,
     node_limit: usize,
     time_limit: Duration,
@@ -184,6 +266,9 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
             stop_reason: None,
             scheduler: Scheduler::default(),
             backoff: Some(BackoffConfig::default()),
+            delta: true,
+            exact: false,
+            regions: None,
             iter_limit: 30,
             node_limit: 50_000,
             time_limit: Duration::from_secs(10),
@@ -219,6 +304,40 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
         self
     }
 
+    /// Disable delta (dirty-class) search: every unmuted rule does a
+    /// full sweep every iteration (the pre-incremental behaviour, kept
+    /// for differential tests and benches).
+    pub fn without_delta_search(mut self) -> Self {
+        self.delta = false;
+        self
+    }
+
+    /// Make verification sweeps *exact*: instead of a sampled
+    /// application pass, each rule applies its entire match pool
+    /// (capped at `match_limit` scaled *unions* — fruitless
+    /// applications insert no nodes, so draining them is free and
+    /// bounded), and saturation is only declared when a sweep drains
+    /// every pool without a single union. This upgrades
+    /// [`StopReason::Saturated`] from the sampled-fixpoint criterion of
+    /// §3.1 (a full sweep whose *sampled* applications produced no
+    /// union — the default, matching the paper's runs) to a guarantee
+    /// that the e-graph is genuinely closed under every rule. Costs
+    /// more iterations on AC-heavy inputs; used where closure equality
+    /// matters more than compile time.
+    pub fn with_exact_saturation(mut self) -> Self {
+        self.exact = true;
+        self
+    }
+
+    /// Enable per-region convergence freezing over this runner's roots
+    /// (workload mode). No-op for single-root runs; region tracking
+    /// needs ≤ 64 roots (beyond that only the match-limit scaling
+    /// applies, with every region considered active).
+    pub fn with_regions(mut self, regions: RegionConfig) -> Self {
+        self.regions = Some(regions);
+        self
+    }
+
     pub fn with_iter_limit(mut self, limit: usize) -> Self {
         self.iter_limit = limit;
         self
@@ -240,12 +359,56 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
     }
 
     /// Run saturation to convergence or until a limit trips.
+    ///
+    /// Search is *incremental* by default: each iteration takes the
+    /// e-graph's dirty-class set (everything touched since the previous
+    /// iteration, closed over parents) and each rule only re-searches
+    /// those classes ([`Rewrite::search_delta_with_stats`]). A rule
+    /// full-sweeps only on its first search and on verification sweeps;
+    /// while muted it *banks* the dirty snapshots it sleeps through and
+    /// delta-searches the accumulated set on re-admission, so no delta
+    /// is ever missed. [`StopReason::Saturated`] is still only declared
+    /// on a full-sweep fixpoint with every rule active and every region
+    /// unfrozen (region-tracked non-exact runs instead stop on
+    /// [`StopReason::RegionsConverged`] once every statement region has
+    /// individually stalled).
     pub fn run(mut self, rules: &[Rewrite<L, A>]) -> Self {
         let start = Instant::now();
         if !self.egraph.is_clean() {
             self.egraph.rebuild();
         }
         let mut backoff_state = vec![BackoffState::default(); rules.len()];
+        // Every rule's first search is a full sweep — this is the
+        // "dirty set seeded with all classes" base case, and it also
+        // covers e-graphs passed in via `with_egraph` whose dirty set
+        // was already taken by an earlier run.
+        let mut pending_full = vec![true; rules.len()];
+        // Dirty classes a muted rule missed while sitting out: on
+        // re-admission it delta-searches this accumulated set (plus the
+        // current snapshot) instead of a full sweep, so muting never
+        // resurrects already-tried fruitless matches from quiescent
+        // classes. (Merged-away ids in here are harmless: every union
+        // marks its surviving root in a later snapshot, which is also
+        // accumulated.)
+        let mut missed: Vec<FxHashSet<Id>> = vec![FxHashSet::default(); rules.len()];
+
+        // Region tracking (only meaningful with several roots; the
+        // bitmask reachability map supports at most 64 of them).
+        let n_regions = self.roots.len();
+        let region_cfg = self.regions.filter(|_| n_regions > 1);
+        let track_regions = region_cfg.is_some() && n_regions <= 64;
+        let mut frozen = vec![false; n_regions];
+        let mut quiet = vec![0usize; n_regions];
+        // True for the iteration right after a pseudo-fixpoint: freeze
+        // decisions are suspended so the verification sweep really
+        // covers the whole graph (the previous iteration had zero
+        // unions, so every region would otherwise look quiet).
+        let mut verify_sweep = false;
+        // Reachability masks cache: the DFS over the whole graph is
+        // only re-run when the graph actually changed (union count or
+        // node count moved) — converging tails reuse the previous
+        // iteration's masks. Rc-shared so cache hits cost nothing.
+        let mut masks_cache: Option<(usize, usize, RegionMasks)> = None;
 
         loop {
             if self.iterations.len() >= self.iter_limit {
@@ -264,13 +427,105 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
             let mut iter = Iteration::default();
             let iter_ix = self.iterations.len();
 
+            // --- dirty snapshot + region bookkeeping -----------------
+            // Changes applied from here on accumulate into a fresh dirty
+            // set for the next iteration.
+            let mut dirty = self.egraph.take_dirty();
+            let mut frozen_classes: FxHashSet<Id> = FxHashSet::default();
+            let mut active_regions = n_regions.max(1);
+            let this_verify = std::mem::take(&mut verify_sweep);
+            // class -> region bitmask, for freezing and the per-region
+            // sampling budget (None when region tracking is off).
+            let mut region_masks: Option<RegionMasks> = None;
+            if let Some(cfg) = &region_cfg {
+                if track_regions {
+                    let fingerprint = (self.egraph.n_unions(), self.egraph.total_number_of_nodes());
+                    let masks = match masks_cache.take() {
+                        Some((u, n, m)) if (u, n) == fingerprint => m,
+                        _ => std::rc::Rc::new(self.egraph.reachability_masks(&self.roots)),
+                    };
+                    if !this_verify {
+                        // Charge each dirty class to its lowest *active*
+                        // region, so churn in a shared class keeps one
+                        // region awake, not every region that can reach
+                        // it. Regions freeze top-down; the last active
+                        // owner of a shared core holds its convergence.
+                        // (The budget bucketing in `sample_per_region`
+                        // deliberately uses a different partition — see
+                        // its docs.)
+                        let active_mask_prev = active_region_mask(&frozen);
+                        let mut region_dirty = vec![false; n_regions];
+                        for id in &dirty {
+                            let mask = masks.get(id).copied().unwrap_or(0) & active_mask_prev;
+                            if mask != 0 {
+                                region_dirty[mask.trailing_zeros() as usize] = true;
+                            }
+                        }
+                        for (r, (frozen_r, quiet_r)) in
+                            frozen.iter_mut().zip(quiet.iter_mut()).enumerate()
+                        {
+                            if *frozen_r {
+                                continue;
+                            }
+                            if region_dirty[r] {
+                                *quiet_r = 0;
+                            } else {
+                                *quiet_r += 1;
+                                if *quiet_r >= cfg.quiet_iters {
+                                    *frozen_r = true;
+                                }
+                            }
+                        }
+                        if frozen.iter().any(|&f| f) {
+                            let active_mask = active_region_mask(&frozen);
+                            // Freeze classes reachable from frozen roots
+                            // only; shared classes (and classes reachable
+                            // from no root) stay active.
+                            for (&id, &mask) in masks.iter() {
+                                if mask != 0 && mask & active_mask == 0 {
+                                    frozen_classes.insert(id);
+                                }
+                            }
+                            dirty.retain(|id| !frozen_classes.contains(id));
+                        }
+                        active_regions = frozen.iter().filter(|&&f| !f).count().max(1);
+                    }
+                    masks_cache = Some((fingerprint.0, fingerprint.1, std::rc::Rc::clone(&masks)));
+                    region_masks = Some(masks);
+                }
+                iter.frozen_regions = frozen.clone();
+            }
+            // Every region individually reached its sampled fixpoint:
+            // the workload is done (the per-statement pipelines would
+            // each have stopped on exactly this per-region stall). Exact
+            // mode instead falls through — the searches below find
+            // nothing (every reachable class is frozen), and the
+            // resulting pseudo-fixpoint triggers an unfreeze-everything
+            // verification sweep.
+            if track_regions && !self.exact && frozen.iter().all(|&f| f) {
+                self.stop_reason = Some(StopReason::RegionsConverged);
+                break;
+            }
+            // Pooled-cap scale for the fallbacks that cannot budget per
+            // region: the exact-verification union quota, and >64-root
+            // runs without reachability masks.
+            let pooled_scale = if region_cfg.is_some() {
+                active_regions
+            } else {
+                1
+            };
+            let per_region = region_cfg.as_ref().is_some_and(|c| c.per_region_budget);
+
             // --- search phase ---------------------------------------
             let t = Instant::now();
             // Flatten each rule's matches to (class, subst) instances.
             let mut per_rule: Vec<Vec<(Id, Subst)>> = Vec::with_capacity(rules.len());
             for (i, rule) in rules.iter().enumerate() {
                 if self.backoff.is_some() && iter_ix < backoff_state[i].muted_until {
-                    // muted: skip the search entirely
+                    // muted: skip the search entirely, but bank this
+                    // iteration's dirty snapshot so re-admission can
+                    // delta-search everything the mute skipped.
+                    missed[i].extend(dirty.iter().copied());
                     iter.rules.push(RuleIterStats {
                         rule: rule.name.clone(),
                         muted: true,
@@ -279,7 +534,19 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
                     per_rule.push(Vec::new());
                     continue;
                 }
-                let (matches, candidates) = rule.search_with_stats(&self.egraph);
+                let full = pending_full[i] || !self.delta;
+                let (matches, candidates) = if full {
+                    pending_full[i] = false;
+                    missed[i].clear();
+                    rule.search_except_with_stats(&self.egraph, &frozen_classes)
+                } else if missed[i].is_empty() {
+                    rule.search_delta_with_stats(&self.egraph, &dirty)
+                } else {
+                    let mut banked = std::mem::take(&mut missed[i]);
+                    banked.retain(|id| !frozen_classes.contains(id));
+                    banked.extend(dirty.iter().copied());
+                    rule.search_delta_with_stats(&self.egraph, &banked)
+                };
                 let mut instances = Vec::new();
                 for m in matches {
                     for s in m.substs {
@@ -291,6 +558,7 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
                     rule: rule.name.clone(),
                     candidates,
                     matches: instances.len(),
+                    delta: !full,
                     ..RuleIterStats::default()
                 });
                 per_rule.push(instances);
@@ -300,20 +568,76 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
             // --- scheduling + apply phase ----------------------------
             let t = Instant::now();
             for (i, (rule, mut instances)) in rules.iter().zip(per_rule).enumerate() {
+                let mut union_quota = usize::MAX;
+                let mut dropped: Vec<(Id, Subst)> = Vec::new();
                 if let Scheduler::Sampling { match_limit, seed } = self.scheduler {
-                    // Each rule samples from its own RNG stream derived
-                    // from the seed, the iteration, and the rule *name*,
-                    // so which matches a rule applies is stable under
-                    // rule reordering.
-                    let mut rng = rule_rng(seed, iter_ix as u64, &rule.name);
-                    sample_in_place(&mut instances, match_limit, &mut rng);
+                    if this_verify && self.exact {
+                        // Exact verification sweep: apply the *whole*
+                        // pool — fruitless applications insert no
+                        // nodes, so draining them is free and a
+                        // zero-union sweep certifies a genuine
+                        // all-rules fixpoint — but cap the *productive*
+                        // applications at the sampling limit so a
+                        // falsified pseudo-fixpoint grows the graph no
+                        // faster than a normal sampled iteration (no
+                        // §3.1 depth-first explosion).
+                        union_quota = match_limit.saturating_mul(pooled_scale).max(1);
+                    } else {
+                        // Each rule samples from its own RNG stream
+                        // derived from the seed, the iteration, and the
+                        // rule *name*, so which matches a rule applies
+                        // is stable under rule reordering. With a
+                        // per-region budget, the cap applies to each
+                        // live statement region separately, so every
+                        // statement progresses at the per-statement
+                        // pipeline's application rate and no hot
+                        // region can consume a pooled multiple.
+                        let mut rng = rule_rng(seed, iter_ix as u64, &rule.name);
+                        dropped = match (&region_masks, per_region) {
+                            (Some(masks), true) => sample_per_region(
+                                &mut instances,
+                                masks,
+                                n_regions,
+                                match_limit,
+                                &mut rng,
+                            ),
+                            _ => {
+                                let limit = match_limit.saturating_mul(pooled_scale);
+                                sample_in_place(&mut instances, limit, &mut rng)
+                            }
+                        };
+                    }
                 }
-                iter.rules[i].applied = instances.len();
                 let mut rule_unions = 0;
-                for (class, subst) in instances {
-                    rule_unions += rule.apply_match(&mut self.egraph, class, &subst);
+                let mut applied = 0;
+                for (ix, (class, subst)) in instances.iter().enumerate() {
+                    rule_unions += rule.apply_match(&mut self.egraph, *class, subst);
+                    applied += 1;
                     iter.matches_applied += 1;
+                    if rule_unions >= union_quota {
+                        // Quota hit: defer the rest of the pool to the
+                        // following delta iterations.
+                        for &(c, _) in &instances[ix + 1..] {
+                            self.egraph.mark_dirty(c);
+                        }
+                        break;
+                    }
                 }
+                // Sampled-out matches of a *productive* rule are
+                // pending, not gone: re-mark their root classes so the
+                // next delta sweep re-finds them (full re-search used to
+                // give every match a fresh chance each iteration). A
+                // rule whose whole sample applied without one union
+                // signals a stale pool — its drops decay instead of
+                // re-marking, so a converging run's dirt dies out rather
+                // than self-sustaining (the information lost is exactly
+                // what the pre-incremental sampled stall also lost).
+                if rule_unions > 0 {
+                    for (class, _) in dropped {
+                        self.egraph.mark_dirty(class);
+                    }
+                }
+                iter.rules[i].applied = applied;
                 iter.rules[i].unions = rule_unions;
                 iter.unions += rule_unions;
             }
@@ -333,7 +657,10 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
                         any_muted = true;
                         continue;
                     }
-                    if stats.matches > 0 && stats.unions == 0 {
+                    // `applied > 0` guards the verification-sweep early
+                    // exit: a rule whose pool was deferred untried must
+                    // not be counted fruitless.
+                    if stats.matches > 0 && stats.applied > 0 && stats.unions == 0 {
                         state.fruitless += 1;
                         if state.fruitless >= cfg.fruitless_threshold {
                             state.muted_until = iter_ix + 1 + cfg.mute_len(state.streak);
@@ -353,15 +680,46 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
             iter.egraph_nodes = self.egraph.total_number_of_nodes();
             iter.egraph_classes = self.egraph.number_of_classes();
             let saturated = iter.unions == 0;
+            // In exact mode only a verification sweep (whole pools
+            // applied) may declare saturation — a sampled zero-union
+            // sweep is just a pseudo-fixpoint to verify.
+            let partial_view = any_muted
+                || frozen.iter().any(|&f| f)
+                || iter.rules.iter().any(|r| r.delta)
+                || (self.exact && !this_verify);
             self.iterations.push(iter);
 
             if saturated {
-                if any_muted {
-                    // A fixpoint among the *active* rules only: re-admit
-                    // everything and try again before declaring saturation.
-                    for state in &mut backoff_state {
-                        *state = BackoffState::default();
+                if partial_view {
+                    if track_regions && !self.exact {
+                        // Workload mode converges *per region*: the
+                        // freeze accounting decides when each statement
+                        // is done ([`StopReason::RegionsConverged`]), so
+                        // a zero-union iteration just lets the quiet
+                        // counters tick — a global verification sweep
+                        // here would unfreeze everything and refill
+                        // every drained match pool right as the
+                        // workload finishes.
+                        continue;
                     }
+                    // A fixpoint of a *partial* view only (muted rules,
+                    // frozen regions, or delta-restricted candidates —
+                    // delta can also have dropped sampled-out matches):
+                    // re-admit every rule, unfreeze every region, force
+                    // full sweeps, and try again before declaring
+                    // saturation. Each rule keeps its fruitless-streak
+                    // ladder: re-admission is for the fixpoint check,
+                    // not evidence the rule became productive, so a
+                    // still-fruitless rule goes back to its grown mute
+                    // length instead of restarting from the base.
+                    for state in &mut backoff_state {
+                        state.muted_until = 0;
+                        state.fruitless = 0;
+                    }
+                    pending_full.fill(true);
+                    frozen.fill(false);
+                    quiet.fill(0);
+                    verify_sweep = true;
                     continue;
                 }
                 self.stop_reason = Some(StopReason::Saturated);
@@ -388,16 +746,58 @@ fn rule_rng(seed: u64, iteration: u64, name: &str) -> StdRng {
     StdRng::seed_from_u64(h.finish())
 }
 
-/// Keep a uniform sample of `limit` elements of `v` (partial Fisher-Yates).
-fn sample_in_place<T>(v: &mut Vec<T>, limit: usize, rng: &mut StdRng) {
+/// Per-region sampling: bucket instances by the lowest-numbered region
+/// of their root class (classes reachable from no root share one extra
+/// bucket), keep a uniform sample of `limit` per bucket, and return the
+/// dropped remainder.
+///
+/// The bucketing is a *fairness partition*, deliberately independent of
+/// freeze state: a shared class keeps its anchor bucket even when that
+/// anchor region freezes, so the shared core's application budget stays
+/// stable as exclusive fringes converge (re-anchoring shared matches to
+/// the lowest *active* region was tried and measurably starves the
+/// remaining hot statements' own buckets on ALS). A frozen region still
+/// loses the budget of its *exclusive* classes — they are excluded from
+/// every candidate set, so no instances land in any bucket for them.
+/// The freeze accounting in `run` charges dirt to the lowest *active*
+/// region instead, because convergence must never be attributed to a
+/// region that is no longer searched.
+fn sample_per_region(
+    instances: &mut Vec<(Id, Subst)>,
+    masks: &crate::hash::FxHashMap<Id, u64>,
+    n_regions: usize,
+    limit: usize,
+    rng: &mut StdRng,
+) -> Vec<(Id, Subst)> {
+    let mut buckets: Vec<Vec<(Id, Subst)>> = vec![Vec::new(); n_regions + 1];
+    for inst in instances.drain(..) {
+        let mask = masks.get(&inst.0).copied().unwrap_or(0);
+        let b = if mask == 0 {
+            n_regions
+        } else {
+            mask.trailing_zeros() as usize
+        };
+        buckets[b].push(inst);
+    }
+    let mut dropped = Vec::new();
+    for mut bucket in buckets {
+        dropped.extend(sample_in_place(&mut bucket, limit, rng));
+        instances.extend(bucket);
+    }
+    dropped
+}
+
+/// Keep a uniform sample of `limit` elements of `v` (partial
+/// Fisher-Yates), returning the dropped remainder.
+fn sample_in_place<T>(v: &mut Vec<T>, limit: usize, rng: &mut StdRng) -> Vec<T> {
     if v.len() <= limit {
-        return;
+        return Vec::new();
     }
     for i in 0..limit {
         let j = rng.random_range(i..v.len());
         v.swap(i, j);
     }
-    v.truncate(limit);
+    v.split_off(limit)
 }
 
 #[cfg(test)]
@@ -627,15 +1027,21 @@ mod tests {
         // many sampled iterations to saturate, during which the identity
         // rule keeps matching every `+` class without ever producing a
         // union — the pure-waste shape backoff exists for.
+        // Exact saturation (match_limit 8): both runs must converge to
+        // the *same* final e-graph — the genuine closure — so the
+        // equal-closure control below is deterministic rather than a
+        // trajectory coincidence. At limit 2 the closure needs
+        // thousands of sampled applications, beyond the budget.
         let expr = parse_rec_expr("(+ (+ a b) (+ (+ c d) (+ e f)))").unwrap();
         let run = |cfg: BackoffConfig| -> Runner<Arith, ()> {
             Runner::<Arith, ()>::default()
                 .with_expr(&expr)
                 .with_scheduler(Scheduler::Sampling {
-                    match_limit: 2,
+                    match_limit: 8,
                     seed: 5,
                 })
                 .with_backoff(cfg)
+                .with_exact_saturation()
                 .with_iter_limit(600)
                 .with_node_limit(100_000)
                 .run(&rules_with_identity())
@@ -665,6 +1071,205 @@ mod tests {
             wasted_expo < wasted_fixed,
             "exponential backoff must probe the fruitless rule less: {wasted_expo} vs {wasted_fixed}"
         );
+    }
+
+    /// `candidates_visited` must aggregate consistently across search
+    /// modes: every rule appears exactly once per iteration (no
+    /// double-count when an un-mute's catch-up search and a later
+    /// verification sweep land in different iterations), muted rules
+    /// report zero visits, and a delta-mode run never visits more
+    /// candidates than the same run with delta disabled (full sweeps
+    /// every iteration), while reaching the same exact closure.
+    #[test]
+    fn delta_candidate_counts_are_consistent_with_full_sweeps() {
+        let expr = parse_rec_expr("(+ (+ a b) (+ (+ c d) (+ e f)))").unwrap();
+        let run = |delta: bool| -> Runner<Arith, ()> {
+            let runner = Runner::<Arith, ()>::default()
+                .with_expr(&expr)
+                .with_scheduler(Scheduler::Sampling {
+                    match_limit: 8,
+                    seed: 3,
+                })
+                .with_backoff(BackoffConfig {
+                    fruitless_threshold: 1,
+                    mute_iters: 2,
+                    ..BackoffConfig::default()
+                })
+                .with_exact_saturation()
+                .with_iter_limit(2000)
+                .with_node_limit(100_000);
+            let runner = if delta {
+                runner
+            } else {
+                runner.without_delta_search()
+            };
+            runner.run(&rules_with_identity())
+        };
+        let with_delta = run(true);
+        let without = run(false);
+        assert!(with_delta.saturated(), "{:?}", with_delta.stop_reason);
+        assert!(without.saturated(), "{:?}", without.stop_reason);
+        // same exact closure either way
+        assert_eq!(
+            with_delta.egraph.total_number_of_nodes(),
+            without.egraph.total_number_of_nodes()
+        );
+        let n_rules = rules_with_identity().len();
+        for it in &with_delta.iterations {
+            // one stats row per rule per iteration — a mode switch never
+            // records (and so never counts) a rule twice
+            assert_eq!(it.rules.len(), n_rules);
+            let mut names: Vec<&str> = it.rules.iter().map(|r| r.rule.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), n_rules, "duplicate rule rows in iteration");
+            for r in &it.rules {
+                if r.muted {
+                    assert_eq!(r.candidates, 0, "muted rule visited candidates");
+                    assert!(!r.delta, "muted rows are not delta rows");
+                }
+                // candidates are counted at search time; egraph_classes
+                // after rebuild, where each union merges away a class
+                assert!(
+                    r.candidates <= it.egraph_classes + it.unions,
+                    "visited more candidates than classes existed at search time"
+                );
+            }
+        }
+        // both modes actually exercised: the delta run mixes delta rows
+        // and full-sweep rows (first search, verification sweeps), the
+        // no-delta run records none — and the aggregate is the plain
+        // row sum either way, so BENCH_* numbers aggregate identically
+        // across modes
+        let rows = |r: &Runner<Arith, ()>, delta: bool| -> usize {
+            r.iterations
+                .iter()
+                .flat_map(|it| &it.rules)
+                .filter(|row| row.delta == delta && !row.muted)
+                .count()
+        };
+        assert!(rows(&with_delta, true) > 0, "delta mode never used");
+        assert!(rows(&with_delta, false) > 0, "no full sweeps recorded");
+        assert_eq!(rows(&without, true), 0, "no-delta run recorded delta rows");
+        // a delta row visits at most the classes the full sweep of the
+        // same iteration would have visited — spot-check the identity
+        // rule, which matches every `+` class on a full sweep
+        for it in &with_delta.iterations {
+            let full_add: Option<usize> = it
+                .rules
+                .iter()
+                .find(|r| r.rule == "comm-add" && !r.delta && !r.muted)
+                .map(|r| r.candidates);
+            if let (Some(full), Some(delta_row)) = (
+                full_add,
+                it.rules
+                    .iter()
+                    .find(|r| r.rule == "identity-add" && r.delta),
+            ) {
+                assert!(
+                    delta_row.candidates <= full,
+                    "delta visited more + classes than a same-iteration full sweep"
+                );
+            }
+        }
+    }
+
+    /// Per-region convergence freezing (workload mode): with one root
+    /// that saturates almost immediately and one that needs many
+    /// sampled iterations, the fast region must freeze — visibly, in
+    /// `Iteration::frozen_regions` — and stay frozen to the end, the
+    /// run must stop on `RegionsConverged`, and the extracted best
+    /// terms must match a run without region tracking (freezing does
+    /// not change the plans).
+    #[test]
+    fn converged_region_freezes_and_plans_are_unchanged() {
+        let fast = parse_rec_expr("(+ p q)").unwrap();
+        // AC-heavy with redundant double negations: the best term is
+        // strictly smaller than the input, so plan equality below is
+        // not vacuous.
+        let slow =
+            parse_rec_expr("(+ (+ a (neg (neg b))) (+ (+ c d) (+ (neg (neg e)) f)))").unwrap();
+        let mut rules = rules();
+        rules.push(Rewrite::new("neg-neg", "(neg (neg ?a))", "?a").unwrap());
+        let run = |regions: bool| -> Runner<Arith, ()> {
+            let runner = Runner::<Arith, ()>::default()
+                .with_expr(&fast)
+                .with_expr(&slow)
+                .with_scheduler(Scheduler::Sampling {
+                    match_limit: 2,
+                    seed: 11,
+                })
+                .with_iter_limit(400)
+                .with_node_limit(100_000);
+            let runner = if regions {
+                runner.with_regions(RegionConfig::default())
+            } else {
+                runner
+            };
+            runner.run(&rules)
+        };
+        let frozen_run = run(true);
+        assert_eq!(
+            frozen_run.stop_reason,
+            Some(StopReason::RegionsConverged),
+            "every region must converge"
+        );
+        // the fast region freezes while the slow one still works …
+        let first_freeze = frozen_run
+            .iterations
+            .iter()
+            .position(|it| it.frozen_regions == vec![true, false])
+            .expect("fast region must freeze before the slow one");
+        // … and never thaws (region mode has no unfreeze-retry)
+        for it in &frozen_run.iterations[first_freeze..] {
+            assert!(it.frozen_regions[0], "fast region thawed");
+        }
+        // after the freeze, the fast region's exclusive classes are out
+        // of every candidate set: no candidate total may exceed the
+        // graph minus that region's exclusive classes
+        let masks = frozen_run.egraph.reachability_masks(&frozen_run.roots);
+        let fast_exclusive = masks.values().filter(|&&m| m == 0b01).count();
+        assert!(fast_exclusive > 0, "fast region has exclusive classes");
+        for it in &frozen_run.iterations[first_freeze..] {
+            for r in &it.rules {
+                assert!(
+                    r.candidates <= it.egraph_classes - fast_exclusive.min(it.egraph_classes),
+                    "a rule searched a frozen region: {} candidates, {} classes, {} frozen",
+                    r.candidates,
+                    it.egraph_classes,
+                    fast_exclusive
+                );
+            }
+        }
+        // freezing changes how much is searched, not what is extracted:
+        // the fast root's best term is identical, and the slow root's
+        // best cost matches (AC tie-breaking between equal-size trees
+        // may differ; both runs must find the neg-neg-free minimum)
+        let plain = run(false);
+        let best = |r: &Runner<Arith, ()>| -> Vec<(f64, String)> {
+            let ext = crate::extract::Extractor::new(&r.egraph, crate::extract::AstSize);
+            r.roots
+                .iter()
+                .map(|&root| {
+                    let (cost, term) = ext.find_best(root).expect("extractable");
+                    (cost, term.to_string())
+                })
+                .collect()
+        };
+        let (frozen_best, plain_best) = (best(&frozen_run), best(&plain));
+        assert_eq!(frozen_best[0], plain_best[0], "fast plan changed");
+        assert_eq!(frozen_best[1].0, plain_best[1].0, "slow plan cost changed");
+        // 6 leaves under + (11 nodes), both neg-negs rewritten away
+        assert_eq!(frozen_best[1].0, 11.0, "double negations survived");
+        // and the total matching work is strictly lower with freezing
+        let visits = |r: &Runner<Arith, ()>| -> usize {
+            r.iterations
+                .iter()
+                .flat_map(|it| &it.rules)
+                .map(|r| r.candidates)
+                .sum()
+        };
+        assert!(visits(&frozen_run) < visits(&plain));
     }
 
     #[test]
