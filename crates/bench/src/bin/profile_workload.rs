@@ -1,0 +1,62 @@
+//! Ad-hoc phase profiler for the workload-mode saturation loop.
+//!
+//! Prints the per-phase (search / apply / rebuild) wall-time split of one
+//! shared-e-graph pass per §4.2 workload, so saturation-side changes can
+//! be attributed to the phase they actually move.
+
+use spores_core::translate::translate_workload;
+use spores_core::{default_rules, MetaAnalysis};
+use spores_egraph::{RegionConfig, Runner};
+use spores_ml::workloads;
+use spores_ml::{workload_bundle, workload_optimizer_config};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let roster = vec![
+        workloads::als(200, 100, 8, 51),
+        workloads::glm(200, 40, 52),
+        workloads::svm(200, 40, 53),
+        workloads::mlr(200, 20, 54),
+        workloads::pnmf(150, 120, 8, 55),
+    ];
+    for w in roster {
+        let bundle = workload_bundle(&w);
+        let cfg = workload_optimizer_config();
+        let wt = translate_workload(&bundle.expr.arena, &bundle.expr.roots, &bundle.vars)
+            .expect("translates");
+        let rules = default_rules();
+        let t0 = Instant::now();
+        let mut runner = Runner::new(MetaAnalysis::new(wt.ctx.clone()))
+            .with_scheduler(cfg.scheduler.clone())
+            .with_iter_limit(cfg.iter_limit)
+            .with_node_limit(cfg.node_limit)
+            .with_time_limit(cfg.time_limit)
+            .with_regions(RegionConfig::default());
+        for rt in &wt.roots {
+            runner = runner.with_expr(&rt.expr);
+        }
+        let runner = runner.run(&rules);
+        let total = t0.elapsed();
+        let (mut search, mut apply, mut rebuild) = (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+        let mut candidates = 0usize;
+        for it in &runner.iterations {
+            search += it.search_time;
+            apply += it.apply_time;
+            rebuild += it.rebuild_time;
+            candidates += it.rules.iter().map(|r| r.candidates).sum::<usize>();
+        }
+        println!(
+            "{:>5}: saturate {:>9.1?}  search {:>9.1?}  apply {:>9.1?}  rebuild {:>9.1?}  other {:>9.1?}  iters {:>3}  candidates {:>7}  nodes {:>6}  stop {:?}",
+            w.name,
+            total,
+            search,
+            apply,
+            rebuild,
+            total.saturating_sub(search + apply + rebuild),
+            runner.iterations.len(),
+            candidates,
+            runner.egraph.total_number_of_nodes(),
+            runner.stop_reason,
+        );
+    }
+}

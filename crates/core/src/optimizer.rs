@@ -11,7 +11,7 @@ use crate::extract::{extract_greedy, extract_ilp, IlpStats};
 use crate::lower::lower_with_info;
 use crate::rules::{default_rules, MathRewrite};
 use crate::translate::{translate, TranslateError, Translation};
-use spores_egraph::{Extractor, Runner, Scheduler, StopReason};
+use spores_egraph::{Extractor, ParallelConfig, Runner, Scheduler, StopReason};
 use spores_ir::{ExprArena, NodeId, Symbol};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -44,6 +44,13 @@ pub struct OptimizerConfig {
     /// behaviour (cap scaled by statement count, every region searched
     /// every iteration).
     pub region_freezing: bool,
+    /// Parallel rule-search configuration for the saturation phase
+    /// (thread count never changes plans, costs, or statistics — see
+    /// [`ParallelConfig`]). Defaults to `SPORES_THREADS` / the host's
+    /// available parallelism; embedders running several saturations
+    /// concurrently should clamp `threads` so the pools don't
+    /// oversubscribe (the service does).
+    pub parallel: ParallelConfig,
 }
 
 impl Default for OptimizerConfig {
@@ -56,6 +63,7 @@ impl Default for OptimizerConfig {
             extractor: ExtractorKind::Greedy,
             ilp_time_limit: Duration::from_secs(5),
             region_freezing: true,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -178,6 +186,7 @@ impl Optimizer {
             .with_iter_limit(cfg.iter_limit)
             .with_node_limit(cfg.node_limit)
             .with_time_limit(cfg.time_limit)
+            .with_parallel(cfg.parallel)
             .run(&rules);
         let t_saturate = t0.elapsed();
         let saturation = SaturationStats {

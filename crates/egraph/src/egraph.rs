@@ -144,6 +144,18 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             .unwrap_or_else(|| panic!("no class for id {id}"))
     }
 
+    /// Access a class by *canonical* id, skipping the union-find lookup.
+    /// The compiled matcher's hot path: on a clean graph every id it
+    /// handles (op-index candidates and rebuilt classes' node children)
+    /// is already canonical, so the `find` in [`EGraph::class`] is pure
+    /// overhead there.
+    pub(crate) fn class_canonical(&self, id: Id) -> &EClass<L, A::Data> {
+        debug_assert_eq!(id, self.find(id), "class_canonical needs a canonical id");
+        self.classes
+            .get(&id)
+            .unwrap_or_else(|| panic!("no class for id {id}"))
+    }
+
     /// Mutable access to a class's analysis data.
     pub fn class_data_mut(&mut self, id: Id) -> &mut A::Data {
         let id = self.find(id);

@@ -36,6 +36,7 @@ pub use language::{parse_rec_expr, Id, Language, OpKey, RecExpr};
 pub use pattern::{ENodeOrVar, Pattern, SearchMatches, Subst, Var};
 pub use rewrite::{Applier, Condition, Rewrite};
 pub use runner::{
-    BackoffConfig, Iteration, RegionConfig, RuleIterStats, Runner, Scheduler, StopReason,
+    search_rules_parallel, BackoffConfig, Iteration, ParallelConfig, RegionConfig, RuleIterStats,
+    Runner, Scheduler, StopReason,
 };
 pub use unionfind::UnionFind;

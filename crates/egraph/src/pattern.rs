@@ -196,10 +196,28 @@ impl<L: Language> Program<L> {
     /// Run the program with `eclass` (canonical) in the root register,
     /// collecting one [`Subst`] per successful execution path.
     fn run<A: Analysis<L>>(&self, egraph: &EGraph<L, A>, eclass: Id) -> Vec<Subst> {
-        let mut regs = vec![eclass; self.n_regs];
+        let mut regs = Vec::new();
         let mut out = Vec::new();
-        self.exec(egraph, 0, &mut regs, &mut out);
+        self.run_into(egraph, eclass, &mut regs, &mut out);
         out
+    }
+
+    /// Like [`Program::run`], but reusing caller-provided scratch
+    /// buffers: the search loop visits thousands of candidate classes
+    /// per iteration and most produce no match, so allocating a fresh
+    /// register file (and output vector) per class dominates the cheap
+    /// executions. `out` must be empty on entry; matches are appended.
+    fn run_into<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+        eclass: Id,
+        regs: &mut Vec<Id>,
+        out: &mut Vec<Subst>,
+    ) {
+        debug_assert!(out.is_empty());
+        regs.clear();
+        regs.resize(self.n_regs, eclass);
+        self.exec(egraph, 0, regs, out);
     }
 
     fn exec<A: Analysis<L>>(
@@ -219,7 +237,11 @@ impl<L: Language> Program<L> {
         };
         match insn {
             Insn::Bind { reg, node, out: o } => {
-                let class = egraph.class(regs[*reg]);
+                // Every register is canonical on a clean graph: the root
+                // comes from a canonical candidate stream, and bound
+                // children are canonical after rebuild — so the per-Bind
+                // union-find lookup is skipped entirely.
+                let class = egraph.class_canonical(regs[*reg]);
                 let arity = node.children().len();
                 for enode in class.iter() {
                     if !node.matches(enode) {
@@ -231,10 +253,9 @@ impl<L: Language> Program<L> {
                 }
             }
             Insn::Compare { a, b } => {
-                // Class node vectors are canonical after rebuild, so the
-                // registers compare directly; `find` guards the root
-                // register, which callers may pass non-canonically.
-                if egraph.find(regs[*a]) == egraph.find(regs[*b]) {
+                debug_assert_eq!(regs[*a], egraph.find(regs[*a]));
+                debug_assert_eq!(regs[*b], egraph.find(regs[*b]));
+                if regs[*a] == regs[*b] {
                     self.exec(egraph, pc + 1, regs, out);
                 }
             }
@@ -337,27 +358,44 @@ impl<L: Language> Pattern<L> {
         egraph: &EGraph<L, A>,
         dirty: &crate::hash::FxHashSet<Id>,
     ) -> (Vec<SearchMatches>, usize) {
-        debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
+        let mut sorted: Vec<Id> = dirty.iter().copied().collect();
+        sorted.sort_unstable();
+        let ids = self.delta_candidate_ids(egraph, &sorted);
+        self.search_ids_with_stats(egraph, &ids)
+    }
+
+    /// The exact candidate list delta search visits: the op-head
+    /// candidates for the pattern root intersected with the dirty set,
+    /// in ascending id order. `dirty_sorted` must be sorted and
+    /// deduplicated; the saturation driver sorts each iteration's dirty
+    /// snapshot once and shares it across every rule, and the parallel
+    /// search phase shards the returned list across its pool —
+    /// [`Pattern::search_ids_with_stats`] over the whole list is
+    /// exactly [`Pattern::search_delta_with_stats`].
+    pub fn delta_candidate_ids<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+        dirty_sorted: &[Id],
+    ) -> Vec<Id> {
+        debug_assert!(dirty_sorted.windows(2).all(|w| w[0] < w[1]));
         match self.ast.node(self.ast.root()) {
             ENodeOrVar::ENode(n) => {
                 let bucket = egraph.classes_with_op(n.op_key());
                 // Intersect from the smaller side; either way the
-                // candidates come out in ascending id order (the
-                // bucket's order), so match order is deterministic and
-                // mode-independent.
-                if dirty.len() < bucket.len() {
-                    let mut ids: Vec<Id> = dirty
+                // candidates come out in ascending id order, so match
+                // order is deterministic and mode-independent.
+                if dirty_sorted.len() < bucket.len() {
+                    dirty_sorted
                         .iter()
                         .copied()
                         .filter(|id| bucket.binary_search(id).is_ok())
-                        .collect();
-                    ids.sort_unstable();
-                    self.search_candidates(egraph, ids.into_iter())
+                        .collect()
                 } else {
-                    self.search_candidates(
-                        egraph,
-                        bucket.iter().copied().filter(|id| dirty.contains(id)),
-                    )
+                    bucket
+                        .iter()
+                        .copied()
+                        .filter(|id| dirty_sorted.binary_search(id).is_ok())
+                        .collect()
                 }
             }
             ENodeOrVar::Var(_) => {
@@ -366,10 +404,10 @@ impl<L: Language> Pattern<L> {
                 // ENode arm is screened by the rebuilt op-index, this
                 // arm is not), and visiting both would duplicate the
                 // class's matches.
-                let mut ids: Vec<Id> = dirty.iter().map(|&id| egraph.find(id)).collect();
+                let mut ids: Vec<Id> = dirty_sorted.iter().map(|&id| egraph.find(id)).collect();
                 ids.sort_unstable();
                 ids.dedup();
-                self.search_candidates(egraph, ids.into_iter())
+                ids
             }
         }
     }
@@ -393,6 +431,39 @@ impl<L: Language> Pattern<L> {
         )
     }
 
+    /// The exact candidate list a frozen-filtered full sweep visits
+    /// (ascending class ids): [`Pattern::search_ids_with_stats`] over
+    /// the returned list is exactly
+    /// [`Pattern::search_except_with_stats`].
+    pub fn except_candidate_ids<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+        excluded: &crate::hash::FxHashSet<Id>,
+    ) -> Vec<Id> {
+        let candidates = self.candidates(egraph);
+        if excluded.is_empty() {
+            return candidates.into_owned();
+        }
+        candidates
+            .iter()
+            .copied()
+            .filter(|id| !excluded.contains(id))
+            .collect()
+    }
+
+    /// Run the compiled machine over an explicit candidate id list —
+    /// the shard form of the search entry points. The ids must be
+    /// canonical and on a clean graph, as produced by
+    /// [`Pattern::delta_candidate_ids`] /
+    /// [`Pattern::except_candidate_ids`].
+    pub fn search_ids_with_stats<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+        ids: &[Id],
+    ) -> (Vec<SearchMatches>, usize) {
+        self.search_candidates(egraph, ids.iter().copied())
+    }
+
     /// Run the compiled machine over `candidates`, reporting the matches
     /// and how many classes were visited. All search entry points funnel
     /// through here so `visited` counts identically in full, delta, and
@@ -403,22 +474,37 @@ impl<L: Language> Pattern<L> {
         egraph: &EGraph<L, A>,
         candidates: impl Iterator<Item = Id>,
     ) -> (Vec<SearchMatches>, usize) {
+        debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
         let mut visited = 0;
-        let matches = candidates
-            .filter_map(|id| {
-                visited += 1;
-                self.search_eclass(egraph, id)
-            })
-            .collect();
+        let mut matches = Vec::new();
+        // One register file and one raw-subst buffer for the whole
+        // sweep: most candidates produce no match, and those executions
+        // must not pay any allocation.
+        let mut regs: Vec<Id> = Vec::new();
+        let mut raw: Vec<Subst> = Vec::new();
+        for id in candidates {
+            visited += 1;
+            debug_assert_eq!(id, egraph.find(id), "candidate ids are canonical");
+            self.program.run_into(egraph, id, &mut regs, &mut raw);
+            if raw.is_empty() {
+                continue;
+            }
+            if let Some(m) = Self::finish_matches(id, std::mem::take(&mut raw)) {
+                matches.push(m);
+            }
+        }
         (matches, visited)
     }
 
     /// Search one e-class for matches by executing the compiled program.
+    /// The graph must be clean (rebuilt) — the machine relies on
+    /// canonical class node vectors.
     pub fn search_eclass<A: Analysis<L>>(
         &self,
         egraph: &EGraph<L, A>,
         eclass: Id,
     ) -> Option<SearchMatches> {
+        debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
         let eclass = egraph.find(eclass);
         let substs = self.program.run(egraph, eclass);
         Self::finish_matches(eclass, substs)

@@ -136,6 +136,32 @@ impl<L: Language, A: Analysis<L>> Rewrite<L, A> {
         self.searcher.search_except_with_stats(egraph, excluded)
     }
 
+    /// The candidate list a delta search of this rule visits.
+    /// See [`Pattern::delta_candidate_ids`].
+    pub fn delta_candidate_ids(&self, egraph: &EGraph<L, A>, dirty_sorted: &[Id]) -> Vec<Id> {
+        self.searcher.delta_candidate_ids(egraph, dirty_sorted)
+    }
+
+    /// The candidate list a frozen-filtered full sweep of this rule
+    /// visits. See [`Pattern::except_candidate_ids`].
+    pub fn except_candidate_ids(
+        &self,
+        egraph: &EGraph<L, A>,
+        excluded: &crate::hash::FxHashSet<Id>,
+    ) -> Vec<Id> {
+        self.searcher.except_candidate_ids(egraph, excluded)
+    }
+
+    /// Run this rule's compiled matcher over an explicit candidate id
+    /// list (one search shard). See [`Pattern::search_ids_with_stats`].
+    pub fn search_ids_with_stats(
+        &self,
+        egraph: &EGraph<L, A>,
+        ids: &[Id],
+    ) -> (Vec<SearchMatches>, usize) {
+        self.searcher.search_ids_with_stats(egraph, ids)
+    }
+
     /// Apply this rule to one (class, subst) match. Returns the number of
     /// unions actually performed.
     pub fn apply_match(&self, egraph: &mut EGraph<L, A>, eclass: Id, subst: &Subst) -> usize {

@@ -15,7 +15,7 @@ use crate::analysis::Analysis;
 use crate::egraph::EGraph;
 use crate::hash::FxHashSet;
 use crate::language::{Id, Language, RecExpr};
-use crate::pattern::Subst;
+use crate::pattern::{SearchMatches, Subst};
 use crate::rewrite::Rewrite;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -149,6 +149,59 @@ impl Default for RegionConfig {
     }
 }
 
+/// Parallel search configuration: phase 1 of the two-phase iteration
+/// (read-only search fan-out; apply/rebuild stay exclusive).
+///
+/// `threads == 1` runs search inline on the caller's thread — no task
+/// materialization, no pool, byte-for-byte the historical serial path.
+/// Results are **bit-identical at any thread count**: every rule's
+/// candidate list is enumerated serially in ascending id order, shards
+/// partition that list, per-shard match buffers are merged back into
+/// ascending-class order, and the sampling RNG stays keyed by (seed,
+/// iteration, rule name) — never by shard or thread (see
+/// [`search_rules_parallel`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads for the search phase (clamped to ≥ 1).
+    pub threads: usize,
+    /// Rules with at most this many candidates run as a single task, so
+    /// tiny searches never pay fan-out overhead; larger candidate lists
+    /// are split into shards of at least this size.
+    pub min_shard_size: usize,
+}
+
+impl Default for ParallelConfig {
+    /// Thread count from the `SPORES_THREADS` environment variable if
+    /// set (the CI determinism matrix runs the whole suite at 1 and 8),
+    /// else the host's available parallelism. Embedders that already
+    /// run saturations on a worker pool clamp this further so the two
+    /// pools never oversubscribe (see `spores-service`).
+    fn default() -> Self {
+        let threads = std::env::var("SPORES_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        ParallelConfig {
+            threads: threads.max(1),
+            min_shard_size: 64,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Single-threaded search, ignoring the environment.
+    pub fn serial() -> Self {
+        ParallelConfig {
+            threads: 1,
+            min_shard_size: 64,
+        }
+    }
+}
+
 /// Shared reachability map: class -> bitmask of roots that reach it.
 type RegionMasks = std::rc::Rc<crate::hash::FxHashMap<Id, u64>>;
 
@@ -246,6 +299,7 @@ pub struct Runner<L: Language, A: Analysis<L>> {
     /// [`Runner::with_exact_saturation`]).
     exact: bool,
     regions: Option<RegionConfig>,
+    parallel: ParallelConfig,
     iter_limit: usize,
     node_limit: usize,
     time_limit: Duration,
@@ -269,6 +323,7 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
             delta: true,
             exact: false,
             regions: None,
+            parallel: ParallelConfig::default(),
             iter_limit: 30,
             node_limit: 50_000,
             time_limit: Duration::from_secs(10),
@@ -338,6 +393,14 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
         self
     }
 
+    /// Set the parallel-search configuration (defaults to
+    /// [`ParallelConfig::default`]: `SPORES_THREADS` or the host's
+    /// available parallelism). Thread count never changes results.
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
     pub fn with_iter_limit(mut self, limit: usize) -> Self {
         self.iter_limit = limit;
         self
@@ -372,7 +435,20 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
     /// unfrozen (region-tracked non-exact runs instead stop on
     /// [`StopReason::RegionsConverged`] once every statement region has
     /// individually stalled).
-    pub fn run(mut self, rules: &[Rewrite<L, A>]) -> Self {
+    ///
+    /// Each iteration is two-phase: phase 1 searches all unmuted rules
+    /// against the immutable e-graph — fanned across a scoped thread
+    /// pool per [`ParallelConfig`] — and phase 2 drains the merged
+    /// match buffers through the exclusive apply path and a single
+    /// rebuild. The `Sync` bounds let phase 1 share `&EGraph` across
+    /// threads; they are vacuous for any analysis built from plain
+    /// data.
+    pub fn run(mut self, rules: &[Rewrite<L, A>]) -> Self
+    where
+        L: Sync,
+        A: Sync,
+        A::Data: Sync,
+    {
         let start = Instant::now();
         if !self.egraph.is_clean() {
             self.egraph.rebuild();
@@ -516,16 +592,60 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
             };
             let per_region = region_cfg.as_ref().is_some_and(|c| c.per_region_budget);
 
-            // --- search phase ---------------------------------------
+            // --- search phase (phase 1: read-only) -------------------
+            // Candidate enumeration stays serial (it is cheap and needs
+            // the Rc'd region masks, which must not cross threads); the
+            // compiled-machine runs over the lists fan out.
             let t = Instant::now();
-            // Flatten each rule's matches to (class, subst) instances.
-            let mut per_rule: Vec<Vec<(Id, Subst)>> = Vec::with_capacity(rules.len());
+            // One sorted dirty snapshot shared by every delta rule (the
+            // per-rule search used to re-sort the set each time).
+            let mut dirty_sorted: Vec<Id> = dirty.iter().copied().collect();
+            dirty_sorted.sort_unstable();
+            // Per-rule candidate plan: `None` = muted (search skipped),
+            // `Some` = the exact id list a serial search would visit.
+            let mut plan: Vec<Option<Vec<Id>>> = Vec::with_capacity(rules.len());
+            let mut full_flags = vec![false; rules.len()];
             for (i, rule) in rules.iter().enumerate() {
                 if self.backoff.is_some() && iter_ix < backoff_state[i].muted_until {
                     // muted: skip the search entirely, but bank this
                     // iteration's dirty snapshot so re-admission can
                     // delta-search everything the mute skipped.
                     missed[i].extend(dirty.iter().copied());
+                    plan.push(None);
+                    continue;
+                }
+                let full = pending_full[i] || !self.delta;
+                full_flags[i] = full;
+                let ids = if full {
+                    pending_full[i] = false;
+                    missed[i].clear();
+                    rule.except_candidate_ids(&self.egraph, &frozen_classes)
+                } else if missed[i].is_empty() {
+                    rule.delta_candidate_ids(&self.egraph, &dirty_sorted)
+                } else {
+                    let banked = std::mem::take(&mut missed[i]);
+                    let mut banked_sorted: Vec<Id> = banked
+                        .into_iter()
+                        .filter(|id| !frozen_classes.contains(id))
+                        .chain(dirty.iter().copied())
+                        .collect();
+                    banked_sorted.sort_unstable();
+                    banked_sorted.dedup();
+                    rule.delta_candidate_ids(&self.egraph, &banked_sorted)
+                };
+                plan.push(Some(ids));
+            }
+            let searched = search_rules_parallel(
+                &self.egraph,
+                rules,
+                &plan,
+                region_masks.as_deref(),
+                self.parallel,
+            );
+            // Flatten each rule's matches to (class, subst) instances.
+            let mut per_rule: Vec<Vec<(Id, Subst)>> = Vec::with_capacity(rules.len());
+            for ((rule, result), full) in rules.iter().zip(searched).zip(full_flags) {
+                let Some((matches, candidates)) = result else {
                     iter.rules.push(RuleIterStats {
                         rule: rule.name.clone(),
                         muted: true,
@@ -533,19 +653,6 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
                     });
                     per_rule.push(Vec::new());
                     continue;
-                }
-                let full = pending_full[i] || !self.delta;
-                let (matches, candidates) = if full {
-                    pending_full[i] = false;
-                    missed[i].clear();
-                    rule.search_except_with_stats(&self.egraph, &frozen_classes)
-                } else if missed[i].is_empty() {
-                    rule.search_delta_with_stats(&self.egraph, &dirty)
-                } else {
-                    let mut banked = std::mem::take(&mut missed[i]);
-                    banked.retain(|id| !frozen_classes.contains(id));
-                    banked.extend(dirty.iter().copied());
-                    rule.search_delta_with_stats(&self.egraph, &banked)
                 };
                 let mut instances = Vec::new();
                 for m in matches {
@@ -732,6 +839,124 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
         }
         self
     }
+}
+
+/// Phase 1 of the two-phase iteration: run every (rule ×
+/// candidate-shard) search task against the immutable `&EGraph` and
+/// merge the per-shard match buffers back into serial order.
+///
+/// `plan[i]` is rule `i`'s candidate id list in ascending order (`None`
+/// = muted, skipped). Returns, per rule, exactly what
+/// [`Rewrite::search_ids_with_stats`] over the unsharded list returns,
+/// at any thread count and under any shard structure:
+///
+/// * shards partition an ascending candidate list and each class's
+///   matches stay inside one shard, so re-sorting the concatenated
+///   shard buffers by root class restores the serial match order
+///   (per-class substitution order is computed within a shard and
+///   already canonical);
+/// * visited counts sum over a partition, so per-rule candidate totals
+///   are exact, not approximate;
+/// * nothing downstream is keyed by shard or thread — the sampling RNG
+///   stays a function of (seed, iteration, rule name).
+///
+/// With `threads == 1` no tasks are materialized and every rule runs
+/// inline — the serial fast path single-core hosts take.
+pub fn search_rules_parallel<L, A>(
+    egraph: &EGraph<L, A>,
+    rules: &[Rewrite<L, A>],
+    plan: &[Option<Vec<Id>>],
+    masks: Option<&crate::hash::FxHashMap<Id, u64>>,
+    cfg: ParallelConfig,
+) -> Vec<Option<(Vec<SearchMatches>, usize)>>
+where
+    L: Language + Sync,
+    A: Analysis<L> + Sync,
+    A::Data: Sync,
+{
+    assert_eq!(rules.len(), plan.len());
+    let threads = cfg.threads.max(1);
+    if threads == 1 {
+        return rules
+            .iter()
+            .zip(plan)
+            .map(|(rule, ids)| {
+                ids.as_ref()
+                    .map(|ids| rule.search_ids_with_stats(egraph, ids))
+            })
+            .collect();
+    }
+    // Materialize the (rule, shard) task list on this thread — the
+    // shard assignment consults the region masks, which live behind an
+    // `Rc` and must not be captured by the pool's closures.
+    let mut tasks: Vec<(usize, Vec<Id>)> = Vec::new();
+    let mut shards_of: Vec<std::ops::Range<usize>> = Vec::with_capacity(plan.len());
+    for (i, ids) in plan.iter().enumerate() {
+        let start = tasks.len();
+        if let Some(ids) = ids {
+            for shard in shard_candidates(ids, masks, threads, cfg.min_shard_size) {
+                tasks.push((i, shard));
+            }
+        }
+        shards_of.push(start..tasks.len());
+    }
+    let results = spores_pool::scoped_map(threads, tasks.len(), |t| {
+        let (rule_ix, ids) = &tasks[t];
+        rules[*rule_ix].search_ids_with_stats(egraph, ids)
+    });
+    let mut results = results.into_iter();
+    let mut out = Vec::with_capacity(plan.len());
+    for (ids, range) in plan.iter().zip(shards_of) {
+        if ids.is_none() {
+            out.push(None);
+            continue;
+        }
+        let mut matches: Vec<SearchMatches> = Vec::new();
+        let mut visited = 0usize;
+        for _ in range {
+            let (m, v) = results.next().expect("one result per task");
+            matches.extend(m);
+            visited += v;
+        }
+        matches.sort_unstable_by_key(|m| m.eclass);
+        out.push(Some((matches, visited)));
+    }
+    out
+}
+
+/// Split one rule's candidate list into search shards.
+///
+/// In workload mode candidates are grouped by *anchor region* first —
+/// the lowest-numbered root that reaches the class, the same partition
+/// [`sample_per_region`] buckets matches by — so a shard's classes
+/// mostly belong to one statement region and traverse that statement's
+/// slice of the graph. Single-root runs (no masks) just chunk the
+/// ascending candidate list. Either way shards partition the input and
+/// the caller re-sorts merged matches, so shard structure never leaks
+/// into results; the grouping only exists for locality.
+fn shard_candidates(
+    ids: &[Id],
+    masks: Option<&crate::hash::FxHashMap<Id, u64>>,
+    threads: usize,
+    min_shard_size: usize,
+) -> Vec<Vec<Id>> {
+    if ids.is_empty() {
+        return Vec::new();
+    }
+    let min_shard = min_shard_size.max(1);
+    if ids.len() <= min_shard {
+        return vec![ids.to_vec()];
+    }
+    let mut ordered = ids.to_vec();
+    if let Some(masks) = masks {
+        // Stable sort: ascending id order is preserved within each
+        // region bucket (mask 0 / absent sorts last as bucket 64).
+        ordered.sort_by_key(|id| masks.get(id).copied().unwrap_or(0).trailing_zeros());
+    }
+    // About two tasks per thread so work stealing can balance uneven
+    // shard costs, but never shards smaller than the configured floor.
+    let target = min_shard.max(ordered.len().div_ceil(threads * 2));
+    ordered.chunks(target).map(|c| c.to_vec()).collect()
 }
 
 /// Deterministic RNG stream for one rule in one iteration: a hash of the

@@ -1,0 +1,200 @@
+//! Shared thread-pool primitives for SPORES' concurrent components.
+//!
+//! Two shapes of parallelism recur in the workspace and each used to be
+//! hand-rolled where it was needed:
+//!
+//! * [`scoped_map`] — a fork-join map over an indexed task set whose
+//!   closures *borrow* caller data (`std::thread::scope`). This is what
+//!   the saturation runner's parallel search phase uses: tasks share
+//!   `&EGraph` and return per-task match buffers.
+//! * [`WorkerPool`] — long-lived named worker threads draining a channel
+//!   of owned jobs (`'static`). This is the optimizer service's request
+//!   pool, extracted here so the workspace has one pool implementation
+//!   instead of one per crate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, SendError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Run `f(0..tasks)` across up to `threads` scoped worker threads and
+/// collect the results in task order.
+///
+/// Tasks are claimed from a shared atomic counter (work stealing), so an
+/// uneven task-cost distribution still balances. With `threads <= 1` or
+/// fewer than two tasks the map runs inline on the caller's thread —
+/// zero spawn overhead, identical results — which is the hot path for
+/// single-core hosts and tiny fan-outs.
+///
+/// A panicking task propagates the panic to the caller after all worker
+/// threads have joined (the guarantee `std::thread::scope` provides).
+pub fn scoped_map<T, F>(threads: usize, tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || tasks <= 1 {
+        return (0..tasks).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    let workers = threads.min(tasks);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let ix = next.fetch_add(1, Ordering::Relaxed);
+                if ix >= tasks {
+                    break;
+                }
+                let out = f(ix);
+                *slots[ix].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every task index was claimed and completed")
+        })
+        .collect()
+}
+
+/// Long-lived worker threads draining a channel of jobs.
+///
+/// Jobs are owned (`'static`) values; the handler runs on whichever
+/// worker dequeues the job first. Dropping the pool closes the channel
+/// and joins every worker, so queued jobs are drained before shutdown
+/// completes. The handler is responsible for its own panic containment:
+/// a panicking handler kills its worker thread (the remaining workers
+/// keep serving), so wrap fallible job bodies in `catch_unwind` when a
+/// lost job would wedge a waiter.
+pub struct WorkerPool<J: Send + 'static> {
+    tx: Option<Sender<J>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<J: Send + 'static> WorkerPool<J> {
+    /// Spawn `workers.max(1)` threads named `{name}-{i}` running
+    /// `handler` on each received job.
+    pub fn new<F>(name: &str, workers: usize, handler: F) -> WorkerPool<J>
+    where
+        F: Fn(J) + Send + Sync + 'static,
+    {
+        let handler = Arc::new(handler);
+        let (tx, rx) = channel::<J>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let handler = Arc::clone(&handler);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let rx = rx.lock().unwrap();
+                            match rx.recv() {
+                                Ok(job) => job,
+                                Err(_) => return, // all senders dropped: shutdown
+                            }
+                        };
+                        handler(job);
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Enqueue a job. Returns the job back if the pool has shut down.
+    pub fn submit(&self, job: J) -> Result<(), J> {
+        match &self.tx {
+            Some(tx) => tx.send(job).map_err(|SendError(job)| job),
+            None => Err(job),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl<J: Send + 'static> Drop for WorkerPool<J> {
+    fn drop(&mut self) {
+        // closing the channel ends the worker loops once the queue drains
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_map_preserves_task_order() {
+        let input: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let out = scoped_map(threads, input.len(), |i| input[i] * 3);
+            let want: Vec<usize> = input.iter().map(|x| x * 3).collect();
+            assert_eq!(out, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scoped_map_borrows_caller_data_without_cloning() {
+        let data = vec![String::from("a"); 64];
+        let lens = scoped_map(4, data.len(), |i| data[i].len());
+        assert_eq!(lens, vec![1; 64]);
+        assert_eq!(data.len(), 64, "data survives the scope");
+    }
+
+    #[test]
+    fn scoped_map_runs_every_task_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..37).map(|_| AtomicUsize::new(0)).collect();
+        scoped_map(8, counters.len(), |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed)
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn scoped_map_handles_empty_and_single_task() {
+        let empty: Vec<usize> = scoped_map(8, 0, |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(scoped_map(8, 1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn worker_pool_processes_all_jobs_before_shutdown() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let done = Arc::clone(&done);
+            WorkerPool::new("test-pool", 3, move |j: usize| {
+                done.fetch_add(j, Ordering::Relaxed);
+            })
+        };
+        assert_eq!(pool.workers(), 3);
+        for j in 1..=100 {
+            pool.submit(j).unwrap();
+        }
+        drop(pool); // joins workers, draining the queue
+        assert_eq!(done.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn worker_pool_clamps_to_one_worker() {
+        let pool = WorkerPool::new("clamped", 0, |_: ()| {});
+        assert_eq!(pool.workers(), 1);
+    }
+}

@@ -35,11 +35,11 @@ use spores_core::{
 use spores_ir::{
     fingerprint, fingerprint_workload, ExprArena, Fingerprint, LeafClass, NodeId, Shape, Symbol,
 };
+use spores_pool::WorkerPool;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Relative slack for the hit-path cost re-check. The re-check exists to
@@ -208,38 +208,10 @@ impl Inner {
     }
 }
 
-fn worker_loop(inner: Arc<Inner>, rx: Arc<Mutex<Receiver<Job>>>) {
-    loop {
-        let job = {
-            let rx = rx.lock().unwrap();
-            match rx.recv() {
-                Ok(job) => job,
-                Err(_) => return, // all senders dropped: shutdown
-            }
-        };
-        // A panicking pipeline must still resolve the in-flight entry —
-        // otherwise the submitter and every coalesced waiter block on
-        // their receivers forever.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            inner.run_pipeline(&job.request, &job.fp)
-        }))
-        .unwrap_or_else(|panic| {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "optimizer pipeline panicked".to_string());
-            Err(format!("optimizer pipeline panicked: {msg}"))
-        });
-        inner.resolve(job.fp.canon(), &result);
-    }
-}
-
 /// A thread-safe, memoizing optimizer front-end. See the module docs.
 pub struct OptimizerService {
     inner: Arc<Inner>,
-    tx: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    pool: WorkerPool<Job>,
 }
 
 /// Per-slot concrete shapes of a request, in fingerprint slot order.
@@ -251,8 +223,16 @@ fn slot_shapes(fp: &Fingerprint, vars: &HashMap<Symbol, VarMeta>) -> Vec<Shape> 
 }
 
 impl OptimizerService {
-    pub fn new(config: ServiceConfig) -> OptimizerService {
+    pub fn new(mut config: ServiceConfig) -> OptimizerService {
         let workers = config.workers.max(1);
+        // Each pipeline run may itself fan rule search across a scoped
+        // pool; clamp its thread budget so `workers` concurrent
+        // saturations don't oversubscribe the host.
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let budget = (host / workers).max(1);
+        config.optimizer.parallel.threads = config.optimizer.parallel.threads.min(budget);
         let inner = Arc::new(Inner {
             cache: ShardedCache::new(config.shards, config.capacity, config.max_variants),
             workload_cache: ShardedCache::new(config.shards, config.capacity, config.max_variants),
@@ -260,23 +240,27 @@ impl OptimizerService {
             inflight: Mutex::new(HashMap::new()),
             config,
         });
-        let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..workers)
-            .map(|i| {
-                let inner = inner.clone();
-                let rx = rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("spores-opt-{i}"))
-                    .spawn(move || worker_loop(inner, rx))
-                    .expect("spawn optimizer worker")
+        let pool = {
+            let inner = inner.clone();
+            WorkerPool::new("spores-opt", workers, move |job: Job| {
+                // A panicking pipeline must still resolve the in-flight
+                // entry — otherwise the submitter and every coalesced
+                // waiter block on their receivers forever.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    inner.run_pipeline(&job.request, &job.fp)
+                }))
+                .unwrap_or_else(|panic| {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "optimizer pipeline panicked".to_string());
+                    Err(format!("optimizer pipeline panicked: {msg}"))
+                });
+                inner.resolve(job.fp.canon(), &result);
             })
-            .collect();
-        OptimizerService {
-            inner,
-            tx: Some(tx),
-            workers,
-        }
+        };
+        OptimizerService { inner, pool }
     }
 
     /// Live counters (evictions summed over both plan caches).
@@ -640,23 +624,18 @@ impl OptimizerService {
                 coalesced: true,
             };
         }
-        match &self.tx {
-            Some(jobs) => {
-                let job = Job {
-                    request: request.clone(),
-                    fp: fp.clone(),
-                };
-                if jobs.send(job).is_err() {
-                    // pool gone: run inline (resolve() wakes any waiters
-                    // that raced in behind us)
-                    return Submission::Inline;
-                }
-                Submission::Wait {
-                    rx,
-                    coalesced: false,
-                }
-            }
-            None => Submission::Inline,
+        let job = Job {
+            request: request.clone(),
+            fp: fp.clone(),
+        };
+        if self.pool.submit(job).is_err() {
+            // pool gone: run inline (resolve() wakes any waiters that
+            // raced in behind us)
+            return Submission::Inline;
+        }
+        Submission::Wait {
+            rx,
+            coalesced: false,
         }
     }
 
@@ -749,13 +728,3 @@ enum Submission {
 
 /// Marker: a cached template failed the hit admission/cost re-check.
 struct RejectedHit;
-
-impl Drop for OptimizerService {
-    fn drop(&mut self) {
-        // closing the channel ends the worker loops
-        self.tx.take();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
