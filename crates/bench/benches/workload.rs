@@ -15,9 +15,18 @@
 //!   documented holdout for both (see `smoke`); run by CI;
 //! * `-- --snapshot` / `--snapshot-only` — additionally rewrite the
 //!   committed `BENCH_workload.json`, including an ALS thread-scaling
-//!   table (one-pass wall time at 1/2/4/8 search threads);
+//!   table (one-pass wall time at 1/2/4/8 search threads) and the
+//!   `host_cores` it was measured on (a 1-core host's scaling rows only
+//!   measure fan-out overhead — record that instead of presenting it as
+//!   scaling data);
 //! * `-- --threads N` — run any of the above with N search threads
 //!   instead of the `SPORES_THREADS`/host default.
+//!
+//! `--smoke` additionally guards the telemetry layer: an ALS one-pass
+//! with collection enabled must stay within 10% of the disabled run,
+//! and the estimated cost of the disabled hooks themselves within 2%,
+//! plus a thread-scaling assertion that is skipped (with a logged
+//! reason) on single-core hosts.
 
 use criterion::{criterion_group, Criterion};
 use spores_core::{Optimizer, SaturationStats, WorkloadOptimized};
@@ -30,6 +39,28 @@ use std::time::Instant;
 /// Slack on the wall-time acceptance bar: one-pass must stay within
 /// this factor of the per-statement sum (per winning workload).
 const WALL_SLACK: f64 = 1.1;
+
+/// Telemetry acceptance: an ALS one-pass with collection enabled must
+/// stay within this factor of the disabled run's wall time.
+const TELEMETRY_ON_SLACK: f64 = 1.10;
+
+/// Telemetry acceptance: the *disabled* hooks (one relaxed atomic load
+/// each) must cost at most this fraction of the off wall time,
+/// estimated as micro-benchmarked per-hook cost × recorded event volume.
+const TELEMETRY_OFF_BUDGET: f64 = 0.02;
+
+/// Thread-scaling acceptance: on a multi-core host the parallel search
+/// fan-out must not make the ALS one-pass slower than serial beyond
+/// this factor (scaling *wins* vary with load; pathological slowdowns
+/// are what this guards).
+const SCALING_SLACK: f64 = 1.25;
+
+/// Physical parallelism actually available to this process.
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// The benchmark roster: all five §4.2 workloads at bench-scale sizes.
 fn roster() -> Vec<Workload> {
@@ -212,10 +243,120 @@ fn smoke(parallel: ParallelConfig) {
         "acceptance: one-pass wall time must be within {WALL_SLACK}x of the \
          per-statement sum on ≥ 4 of the 5 §4.2 workloads, got {wall_ok}"
     );
+    scaling_guard();
+    telemetry_guard(parallel);
     println!(
         "workload smoke OK: one-pass matching work wins on {fewer_candidates}/5, wall time within {WALL_SLACK}x on {wall_ok}/5 (bar: 4 each, candidates incl. GLM+PNMF) at {} search threads",
         parallel.threads
     );
+}
+
+/// Wall time of one ALS pass with parallel search vs serial. Skipped on
+/// single-core hosts, where "parallel" timings only measure the fan-out
+/// overhead (the footgun the snapshot's `host_cores` field documents).
+fn scaling_guard() {
+    let cores = host_cores();
+    if cores == 1 {
+        println!(
+            "workload smoke: SKIP thread-scaling assertion: host_cores == 1, \
+             multi-thread wall time would only measure fan-out overhead, not scaling"
+        );
+        return;
+    }
+    let bundle = workload_bundle(&workloads::als(200, 100, 8, 51));
+    let serial = ParallelConfig {
+        threads: 1,
+        ..ParallelConfig::serial()
+    };
+    let threads = cores.min(4);
+    let fanned = ParallelConfig {
+        threads,
+        ..ParallelConfig::serial()
+    };
+    let (serial_ns, _) = min_of_two(|| run_shared(&bundle, serial));
+    let (fanned_ns, _) = min_of_two(|| run_shared(&bundle, fanned));
+    assert!(
+        (fanned_ns as f64) <= (serial_ns as f64) * SCALING_SLACK,
+        "acceptance: ALS one-pass at {threads} search threads took {fanned_ns} ns vs \
+         {serial_ns} ns serial — more than {SCALING_SLACK}x on a {cores}-core host"
+    );
+    println!(
+        "workload smoke: ALS thread scaling OK: {threads} threads {fanned_ns} ns vs serial {serial_ns} ns ({cores} host cores)"
+    );
+}
+
+/// Telemetry overhead guard on the ALS one-pass: enabled collection must
+/// cost ≤ 10% end-to-end, and the disabled hooks (the permanent cost
+/// every build pays) an estimated ≤ 2%.
+fn telemetry_guard(parallel: ParallelConfig) {
+    let bundle = workload_bundle(&workloads::als(200, 100, 8, 51));
+    // The enabled run goes through `OptimizerConfig::telemetry` like a
+    // real caller would.
+    let mut cfg = workload_optimizer_config();
+    cfg.parallel = parallel;
+    cfg.telemetry = true;
+    // Interleave off/on runs and take the min of three each: a slow
+    // system phase (this can run on a loaded single-core CI box) then
+    // hits both sides instead of skewing whichever was measured second.
+    let mut off_ns = u64::MAX;
+    let mut on_ns = u64::MAX;
+    const ROUNDS: usize = 3;
+    for _ in 0..ROUNDS {
+        spores_telemetry::set_enabled(false);
+        let t0 = Instant::now();
+        black_box(run_shared(&bundle, parallel));
+        off_ns = off_ns.min(t0.elapsed().as_nanos() as u64);
+        let t0 = Instant::now();
+        black_box(
+            Optimizer::new(cfg.clone())
+                .optimize_workload(&bundle.expr, &bundle.vars)
+                .expect("workload optimizes"),
+        );
+        on_ns = on_ns.min(t0.elapsed().as_nanos() as u64);
+    }
+    spores_telemetry::set_enabled(false);
+    let events = spores_telemetry::drain();
+    spores_telemetry::global().registry().zero();
+    let per_run_events = (events.len() / ROUNDS).max(1) as f64;
+    assert!(
+        (on_ns as f64) <= (off_ns as f64) * TELEMETRY_ON_SLACK,
+        "acceptance: ALS one-pass with telemetry enabled took {on_ns} ns vs {off_ns} ns \
+         disabled — more than {TELEMETRY_ON_SLACK}x"
+    );
+    // Disabled overhead can't be measured against a hook-free build from
+    // inside this binary; estimate it as the micro-benchmarked cost of
+    // one disabled hook (a relaxed load + branch) times the hook volume
+    // the enabled run actually recorded (each span is one hook firing
+    // two events, so events/2 undercounts by the unrecorded counter
+    // hooks — the /2 and the uncounted sites roughly cancel; the 2%
+    // budget has orders of magnitude of headroom regardless).
+    let hook_ns = disabled_hook_cost_ns();
+    let est_ns = hook_ns * per_run_events;
+    assert!(
+        est_ns <= (off_ns as f64) * TELEMETRY_OFF_BUDGET,
+        "acceptance: estimated disabled-telemetry overhead {est_ns:.0} ns \
+         ({per_run_events:.0} hooks × {hook_ns:.2} ns) exceeds {TELEMETRY_OFF_BUDGET:.0?} \
+         of the {off_ns} ns off wall time"
+    );
+    println!(
+        "workload smoke: ALS telemetry overhead OK: enabled {on_ns} ns vs disabled {off_ns} ns \
+         (bar {TELEMETRY_ON_SLACK}x); disabled hooks ≈ {est_ns:.0} ns \
+         ({per_run_events:.0} hooks × {hook_ns:.2} ns, budget {:.0} ns)",
+        (off_ns as f64) * TELEMETRY_OFF_BUDGET
+    );
+}
+
+/// Micro-benchmark one disabled `span!` hook: the relaxed atomic load +
+/// branch every instrumented site pays when collection is off.
+fn disabled_hook_cost_ns() -> f64 {
+    const N: u64 = 1_000_000;
+    spores_telemetry::set_enabled(false);
+    let t0 = Instant::now();
+    for i in 0..N {
+        let s = spores_telemetry::span!("bench.disabled.hook", i = black_box(i));
+        black_box(&s);
+    }
+    t0.elapsed().as_nanos() as f64 / N as f64
 }
 
 /// ALS one-pass wall time at 1/2/4/8 search threads (best of two runs
@@ -265,15 +406,19 @@ fn emit_snapshot(parallel: ParallelConfig) {
         .iter()
         .map(|&(threads, ns)| format!("    {{ \"threads\": {threads}, \"one_pass_ns\": {ns} }}"))
         .collect();
+    // `host_cores` qualifies the scaling table: on a 1-core host the
+    // multi-thread rows measure fan-out overhead, not scaling.
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"workload/one_pass_vs_per_statement\",\n",
+            "  \"host_cores\": {},\n",
             "  \"parallel\": {{ \"threads\": {}, \"min_shard_size\": {} }},\n",
             "  \"workloads\": [\n{}\n  ],\n",
             "  \"als_thread_scaling\": [\n{}\n  ]\n",
             "}}\n"
         ),
+        host_cores(),
         parallel.threads,
         parallel.min_shard_size,
         entries.join(",\n"),

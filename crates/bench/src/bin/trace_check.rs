@@ -1,0 +1,55 @@
+//! Schema checker for Chrome trace-event files emitted by
+//! `profile_workload --trace-out` (CI runs this against the uploaded
+//! artifact).
+//!
+//! Checks two layers:
+//!
+//! 1. **Format** — via [`spores_telemetry::validate_chrome_trace`]:
+//!    a `traceEvents` array, balanced and properly nested B/E events per
+//!    thread, non-decreasing timestamps per thread.
+//! 2. **Content** — the saturation phase structure: at least one
+//!    `saturation.iter` span, and exactly one `saturation.search`,
+//!    `saturation.apply` and `saturation.rebuild` span per iteration.
+//!
+//! Usage: `trace_check TRACE.json`. Exits non-zero with a diagnostic on
+//! any violation.
+
+use spores_telemetry::validate_chrome_trace;
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: trace_check TRACE.json");
+        std::process::exit(2);
+    });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("trace_check: reading {path}: {e}");
+        std::process::exit(1);
+    });
+    let check = validate_chrome_trace(&text).unwrap_or_else(|e| {
+        eprintln!("trace_check: {path}: schema violation: {e}");
+        std::process::exit(1);
+    });
+    let iters = check.spans("saturation.iter");
+    if iters == 0 {
+        eprintln!("trace_check: {path}: no saturation.iter spans — not an optimizer trace?");
+        std::process::exit(1);
+    }
+    for phase in [
+        "saturation.search",
+        "saturation.apply",
+        "saturation.rebuild",
+    ] {
+        let n = check.spans(phase);
+        if n != iters {
+            eprintln!(
+                "trace_check: {path}: {n} {phase} spans for {iters} saturation.iter spans \
+                 (every iteration must run all three phases exactly once)"
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "trace OK: {path}: {} events, {iters} saturation iterations, search/apply/rebuild balanced",
+        check.events
+    );
+}

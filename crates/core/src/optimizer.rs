@@ -51,6 +51,13 @@ pub struct OptimizerConfig {
     /// concurrently should clamp `threads` so the pools don't
     /// oversubscribe (the service does).
     pub parallel: ParallelConfig,
+    /// Turn on the `spores-telemetry` collector for this run: phase and
+    /// per-iteration spans land in the global journal, per-rule counters
+    /// in the global registry. Off by default — every hook site then
+    /// costs one relaxed atomic load. Enabling is sticky (process-wide),
+    /// so the caller can drain the journal after the run returns; see
+    /// `spores_telemetry::drain` / `dump_chrome_trace`.
+    pub telemetry: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -64,6 +71,7 @@ impl Default for OptimizerConfig {
             ilp_time_limit: Duration::from_secs(5),
             region_freezing: true,
             parallel: ParallelConfig::default(),
+            telemetry: false,
         }
     }
 }
@@ -168,13 +176,19 @@ impl Optimizer {
         vars: &HashMap<Symbol, VarMeta>,
     ) -> Result<Optimized, TranslateError> {
         let cfg = &self.config;
+        if cfg.telemetry {
+            spores_telemetry::set_enabled(true);
+        }
 
         // ---- translate (R_LR) ------------------------------------------
+        let span = spores_telemetry::span!("optimize.translate");
         let t0 = Instant::now();
         let tr = translate(arena, root, vars)?;
         let t_translate = t0.elapsed();
+        drop(span);
 
         // ---- saturate (R_EQ) -------------------------------------------
+        let span = spores_telemetry::span!("optimize.saturate");
         let t0 = Instant::now();
         let rules = match &self.rules {
             Some(r) => r.clone(),
@@ -189,6 +203,7 @@ impl Optimizer {
             .with_parallel(cfg.parallel)
             .run(&rules);
         let t_saturate = t0.elapsed();
+        drop(span);
         let saturation = SaturationStats {
             iterations: runner.iterations.len(),
             e_nodes: runner.egraph.total_number_of_nodes(),
@@ -214,13 +229,24 @@ impl Optimizer {
         let t0 = Instant::now();
         let mut ilp_stats = None;
         let extracted = match cfg.extractor {
-            ExtractorKind::Greedy => extract_greedy(&egraph, eroot),
+            ExtractorKind::Greedy => {
+                let _span = spores_telemetry::span!("optimize.extract.greedy");
+                extract_greedy(&egraph, eroot)
+            }
             ExtractorKind::Ilp => {
+                let mut span =
+                    spores_telemetry::span!("optimize.extract.ilp", e_nodes = saturation.e_nodes,);
                 let solver = spores_ilp::Solver {
                     time_limit: cfg.ilp_time_limit,
                     ..spores_ilp::Solver::default()
                 };
                 extract_ilp(&egraph, eroot, &solver).map(|(c, e, s)| {
+                    span.arg("n_vars", s.n_vars);
+                    span.arg("rounds", s.rounds);
+                    span.arg("optimal", s.optimal);
+                    if let Some(w) = s.warm_start {
+                        span.arg("warm_start", w);
+                    }
                     ilp_stats = Some(s);
                     (c, e)
                 })
@@ -229,11 +255,13 @@ impl Optimizer {
         let t_extract = t0.elapsed();
 
         // ---- lower back to LA ---------------------------------------------
+        let span = spores_telemetry::span!("optimize.lower");
         let t0 = Instant::now();
         let lowered = extracted
             .as_ref()
             .and_then(|(_, plan)| lower_with_info(plan, tr.row, tr.col, &tr.ctx).ok());
         let t_lower = t0.elapsed();
+        drop(span);
 
         let timings = PhaseTimings {
             translate: t_translate,

@@ -77,13 +77,19 @@ impl Optimizer {
         vars: &HashMap<Symbol, VarMeta>,
     ) -> Result<WorkloadOptimized, TranslateError> {
         let cfg = &self.config;
+        if cfg.telemetry {
+            spores_telemetry::set_enabled(true);
+        }
 
         // ---- translate (one translator for all statements) -------------
+        let span = spores_telemetry::span!("optimize.translate", roots = workload.roots.len());
         let t0 = Instant::now();
         let wt = translate_workload(&workload.arena, &workload.roots, vars)?;
         let t_translate = t0.elapsed();
+        drop(span);
 
         // ---- saturate (one e-graph, every statement a root) ------------
+        let span = spores_telemetry::span!("optimize.saturate");
         let t0 = Instant::now();
         let rules = match &self.rules {
             Some(r) => r.clone(),
@@ -128,6 +134,7 @@ impl Optimizer {
         }
         let runner = runner.run(&rules);
         let t_saturate = t0.elapsed();
+        drop(span);
         let saturation = SaturationStats {
             iterations: runner.iterations.len(),
             e_nodes: runner.egraph.total_number_of_nodes(),
@@ -172,13 +179,24 @@ impl Optimizer {
         let t0 = Instant::now();
         let mut ilp_stats = None;
         let extracted = match cfg.extractor {
-            ExtractorKind::Greedy => extract_greedy_multi(&egraph, &eroots),
+            ExtractorKind::Greedy => {
+                let _span = spores_telemetry::span!("optimize.extract.greedy");
+                extract_greedy_multi(&egraph, &eroots)
+            }
             ExtractorKind::Ilp => {
+                let mut span =
+                    spores_telemetry::span!("optimize.extract.ilp", e_nodes = saturation.e_nodes,);
                 let solver = spores_ilp::Solver {
                     time_limit: cfg.ilp_time_limit,
                     ..spores_ilp::Solver::default()
                 };
                 extract_ilp_multi(&egraph, &eroots, &solver).map(|(c, e, ids, s)| {
+                    span.arg("n_vars", s.n_vars);
+                    span.arg("rounds", s.rounds);
+                    span.arg("optimal", s.optimal);
+                    if let Some(w) = s.warm_start {
+                        span.arg("warm_start", w);
+                    }
                     ilp_stats = Some(s);
                     (c, e, ids)
                 })
@@ -187,6 +205,7 @@ impl Optimizer {
         let t_extract = t0.elapsed();
 
         // ---- lower into one shared arena --------------------------------
+        let span = spores_telemetry::span!("optimize.lower");
         let t0 = Instant::now();
         let lowered = extracted.as_ref().and_then(|(_, expr, ids)| {
             let specs: Vec<(Id, Option<Symbol>, Option<Symbol>)> = ids
@@ -197,6 +216,7 @@ impl Optimizer {
             lower_workload(expr, &specs, &wt.ctx).ok()
         });
         let t_lower = t0.elapsed();
+        drop(span);
 
         let timings = PhaseTimings {
             translate: t_translate,

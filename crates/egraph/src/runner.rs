@@ -596,6 +596,13 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
             // Candidate enumeration stays serial (it is cheap and needs
             // the Rc'd region masks, which must not cross threads); the
             // compiled-machine runs over the lists fan out.
+            //
+            // The iteration span opens here, after the early-stop checks
+            // above, so every `saturation.iter` span contains exactly one
+            // search/apply/rebuild triple (the trace checker and the ML
+            // integration test rely on those counts being equal).
+            let mut iter_span = spores_telemetry::span!("saturation.iter", iter = iter_ix);
+            let search_span = spores_telemetry::span!("saturation.search");
             let t = Instant::now();
             // One sorted dirty snapshot shared by every delta rule (the
             // per-rule search used to re-sort the set each time).
@@ -671,8 +678,10 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
                 per_rule.push(instances);
             }
             iter.search_time = t.elapsed();
+            drop(search_span);
 
             // --- scheduling + apply phase ----------------------------
+            let apply_span = spores_telemetry::span!("saturation.apply");
             let t = Instant::now();
             for (i, (rule, mut instances)) in rules.iter().zip(per_rule).enumerate() {
                 let mut union_quota = usize::MAX;
@@ -749,11 +758,14 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
                 iter.unions += rule_unions;
             }
             iter.apply_time = t.elapsed();
+            drop(apply_span);
 
             // --- rebuild phase ---------------------------------------
+            let rebuild_span = spores_telemetry::span!("saturation.rebuild");
             let t = Instant::now();
             iter.unions += self.egraph.rebuild();
             iter.rebuild_time = t.elapsed();
+            drop(rebuild_span);
 
             // --- backoff bookkeeping ---------------------------------
             let mut any_muted = false;
@@ -794,6 +806,31 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
                 || frozen.iter().any(|&f| f)
                 || iter.rules.iter().any(|r| r.delta)
                 || (self.exact && !this_verify);
+            iter_span.arg("unions", iter.unions);
+            iter_span.arg("nodes", iter.egraph_nodes);
+            drop(iter_span);
+            if spores_telemetry::enabled() {
+                // Per-rule counters mirror `RuleIterStats` into the
+                // metrics registry, labeled by rule name, so the text
+                // exposition can attribute candidate/match volume without
+                // walking `Runner::iterations`.
+                let registry = spores_telemetry::global().registry();
+                for r in &iter.rules {
+                    let labels = [("rule", r.rule.as_str())];
+                    registry
+                        .counter_labeled("saturation.rule.candidates", &labels)
+                        .add(r.candidates as u64);
+                    registry
+                        .counter_labeled("saturation.rule.matches", &labels)
+                        .add(r.matches as u64);
+                    registry
+                        .counter_labeled("saturation.rule.applied", &labels)
+                        .add(r.applied as u64);
+                    registry
+                        .counter_labeled("saturation.rule.unions", &labels)
+                        .add(r.unions as u64);
+                }
+            }
             self.iterations.push(iter);
 
             if saturated {
@@ -881,8 +918,14 @@ where
             .iter()
             .zip(plan)
             .map(|(rule, ids)| {
-                ids.as_ref()
-                    .map(|ids| rule.search_ids_with_stats(egraph, ids))
+                ids.as_ref().map(|ids| {
+                    let _span = spores_telemetry::span!(
+                        "saturation.search.shard",
+                        rule = rule.name.as_str(),
+                        candidates = ids.len(),
+                    );
+                    rule.search_ids_with_stats(egraph, ids)
+                })
             })
             .collect();
     }
@@ -902,6 +945,11 @@ where
     }
     let results = spores_pool::scoped_map(threads, tasks.len(), |t| {
         let (rule_ix, ids) = &tasks[t];
+        let _span = spores_telemetry::span!(
+            "saturation.search.shard",
+            rule = rules[*rule_ix].name.as_str(),
+            candidates = ids.len(),
+        );
         rules[*rule_ix].search_ids_with_stats(egraph, ids)
     });
     let mut results = results.into_iter();

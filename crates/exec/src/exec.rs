@@ -54,6 +54,12 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Memoized sub-DAG re-reads across all executors in the process — the
+/// work `run_many`'s shared memo table saves (one registry entry; the
+/// handle is a no-op while telemetry is disabled).
+static MEMO_HITS: spores_telemetry::CounterHandle =
+    spores_telemetry::CounterHandle::new("exec.memo_hits");
+
 impl Executor {
     pub fn new(config: ExecConfig) -> Executor {
         Executor {
@@ -94,7 +100,10 @@ impl Executor {
     ) -> Result<(), ExecError> {
         let mut memo: HashMap<NodeId, Matrix> = HashMap::new();
         for &(name, root) in roots {
+            let mut span = spores_telemetry::span!("exec.root", root = name.to_string());
             let value = self.eval(arena, root, env, &mut memo)?;
+            span.arg("memo_entries", memo.len());
+            drop(span);
             env.insert(name, value);
         }
         Ok(())
@@ -116,6 +125,7 @@ impl Executor {
         memo: &mut HashMap<NodeId, Matrix>,
     ) -> Result<Matrix, ExecError> {
         if let Some(v) = memo.get(&id) {
+            MEMO_HITS.add(1);
             return Ok(v.clone());
         }
         if self.config.fusion {

@@ -304,12 +304,18 @@ impl<'p> Search<'p> {
 impl Solver {
     /// Solve `problem` to optimality (or until a limit trips).
     pub fn solve(&self, problem: &Problem) -> SolveResult {
+        let mut span = spores_telemetry::span!(
+            "ilp.solve",
+            n_vars = problem.n_vars() as u64,
+            n_clauses = problem.clauses.len(),
+        );
         // trivially infeasible: an empty clause
         if problem.clauses.iter().any(|c| c.lits.is_empty()) {
             return SolveResult::Infeasible;
         }
         let mut search = Search::new(problem, self.upper_bound);
         let completed = search.run(Instant::now() + self.time_limit, self.node_limit);
+        span.arg("completed", completed);
         match (completed, search.best) {
             (true, Some(best)) => SolveResult::Optimal(best),
             (true, None) => SolveResult::Infeasible,

@@ -150,6 +150,8 @@ fn statement_contexts(workload: &Workload) -> (ExprArena, Vec<StatementCtx>) {
 
 /// Compile `workload` under `mode`.
 pub fn compile(workload: &Workload, mode: &Mode) -> Compiled {
+    let _span =
+        spores_telemetry::span!("ml.compile", workload = workload.name, mode = mode.label(),);
     let t0 = Instant::now();
     let (arena, contexts) = statement_contexts(workload);
 
@@ -233,6 +235,8 @@ pub fn execute(
     compiled: &Compiled,
     mode: &Mode,
 ) -> Result<RunReport, ExecError> {
+    let _span =
+        spores_telemetry::span!("ml.execute", workload = workload.name, mode = mode.label(),);
     let mut exec = Executor::new(ExecConfig {
         fusion: mode.fusion(),
     });

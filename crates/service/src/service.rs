@@ -170,6 +170,7 @@ struct Inner {
 impl Inner {
     /// Run the full pipeline and package the outcome as a cacheable plan.
     fn run_pipeline(&self, request: &Request, fp: &Fingerprint) -> Result<Arc<CachedPlan>, String> {
+        let _span = spores_telemetry::span!("service.compile");
         let optimizer = Optimizer::new(self.config.optimizer.clone());
         let got: Optimized = optimizer
             .optimize(&request.arena, request.root, &request.vars)
@@ -275,6 +276,25 @@ impl OptimizerService {
         self.inner.stats.latency.quantile_us(q)
     }
 
+    /// Prometheus-style text exposition of the service metrics:
+    /// hits/misses/coalesced/cost-rejections/evictions plus the request
+    /// latency histogram with explicit `le="<µs>"` bucket bounds. Serve
+    /// this as a scrape endpoint body or dump it for ad-hoc inspection.
+    pub fn metrics_text(&self) -> String {
+        self.inner
+            .stats
+            .render_text(self.inner.cache.evictions() + self.inner.workload_cache.evictions())
+    }
+
+    /// Write the process-global telemetry journal as Chrome trace-event
+    /// JSON to `path`, draining it (collection must have been enabled,
+    /// e.g. via `OptimizerConfig::telemetry` on this service's
+    /// pipeline config). Load the file in `chrome://tracing` or
+    /// <https://ui.perfetto.dev>.
+    pub fn dump_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        spores_telemetry::dump_chrome_trace(path)
+    }
+
     /// Number of cached plan templates.
     pub fn cached_plans(&self) -> usize {
         self.inner.cache.len()
@@ -282,6 +302,22 @@ impl OptimizerService {
 
     /// Optimize one request, consulting the plan cache.
     pub fn optimize(&self, request: Request) -> Result<Served, ServiceError> {
+        let mut req_span = spores_telemetry::span!("service.request");
+        let result = self.optimize_inner(request);
+        if let Ok(served) = &result {
+            req_span.arg(
+                "source",
+                match served.source {
+                    PlanSource::Hit => "hit",
+                    PlanSource::Miss => "miss",
+                    PlanSource::Coalesced => "coalesced",
+                },
+            );
+        }
+        result
+    }
+
+    fn optimize_inner(&self, request: Request) -> Result<Served, ServiceError> {
         let t0 = Instant::now();
         let fp = self.fingerprint_request(&request)?;
 
@@ -303,6 +339,10 @@ impl OptimizerService {
     /// across the worker pool concurrently (instead of one blocking
     /// round-trip per statement).
     pub fn optimize_batch(&self, requests: Vec<Request>) -> Vec<Result<Served, ServiceError>> {
+        // One span for the whole batch: per-request spans would
+        // interleave begin/ends on this thread (all submits, then all
+        // waits), breaking the stack discipline the trace format needs.
+        let _span = spores_telemetry::span!("service.batch", requests = requests.len());
         enum Pending {
             Done(Result<Served, ServiceError>),
             Wait {
@@ -374,7 +414,11 @@ impl OptimizerService {
         &self,
         request: WorkloadRequest,
     ) -> Result<ServedWorkload, ServiceError> {
-        use std::sync::atomic::Ordering::Relaxed;
+        let mut req_span = spores_telemetry::span!(
+            "service.request",
+            kind = "workload",
+            roots = request.workload.roots.len(),
+        );
         let t0 = Instant::now();
         let classes: HashMap<Symbol, LeafClass> = request
             .vars
@@ -386,15 +430,19 @@ impl OptimizerService {
         let shapes = slot_shapes(&fp, &request.vars);
 
         if let Some(plan) = self.inner.workload_cache.get(&fp, &shapes) {
-            match self.instantiate_workload(&request, &fp, &plan) {
+            let probe_span = spores_telemetry::span!("service.cache_probe", kind = "workload");
+            let outcome = self.instantiate_workload(&request, &fp, &plan);
+            drop(probe_span);
+            match outcome {
                 Ok(mut served) => {
-                    self.inner.stats.hits.fetch_add(1, Relaxed);
+                    self.inner.stats.hits.add(1);
+                    req_span.arg("source", "hit");
                     served.latency = t0.elapsed();
                     self.inner.stats.latency.record(served.latency);
                     return Ok(served);
                 }
                 Err(RejectedHit) => {
-                    self.inner.stats.cost_rejections.fetch_add(1, Relaxed);
+                    self.inner.stats.cost_rejections.add(1);
                 }
             }
         }
@@ -405,7 +453,8 @@ impl OptimizerService {
         // The pipeline's own output is served directly; only the cache
         // keeps the α-renamed template copy.
         let (plan, arena, roots) = self.run_workload_pipeline(&request, &fp, &shapes)?;
-        self.inner.stats.misses.fetch_add(1, Relaxed);
+        self.inner.stats.misses.add(1);
+        req_span.arg("source", "miss");
         let latency = t0.elapsed();
         self.inner.stats.latency.record(latency);
         Ok(ServedWorkload {
@@ -431,6 +480,7 @@ impl OptimizerService {
         fp: &Fingerprint,
         shapes: &[Shape],
     ) -> Result<(Arc<CachedWorkloadPlan>, ExprArena, Vec<(Symbol, NodeId)>), ServiceError> {
+        let _span = spores_telemetry::span!("service.compile", kind = "workload");
         let optimizer = Optimizer::new(self.inner.config.optimizer.clone());
         let got = optimizer
             .optimize_workload(&request.workload, &request.vars)
@@ -527,14 +577,13 @@ impl OptimizerService {
 
     /// The cache-hit fast path: instantiate + cost re-check, no pipeline.
     fn try_hit(&self, request: &Request, fp: &Fingerprint, t0: Instant) -> Option<Served> {
+        let mut probe_span = spores_telemetry::span!("service.cache_probe");
         let shapes = slot_shapes(fp, &request.vars);
         let plan = self.inner.cache.get(fp, &shapes)?;
         match self.instantiate(request, fp, &plan) {
             Ok(served) => {
-                self.inner
-                    .stats
-                    .hits
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                probe_span.arg("outcome", "hit");
+                self.inner.stats.hits.add(1);
                 let latency = t0.elapsed();
                 self.inner.stats.latency.record(latency);
                 Some(Served {
@@ -544,10 +593,8 @@ impl OptimizerService {
                 })
             }
             Err(RejectedHit) => {
-                self.inner
-                    .stats
-                    .cost_rejections
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                probe_span.arg("outcome", "rejected");
+                self.inner.stats.cost_rejections.add(1);
                 None
             }
         }
@@ -648,10 +695,12 @@ impl OptimizerService {
         coalesced: bool,
         t0: Instant,
     ) -> Result<Served, ServiceError> {
+        let wait_span = spores_telemetry::span!("service.queue_wait", coalesced = coalesced);
         let result = match rx.recv() {
             Ok(r) => r,
             Err(_) => return Err(ServiceError::Shutdown),
         };
+        drop(wait_span);
         let source = if coalesced {
             PlanSource::Coalesced
         } else {
@@ -669,7 +718,6 @@ impl OptimizerService {
         source: PlanSource,
         t0: Instant,
     ) -> Result<Served, ServiceError> {
-        use std::sync::atomic::Ordering::Relaxed;
         let plan = result.map_err(ServiceError::Invalid)?;
         // The submitter's result was computed from this very request by
         // the (deterministic) pipeline — serve it as-is; re-checking it
@@ -690,8 +738,8 @@ impl OptimizerService {
         match served {
             Ok(served) => {
                 match source {
-                    PlanSource::Coalesced => self.inner.stats.coalesced.fetch_add(1, Relaxed),
-                    _ => self.inner.stats.misses.fetch_add(1, Relaxed),
+                    PlanSource::Coalesced => self.inner.stats.coalesced.add(1),
+                    _ => self.inner.stats.misses.add(1),
                 };
                 let latency = t0.elapsed();
                 self.inner.stats.latency.record(latency);
@@ -702,11 +750,11 @@ impl OptimizerService {
                 })
             }
             Err(RejectedHit) => {
-                self.inner.stats.cost_rejections.fetch_add(1, Relaxed);
+                self.inner.stats.cost_rejections.add(1);
                 let result = self.inner.run_pipeline(request, fp);
                 let plan = result.map_err(ServiceError::Invalid)?;
                 let (arena, root) = Self::materialize(&plan, fp);
-                self.inner.stats.misses.fetch_add(1, Relaxed);
+                self.inner.stats.misses.add(1);
                 let latency = t0.elapsed();
                 self.inner.stats.latency.record(latency);
                 Ok(Served {

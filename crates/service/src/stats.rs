@@ -1,74 +1,123 @@
-//! Lock-free service counters and a latency histogram.
+//! Service counters and the request-latency histogram, backed by a
+//! private `spores_telemetry::Registry`.
+//!
+//! The counters used to be loose `AtomicU64` fields and the histogram a
+//! hand-rolled log2 array; both now live in one per-service metrics
+//! registry so the same instruments drive the snapshot API *and* the
+//! Prometheus-style text exposition
+//! ([`crate::OptimizerService::metrics_text`]). The registry is owned
+//! per [`ServiceStats`] (not the process-global one), so concurrent
+//! services in one process never mix their counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use spores_telemetry::{Counter, Gauge, Log2Histogram, Registry};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Number of power-of-two latency buckets (µs): bucket `k` counts
-/// requests with `latency_us` in `[2^k, 2^(k+1))` (bucket 0 also takes
-/// sub-µs requests, the last bucket everything beyond).
+/// Number of power-of-two latency buckets (µs) in [`LatencyHistogram`]
+/// snapshots: bucket `k` counts requests with `latency_us` in
+/// `[2^k, 2^(k+1))` (bucket 0 also takes sub-µs requests, the last
+/// bucket everything beyond).
 pub const LATENCY_BUCKETS: usize = 32;
 
-/// Histogram over request latencies, log₂-spaced in microseconds.
-#[derive(Default)]
+/// Histogram over request latencies, log₂-spaced in microseconds — a
+/// view over the registry's [`Log2Histogram`] that keeps the historical
+/// 32-bucket snapshot shape (the underlying instrument spans all 64
+/// power-of-two buckets; the text exposition renders those directly).
 pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
+    inner: Arc<Log2Histogram>,
 }
 
 impl LatencyHistogram {
     pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros() as u64;
-        let bucket = if us == 0 {
-            0
-        } else {
-            (63 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
-        };
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.inner.record_duration(latency);
     }
 
-    /// Bucket counts, index `k` covering `[2^k, 2^(k+1))` µs.
+    /// Bucket counts, index `k` covering `[2^k, 2^(k+1))` µs; counts
+    /// beyond the last bucket's range fold into it.
     pub fn snapshot(&self) -> [u64; LATENCY_BUCKETS] {
-        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+        let full = self.inner.snapshot();
+        let mut out = [0u64; LATENCY_BUCKETS];
+        for (k, &c) in full.iter().enumerate() {
+            out[k.min(LATENCY_BUCKETS - 1)] += c;
+        }
+        out
+    }
+
+    /// Explicit inclusive `(lower, upper)` µs bounds of snapshot bucket
+    /// `k` — the semantics the text exposition's `le="..."` labels use.
+    pub fn bucket_bounds_us(k: usize) -> (u64, u64) {
+        assert!(k < LATENCY_BUCKETS);
+        if k == LATENCY_BUCKETS - 1 {
+            // the fold-in tail bucket is unbounded above
+            (1u64 << k, u64::MAX)
+        } else {
+            Log2Histogram::bucket_bounds(k)
+        }
+    }
+
+    /// Human-readable bound label for snapshot bucket `k`, e.g.
+    /// `"512..1023us"`.
+    pub fn bucket_label(k: usize) -> String {
+        let (lo, hi) = Self::bucket_bounds_us(k);
+        if hi == u64::MAX {
+            format!("{lo}..+Infus")
+        } else {
+            format!("{lo}..{hi}us")
+        }
     }
 
     /// Total recorded observations.
     pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+        self.inner.count()
     }
 
     /// Approximate quantile (bucket upper bound), `q` in `[0, 1]`.
     pub fn quantile_us(&self, q: f64) -> u64 {
-        let counts = self.snapshot();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
-        let mut seen = 0;
-        for (k, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return 1u64 << (k + 1);
-            }
-        }
-        u64::MAX
+        self.inner.quantile(q)
     }
 }
 
 /// Live counters of an [`crate::OptimizerService`].
-#[derive(Default)]
 pub struct ServiceStats {
+    registry: Registry,
     /// Requests served from the cache (template instantiated).
-    pub hits: AtomicU64,
+    pub hits: Arc<Counter>,
     /// Requests that ran the full pipeline.
-    pub misses: AtomicU64,
+    pub misses: Arc<Counter>,
     /// Requests that piggybacked on an identical in-flight optimization.
-    pub coalesced: AtomicU64,
+    pub coalesced: Arc<Counter>,
     /// Cache hits rejected by the cost re-check (the cached template
     /// priced worse than the caller's own plan at their sizes) and
     /// re-optimized from scratch.
-    pub cost_rejections: AtomicU64,
+    pub cost_rejections: Arc<Counter>,
     /// End-to-end request latencies (hits and misses alike).
     pub latency: LatencyHistogram,
+    /// Evictions live on the caches, not here; this gauge mirrors their
+    /// sum into the exposition at render time.
+    evictions: Arc<Gauge>,
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        let registry = Registry::new();
+        let hits = registry.counter("spores.service.hits");
+        let misses = registry.counter("spores.service.misses");
+        let coalesced = registry.counter("spores.service.coalesced");
+        let cost_rejections = registry.counter("spores.service.cost_rejections");
+        let evictions = registry.gauge("spores.service.evictions");
+        let latency = LatencyHistogram {
+            inner: registry.histogram("spores.service.latency_us"),
+        };
+        ServiceStats {
+            registry,
+            hits,
+            misses,
+            coalesced,
+            cost_rejections,
+            latency,
+            evictions,
+        }
+    }
 }
 
 impl ServiceStats {
@@ -77,14 +126,24 @@ impl ServiceStats {
     /// ([`crate::OptimizerService::stats`]).
     pub fn snapshot(&self, evictions: u64) -> StatsSnapshot {
         StatsSnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            coalesced: self.coalesced.get(),
             evictions,
-            cost_rejections: self.cost_rejections.load(Ordering::Relaxed),
+            cost_rejections: self.cost_rejections.get(),
             latency_p50_us: self.latency.quantile_us(0.5),
             latency_p99_us: self.latency.quantile_us(0.99),
         }
+    }
+
+    /// Prometheus-style text exposition of every service metric:
+    /// `spores_service_{hits,misses,coalesced,cost_rejections,evictions}`
+    /// plus the `spores_service_latency_us` histogram with explicit
+    /// `le="<µs>"` bucket bounds (the same log2 bounds
+    /// [`LatencyHistogram::bucket_bounds_us`] documents).
+    pub fn render_text(&self, evictions: u64) -> String {
+        self.evictions.set(evictions as i64);
+        self.registry.render_text()
     }
 }
 
@@ -123,7 +182,8 @@ mod tests {
 
     #[test]
     fn histogram_buckets_are_log2_us() {
-        let h = LatencyHistogram::default();
+        let s = ServiceStats::default();
+        let h = &s.latency;
         h.record(Duration::from_micros(1));
         h.record(Duration::from_micros(3));
         h.record(Duration::from_micros(1000));
@@ -136,7 +196,8 @@ mod tests {
 
     #[test]
     fn quantiles_are_monotone() {
-        let h = LatencyHistogram::default();
+        let s = ServiceStats::default();
+        let h = &s.latency;
         for us in [1u64, 2, 4, 8, 16, 500, 1000, 100_000] {
             h.record(Duration::from_micros(us));
         }
@@ -145,12 +206,61 @@ mod tests {
     }
 
     #[test]
+    fn bucket_bounds_match_snapshot_semantics() {
+        assert_eq!(LatencyHistogram::bucket_bounds_us(0), (0, 1));
+        assert_eq!(LatencyHistogram::bucket_bounds_us(9), (512, 1023));
+        assert_eq!(
+            LatencyHistogram::bucket_bounds_us(LATENCY_BUCKETS - 1),
+            (1 << (LATENCY_BUCKETS - 1), u64::MAX),
+            "the tail bucket absorbs everything beyond"
+        );
+        assert_eq!(LatencyHistogram::bucket_label(9), "512..1023us");
+        // A sample beyond the 32-bucket range folds into the tail bucket
+        // of the snapshot view.
+        let s = ServiceStats::default();
+        s.latency.record(Duration::from_secs(1 << 40));
+        assert_eq!(s.latency.snapshot()[LATENCY_BUCKETS - 1], 1);
+    }
+
+    #[test]
     fn hit_rate() {
         let s = ServiceStats::default();
-        s.hits.fetch_add(3, Ordering::Relaxed);
-        s.misses.fetch_add(1, Ordering::Relaxed);
+        s.hits.add(3);
+        s.misses.add(1);
         let snap = s.snapshot(0);
         assert_eq!(snap.requests(), 4);
         assert!((snap.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_text_exposes_all_counters_with_labeled_buckets() {
+        let s = ServiceStats::default();
+        s.hits.add(5);
+        s.misses.add(2);
+        s.coalesced.add(1);
+        s.cost_rejections.add(1);
+        s.latency.record(Duration::from_micros(700));
+        let text = s.render_text(9);
+        for line in [
+            "spores_service_hits 5",
+            "spores_service_misses 2",
+            "spores_service_coalesced 1",
+            "spores_service_cost_rejections 1",
+            "spores_service_evictions 9",
+            "spores_service_latency_us_bucket{le=\"1023\"} 1",
+            "spores_service_latency_us_bucket{le=\"+Inf\"} 1",
+            "spores_service_latency_us_count 1",
+        ] {
+            assert!(text.contains(line), "missing '{line}' in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn stats_registries_are_isolated_per_service() {
+        let a = ServiceStats::default();
+        let b = ServiceStats::default();
+        a.hits.add(7);
+        assert_eq!(b.snapshot(0).hits, 0);
+        assert!(b.render_text(0).contains("spores_service_hits 0"));
     }
 }

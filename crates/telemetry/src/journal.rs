@@ -1,0 +1,362 @@
+//! The lock-sharded in-memory event journal and span guards.
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Number of mutex-guarded journal shards. Threads pick a shard by
+/// thread id, so writers contend only when more than `SHARDS` threads
+/// record simultaneously.
+const SHARDS: usize = 16;
+
+/// Journal capacity cap, per shard. A service left tracing for hours
+/// must not grow without bound: past the cap new events are counted as
+/// dropped instead of stored ([`Journal::dropped`]).
+const MAX_EVENTS_PER_SHARD: usize = 1 << 20;
+
+/// A span/event argument value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::Int(v)
+    }
+}
+impl From<i32> for ArgValue {
+    fn from(v: i32) -> Self {
+        ArgValue::Int(v as i64)
+    }
+}
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::UInt(v)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::UInt(v as u64)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::UInt(v as u64)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Float(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+impl From<&String> for ArgValue {
+    fn from(v: &String) -> Self {
+        ArgValue::Str(v.clone())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// Event arguments: static keys, owned values.
+pub type Args = Vec<(&'static str, ArgValue)>;
+
+/// What an [`Event`] marks.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span opened (Chrome `ph: "B"`).
+    Begin,
+    /// Span closed (Chrome `ph: "E"`).
+    End,
+    /// Point event with no duration (Chrome `ph: "i"`).
+    Mark,
+}
+
+/// One journal entry.
+#[derive(Clone, Debug)]
+pub struct Event {
+    pub name: Cow<'static, str>,
+    pub kind: EventKind,
+    /// Microseconds since the journal's clock epoch (monotonic).
+    pub ts_us: u64,
+    /// Global allocation order; the total-order tie-break for events in
+    /// the same microsecond.
+    pub seq: u64,
+    /// Recording thread (stable small integer per thread, not the OS
+    /// thread id).
+    pub tid: u64,
+    pub args: Args,
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// This thread's stable journal id (allocated on first use, starts at 1).
+pub fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// The lock-sharded event journal. Each recording thread appends to the
+/// shard its thread id hashes to; [`Journal::drain`] merges the shards
+/// back into one globally ordered sequence.
+pub struct Journal {
+    shards: Vec<Mutex<Vec<Event>>>,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    epoch: Instant,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::new()
+    }
+}
+
+impl Journal {
+    pub fn new() -> Journal {
+        Journal {
+            shards: (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds since this journal's epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Append one event (timestamped now, on the caller's thread).
+    pub fn record(&self, name: Cow<'static, str>, kind: EventKind, args: Args) {
+        let tid = current_tid();
+        let event = Event {
+            name,
+            kind,
+            ts_us: self.now_us(),
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            tid,
+            args,
+        };
+        let mut shard = self.shards[(tid as usize) % SHARDS].lock().unwrap();
+        if shard.len() >= MAX_EVENTS_PER_SHARD {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        shard.push(event);
+    }
+
+    /// Point event.
+    pub fn mark(&self, name: impl Into<Cow<'static, str>>, args: Args) {
+        self.record(name.into(), EventKind::Mark, args);
+    }
+
+    /// Events recorded so far (across all shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events refused because a shard hit its capacity cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Take every event, leaving the journal empty. The result is one
+    /// globally ordered sequence: sorted by timestamp, ties broken by
+    /// the global allocation order, so per-thread begin/end nesting is
+    /// preserved no matter which shard an event landed in.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.append(&mut shard.lock().unwrap());
+        }
+        out.sort_by_key(|e| (e.ts_us, e.seq));
+        out
+    }
+}
+
+/// RAII span handle: records a [`EventKind::Begin`] event on creation
+/// (via [`crate::span!`]) and the matching [`EventKind::End`] on drop.
+/// Arguments added with [`SpanGuard::arg`] ride on the end event.
+pub struct SpanGuard {
+    /// `None` = telemetry was disabled at creation; drop is a no-op.
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    name: Cow<'static, str>,
+    end_args: Args,
+}
+
+impl SpanGuard {
+    /// The inert guard handed out while collection is disabled.
+    #[inline(always)]
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { active: None }
+    }
+
+    /// Open a span on the global journal (the [`crate::span!`] macro
+    /// checks [`crate::enabled`] first; callers using this directly
+    /// should too).
+    pub fn begin(name: impl Into<Cow<'static, str>>, args: Args) -> SpanGuard {
+        let name = name.into();
+        crate::global()
+            .journal()
+            .record(name.clone(), EventKind::Begin, args);
+        SpanGuard {
+            active: Some(ActiveSpan {
+                name,
+                end_args: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attach an argument to the span's end event (e.g. a result only
+    /// known once the work completes). No-op on a disabled guard.
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if let Some(active) = &mut self.active {
+            active.end_args.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            crate::global()
+                .journal()
+                .record(active.name, EventKind::End, active.end_args);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    const THREADS: usize = 8;
+    const SPANS_PER_THREAD: usize = 200;
+
+    #[test]
+    fn concurrent_recorders_preserve_per_thread_nesting() {
+        let journal = Journal::new();
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..SPANS_PER_THREAD {
+                        journal.record("outer".into(), EventKind::Begin, Vec::new());
+                        journal.record("inner".into(), EventKind::Begin, Vec::new());
+                        journal.record("inner".into(), EventKind::End, Vec::new());
+                        journal.record("outer".into(), EventKind::End, Vec::new());
+                    }
+                });
+            }
+        });
+        assert_eq!(journal.len(), THREADS * SPANS_PER_THREAD * 4);
+        assert_eq!(journal.dropped(), 0);
+        let events = journal.drain();
+        assert!(journal.is_empty(), "drain leaves the journal empty");
+        // Replaying each thread's events must show balanced, properly
+        // nested begin/end pairs even though shards interleave threads.
+        let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+        let mut tids = std::collections::BTreeSet::new();
+        for e in &events {
+            tids.insert(e.tid);
+            let stack = stacks.entry(e.tid).or_default();
+            match e.kind {
+                EventKind::Begin => stack.push(e.name.to_string()),
+                EventKind::End => {
+                    assert_eq!(stack.pop().as_deref(), Some(&*e.name), "misnested");
+                }
+                EventKind::Mark => {}
+            }
+        }
+        assert_eq!(tids.len(), THREADS);
+        assert!(stacks.values().all(Vec::is_empty), "unbalanced spans");
+    }
+
+    #[test]
+    fn sharded_flush_is_globally_ordered() {
+        let journal = Journal::new();
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for i in 0..SPANS_PER_THREAD {
+                        journal.mark("tick", vec![("i", ArgValue::from(i))]);
+                    }
+                });
+            }
+        });
+        let events = journal.drain();
+        assert_eq!(events.len(), THREADS * SPANS_PER_THREAD);
+        // Drain merges the shards into (ts, seq) order: timestamps never
+        // go backwards, and equal timestamps keep allocation order.
+        for pair in events.windows(2) {
+            assert!(
+                (pair[0].ts_us, pair[0].seq) < (pair[1].ts_us, pair[1].seq),
+                "drain output not globally ordered"
+            );
+        }
+        // Per-thread timestamps are monotone too (each thread records in
+        // program order) — the invariant the Chrome exporter needs.
+        let mut last: BTreeMap<u64, u64> = BTreeMap::new();
+        for e in &events {
+            if let Some(&prev) = last.get(&e.tid) {
+                assert!(e.ts_us >= prev);
+            }
+            last.insert(e.tid, e.ts_us);
+        }
+    }
+
+    #[test]
+    fn concurrent_span_guards_balance_on_global_journal() {
+        let _guard = crate::tests::GLOBAL_LOCK.lock().unwrap();
+        crate::reset();
+        crate::set_enabled(true);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    for i in 0..16 {
+                        let _outer = crate::span!("work.outer", thread = t, i = i);
+                        let _inner = crate::span!("work.inner");
+                    }
+                });
+            }
+        });
+        crate::set_enabled(false);
+        let events = crate::drain();
+        assert_eq!(events.len(), THREADS * 16 * 4);
+        // The exported trace of a concurrent run must pass the schema
+        // checker: balanced B/E per thread, monotone timestamps.
+        let check =
+            crate::validate_chrome_trace(&crate::chrome_trace_json(&events)).expect("valid trace");
+        assert_eq!(check.spans("work.outer"), (THREADS * 16) as u64);
+        assert_eq!(check.spans("work.inner"), (THREADS * 16) as u64);
+    }
+}

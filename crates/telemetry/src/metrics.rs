@@ -1,0 +1,513 @@
+//! Metric instruments (counters, gauges, log2 histograms) and the named
+//! registry with Prometheus-style text exposition.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Number of log2 histogram buckets. Bucket `k` covers the value range
+/// `[2^k, 2^(k+1))` (bucket 0 additionally holds zero), so 64 buckets
+/// span the full `u64` domain.
+pub const LOG2_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn zero(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn zero(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A histogram over `u64` samples with power-of-two bucket bounds:
+/// bucket `k` counts samples in `[2^k, 2^(k+1))`, with zero landing in
+/// bucket 0. Constant memory, lock-free recording — the same shape
+/// `ServiceStats` used for request latencies, now shared.
+pub struct Log2Histogram {
+    buckets: [AtomicU64; LOG2_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    pub fn new() -> Log2Histogram {
+        Log2Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a sample.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive `(lower, upper)` value bounds of bucket `k`.
+    pub fn bucket_bounds(k: usize) -> (u64, u64) {
+        let lower = if k == 0 { 0 } else { 1u64 << k };
+        let upper = if k >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (k + 1)) - 1
+        };
+        (lower, upper)
+    }
+
+    /// Human-readable bound label for bucket `k`, e.g. `"16..31"`.
+    pub fn bucket_label(k: usize) -> String {
+        let (lo, hi) = Self::bucket_bounds(k);
+        format!("{lo}..{hi}")
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Per-bucket counts.
+    pub fn snapshot(&self) -> [u64; LOG2_BUCKETS] {
+        std::array::from_fn(|k| self.buckets[k].load(Ordering::Relaxed))
+    }
+
+    pub fn count(&self) -> u64 {
+        self.snapshot().iter().sum()
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Conservative quantile estimate: the exclusive upper bound
+    /// `2^(k+1)` of the bucket containing the `q`-quantile sample
+    /// (0 when empty). Matches the historical `ServiceStats` estimate.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let snap = self.snapshot();
+        let total: u64 = snap.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (k, &c) in snap.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if k >= 63 { u64::MAX } else { 1u64 << (k + 1) };
+            }
+        }
+        u64::MAX
+    }
+
+    fn zero(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+/// One row of [`Registry::counter_values`]: `(name, labels, value)`.
+pub type CounterValue = (String, Vec<(String, String)>, u64);
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Log2Histogram>),
+}
+
+/// A named collection of instruments. Instrument lookup takes a lock;
+/// callers on hot paths fetch their `Arc` handle once and record through
+/// it lock-free afterwards (see [`CounterHandle`]).
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        MetricKey {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Get or create an unlabeled counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_labeled(name, &[])
+    }
+
+    /// Get or create a counter with labels (e.g. `rule="mul-assoc"`).
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().unwrap();
+        let entry = metrics
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
+        match entry {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric '{name}' already registered with a different type"),
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().unwrap();
+        let entry = metrics
+            .entry(Self::key(name, &[]))
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
+        match entry {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric '{name}' already registered with a different type"),
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Log2Histogram> {
+        let mut metrics = self.metrics.lock().unwrap();
+        let entry = metrics
+            .entry(Self::key(name, &[]))
+            .or_insert_with(|| Metric::Histogram(Arc::new(Log2Histogram::new())));
+        match entry {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric '{name}' already registered with a different type"),
+        }
+    }
+
+    /// Sum of a counter's value across all label sets. Zero if the
+    /// counter was never registered.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        let metrics = self.metrics.lock().unwrap();
+        metrics
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, m)| match m {
+                Metric::Counter(c) => c.get(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// All counter values: `(name, labels, value)` triples, sorted by
+    /// name then labels.
+    pub fn counter_values(&self) -> Vec<CounterValue> {
+        let metrics = self.metrics.lock().unwrap();
+        metrics
+            .iter()
+            .filter_map(|(k, m)| match m {
+                Metric::Counter(c) => Some((k.name.clone(), k.labels.clone(), c.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Reset every instrument to zero. Entries (and outstanding `Arc`
+    /// handles) stay valid — only values are cleared.
+    pub fn zero(&self) {
+        let metrics = self.metrics.lock().unwrap();
+        for metric in metrics.values() {
+            match metric {
+                Metric::Counter(c) => c.zero(),
+                Metric::Gauge(g) => g.zero(),
+                Metric::Histogram(h) => h.zero(),
+            }
+        }
+    }
+
+    /// Prometheus-style text exposition. Metric names are sanitized
+    /// (`.` and `-` become `_`); histograms render cumulative
+    /// `_bucket{le="..."}` lines with explicit inclusive upper bounds
+    /// (`le="1"`, `le="3"`, `le="7"`, ... — the log2 bucket bounds),
+    /// plus `_sum` and `_count`.
+    pub fn render_text(&self) -> String {
+        let metrics = self.metrics.lock().unwrap();
+        let mut out = String::new();
+        let mut last_typed: Option<(String, &'static str)> = None;
+        for (key, metric) in metrics.iter() {
+            let name = sanitize(&key.name);
+            let kind = match metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            if last_typed.as_ref() != Some(&(name.clone(), kind)) {
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+                last_typed = Some((name.clone(), kind));
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&name);
+                    render_labels(&mut out, &key.labels, None);
+                    out.push_str(&format!(" {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&name);
+                    render_labels(&mut out, &key.labels, None);
+                    out.push_str(&format!(" {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let total: u64 = snap.iter().sum();
+                    let top = snap
+                        .iter()
+                        .rposition(|&c| c > 0)
+                        .map(|k| k + 1)
+                        .unwrap_or(0);
+                    let mut cumulative = 0u64;
+                    for (k, &c) in snap.iter().enumerate().take(top) {
+                        cumulative += c;
+                        let (_, upper) = Log2Histogram::bucket_bounds(k);
+                        out.push_str(&format!("{name}_bucket"));
+                        render_labels(&mut out, &key.labels, Some(&upper.to_string()));
+                        out.push_str(&format!(" {cumulative}\n"));
+                    }
+                    out.push_str(&format!("{name}_bucket"));
+                    render_labels(&mut out, &key.labels, Some("+Inf"));
+                    out.push_str(&format!(" {total}\n"));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+                    out.push_str(&format!("{name}_count {total}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c == '.' || c == '-' { '_' } else { c })
+        .collect()
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{}=\"{}\"", sanitize(k), v.replace('"', "\\\"")));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("le=\"{le}\""));
+    }
+    out.push('}');
+}
+
+/// A const-constructible static handle to a counter in the **global**
+/// registry, for hook sites deep in library code:
+///
+/// ```
+/// static MEMO_HITS: spores_telemetry::CounterHandle =
+///     spores_telemetry::CounterHandle::new("exec.memo_hits");
+/// MEMO_HITS.add(1);
+/// ```
+///
+/// `add` is gated on [`crate::enabled`] (one relaxed load when off) and
+/// resolves the registry entry once, on first enabled use.
+pub struct CounterHandle {
+    name: &'static str,
+    cell: OnceLock<Arc<Counter>>,
+}
+
+impl CounterHandle {
+    pub const fn new(name: &'static str) -> CounterHandle {
+        CounterHandle {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.resolve().add(n);
+        }
+    }
+
+    /// Current value (0 if never recorded).
+    pub fn get(&self) -> u64 {
+        self.resolve().get()
+    }
+
+    fn resolve(&self) -> &Arc<Counter> {
+        self.cell
+            .get_or_init(|| crate::global().registry().counter(self.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_histogram_buckets_and_quantiles() {
+        let h = Log2Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1000);
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 2, "0 and 1 land in bucket 0");
+        assert_eq!(snap[1], 2, "2 and 3 land in bucket 1");
+        assert_eq!(snap[9], 1, "1000 lands in [512, 1024)");
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.quantile(0.5), 4, "median bucket 1 → upper bound 4");
+        assert_eq!(h.quantile(0.99), 1024);
+        assert_eq!(Log2Histogram::bucket_bounds(0), (0, 1));
+        assert_eq!(Log2Histogram::bucket_bounds(9), (512, 1023));
+        assert_eq!(Log2Histogram::bucket_label(4), "16..31");
+    }
+
+    #[test]
+    fn registry_render_text_exposition() {
+        let r = Registry::new();
+        r.counter("svc.hits").add(3);
+        r.counter_labeled("rule.applied", &[("rule", "mul-assoc")])
+            .add(2);
+        r.counter_labeled("rule.applied", &[("rule", "sum-pull")])
+            .add(5);
+        r.gauge("svc.evictions").set(7);
+        let h = r.histogram("svc.latency_us");
+        h.record(1);
+        h.record(700);
+        let text = r.render_text();
+        assert!(
+            text.contains("# TYPE svc_hits counter\nsvc_hits 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rule_applied{rule=\"mul-assoc\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rule_applied{rule=\"sum-pull\"} 5\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE svc_evictions gauge\nsvc_evictions 7\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("svc_latency_us_bucket{le=\"1\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("svc_latency_us_bucket{le=\"1023\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("svc_latency_us_bucket{le=\"+Inf\"} 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("svc_latency_us_sum 701\n"), "{text}");
+        assert!(text.contains("svc_latency_us_count 2\n"), "{text}");
+        // The `# TYPE` header appears once per metric name, not per label set.
+        assert_eq!(text.matches("# TYPE rule_applied counter").count(), 1);
+    }
+
+    #[test]
+    fn registry_zero_keeps_handles_valid() {
+        let r = Registry::new();
+        let c = r.counter("a");
+        c.add(9);
+        let h = r.histogram("b");
+        h.record(100);
+        r.zero();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.add(1);
+        assert_eq!(r.counter("a").get(), 1, "same underlying counter");
+        assert_eq!(r.counter_sum("a"), 1);
+    }
+
+    #[test]
+    fn counter_sum_across_labels() {
+        let r = Registry::new();
+        r.counter_labeled("x", &[("rule", "a")]).add(2);
+        r.counter_labeled("x", &[("rule", "b")]).add(3);
+        r.counter("y").add(10);
+        assert_eq!(r.counter_sum("x"), 5);
+        assert_eq!(r.counter_values().len(), 3);
+    }
+}

@@ -1,0 +1,299 @@
+//! Chrome trace-event export, a schema checker for the emitted JSON,
+//! and span aggregation for phase breakdowns.
+
+use crate::journal::{ArgValue, Event, EventKind};
+use crate::json::{escape_into, parse_json, Json};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Serialize journal events as Chrome trace-event JSON
+/// (`{"traceEvents": [...]}`), loadable in `chrome://tracing` or
+/// <https://ui.perfetto.dev>. Begin/End events map to `ph: "B"`/`"E"`,
+/// marks to instant events (`ph: "i"`); timestamps are microseconds
+/// since the journal epoch.
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 32);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        escape_into(&mut out, &e.name);
+        out.push_str(",\"cat\":\"spores\",\"ph\":\"");
+        out.push_str(match e.kind {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Mark => "i",
+        });
+        out.push_str(&format!(
+            "\",\"ts\":{},\"pid\":1,\"tid\":{}",
+            e.ts_us, e.tid
+        ));
+        if e.kind == EventKind::Mark {
+            out.push_str(",\"s\":\"t\"");
+        }
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                escape_into(&mut out, k);
+                out.push(':');
+                match v {
+                    ArgValue::Int(n) => out.push_str(&n.to_string()),
+                    ArgValue::UInt(n) => out.push_str(&n.to_string()),
+                    ArgValue::Float(f) if f.is_finite() => out.push_str(&format!("{f}")),
+                    ArgValue::Float(_) => out.push_str("null"),
+                    ArgValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                    ArgValue::Str(s) => escape_into(&mut out, s),
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// What [`validate_chrome_trace`] learned about a well-formed trace.
+#[derive(Debug, Default)]
+pub struct TraceCheck {
+    /// Total trace events.
+    pub events: usize,
+    /// Completed spans (matched B/E pairs plus `X` events) per name.
+    pub span_counts: BTreeMap<String, u64>,
+}
+
+impl TraceCheck {
+    /// Completed spans named `name`.
+    pub fn spans(&self, name: &str) -> u64 {
+        self.span_counts.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Schema-check a Chrome trace-event JSON document: a `traceEvents`
+/// array whose entries carry `name`/`ph`/`ts`/`pid`/`tid`, with
+/// balanced and properly nested B/E events per thread (E must close the
+/// innermost open B of the same name), non-decreasing timestamps per
+/// thread, and `dur` present on `X` events. This is what CI runs
+/// against `profile_workload --trace-out` artifacts.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing 'traceEvents' key")?
+        .as_arr()
+        .ok_or("'traceEvents' is not an array")?;
+    let mut check = TraceCheck {
+        events: events.len(),
+        ..TraceCheck::default()
+    };
+    // Per-(pid, tid) open-span stack; per-(pid, tid) last timestamp.
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let obj = event.as_obj().ok_or(format!("event {i}: not an object"))?;
+        let name = obj
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing string 'name'"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing string 'ph'"))?;
+        // Metadata events carry no timeline position; skip the rest.
+        if ph == "M" {
+            continue;
+        }
+        let ts = obj
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing numeric 'ts'"))?;
+        let pid = obj
+            .get("pid")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing numeric 'pid'"))? as u64;
+        let tid = obj
+            .get("tid")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing numeric 'tid'"))? as u64;
+        let lane = (pid, tid);
+        if let Some(&prev) = last_ts.get(&lane) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i} ('{name}'): ts {ts} goes backwards on tid {tid} (prev {prev})"
+                ));
+            }
+        }
+        last_ts.insert(lane, ts);
+        match ph {
+            "B" => stacks.entry(lane).or_default().push(name.to_string()),
+            "E" => {
+                let open = stacks.entry(lane).or_default().pop().ok_or(format!(
+                    "event {i}: 'E' for '{name}' with no open span on tid {tid}"
+                ))?;
+                if open != name {
+                    return Err(format!(
+                        "event {i}: 'E' for '{name}' but innermost open span on tid {tid} is '{open}'"
+                    ));
+                }
+                *check.span_counts.entry(open).or_default() += 1;
+            }
+            "X" => {
+                obj.get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("event {i}: 'X' event missing numeric 'dur'"))?;
+                *check.span_counts.entry(name.to_string()).or_default() += 1;
+            }
+            "i" | "I" => {}
+            other => return Err(format!("event {i}: unknown phase '{other}'")),
+        }
+    }
+    for ((pid, tid), stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "unbalanced trace: span '{open}' on pid {pid} tid {tid} never closed ({} open)",
+                stack.len()
+            ));
+        }
+    }
+    Ok(check)
+}
+
+/// Aggregated wall time per span name, from [`span_durations`].
+#[derive(Debug, Default)]
+pub struct SpanTotals {
+    totals: BTreeMap<String, (Duration, u64)>,
+}
+
+impl SpanTotals {
+    /// Total wall time across completed spans named `name`.
+    pub fn total(&self, name: &str) -> Duration {
+        self.totals.get(name).map(|(d, _)| *d).unwrap_or_default()
+    }
+
+    /// Number of completed spans named `name`.
+    pub fn count(&self, name: &str) -> u64 {
+        self.totals.get(name).map(|(_, c)| *c).unwrap_or(0)
+    }
+
+    /// `(name, total, count)` rows, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Duration, u64)> {
+        self.totals.iter().map(|(n, (d, c))| (n.as_str(), *d, *c))
+    }
+}
+
+/// Fold a drained journal into per-name span totals by replaying each
+/// thread's begin/end stack. Unclosed spans are ignored.
+pub fn span_durations(events: &[Event]) -> SpanTotals {
+    let mut stacks: BTreeMap<u64, Vec<(&str, u64)>> = BTreeMap::new();
+    let mut totals = SpanTotals::default();
+    for e in events {
+        match e.kind {
+            EventKind::Begin => stacks.entry(e.tid).or_default().push((&e.name, e.ts_us)),
+            EventKind::End => {
+                if let Some((name, begin_ts)) = stacks.entry(e.tid).or_default().pop() {
+                    let entry = totals.totals.entry(name.to_string()).or_default();
+                    entry.0 += Duration::from_micros(e.ts_us.saturating_sub(begin_ts));
+                    entry.1 += 1;
+                }
+            }
+            EventKind::Mark => {}
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn ev(name: &'static str, kind: EventKind, ts_us: u64, seq: u64, tid: u64) -> Event {
+        Event {
+            name: Cow::Borrowed(name),
+            kind,
+            ts_us,
+            seq,
+            tid,
+            args: Vec::new(),
+        }
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            ev("outer", EventKind::Begin, 0, 0, 1),
+            ev("inner", EventKind::Begin, 10, 1, 1),
+            ev("other-thread", EventKind::Begin, 12, 2, 2),
+            ev("mark", EventKind::Mark, 15, 3, 1),
+            ev("inner", EventKind::End, 30, 4, 1),
+            ev("other-thread", EventKind::End, 35, 5, 2),
+            ev("outer", EventKind::End, 50, 6, 1),
+        ]
+    }
+
+    #[test]
+    fn export_roundtrips_through_validator() {
+        let mut events = sample_events();
+        events[0].args = vec![
+            ("iter", ArgValue::UInt(3)),
+            ("tag", ArgValue::Str("a\"b".into())),
+        ];
+        let json = chrome_trace_json(&events);
+        let check = validate_chrome_trace(&json).unwrap();
+        assert_eq!(check.events, 7);
+        assert_eq!(check.spans("outer"), 1);
+        assert_eq!(check.spans("inner"), 1);
+        assert_eq!(check.spans("other-thread"), 1);
+        assert_eq!(check.spans("mark"), 0, "instant events are not spans");
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_and_misnested() {
+        // Unclosed span.
+        let json = chrome_trace_json(&[ev("open", EventKind::Begin, 0, 0, 1)]);
+        assert!(validate_chrome_trace(&json)
+            .unwrap_err()
+            .contains("never closed"));
+        // End with nothing open.
+        let json = chrome_trace_json(&[ev("stray", EventKind::End, 0, 0, 1)]);
+        assert!(validate_chrome_trace(&json)
+            .unwrap_err()
+            .contains("no open span"));
+        // Misnested names.
+        let json = chrome_trace_json(&[
+            ev("a", EventKind::Begin, 0, 0, 1),
+            ev("b", EventKind::Begin, 1, 1, 1),
+            ev("a", EventKind::End, 2, 2, 1),
+        ]);
+        assert!(validate_chrome_trace(&json)
+            .unwrap_err()
+            .contains("innermost"));
+        // Backwards timestamps on one thread.
+        let json = chrome_trace_json(&[
+            ev("a", EventKind::Begin, 10, 0, 1),
+            ev("a", EventKind::End, 5, 1, 1),
+        ]);
+        assert!(validate_chrome_trace(&json)
+            .unwrap_err()
+            .contains("backwards"));
+        // Structurally broken documents.
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":3}").is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+    }
+
+    #[test]
+    fn span_durations_folds_nested_spans() {
+        let totals = span_durations(&sample_events());
+        assert_eq!(totals.total("outer"), Duration::from_micros(50));
+        assert_eq!(totals.total("inner"), Duration::from_micros(20));
+        assert_eq!(totals.total("other-thread"), Duration::from_micros(23));
+        assert_eq!(totals.count("outer"), 1);
+        assert_eq!(totals.count("missing"), 0);
+        assert_eq!(totals.iter().count(), 3);
+    }
+}

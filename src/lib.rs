@@ -18,6 +18,10 @@
 //! * [`ml`] — the five evaluation workloads: ALS, GLM, SVM, MLR, PNMF.
 //! * [`service`] — the concurrent optimizer front-end: worker pool,
 //!   single-flight coalescing, and the shape-polymorphic plan cache.
+//! * [`telemetry`] — the unified tracing + metrics facade: structured
+//!   spans over the whole hot path, Chrome-trace export, and the
+//!   Prometheus-style text exposition behind
+//!   `OptimizerService::metrics_text`.
 
 pub use spores_core as core;
 pub use spores_egraph as egraph;
@@ -28,3 +32,4 @@ pub use spores_matrix as matrix;
 pub use spores_ml as ml;
 pub use spores_service as service;
 pub use spores_systemml as systemml;
+pub use spores_telemetry as telemetry;
