@@ -21,6 +21,23 @@ use std::hint::black_box;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// The 8-thread warm rate may not drop below this fraction of the
+/// 2-thread rate — the regression bar for the warm-path scaling
+/// collapse this bench once exhibited (22.2k req/s at 2 threads falling
+/// to 16.9k at 8 when every probe took an exclusive shard lock).
+const SCALING_FLOOR: f64 = 0.9;
+
+/// Tolerance for the 1→4-thread "monotone non-decreasing" check
+/// (throughput is noisy at bench scale; only real dips should fail).
+const MONOTONE_SLACK: f64 = 0.9;
+
+/// Physical parallelism actually available to this process.
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// The benchmark roster: the four cache-relevant evaluation workloads.
 fn roster() -> Vec<Workload> {
     vec![
@@ -184,6 +201,45 @@ fn smoke() {
         "acceptance: warm cache must be ≥ 10× faster than the cold pipeline, got {worst:.1}×"
     );
     println!("service smoke OK: worst warm speedup {worst:.1}x (bar: 10x)");
+    scaling_guard();
+}
+
+/// Warm throughput across thread counts with the regression bar: on a
+/// multi-core host, 1→4 threads must be monotone non-decreasing (within
+/// noise) and 8 threads must hold ≥ 0.9× the 2-thread rate. Skipped on
+/// single-core hosts, where extra threads only measure fan-out
+/// overhead, not contention (the same footgun the snapshot's
+/// `host_cores` field documents).
+fn scaling_guard() {
+    let cores = host_cores();
+    if cores == 1 {
+        println!(
+            "service smoke: SKIP warm-scaling assertion: host_cores == 1, \
+             multi-thread throughput would only measure fan-out overhead, not speedup"
+        );
+        return;
+    }
+    let rps: Vec<(usize, f64)> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| (threads, warm_throughput(threads, 25)))
+        .collect();
+    for &(threads, r) in &rps {
+        println!("service smoke scaling: {threads} threads → {r:.0} req/s");
+    }
+    for pair in rps[..3].windows(2) {
+        let ((lo_t, lo), (hi_t, hi)) = (pair[0], pair[1]);
+        assert!(
+            hi >= lo * MONOTONE_SLACK,
+            "warm throughput regressed {lo_t}→{hi_t} threads: {lo:.0} → {hi:.0} req/s"
+        );
+    }
+    let two = rps[1].1;
+    let eight = rps[3].1;
+    assert!(
+        eight >= two * SCALING_FLOOR,
+        "warm-path scaling collapse: 8 threads at {eight:.0} req/s < \
+         {SCALING_FLOOR}× the 2-thread rate ({two:.0} req/s)"
+    );
 }
 
 /// Write the `BENCH_service.json` snapshot to the repo root.
@@ -213,14 +269,24 @@ fn emit_snapshot() {
             "    {{ \"threads\": {threads}, \"warm_requests_per_sec\": {rps:.0} }}"
         ));
     }
+    if host_cores() == 1 {
+        println!(
+            "service snapshot: host_cores == 1 — warm_scaling rows measure \
+             fan-out overhead, not speedup"
+        );
+    }
+    // `host_cores` qualifies the scaling table: on a 1-core host the
+    // multi-thread rows measure fan-out overhead, not speedup.
     let json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"service/cold_vs_warm\",\n",
+            "  \"host_cores\": {},\n",
             "  \"workloads\": [\n{}\n  ],\n",
             "  \"warm_scaling\": [\n{}\n  ]\n",
             "}}\n"
         ),
+        host_cores(),
         entries.join(",\n"),
         scaling.join(",\n")
     );

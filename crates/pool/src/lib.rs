@@ -12,8 +12,10 @@
 //!   pool, extracted here so the workspace has one pool implementation
 //!   instead of one per crate.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, SendError, Sender};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, SendError, Sender, SyncSender, TrySendError,
+};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -61,45 +63,122 @@ where
         .collect()
 }
 
+/// Why [`WorkerPool::try_submit`] did not enqueue a job. The job is
+/// handed back in both cases so the caller can retry, run it inline, or
+/// surface backpressure to its own caller.
+#[derive(Debug)]
+pub enum TrySubmitError<J> {
+    /// The bounded queue is at capacity (backpressure signal).
+    Full(J),
+    /// The pool has shut down.
+    Shutdown(J),
+}
+
+enum Queue<J> {
+    Unbounded(Sender<J>),
+    Bounded(SyncSender<J>),
+}
+
 /// Long-lived worker threads draining a channel of jobs.
 ///
 /// Jobs are owned (`'static`) values; the handler runs on whichever
 /// worker dequeues the job first. Dropping the pool closes the channel
 /// and joins every worker, so queued jobs are drained before shutdown
-/// completes. The handler is responsible for its own panic containment:
-/// a panicking handler kills its worker thread (the remaining workers
-/// keep serving), so wrap fallible job bodies in `catch_unwind` when a
-/// lost job would wedge a waiter.
+/// completes.
+///
+/// * [`WorkerPool::new`] builds an **unbounded** queue; [`WorkerPool::bounded`]
+///   caps it, making [`WorkerPool::try_submit`] an explicit backpressure
+///   signal ([`TrySubmitError::Full`]) instead of buffering without limit.
+/// * [`WorkerPool::queue_depth`] reports jobs enqueued but not yet picked
+///   up by a worker — the gauge a serving front-end exports.
+/// * A panicking handler no longer kills its worker: the pool catches the
+///   unwind, counts it ([`WorkerPool::handler_panics`]) and keeps the
+///   thread serving. Handlers that must *resolve* per-job state (wake
+///   waiters, release tickets) still need their own `catch_unwind`,
+///   because the pool-level catch cannot know what a lost job was
+///   supposed to signal.
 pub struct WorkerPool<J: Send + 'static> {
-    tx: Option<Sender<J>>,
+    tx: Option<Queue<J>>,
     workers: Vec<JoinHandle<()>>,
+    depth: Arc<AtomicUsize>,
+    panics: Arc<AtomicU64>,
+    capacity: Option<usize>,
 }
 
 impl<J: Send + 'static> WorkerPool<J> {
     /// Spawn `workers.max(1)` threads named `{name}-{i}` running
-    /// `handler` on each received job.
+    /// `handler` on each received job, with an unbounded queue.
     pub fn new<F>(name: &str, workers: usize, handler: F) -> WorkerPool<J>
     where
         F: Fn(J) + Send + Sync + 'static,
     {
-        let handler = Arc::new(handler);
         let (tx, rx) = channel::<J>();
+        Self::build(name, workers, Queue::Unbounded(tx), rx, None, handler)
+    }
+
+    /// Like [`WorkerPool::new`] but with a bounded queue of `capacity`
+    /// jobs: once full, [`WorkerPool::try_submit`] reports
+    /// [`TrySubmitError::Full`] and [`WorkerPool::submit`] blocks.
+    pub fn bounded<F>(name: &str, workers: usize, capacity: usize, handler: F) -> WorkerPool<J>
+    where
+        F: Fn(J) + Send + Sync + 'static,
+    {
+        let capacity = capacity.max(1);
+        let (tx, rx) = sync_channel::<J>(capacity);
+        Self::build(
+            name,
+            workers,
+            Queue::Bounded(tx),
+            rx,
+            Some(capacity),
+            handler,
+        )
+    }
+
+    fn build<F>(
+        name: &str,
+        workers: usize,
+        tx: Queue<J>,
+        rx: Receiver<J>,
+        capacity: Option<usize>,
+        handler: F,
+    ) -> WorkerPool<J>
+    where
+        F: Fn(J) + Send + Sync + 'static,
+    {
+        let handler = Arc::new(handler);
         let rx = Arc::new(Mutex::new(rx));
+        let depth = Arc::new(AtomicUsize::new(0));
+        let panics = Arc::new(AtomicU64::new(0));
         let workers = (0..workers.max(1))
             .map(|i| {
                 let handler = Arc::clone(&handler);
                 let rx = Arc::clone(&rx);
+                let depth = Arc::clone(&depth);
+                let panics = Arc::clone(&panics);
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
                     .spawn(move || loop {
                         let job = {
-                            let rx = rx.lock().unwrap();
+                            // a worker that panicked *inside the recv
+                            // lock* is impossible (handlers run after the
+                            // guard drops), so a poisoned lock here means
+                            // memory corruption elsewhere — recover the
+                            // receiver rather than cascade the panic
+                            let rx = rx.lock().unwrap_or_else(|p| p.into_inner());
                             match rx.recv() {
                                 Ok(job) => job,
                                 Err(_) => return, // all senders dropped: shutdown
                             }
                         };
-                        handler(job);
+                        depth.fetch_sub(1, Ordering::Relaxed);
+                        // contain handler panics: the worker survives and
+                        // keeps draining the queue
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler(job)));
+                        if outcome.is_err() {
+                            panics.fetch_add(1, Ordering::Relaxed);
+                        }
                     })
                     .expect("spawn pool worker")
             })
@@ -107,15 +186,61 @@ impl<J: Send + 'static> WorkerPool<J> {
         WorkerPool {
             tx: Some(tx),
             workers,
+            depth,
+            panics,
+            capacity,
         }
     }
 
-    /// Enqueue a job. Returns the job back if the pool has shut down.
+    /// Enqueue a job, blocking if a bounded queue is full. Returns the
+    /// job back if the pool has shut down.
     pub fn submit(&self, job: J) -> Result<(), J> {
-        match &self.tx {
-            Some(tx) => tx.send(job).map_err(|SendError(job)| job),
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        let sent = match &self.tx {
+            Some(Queue::Unbounded(tx)) => tx.send(job).map_err(|SendError(job)| job),
+            Some(Queue::Bounded(tx)) => tx.send(job).map_err(|SendError(job)| job),
             None => Err(job),
+        };
+        if sent.is_err() {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
         }
+        sent
+    }
+
+    /// Enqueue a job without blocking. On a bounded pool a full queue
+    /// reports [`TrySubmitError::Full`] — the caller's backpressure
+    /// signal; an unbounded pool never reports `Full`.
+    pub fn try_submit(&self, job: J) -> Result<(), TrySubmitError<J>> {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        let sent = match &self.tx {
+            Some(Queue::Unbounded(tx)) => tx
+                .send(job)
+                .map_err(|SendError(job)| TrySubmitError::Shutdown(job)),
+            Some(Queue::Bounded(tx)) => tx.try_send(job).map_err(|e| match e {
+                TrySendError::Full(job) => TrySubmitError::Full(job),
+                TrySendError::Disconnected(job) => TrySubmitError::Shutdown(job),
+            }),
+            None => Err(TrySubmitError::Shutdown(job)),
+        };
+        if sent.is_err() {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+        }
+        sent
+    }
+
+    /// Jobs submitted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Queue capacity (`None` for unbounded pools).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Handler panics contained by the pool so far.
+    pub fn handler_panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
     }
 
     /// Number of worker threads.
@@ -196,5 +321,78 @@ mod tests {
     fn worker_pool_clamps_to_one_worker() {
         let pool = WorkerPool::new("clamped", 0, |_: ()| {});
         assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.capacity(), None);
+    }
+
+    #[test]
+    fn bounded_pool_reports_full_and_returns_the_job() {
+        // one worker parked on a barrier job; capacity-2 queue
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let pool = {
+            let gate = Arc::clone(&gate);
+            WorkerPool::bounded("bounded", 1, 2, move |j: usize| {
+                if j == 0 {
+                    gate.wait(); // hold the worker until the test releases it
+                }
+            })
+        };
+        assert_eq!(pool.capacity(), Some(2));
+        pool.try_submit(0).unwrap(); // worker picks this up and blocks
+                                     // wait for the worker to actually dequeue job 0 so the queue
+                                     // capacity below is deterministic
+        while pool.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        pool.try_submit(1).unwrap();
+        pool.try_submit(2).unwrap();
+        match pool.try_submit(3) {
+            Err(TrySubmitError::Full(job)) => assert_eq!(job, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(pool.queue_depth(), 2);
+        gate.wait(); // release the worker; drop drains the queue
+    }
+
+    #[test]
+    fn handler_panics_are_contained_and_counted() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let done = Arc::clone(&done);
+            WorkerPool::new("panicky", 1, move |j: usize| {
+                if j.is_multiple_of(2) {
+                    panic!("injected handler panic");
+                }
+                done.fetch_add(j, Ordering::Relaxed);
+            })
+        };
+        for j in 0..10 {
+            pool.submit(j).unwrap();
+        }
+        drop(pool); // drains the queue; panics must not kill the worker
+        assert_eq!(done.load(Ordering::Relaxed), 1 + 3 + 5 + 7 + 9);
+    }
+
+    #[test]
+    fn handler_panics_counter_increments() {
+        let pool = WorkerPool::new("counted", 2, |j: usize| {
+            if j == 7 {
+                panic!("boom");
+            }
+        });
+        for j in 0..10 {
+            pool.submit(j).unwrap();
+        }
+        // spin until the queue drains (workers survive panics)
+        while pool.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        // the panicking job may still be mid-handler; poll briefly
+        for _ in 0..1000 {
+            if pool.handler_panics() == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(pool.handler_panics(), 1);
     }
 }

@@ -4,15 +4,38 @@
 //! *variants*: one size-polymorphic template (valid for any concrete
 //! dimensions of the same shape classes) and/or several size-pinned
 //! templates (plans whose lowering embedded concrete dimension constants,
-//! keyed by the exact per-slot shapes they were optimized for). Lookups
-//! take one shard mutex, chosen by the fingerprint hash, so concurrent
-//! requests for different shapes rarely contend.
+//! keyed by the exact per-slot shapes they were optimized for).
+//!
+//! # Warm-path lock discipline
+//!
+//! Probes are the service's hot path: a warm fleet hammers [`ShardedCache::get`]
+//! from every serving thread. Each shard is a [`RwLock`], so concurrent
+//! probes share read locks and only inserts/evictions take the exclusive
+//! write lock. LRU recency is kept without a read-side RMW: each shard
+//! carries an epoch counter bumped (by 2) per insert, and a probe stamps
+//! its entry with `epoch + 1` via a plain relaxed store — skipped
+//! entirely when the stamp is already current, so steady-state warm hits
+//! issue no shared writes beyond the read-lock word and the returned
+//! `Arc`'s refcount. The resulting order is *epoch-approximate* LRU:
+//! untouched entries age out first, entries probed since the last insert
+//! rank together, and a fresh insert always outranks them.
+//!
+//! # Poison degradation
+//!
+//! A thread that panics while holding a shard's write lock poisons only
+//! that shard. Probes treat a poisoned shard as a miss (counted on
+//! [`CacheInstruments::poisoned`]) instead of propagating the panic into
+//! every subsequent request, and the next insert clears and re-seeds the
+//! shard, so a single panic degrades one shard temporarily rather than
+//! taking the service down.
 
 use spores_core::PhaseTimings;
 use spores_ir::{ExprArena, Fingerprint, NodeId, Shape};
+use spores_telemetry::{Counter, Log2Histogram};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, RwLock, TryLockError};
+use std::time::Instant;
 
 /// An optimized plan over α-slot leaves (`$0`, `$1`, …), ready to be
 /// re-instantiated against a caller's symbols.
@@ -72,36 +95,79 @@ impl CacheEntry for CachedPlan {
 }
 
 struct Entry<P> {
-    plan: std::sync::Arc<P>,
-    last_used: u64,
+    plan: Arc<P>,
+    /// Epoch-approximate recency stamp (see the module docs): written
+    /// under the shard *read* lock by probes, so it must be atomic.
+    last_used: AtomicU64,
 }
 
-struct Shard<P> {
+struct ShardMap<P> {
     entries: HashMap<String, Vec<Entry<P>>>,
     len: usize,
 }
 
-impl<P> Default for Shard<P> {
+impl<P> Default for ShardMap<P> {
     fn default() -> Self {
-        Shard {
+        ShardMap {
             entries: HashMap::new(),
             len: 0,
         }
     }
 }
 
+struct Shard<P> {
+    map: RwLock<ShardMap<P>>,
+    /// Per-shard LRU epoch: bumped by 2 on insert; probes stamp
+    /// `epoch + 1` so a fresh insert always outranks probed entries.
+    epoch: AtomicU64,
+}
+
+impl<P> Default for Shard<P> {
+    fn default() -> Self {
+        Shard {
+            map: RwLock::new(ShardMap::default()),
+            epoch: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Contention/degradation instruments a cache reports into, injected by
+/// the owning service so they live in *its* metrics registry (the
+/// "prove the regression is observable" half of the warm-path fix).
+/// All handles are optional-by-default ([`CacheInstruments::default`]
+/// counts into unregistered instruments that nothing renders).
+#[derive(Clone)]
+pub struct CacheInstruments {
+    /// Probes that found their shard lock held and had to block.
+    pub contended: Arc<Counter>,
+    /// Time (µs) probes spent blocked on a contended shard lock.
+    pub lock_wait_us: Arc<Log2Histogram>,
+    /// Probes/inserts that found their shard poisoned by a panic.
+    pub poisoned: Arc<Counter>,
+}
+
+impl Default for CacheInstruments {
+    fn default() -> Self {
+        CacheInstruments {
+            contended: Arc::new(Counter::new()),
+            lock_wait_us: Arc::new(Log2Histogram::new()),
+            poisoned: Arc::new(Counter::new()),
+        }
+    }
+}
+
 /// Sharded LRU over `canon → [variants]`, generic over the entry type
 /// (single-statement plan templates by default; workload templates via
-/// `ShardedCache<CachedWorkloadPlan>`).
+/// `ShardedCache<CachedWorkloadPlan>`). See the module docs for the
+/// read-mostly lock discipline and poison semantics.
 pub struct ShardedCache<P: CacheEntry = CachedPlan> {
-    shards: Vec<Mutex<Shard<P>>>,
+    shards: Vec<Shard<P>>,
     /// Per-shard capacity (total capacity / shard count, at least 1).
     shard_capacity: usize,
     /// Cap on size-pinned variants kept per canonical form.
     max_variants: usize,
-    /// Global LRU clock (coarse: one tick per touch).
-    tick: AtomicU64,
     evictions: AtomicU64,
+    instruments: CacheInstruments,
 }
 
 impl<P: CacheEntry> ShardedCache<P> {
@@ -109,37 +175,88 @@ impl<P: CacheEntry> ShardedCache<P> {
         let shards = shards.max(1);
         ShardedCache {
             shard_capacity: (capacity / shards).max(1),
-            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shards: (0..shards).map(|_| Shard::default()).collect(),
             max_variants: max_variants.max(1),
-            tick: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            instruments: CacheInstruments::default(),
         }
     }
 
-    fn shard(&self, fp: &Fingerprint) -> &Mutex<Shard<P>> {
+    /// Report contention/poison events into these instruments (chainable
+    /// at construction; the service wires its registry's handles in).
+    pub fn with_instruments(mut self, instruments: CacheInstruments) -> ShardedCache<P> {
+        self.instruments = instruments;
+        self
+    }
+
+    fn shard(&self, fp: &Fingerprint) -> &Shard<P> {
         &self.shards[(fp.hash() as usize) % self.shards.len()]
     }
 
-    /// Fetch a template admitting these per-slot shapes, updating LRU state.
-    pub fn get(&self, fp: &Fingerprint, slot_shapes: &[Shape]) -> Option<std::sync::Arc<P>> {
-        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard(fp).lock().unwrap();
-        let variants = shard.entries.get_mut(fp.canon())?;
-        let entry = variants.iter_mut().find(|e| e.plan.admits(slot_shapes))?;
-        entry.last_used = tick;
+    /// Fetch a template admitting these per-slot shapes, updating LRU
+    /// state. Read-locks one shard; a poisoned shard degrades to a miss.
+    pub fn get(&self, fp: &Fingerprint, slot_shapes: &[Shape]) -> Option<Arc<P>> {
+        let shard = self.shard(fp);
+        let map = match shard.map.try_read() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                // contended probe: count it and time the blocking wait so
+                // shard-lock contention shows up in metrics_text()
+                self.instruments.contended.inc();
+                let t0 = Instant::now();
+                match shard.map.read() {
+                    Ok(guard) => {
+                        self.instruments.lock_wait_us.record_duration(t0.elapsed());
+                        guard
+                    }
+                    Err(_) => {
+                        self.instruments.poisoned.inc();
+                        return None;
+                    }
+                }
+            }
+            Err(TryLockError::Poisoned(_)) => {
+                // a panic poisoned this shard: degrade to a miss rather
+                // than crashing every request that hashes here
+                self.instruments.poisoned.inc();
+                return None;
+            }
+        };
+        let variants = map.entries.get(fp.canon())?;
+        let entry = variants.iter().find(|e| e.plan.admits(slot_shapes))?;
+        // stamp recency with this epoch's probe rank; skip the store when
+        // already current so hot-key probes issue no shared write
+        let stamp = shard.epoch.load(Ordering::Relaxed) + 1;
+        if entry.last_used.load(Ordering::Relaxed) != stamp {
+            entry.last_used.store(stamp, Ordering::Relaxed);
+        }
         Some(entry.plan.clone())
     }
 
     /// Insert (or replace) the variant for this fingerprint + shape key,
     /// evicting least-recently-used entries beyond the shard capacity.
     /// Takes the caller's `Arc` so cached plans are shared, not copied.
-    pub fn insert(&self, fp: &Fingerprint, plan: std::sync::Arc<P>) {
-        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard(fp).lock().unwrap();
+    /// Write-locks one shard; a poisoned shard is cleared and re-seeded.
+    pub fn insert(&self, fp: &Fingerprint, plan: Arc<P>) {
+        let shard = self.shard(fp);
+        let tick = shard.epoch.fetch_add(2, Ordering::Relaxed) + 2;
+        let mut map = match shard.map.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                // self-heal: drop whatever half-updated state the panic
+                // left behind and start the shard fresh
+                self.instruments.poisoned.inc();
+                let mut guard = poisoned.into_inner();
+                guard.entries.clear();
+                guard.len = 0;
+                shard.map.clear_poison();
+                guard
+            }
+        };
         let mut grew = 0isize;
         let mut variant_evictions = 0u64;
         {
-            let variants = shard.entries.entry(fp.canon().to_string()).or_default();
+            let variants = map.entries.entry(fp.canon().to_string()).or_default();
             // replace the variant with the same reuse key, if any
             let same_key = variants.iter_mut().find(|e| {
                 e.plan.size_polymorphic() == plan.size_polymorphic()
@@ -148,7 +265,7 @@ impl<P: CacheEntry> ShardedCache<P> {
             match same_key {
                 Some(entry) => {
                     entry.plan = plan;
-                    entry.last_used = tick;
+                    entry.last_used.store(tick, Ordering::Relaxed);
                 }
                 None => {
                     if variants.len() >= self.max_variants {
@@ -156,7 +273,7 @@ impl<P: CacheEntry> ShardedCache<P> {
                         let stale = variants
                             .iter()
                             .enumerate()
-                            .min_by_key(|(_, e)| e.last_used)
+                            .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
                             .map(|(i, _)| i)
                             .expect("variants non-empty");
                         variants.remove(stale);
@@ -165,24 +282,27 @@ impl<P: CacheEntry> ShardedCache<P> {
                     }
                     variants.push(Entry {
                         plan,
-                        last_used: tick,
+                        last_used: AtomicU64::new(tick),
                     });
                     grew += 1;
                 }
             }
         }
-        shard.len = (shard.len as isize + grew) as usize;
+        map.len = (map.len as isize + grew) as usize;
         self.evictions
             .fetch_add(variant_evictions, Ordering::Relaxed);
-        while shard.len > self.shard_capacity {
-            evict_lru(&mut shard);
+        while map.len > self.shard_capacity {
+            evict_lru(&mut map);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Total cached templates across all shards.
+    /// Total cached templates across all shards (poisoned shards count 0).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len).sum()
+        self.shards
+            .iter()
+            .map(|s| s.map.read().map(|m| m.len).unwrap_or(0))
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -193,27 +313,36 @@ impl<P: CacheEntry> ShardedCache<P> {
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
     }
+
+    /// Probes that found their shard poisoned (degraded to misses).
+    pub fn poisoned_probes(&self) -> u64 {
+        self.instruments.poisoned.get()
+    }
 }
 
-fn evict_lru<P>(shard: &mut Shard<P>) {
-    let victim = shard
+fn evict_lru<P>(map: &mut ShardMap<P>) {
+    let victim = map
         .entries
         .iter()
-        .flat_map(|(canon, variants)| variants.iter().map(move |e| (canon.clone(), e.last_used)))
+        .flat_map(|(canon, variants)| {
+            variants
+                .iter()
+                .map(move |e| (canon.clone(), e.last_used.load(Ordering::Relaxed)))
+        })
         .min_by_key(|&(_, used)| used)
         .map(|(canon, _)| canon);
     let Some(canon) = victim else { return };
-    let variants = shard.entries.get_mut(&canon).expect("victim exists");
+    let variants = map.entries.get_mut(&canon).expect("victim exists");
     let stale = variants
         .iter()
         .enumerate()
-        .min_by_key(|(_, e)| e.last_used)
+        .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
         .map(|(i, _)| i)
         .expect("victim non-empty");
     variants.remove(stale);
-    shard.len -= 1;
+    map.len -= 1;
     if variants.is_empty() {
-        shard.entries.remove(&canon);
+        map.entries.remove(&canon);
     }
 }
 

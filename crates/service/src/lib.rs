@@ -8,23 +8,35 @@
 //! per request — re-optimize the *same algebraic shapes* with only leaf
 //! dimensions and sparsities drifting. This crate adds the serving layer:
 //!
-//! * [`OptimizerService`] — worker pool + single-flight coalescing +
-//!   sharded LRU plan cache; hits skip saturation entirely and are
-//!   re-checked against the cost model so they are never worse than the
-//!   caller's own plan.
+//! * [`OptimizerService`] — a two-tier front-end: warm hits run a
+//!   synchronous lock-minimal fast path on the caller's thread (read-
+//!   locked cache probe + α-instantiation, never touching the worker
+//!   queue); misses coalesce through a striped single-flight table into
+//!   a **bounded** worker pool with explicit backpressure. The blocking
+//!   [`OptimizerService::optimize`] always succeeds (full queue → the
+//!   pipeline runs inline on the caller); the non-blocking
+//!   [`OptimizerService::try_optimize`] returns a hit, a pollable
+//!   [`Ticket`], or a typed [`ServiceError::Overloaded`] rejection with
+//!   a retry-after hint. Hits are re-checked against the cost model so
+//!   they are never worse than the caller's own plan.
 //! * [`ShardedCache`]/[`CachedPlan`] — the cache: canonical fingerprint →
 //!   plan template (α-renamed leaves), with size-polymorphic templates
 //!   reusable at any dimensions of the same shape classes and size-pinned
-//!   templates keyed by exact shapes.
-//! * [`ServiceStats`] — hits/misses/coalesces/evictions/cost-rejections
-//!   plus a log₂ latency histogram.
+//!   templates keyed by exact shapes. Probes take per-shard *read* locks
+//!   and stamp recency with per-shard epoch atomics, so a warm cache
+//!   scales with cores instead of serializing on shard mutexes.
+//! * [`ServiceStats`] — hits/misses/coalesces/evictions/cost-rejections,
+//!   backpressure + contention gauges (queue depth, shard-lock waits,
+//!   poisoned shards, worker panics) plus a log₂ latency histogram.
 
 pub mod cache;
 pub mod service;
 pub mod stats;
 pub mod workload;
 
-pub use cache::{CacheEntry, CachedPlan, PlanTemplate, ShardedCache};
-pub use service::{OptimizerService, PlanSource, Request, Served, ServiceConfig, ServiceError};
+pub use cache::{CacheEntry, CacheInstruments, CachedPlan, PlanTemplate, ShardedCache};
+pub use service::{
+    OptimizerService, PlanSource, Request, Served, ServiceConfig, ServiceError, Ticket, TryOptimize,
+};
 pub use stats::{LatencyHistogram, ServiceStats, StatsSnapshot};
 pub use workload::{CachedWorkloadPlan, ServedWorkload, WorkloadRequest};

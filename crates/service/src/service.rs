@@ -1,4 +1,4 @@
-//! The concurrent optimizer front-end.
+//! The concurrent optimizer front-end — a **two-tier** serving stack.
 //!
 //! Request lifecycle:
 //!
@@ -6,12 +6,31 @@
 //! request ── fingerprint ──► cache hit? ── instantiate + cost re-check ──► serve (µs)
 //!                │ miss                         │ re-check failed
 //!                ▼                              ▼
-//!        in-flight already? ──yes──► wait (coalesce)     inline pipeline
+//!        in-flight already? ──yes──► ticket (coalesce)     inline pipeline
 //!                │ no
 //!                ▼
-//!        worker pool ── translate → saturate → extract → lower ──► cache + serve (ms)
+//!        bounded worker queue ──full──► reject (retry-after) / run inline
+//!                │ enqueued
+//!                ▼
+//!        worker ── translate → saturate → extract → lower ──► cache + wake tickets (ms)
 //! ```
 //!
+//! * **Tier 1 — the synchronous fast path.** Warm hits run entirely on
+//!   the caller's thread: fingerprint, a *read-locked* probe of the
+//!   sharded cache, α-instantiation and the cost re-check. They never
+//!   touch the worker queue, the inflight table, or any exclusive lock —
+//!   provable from telemetry: a 100%-hit run records zero
+//!   `service.queue_wait` spans.
+//! * **Tier 2 — the non-blocking slow path.** Misses register in a
+//!   *striped* single-flight table (same sharding arity as the cache)
+//!   and enter a **bounded** worker queue. [`OptimizerService::try_optimize`]
+//!   never blocks: it returns the hit, a [`Ticket`] to poll/wait on, or —
+//!   when the queue is full — a typed [`ServiceError::Overloaded`]
+//!   rejection with a retry-after hint, so one thread can keep thousands
+//!   of requests in flight and overload degrades into explicit
+//!   backpressure instead of unbounded buffering. The blocking
+//!   [`OptimizerService::optimize`] keeps its total API by running the
+//!   pipeline inline when the queue is full (caller-runs throttling).
 //! * **Hits** never run saturation: the cached template is α-instantiated
 //!   with the caller's symbols and re-priced under the caller's concrete
 //!   metadata ([`spores_core::plan_cost`]); if the template prices worse
@@ -21,7 +40,10 @@
 //!   through to the full pipeline, so a hit is never meaningfully worse
 //!   than what greedy re-optimization would have returned for the input.
 //! * **Single-flight**: concurrent identical fingerprints run the
-//!   pipeline once; the rest wait on the same computation.
+//!   pipeline once; the rest wait on the same computation. A panicking
+//!   pipeline resolves every waiter with a typed
+//!   [`ServiceError::WorkerPanic`] and drains its inflight entry — no
+//!   leaked senders, no permanently wedged key.
 //! * **Size-pinned templates** (plans that embed concrete dimension
 //!   constants, see [`spores_core::Optimized::size_polymorphic`]) are
 //!   only reused at exactly the sizes they were optimized for.
@@ -35,10 +57,11 @@ use spores_core::{
 use spores_ir::{
     fingerprint, fingerprint_workload, ExprArena, Fingerprint, LeafClass, NodeId, Shape, Symbol,
 };
-use spores_pool::WorkerPool;
+use spores_pool::{TrySubmitError, WorkerPool};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -58,7 +81,8 @@ const COST_EPS: f64 = 1e-6;
 pub struct ServiceConfig {
     /// Pipeline configuration used for cache misses.
     pub optimizer: OptimizerConfig,
-    /// Mutex-guarded cache shards (contention domain).
+    /// Cache shards (read-locked contention domains); also the stripe
+    /// count of the single-flight table.
     pub shards: usize,
     /// Total cached plan templates across shards.
     pub capacity: usize,
@@ -66,6 +90,11 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Size-pinned variants kept per canonical fingerprint.
     pub max_variants: usize,
+    /// Bounded miss-queue capacity (jobs buffered beyond the workers).
+    /// When full, [`OptimizerService::try_optimize`] rejects with
+    /// [`ServiceError::Overloaded`] and [`OptimizerService::optimize`]
+    /// runs the pipeline inline on the caller's thread.
+    pub queue_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +105,7 @@ impl Default for ServiceConfig {
             capacity: 1024,
             workers: 4,
             max_variants: 8,
+            queue_capacity: 256,
         }
     }
 }
@@ -135,6 +165,22 @@ pub enum ServiceError {
     Invalid(String),
     /// The worker pool is gone (service shut down mid-request).
     Shutdown,
+    /// The bounded miss queue is full — explicit backpressure. Retry
+    /// after the hint (a heuristic: current depth × a typical per-job
+    /// compile time), or fall back to [`OptimizerService::optimize`],
+    /// which absorbs overload by running the pipeline inline.
+    Overloaded {
+        /// Jobs queued (but not yet running) at rejection time.
+        queue_depth: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+        /// Suggested backoff before retrying.
+        retry_after: Duration,
+    },
+    /// The worker running this request's (or its coalesced leader's)
+    /// pipeline panicked. The inflight entry has been drained — an
+    /// immediate retry starts a fresh flight.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -142,13 +188,35 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Invalid(m) => write!(f, "invalid request: {m}"),
             ServiceError::Shutdown => write!(f, "optimizer service shut down"),
+            ServiceError::Overloaded {
+                queue_depth,
+                capacity,
+                retry_after,
+            } => write!(
+                f,
+                "optimizer service overloaded ({queue_depth}/{capacity} queued); retry after {retry_after:?}"
+            ),
+            ServiceError::WorkerPanic(m) => write!(f, "optimizer worker panicked: {m}"),
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
 
-type FlightResult = Result<Arc<CachedPlan>, String>;
+/// How an in-flight pipeline run concluded for its waiters.
+#[derive(Clone, Debug)]
+enum FlightError {
+    /// The pipeline returned an error.
+    Failed(String),
+    /// The pipeline panicked; the worker survived, the flight did not.
+    Panicked(String),
+    /// The flight was never enqueued: the bounded queue was full and the
+    /// submitter rejected, bouncing any waiters that coalesced onto it.
+    Rejected,
+}
+
+type FlightResult = Result<Arc<CachedPlan>, FlightError>;
+type InflightStripe = Mutex<HashMap<String, Vec<Sender<FlightResult>>>>;
 
 struct Job {
     request: Request,
@@ -161,15 +229,42 @@ struct Inner {
     /// Workload-level plan cache: one entry per whole statement bundle.
     workload_cache: ShardedCache<CachedWorkloadPlan>,
     stats: ServiceStats,
-    /// canon → waiters (single-flight registry). The submitting request's
-    /// own sender is registered too, so the worker resolves everyone the
-    /// same way.
-    inflight: Mutex<HashMap<String, Vec<Sender<FlightResult>>>>,
+    /// canon → waiters (single-flight registry), striped by fingerprint
+    /// hash like the cache shards so concurrent misses on different
+    /// shapes don't serialize on one global mutex. The submitting
+    /// request's own sender is registered too, so the worker resolves
+    /// everyone the same way.
+    inflight: Vec<InflightStripe>,
+    /// Test hook: panic inside the next N pipeline runs (see
+    /// [`OptimizerService::inject_pipeline_panics`]).
+    panic_injections: AtomicU32,
 }
 
 impl Inner {
+    fn stripe(&self, fp: &Fingerprint) -> &InflightStripe {
+        &self.inflight[(fp.hash() as usize) % self.inflight.len()]
+    }
+
+    /// Lock an inflight stripe, recovering from poisoning: the table
+    /// only sees plain map/vec operations while locked, so state behind
+    /// a poisoned lock is structurally sound — a panicked flight must
+    /// degrade its stripe, not wedge every future miss that hashes here.
+    fn lock_stripe<'a>(
+        stripe: &'a InflightStripe,
+    ) -> std::sync::MutexGuard<'a, HashMap<String, Vec<Sender<FlightResult>>>> {
+        stripe.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Run the full pipeline and package the outcome as a cacheable plan.
     fn run_pipeline(&self, request: &Request, fp: &Fingerprint) -> Result<Arc<CachedPlan>, String> {
+        if self.panic_injections.load(Ordering::Relaxed) > 0
+            && self
+                .panic_injections
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+        {
+            panic!("injected pipeline panic (test hook)");
+        }
         let _span = spores_telemetry::span!("service.compile");
         let optimizer = Optimizer::new(self.config.optimizer.clone());
         let got: Optimized = optimizer
@@ -199,9 +294,11 @@ impl Inner {
         Ok(plan)
     }
 
-    /// Resolve the in-flight entry for `canon`, waking every waiter.
-    fn resolve(&self, canon: &str, result: &FlightResult) {
-        let waiters = self.inflight.lock().unwrap().remove(canon);
+    /// Resolve the in-flight entry for this fingerprint, waking every
+    /// waiter and removing the key — including after a panic, so the
+    /// flight's coalesced waiters are drained rather than leaked.
+    fn resolve(&self, fp: &Fingerprint, result: &FlightResult) {
+        let waiters = Self::lock_stripe(self.stripe(fp)).remove(fp.canon());
         for tx in waiters.into_iter().flatten() {
             // a waiter that gave up (dropped its receiver) is fine to miss
             let _ = tx.send(result.clone());
@@ -234,21 +331,33 @@ impl OptimizerService {
             .unwrap_or(1);
         let budget = (host / workers).max(1);
         config.optimizer.parallel.threads = config.optimizer.parallel.threads.min(budget);
+        // the queue must at least fit one job per worker or the pool
+        // could idle while try_optimize rejects
+        let queue_capacity = config.queue_capacity.max(workers);
+        let stats = ServiceStats::default();
+        let instruments = stats.cache_instruments();
+        let stripes = config.shards.max(1);
         let inner = Arc::new(Inner {
-            cache: ShardedCache::new(config.shards, config.capacity, config.max_variants),
-            workload_cache: ShardedCache::new(config.shards, config.capacity, config.max_variants),
-            stats: ServiceStats::default(),
-            inflight: Mutex::new(HashMap::new()),
+            cache: ShardedCache::new(config.shards, config.capacity, config.max_variants)
+                .with_instruments(instruments.clone()),
+            workload_cache: ShardedCache::new(config.shards, config.capacity, config.max_variants)
+                .with_instruments(instruments),
+            stats,
+            inflight: (0..stripes).map(|_| Mutex::new(HashMap::new())).collect(),
+            panic_injections: AtomicU32::new(0),
             config,
         });
         let pool = {
             let inner = inner.clone();
-            WorkerPool::new("spores-opt", workers, move |job: Job| {
+            WorkerPool::bounded("spores-opt", workers, queue_capacity, move |job: Job| {
                 // A panicking pipeline must still resolve the in-flight
                 // entry — otherwise the submitter and every coalesced
-                // waiter block on their receivers forever.
+                // waiter block on their receivers forever. The panic is
+                // surfaced to them as a typed FlightError::Panicked.
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    inner.run_pipeline(&job.request, &job.fp)
+                    inner
+                        .run_pipeline(&job.request, &job.fp)
+                        .map_err(FlightError::Failed)
                 }))
                 .unwrap_or_else(|panic| {
                     let msg = panic
@@ -256,9 +365,10 @@ impl OptimizerService {
                         .map(|s| s.to_string())
                         .or_else(|| panic.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "optimizer pipeline panicked".to_string());
-                    Err(format!("optimizer pipeline panicked: {msg}"))
+                    inner.stats.worker_panics.inc();
+                    Err(FlightError::Panicked(msg))
                 });
-                inner.resolve(job.fp.canon(), &result);
+                inner.resolve(&job.fp, &result);
             })
         };
         OptimizerService { inner, pool }
@@ -266,9 +376,10 @@ impl OptimizerService {
 
     /// Live counters (evictions summed over both plan caches).
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner
-            .stats
-            .snapshot(self.inner.cache.evictions() + self.inner.workload_cache.evictions())
+        self.inner.stats.snapshot(
+            self.inner.cache.evictions() + self.inner.workload_cache.evictions(),
+            self.pool.queue_depth(),
+        )
     }
 
     /// Latency quantile (µs upper bound) over all served requests.
@@ -277,13 +388,20 @@ impl OptimizerService {
     }
 
     /// Prometheus-style text exposition of the service metrics:
-    /// hits/misses/coalesced/cost-rejections/evictions plus the request
-    /// latency histogram with explicit `le="<µs>"` bucket bounds. Serve
-    /// this as a scrape endpoint body or dump it for ad-hoc inspection.
+    /// hits/misses/coalesced/cost-rejections/evictions, the backpressure
+    /// gauges (`spores_service_queue_depth`, backpressure
+    /// `spores_service_rejections`, `spores_service_inline_runs`), the
+    /// cache contention instruments
+    /// (`spores_service_cache_probe_contended`,
+    /// `spores_service_shard_lock_wait_us`,
+    /// `spores_service_cache_shard_poisoned`) plus the request latency
+    /// histogram with explicit `le="<µs>"` bucket bounds. Serve this as
+    /// a scrape endpoint body or dump it for ad-hoc inspection.
     pub fn metrics_text(&self) -> String {
-        self.inner
-            .stats
-            .render_text(self.inner.cache.evictions() + self.inner.workload_cache.evictions())
+        self.inner.stats.render_text(
+            self.inner.cache.evictions() + self.inner.workload_cache.evictions(),
+            self.pool.queue_depth(),
+        )
     }
 
     /// Write the process-global telemetry journal as Chrome trace-event
@@ -300,7 +418,26 @@ impl OptimizerService {
         self.inner.cache.len()
     }
 
-    /// Optimize one request, consulting the plan cache.
+    /// Jobs waiting in the bounded miss queue right now.
+    pub fn queue_depth(&self) -> usize {
+        self.pool.queue_depth()
+    }
+
+    /// Capacity of the bounded miss queue.
+    pub fn queue_capacity(&self) -> usize {
+        self.pool.capacity().unwrap_or(usize::MAX)
+    }
+
+    /// Test hook: make the next `n` pipeline runs panic (on whichever
+    /// thread executes them) to exercise worker-panic containment.
+    #[doc(hidden)]
+    pub fn inject_pipeline_panics(&self, n: u32) {
+        self.inner.panic_injections.store(n, Ordering::Relaxed);
+    }
+
+    /// Optimize one request, consulting the plan cache. Blocking: a miss
+    /// waits for the pipeline; when the bounded queue is full the
+    /// pipeline runs inline on this thread (caller-runs backpressure).
     pub fn optimize(&self, request: Request) -> Result<Served, ServiceError> {
         let mut req_span = spores_telemetry::span!("service.request");
         let result = self.optimize_inner(request);
@@ -325,12 +462,77 @@ impl OptimizerService {
             return Ok(served);
         }
 
-        match self.submit(&request, &fp) {
+        match self.submit_blocking(&request, &fp) {
             Submission::Wait { rx, coalesced } => self.finish(&request, &fp, rx, coalesced, t0),
             Submission::Inline => {
-                let result = self.inner.run_pipeline(&request, &fp);
-                self.inner.resolve(fp.canon(), &result);
+                let result = self
+                    .inner
+                    .run_pipeline(&request, &fp)
+                    .map_err(FlightError::Failed);
+                self.inner.resolve(&fp, &result);
                 self.conclude_miss(&request, &fp, result, PlanSource::Miss, t0)
+            }
+        }
+    }
+
+    /// Non-blocking front door: returns the hit synchronously, a
+    /// [`Ticket`] for an in-flight miss, or a typed
+    /// [`ServiceError::Overloaded`] rejection when the bounded queue is
+    /// full. One thread can hold any number of outstanding tickets and
+    /// poll them, which is what lets a single front-end thread multiplex
+    /// thousands of in-flight requests.
+    pub fn try_optimize(&self, request: Request) -> Result<TryOptimize<'_>, ServiceError> {
+        let t0 = Instant::now();
+        let fp = self.fingerprint_request(&request)?;
+
+        if let Some(served) = self.try_hit(&request, &fp, t0) {
+            // synchronous completion: give the hit its request span here
+            // (pending tickets conclude later, outside any span scope)
+            let mut req_span = spores_telemetry::span!("service.request");
+            req_span.arg("source", "hit");
+            return Ok(TryOptimize::Ready(served));
+        }
+
+        match self.register(&fp) {
+            Registration::Coalesced(rx) => Ok(TryOptimize::Pending(Ticket {
+                svc: self,
+                request,
+                fp,
+                rx,
+                coalesced: true,
+                t0,
+                done: false,
+            })),
+            Registration::First(rx) => {
+                let job = Job {
+                    request: request.clone(),
+                    fp: fp.clone(),
+                };
+                match self.pool.try_submit(job) {
+                    Ok(()) => Ok(TryOptimize::Pending(Ticket {
+                        svc: self,
+                        request,
+                        fp,
+                        rx,
+                        coalesced: false,
+                        t0,
+                        done: false,
+                    })),
+                    Err(TrySubmitError::Full(_)) => {
+                        // reject-with-retry-after: drain our entry and
+                        // bounce any waiters that coalesced onto it in
+                        // the registration window
+                        self.inner.stats.rejections.inc();
+                        self.inner.resolve(&fp, &Err(FlightError::Rejected));
+                        Err(self.overloaded())
+                    }
+                    Err(TrySubmitError::Shutdown(_)) => {
+                        // dropping the entry disconnects racing waiters,
+                        // whose recv then reports Shutdown too
+                        Inner::lock_stripe(self.inner.stripe(&fp)).remove(fp.canon());
+                        Err(ServiceError::Shutdown)
+                    }
+                }
             }
         }
     }
@@ -368,7 +570,7 @@ impl OptimizerService {
                 if let Some(served) = self.try_hit(&request, &fp, t0) {
                     return Pending::Done(Ok(served));
                 }
-                match self.submit(&request, &fp) {
+                match self.submit_blocking(&request, &fp) {
                     Submission::Wait { rx, coalesced } => Pending::Wait {
                         request,
                         fp,
@@ -377,8 +579,11 @@ impl OptimizerService {
                         t0,
                     },
                     Submission::Inline => {
-                        let result = self.inner.run_pipeline(&request, &fp);
-                        self.inner.resolve(fp.canon(), &result);
+                        let result = self
+                            .inner
+                            .run_pipeline(&request, &fp)
+                            .map_err(FlightError::Failed);
+                        self.inner.resolve(&fp, &result);
                         Pending::Done(self.conclude_miss(
                             &request,
                             &fp,
@@ -575,7 +780,9 @@ impl OptimizerService {
             .map_err(|e| ServiceError::Invalid(e.to_string()))
     }
 
-    /// The cache-hit fast path: instantiate + cost re-check, no pipeline.
+    /// The cache-hit fast path: a read-locked cache probe, then
+    /// instantiate + cost re-check, all on the caller's thread. No
+    /// worker queue, no inflight table, no exclusive lock.
     fn try_hit(&self, request: &Request, fp: &Fingerprint, t0: Instant) -> Option<Served> {
         let mut probe_span = spores_telemetry::span!("service.cache_probe");
         let shapes = slot_shapes(fp, &request.vars);
@@ -649,40 +856,63 @@ impl OptimizerService {
         Ok(Self::served(plan, arena, root, cost, PlanSource::Hit))
     }
 
-    /// Register in the single-flight table; enqueue a job if first.
-    fn submit(&self, request: &Request, fp: &Fingerprint) -> Submission {
+    /// Register this fingerprint in the striped single-flight table.
+    fn register(&self, fp: &Fingerprint) -> Registration {
         let (tx, rx) = channel::<FlightResult>();
-        let first = {
-            let mut inflight = self.inner.inflight.lock().unwrap();
-            match inflight.get_mut(fp.canon()) {
-                Some(waiters) => {
-                    waiters.push(tx);
-                    false
-                }
-                None => {
-                    inflight.insert(fp.canon().to_string(), vec![tx]);
-                    true
-                }
+        let mut stripe = Inner::lock_stripe(self.inner.stripe(fp));
+        match stripe.get_mut(fp.canon()) {
+            Some(waiters) => {
+                waiters.push(tx);
+                Registration::Coalesced(rx)
             }
-        };
-        if !first {
-            return Submission::Wait {
+            None => {
+                stripe.insert(fp.canon().to_string(), vec![tx]);
+                Registration::First(rx)
+            }
+        }
+    }
+
+    /// Register in the single-flight table and enqueue if first, for the
+    /// blocking entry points: a full (or shut down) queue degrades to
+    /// running the pipeline inline on the caller's thread.
+    fn submit_blocking(&self, request: &Request, fp: &Fingerprint) -> Submission {
+        match self.register(fp) {
+            Registration::Coalesced(rx) => Submission::Wait {
                 rx,
                 coalesced: true,
-            };
+            },
+            Registration::First(rx) => {
+                let job = Job {
+                    request: request.clone(),
+                    fp: fp.clone(),
+                };
+                match self.pool.try_submit(job) {
+                    Ok(()) => Submission::Wait {
+                        rx,
+                        coalesced: false,
+                    },
+                    Err(TrySubmitError::Full(_)) => {
+                        // caller-runs backpressure: our entry stays in
+                        // the table so racing duplicates coalesce onto
+                        // this inline run; resolve() wakes them
+                        self.inner.stats.inline_runs.inc();
+                        Submission::Inline
+                    }
+                    Err(TrySubmitError::Shutdown(_)) => Submission::Inline,
+                }
+            }
         }
-        let job = Job {
-            request: request.clone(),
-            fp: fp.clone(),
-        };
-        if self.pool.submit(job).is_err() {
-            // pool gone: run inline (resolve() wakes any waiters that
-            // raced in behind us)
-            return Submission::Inline;
-        }
-        Submission::Wait {
-            rx,
-            coalesced: false,
+    }
+
+    /// Typed backpressure error with the current queue state.
+    fn overloaded(&self) -> ServiceError {
+        let queue_depth = self.pool.queue_depth();
+        // heuristic retry hint: assume a few ms per queued compile
+        let retry_after = Duration::from_millis(((queue_depth as u64 + 1) * 2).min(100));
+        ServiceError::Overloaded {
+            queue_depth,
+            capacity: self.queue_capacity(),
+            retry_after,
         }
     }
 
@@ -709,16 +939,50 @@ impl OptimizerService {
         self.conclude_miss(request, fp, result, source, t0)
     }
 
+    /// Run the pipeline on the caller's thread and serve it as a miss —
+    /// the shared tail of every degraded path (rejected hit, bounced
+    /// flight).
+    fn run_inline_miss(
+        &self,
+        request: &Request,
+        fp: &Fingerprint,
+        t0: Instant,
+    ) -> Result<Served, ServiceError> {
+        let plan = self
+            .inner
+            .run_pipeline(request, fp)
+            .map_err(ServiceError::Invalid)?;
+        let (arena, root) = Self::materialize(&plan, fp);
+        self.inner.stats.misses.add(1);
+        let latency = t0.elapsed();
+        self.inner.stats.latency.record(latency);
+        Ok(Served {
+            latency,
+            ..Self::served(&plan, arena, root, plan.cost, PlanSource::Miss)
+        })
+    }
+
     /// Turn a pipeline result into a served plan for *this* request.
     fn conclude_miss(
         &self,
         request: &Request,
         fp: &Fingerprint,
-        result: Result<Arc<CachedPlan>, String>,
+        result: FlightResult,
         source: PlanSource,
         t0: Instant,
     ) -> Result<Served, ServiceError> {
-        let plan = result.map_err(ServiceError::Invalid)?;
+        let plan = match result {
+            Ok(plan) => plan,
+            // Our flight leader hit a full queue and bounced us. Only the
+            // *leader* (a try_optimize caller) surfaces Overloaded;
+            // waiters keep their contract — a plan, at caller-runs cost.
+            Err(FlightError::Rejected) => {
+                self.inner.stats.inline_runs.inc();
+                return self.run_inline_miss(request, fp, t0);
+            }
+            Err(FlightError::Failed(m)) => return Err(ServiceError::Invalid(m)),
+            Err(FlightError::Panicked(m)) => return Err(ServiceError::WorkerPanic(m)),
+        };
         // The submitter's result was computed from this very request by
         // the (deterministic) pipeline — serve it as-is; re-checking it
         // could only trigger a pointless identical re-run. A *coalesced*
@@ -751,19 +1015,98 @@ impl OptimizerService {
             }
             Err(RejectedHit) => {
                 self.inner.stats.cost_rejections.add(1);
-                let result = self.inner.run_pipeline(request, fp);
-                let plan = result.map_err(ServiceError::Invalid)?;
-                let (arena, root) = Self::materialize(&plan, fp);
-                self.inner.stats.misses.add(1);
-                let latency = t0.elapsed();
-                self.inner.stats.latency.record(latency);
-                Ok(Served {
-                    latency,
-                    ..Self::served(&plan, arena, root, plan.cost, PlanSource::Miss)
-                })
+                self.run_inline_miss(request, fp, t0)
             }
         }
     }
+}
+
+/// Outcome of [`OptimizerService::try_optimize`]: either the request
+/// completed synchronously on the caller's thread (a warm hit), or it is
+/// in flight and the caller holds a [`Ticket`].
+#[allow(clippy::large_enum_variant)]
+pub enum TryOptimize<'s> {
+    /// Completed synchronously (cache hit, served in µs).
+    Ready(Served),
+    /// In flight: poll or wait on the ticket.
+    Pending(Ticket<'s>),
+}
+
+/// A claim on an in-flight optimization. Obtained from
+/// [`OptimizerService::try_optimize`]; completed by [`Ticket::poll`]
+/// (non-blocking) or [`Ticket::wait`] (blocking). Dropping a ticket
+/// abandons the request — the flight still completes and populates the
+/// cache, the result is simply not delivered.
+pub struct Ticket<'s> {
+    svc: &'s OptimizerService,
+    request: Request,
+    fp: Fingerprint,
+    rx: Receiver<FlightResult>,
+    coalesced: bool,
+    t0: Instant,
+    done: bool,
+}
+
+impl Ticket<'_> {
+    /// Did this ticket coalesce onto an identical in-flight request?
+    pub fn coalesced(&self) -> bool {
+        self.coalesced
+    }
+
+    /// Non-blocking completion check: `None` while the flight is still
+    /// running, `Some(result)` exactly once when it concludes (later
+    /// polls return `None` again — use the first `Some`).
+    pub fn poll(&mut self) -> Option<Result<Served, ServiceError>> {
+        if self.done {
+            return None;
+        }
+        match self.rx.try_recv() {
+            Ok(result) => {
+                self.done = true;
+                Some(self.conclude(result))
+            }
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => {
+                self.done = true;
+                Some(Err(ServiceError::Shutdown))
+            }
+        }
+    }
+
+    /// Block until the flight concludes. Records a `service.queue_wait`
+    /// span for the blocked interval — the span warm hits must never
+    /// produce.
+    pub fn wait(mut self) -> Result<Served, ServiceError> {
+        if self.done {
+            return Err(ServiceError::Shutdown);
+        }
+        let wait_span = spores_telemetry::span!("service.queue_wait", coalesced = self.coalesced);
+        let result = match self.rx.recv() {
+            Ok(r) => r,
+            Err(_) => return Err(ServiceError::Shutdown),
+        };
+        drop(wait_span);
+        self.done = true;
+        self.conclude(result)
+    }
+
+    fn conclude(&self, result: FlightResult) -> Result<Served, ServiceError> {
+        let source = if self.coalesced {
+            PlanSource::Coalesced
+        } else {
+            PlanSource::Miss
+        };
+        self.svc
+            .conclude_miss(&self.request, &self.fp, result, source, self.t0)
+    }
+}
+
+enum Registration {
+    /// An identical request is already in flight; we are a waiter.
+    Coalesced(Receiver<FlightResult>),
+    /// We are the first; our sender is registered alongside any future
+    /// coalescers, and we own submitting the job.
+    First(Receiver<FlightResult>),
 }
 
 enum Submission {

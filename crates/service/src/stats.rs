@@ -9,6 +9,7 @@
 //! per [`ServiceStats`] (not the process-global one), so concurrent
 //! services in one process never mix their counters.
 
+use crate::cache::CacheInstruments;
 use spores_telemetry::{Counter, Gauge, Log2Histogram, Registry};
 use std::sync::Arc;
 use std::time::Duration;
@@ -90,11 +91,33 @@ pub struct ServiceStats {
     /// priced worse than the caller's own plan at their sizes) and
     /// re-optimized from scratch.
     pub cost_rejections: Arc<Counter>,
+    /// `try_optimize` submissions rejected because the bounded miss
+    /// queue was full (explicit backpressure).
+    pub rejections: Arc<Counter>,
+    /// Blocking `optimize` calls that found the queue full and ran the
+    /// pipeline inline on the caller's thread (caller-runs throttling).
+    pub inline_runs: Arc<Counter>,
+    /// Pipeline runs that panicked on a worker thread (the worker
+    /// survived; every waiter got a typed `WorkerPanic` error).
+    pub worker_panics: Arc<Counter>,
+    /// Cache probes that found their shard's read lock contended
+    /// (`try_read` would have blocked). A rising rate under a warm
+    /// workload is the early-warning sign of the scaling collapse this
+    /// instrument was added to catch.
+    pub probe_contended: Arc<Counter>,
+    /// Time spent blocked on a contended cache-shard lock, µs.
+    pub shard_lock_wait: Arc<Log2Histogram>,
+    /// Cache probes that found their shard poisoned and degraded to a
+    /// miss instead of crashing.
+    pub shard_poisoned: Arc<Counter>,
     /// End-to-end request latencies (hits and misses alike).
     pub latency: LatencyHistogram,
     /// Evictions live on the caches, not here; this gauge mirrors their
     /// sum into the exposition at render time.
     evictions: Arc<Gauge>,
+    /// Jobs waiting in the bounded miss queue; mirrored from the worker
+    /// pool at render/snapshot time like `evictions`.
+    queue_depth: Arc<Gauge>,
 }
 
 impl Default for ServiceStats {
@@ -104,7 +127,14 @@ impl Default for ServiceStats {
         let misses = registry.counter("spores.service.misses");
         let coalesced = registry.counter("spores.service.coalesced");
         let cost_rejections = registry.counter("spores.service.cost_rejections");
+        let rejections = registry.counter("spores.service.rejections");
+        let inline_runs = registry.counter("spores.service.inline_runs");
+        let worker_panics = registry.counter("spores.service.worker_panics");
+        let probe_contended = registry.counter("spores.service.cache_probe_contended");
+        let shard_lock_wait = registry.histogram("spores.service.shard_lock_wait_us");
+        let shard_poisoned = registry.counter("spores.service.cache_shard_poisoned");
         let evictions = registry.gauge("spores.service.evictions");
+        let queue_depth = registry.gauge("spores.service.queue_depth");
         let latency = LatencyHistogram {
             inner: registry.histogram("spores.service.latency_us"),
         };
@@ -114,35 +144,66 @@ impl Default for ServiceStats {
             misses,
             coalesced,
             cost_rejections,
+            rejections,
+            inline_runs,
+            worker_panics,
+            probe_contended,
+            shard_lock_wait,
+            shard_poisoned,
             latency,
             evictions,
+            queue_depth,
         }
     }
 }
 
 impl ServiceStats {
-    /// Point-in-time copy of the counters. Evictions live on the cache,
-    /// not here — `evictions` is filled in by the snapshot's caller
-    /// ([`crate::OptimizerService::stats`]).
-    pub fn snapshot(&self, evictions: u64) -> StatsSnapshot {
+    /// The instrument handles the sharded caches record into — same
+    /// registry, so contention shows up in `metrics_text()`.
+    pub fn cache_instruments(&self) -> CacheInstruments {
+        CacheInstruments {
+            contended: self.probe_contended.clone(),
+            lock_wait_us: self.shard_lock_wait.clone(),
+            poisoned: self.shard_poisoned.clone(),
+        }
+    }
+
+    /// Point-in-time copy of the counters. Evictions live on the caches
+    /// and queue depth on the worker pool, not here — both are filled in
+    /// by the snapshot's caller ([`crate::OptimizerService::stats`]).
+    pub fn snapshot(&self, evictions: u64, queue_depth: usize) -> StatsSnapshot {
         StatsSnapshot {
             hits: self.hits.get(),
             misses: self.misses.get(),
             coalesced: self.coalesced.get(),
             evictions,
             cost_rejections: self.cost_rejections.get(),
+            rejections: self.rejections.get(),
+            inline_runs: self.inline_runs.get(),
+            worker_panics: self.worker_panics.get(),
+            probe_contended: self.probe_contended.get(),
+            shard_poisoned: self.shard_poisoned.get(),
+            queue_depth: queue_depth as u64,
             latency_p50_us: self.latency.quantile_us(0.5),
             latency_p99_us: self.latency.quantile_us(0.99),
         }
     }
 
     /// Prometheus-style text exposition of every service metric:
-    /// `spores_service_{hits,misses,coalesced,cost_rejections,evictions}`
-    /// plus the `spores_service_latency_us` histogram with explicit
-    /// `le="<µs>"` bucket bounds (the same log2 bounds
+    /// `spores_service_{hits,misses,coalesced,cost_rejections,evictions}`,
+    /// the backpressure instruments (`spores_service_rejections`,
+    /// `spores_service_inline_runs`, `spores_service_queue_depth`), the
+    /// contention/robustness instruments
+    /// (`spores_service_cache_probe_contended`,
+    /// `spores_service_shard_lock_wait_us`,
+    /// `spores_service_cache_shard_poisoned`,
+    /// `spores_service_worker_panics`) plus the
+    /// `spores_service_latency_us` histogram with explicit `le="<µs>"`
+    /// bucket bounds (the same log2 bounds
     /// [`LatencyHistogram::bucket_bounds_us`] documents).
-    pub fn render_text(&self, evictions: u64) -> String {
+    pub fn render_text(&self, evictions: u64, queue_depth: usize) -> String {
         self.evictions.set(evictions as i64);
+        self.queue_depth.set(queue_depth as i64);
         self.registry.render_text()
     }
 }
@@ -155,6 +216,19 @@ pub struct StatsSnapshot {
     pub coalesced: u64,
     pub evictions: u64,
     pub cost_rejections: u64,
+    /// Backpressure rejections issued by `try_optimize`.
+    pub rejections: u64,
+    /// Blocking `optimize` calls that ran the pipeline inline on a full
+    /// queue.
+    pub inline_runs: u64,
+    /// Pipeline panics contained on worker threads.
+    pub worker_panics: u64,
+    /// Cache probes that found their shard's lock contended.
+    pub probe_contended: u64,
+    /// Cache probes degraded to a miss by a poisoned shard.
+    pub shard_poisoned: u64,
+    /// Bounded miss-queue depth at snapshot time.
+    pub queue_depth: u64,
     pub latency_p50_us: u64,
     pub latency_p99_us: u64,
 }
@@ -227,7 +301,7 @@ mod tests {
         let s = ServiceStats::default();
         s.hits.add(3);
         s.misses.add(1);
-        let snap = s.snapshot(0);
+        let snap = s.snapshot(0, 0);
         assert_eq!(snap.requests(), 4);
         assert!((snap.hit_rate() - 0.75).abs() < 1e-12);
     }
@@ -239,13 +313,24 @@ mod tests {
         s.misses.add(2);
         s.coalesced.add(1);
         s.cost_rejections.add(1);
+        s.rejections.add(4);
+        s.inline_runs.add(2);
+        s.worker_panics.add(1);
+        s.probe_contended.add(3);
+        s.shard_poisoned.add(1);
         s.latency.record(Duration::from_micros(700));
-        let text = s.render_text(9);
+        let text = s.render_text(9, 6);
         for line in [
             "spores_service_hits 5",
             "spores_service_misses 2",
             "spores_service_coalesced 1",
             "spores_service_cost_rejections 1",
+            "spores_service_rejections 4",
+            "spores_service_inline_runs 2",
+            "spores_service_worker_panics 1",
+            "spores_service_cache_probe_contended 3",
+            "spores_service_cache_shard_poisoned 1",
+            "spores_service_queue_depth 6",
             "spores_service_evictions 9",
             "spores_service_latency_us_bucket{le=\"1023\"} 1",
             "spores_service_latency_us_bucket{le=\"+Inf\"} 1",
@@ -260,7 +345,7 @@ mod tests {
         let a = ServiceStats::default();
         let b = ServiceStats::default();
         a.hits.add(7);
-        assert_eq!(b.snapshot(0).hits, 0);
-        assert!(b.render_text(0).contains("spores_service_hits 0"));
+        assert_eq!(b.snapshot(0, 0).hits, 0);
+        assert!(b.render_text(0, 0).contains("spores_service_hits 0"));
     }
 }

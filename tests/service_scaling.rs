@@ -1,0 +1,305 @@
+//! The warm-path scaling contract, telemetry-verified:
+//!
+//! * warm hits complete on the caller's thread without ever entering the
+//!   worker queue — a 100%-hit run records **zero** `service.queue_wait`
+//!   spans;
+//! * coalescing returns identical plans under thread contention;
+//! * backpressure rejections are typed, bounded, and recoverable.
+//!
+//! The global telemetry journal is process-wide, so every test here
+//! serializes on [`JOURNAL_LOCK`]; the multi-thread stress body is
+//! skipped (with a logged reason) on single-core hosts, where thread
+//! fan-out measures overhead, not contention.
+
+use spores::core::{OptimizerConfig, VarMeta};
+use spores::ir::{parse_expr, ExprArena, Symbol};
+use spores::service::{
+    OptimizerService, PlanSource, Request, ServiceConfig, ServiceError, TryOptimize,
+};
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Tests here enable/drain the process-global telemetry journal; run one
+/// at a time so they never observe each other's spans.
+static JOURNAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn vars(list: &[(&str, (u64, u64), f64)]) -> HashMap<Symbol, VarMeta> {
+    list.iter()
+        .map(|&(n, (r, c), s)| (Symbol::new(n), VarMeta::sparse(r, c, s)))
+        .collect()
+}
+
+fn request(src: &str, vs: &HashMap<Symbol, VarMeta>) -> Request {
+    let mut arena = ExprArena::new();
+    let root = parse_expr(&mut arena, src).unwrap();
+    Request::new(arena, root, vs.clone())
+}
+
+/// A small roster of distinct warm shapes (all §4.2-style statements).
+fn warm_roster(size: u64) -> Vec<Request> {
+    let (m, n) = (200 + size * 10, 100 + size * 5);
+    vec![
+        request(
+            "sum((X - u %*% t(v))^2)",
+            &vars(&[("X", (m, n), 0.001), ("u", (m, 1), 1.0), ("v", (n, 1), 1.0)]),
+        ),
+        request(
+            "(U %*% t(V) - X) %*% V",
+            &vars(&[("X", (m, n), 0.001), ("U", (m, 8), 1.0), ("V", (n, 8), 1.0)]),
+        ),
+        request(
+            "sum(W %*% H)",
+            &vars(&[("W", (m, 8), 1.0), ("H", (8, n), 1.0)]),
+        ),
+    ]
+}
+
+/// Structurally distinct statements (one more summand per `i`), so each
+/// has its *own* canonical fingerprint — resized requests alone would
+/// all coalesce onto one flight, since the cache is shape-polymorphic.
+fn distinct_request(i: usize) -> Request {
+    let terms = vec!["(X - u %*% t(v))^2"; i + 1].join(" + ");
+    request(
+        &format!("sum({terms})"),
+        &vars(&[
+            ("X", (300, 150), 0.001),
+            ("u", (300, 1), 1.0),
+            ("v", (150, 1), 1.0),
+        ]),
+    )
+}
+
+fn service(workers: usize, queue_capacity: usize) -> OptimizerService {
+    OptimizerService::new(ServiceConfig {
+        optimizer: OptimizerConfig {
+            node_limit: 4_000,
+            iter_limit: 8,
+            ..OptimizerConfig::default()
+        },
+        workers,
+        queue_capacity,
+        ..ServiceConfig::default()
+    })
+}
+
+/// Drain the journal and count events named `name` (begin+end pairs
+/// count once).
+fn drained_span_count(name: &str) -> usize {
+    spores::telemetry::drain()
+        .iter()
+        .filter(|e| e.name == name && e.kind == spores::telemetry::EventKind::Begin)
+        .count()
+}
+
+#[test]
+fn warm_hits_record_zero_queue_wait_spans() {
+    let _serial = JOURNAL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let svc = service(2, 64);
+    let roster = warm_roster(0);
+    for r in &roster {
+        assert_eq!(
+            svc.optimize(r.clone()).expect("warmup").source,
+            PlanSource::Miss
+        );
+    }
+
+    spores::telemetry::reset();
+    spores::telemetry::set_enabled(true);
+    for _ in 0..10 {
+        for r in &roster {
+            let served = svc.optimize(r.clone()).expect("warm request");
+            assert_eq!(served.source, PlanSource::Hit);
+        }
+    }
+    spores::telemetry::set_enabled(false);
+
+    let events = spores::telemetry::drain();
+    let queue_waits = events
+        .iter()
+        .filter(|e| e.name == "service.queue_wait")
+        .count();
+    let probes = events
+        .iter()
+        .filter(|e| e.name == "service.cache_probe")
+        .count();
+    assert_eq!(
+        queue_waits, 0,
+        "a 100%-hit run must never enter the worker queue"
+    );
+    assert!(probes > 0, "hits must come from instrumented cache probes");
+    assert_eq!(svc.stats().hits, 10 * roster.len() as u64);
+}
+
+#[test]
+fn backpressure_rejections_are_typed_bounded_and_recoverable() {
+    let _serial = JOURNAL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    // one worker, one queue slot: a burst of distinct cold shapes must
+    // overflow into typed rejections almost immediately
+    let svc = service(1, 1);
+    let mut tickets = Vec::new();
+    let mut rejected: Option<(Request, ServiceError)> = None;
+    const BURST: usize = 16;
+    for i in 0..BURST {
+        let req = distinct_request(i);
+        match svc.try_optimize(req.clone()) {
+            Ok(TryOptimize::Pending(t)) => tickets.push(t),
+            Ok(TryOptimize::Ready(_)) => panic!("cold shape {i} cannot hit"),
+            Err(e) => {
+                rejected = Some((req, e));
+                break;
+            }
+        }
+    }
+    let (req, err) = rejected.expect("a 1-deep queue must reject within the burst");
+    let ServiceError::Overloaded {
+        queue_depth,
+        capacity,
+        retry_after,
+    } = &err
+    else {
+        panic!("expected Overloaded, got {err:?}");
+    };
+    assert_eq!(*capacity, 1);
+    assert!(*queue_depth <= *capacity, "{err:?}");
+    assert!(!retry_after.is_zero(), "{err:?}");
+    assert!(svc.stats().rejections >= 1);
+
+    // rejections are bounded: at most (workers + capacity) flights were
+    // admitted before the first rejection
+    assert!(
+        tickets.len() <= 2,
+        "1 worker + 1 slot admitted {} flights",
+        tickets.len()
+    );
+
+    // recovery 1: the rejected request retried through the non-blocking
+    // door eventually lands (the queue drains at pipeline speed)
+    let mut retried = None;
+    for _ in 0..1000 {
+        match svc.try_optimize(req.clone()) {
+            Ok(TryOptimize::Pending(t)) => {
+                retried = Some(t.wait().expect("retried flight"));
+                break;
+            }
+            Ok(TryOptimize::Ready(served)) => {
+                retried = Some(served);
+                break;
+            }
+            Err(ServiceError::Overloaded { retry_after, .. }) => {
+                std::thread::sleep(retry_after);
+            }
+            Err(e) => panic!("retry failed: {e:?}"),
+        }
+    }
+    let retried = retried.expect("bounded retries must eventually succeed");
+    assert!(matches!(
+        retried.source,
+        PlanSource::Miss | PlanSource::Coalesced | PlanSource::Hit
+    ));
+
+    // recovery 2: every admitted ticket completes; poll() on the first
+    // one transitions Pending → Some exactly once
+    let mut first = tickets.remove(0);
+    let polled = loop {
+        if let Some(result) = first.poll() {
+            break result.expect("polled flight");
+        }
+        std::thread::yield_now();
+    };
+    assert_eq!(polled.source, PlanSource::Miss);
+    assert!(first.poll().is_none(), "poll completes exactly once");
+    for t in tickets {
+        t.wait().expect("admitted flight completes");
+    }
+
+    // the blocking door absorbs overload instead of rejecting
+    let blocking = svc
+        .optimize(distinct_request(BURST + 1))
+        .expect("blocking optimize never rejects");
+    assert_eq!(blocking.source, PlanSource::Miss);
+}
+
+#[test]
+fn warm_stress_hits_stay_synchronous_and_coalescing_stays_identical() {
+    let _serial = JOURNAL_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let cores = host_cores();
+    if cores == 1 {
+        println!(
+            "SKIP warm_stress_hits_stay_synchronous_and_coalescing_stays_identical: \
+             host has 1 core — thread fan-out would measure overhead, not contention"
+        );
+        return;
+    }
+
+    for threads in [8usize, 16] {
+        // --- part 1: pure-hit stress records zero queue_wait spans ----
+        let svc = Arc::new(service(4, 64));
+        let roster = warm_roster(1);
+        for r in &roster {
+            svc.optimize(r.clone()).expect("warmup");
+        }
+        spores::telemetry::reset();
+        spores::telemetry::set_enabled(true);
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let svc = svc.clone();
+                let roster = roster.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..25 {
+                        let r = &roster[(t + i) % roster.len()];
+                        let served = svc.optimize(r.clone()).expect("warm request");
+                        assert_eq!(served.source, PlanSource::Hit);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("stress thread");
+        }
+        spores::telemetry::set_enabled(false);
+        assert_eq!(
+            drained_span_count("service.queue_wait"),
+            0,
+            "{threads}-thread 100%-hit stress must never queue"
+        );
+
+        // --- part 2: coalescing under contention returns identical plans
+        let svc = Arc::new(service(2, 64));
+        let cold = warm_roster(7).remove(0);
+        let barrier = Arc::new(Barrier::new(threads));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let svc = svc.clone();
+                let cold = cold.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let served = svc.optimize(cold).expect("contended request");
+                    served.arena.display(served.root)
+                })
+            })
+            .collect();
+        let plans: Vec<String> = handles
+            .into_iter()
+            .map(|h| h.join().expect("coalescing thread"))
+            .collect();
+        for p in &plans[1..] {
+            assert_eq!(p, &plans[0], "coalesced waiters must see one plan");
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.requests(), threads as u64);
+        assert!(
+            stats.misses >= 1 && stats.misses + stats.coalesced + stats.hits == threads as u64,
+            "{stats:?}"
+        );
+    }
+}
