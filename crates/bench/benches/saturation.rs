@@ -78,6 +78,13 @@ fn search_all_naive(rules: &[MathRewrite], eg: &spores_core::analysis::MathGraph
         .sum()
 }
 
+fn search_all_relational(rules: &[MathRewrite], eg: &spores_core::analysis::MathGraph) -> usize {
+    rules
+        .iter()
+        .map(|r| r.search_relational_with_stats(eg).0.len())
+        .sum()
+}
+
 fn bench_add_rebuild(c: &mut Criterion) {
     let expr = headline();
     c.bench_function("egraph/add_expr+rebuild", |b| {
@@ -135,24 +142,44 @@ fn bench_matching(c: &mut Criterion) {
         group.bench_function(&format!("{name}/naive"), |b| {
             b.iter(|| search_all_naive(black_box(&rules), &eg))
         });
+        group.bench_function(&format!("{name}/relational"), |b| {
+            b.iter(|| search_all_relational(black_box(&rules), &eg))
+        });
     }
     group.finish();
 }
 
-/// Time `f` over `reps` repetitions, returning mean ns per repetition.
-fn time_ns<R>(reps: u32, mut f: impl FnMut() -> R) -> u64 {
+/// Time `f` robustly: `batches` batches of `reps` repetitions each,
+/// returning the *minimum* batch mean in ns. On a shared single-core
+/// host the mean of one batch is contaminated by scheduler and
+/// frequency jitter; the minimum over several batches is the stable
+/// estimator of the code's actual cost.
+fn time_ns<R>(batches: u32, reps: u32, mut f: impl FnMut() -> R) -> u64 {
     black_box(f()); // warm-up
-    let start = Instant::now();
-    for _ in 0..reps {
-        black_box(f());
+    let mut best = u64::MAX;
+    for _ in 0..batches {
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(f());
+        }
+        best = best.min((start.elapsed().as_nanos() / u128::from(reps)) as u64);
     }
-    (start.elapsed().as_nanos() / u128::from(reps)) as u64
+    best
 }
 
 /// Write the `BENCH_saturation.json` perf snapshot to the repo root.
+///
+/// The three matchers are differentially checked before timing: the
+/// relational (generic-join) backend must report the same match count
+/// *and* the same visited-candidate total as the structural compiled
+/// matcher (the funnel contract), and both must agree with
+/// `naive_search`. `host_cores` is recorded so downstream tooling can
+/// gate any scaling interpretation on multi-core hosts.
 fn emit_snapshot() {
-    const REPS: u32 = 10;
+    const BATCHES: u32 = 7;
+    const REPS: u32 = 20;
     let rules = default_rules();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut entries = Vec::new();
     for (name, expr) in workload_exprs() {
         let eg = saturated(&expr);
@@ -162,15 +189,31 @@ fn emit_snapshot() {
             search_all_naive(&rules, &eg),
             "indexed and naive matchers disagree on {name}"
         );
+        assert_eq!(
+            matches,
+            search_all_relational(&rules, &eg),
+            "relational and indexed matchers disagree on {name}"
+        );
         let candidates: usize = rules.iter().map(|r| r.search_with_stats(&eg).1).sum();
-        let indexed_ns = time_ns(REPS, || search_all_indexed(&rules, &eg));
-        let naive_ns = time_ns(REPS, || search_all_naive(&rules, &eg));
+        let rel_candidates: usize = rules
+            .iter()
+            .map(|r| r.search_relational_with_stats(&eg).1)
+            .sum();
+        assert_eq!(
+            candidates, rel_candidates,
+            "relational funnel accounting diverged on {name}"
+        );
+        let indexed_ns = time_ns(BATCHES, REPS, || search_all_indexed(&rules, &eg));
+        let naive_ns = time_ns(BATCHES, REPS, || search_all_naive(&rules, &eg));
+        let relational_ns = time_ns(BATCHES, REPS, || search_all_relational(&rules, &eg));
         let speedup = naive_ns as f64 / indexed_ns as f64;
+        let rel_speedup = indexed_ns as f64 / relational_ns as f64;
         println!(
-            "matching snapshot {name:>8}: classes {:>5}  indexed {:>9} ns  naive {:>9} ns  speedup {speedup:.2}x",
+            "matching snapshot {name:>8}: classes {:>5}  indexed {:>9} ns  naive {:>9} ns  relational {:>9} ns  rel-speedup {rel_speedup:.2}x",
             eg.number_of_classes(),
             indexed_ns,
             naive_ns,
+            relational_ns,
         );
         entries.push(format!(
             concat!(
@@ -183,7 +226,9 @@ fn emit_snapshot() {
                 "      \"candidates_visited\": {},\n",
                 "      \"indexed_ns\": {},\n",
                 "      \"naive_ns\": {},\n",
-                "      \"speedup\": {:.3}\n",
+                "      \"speedup\": {:.3},\n",
+                "      \"relational_ns\": {},\n",
+                "      \"relational_speedup_vs_indexed\": {:.3}\n",
                 "    }}"
             ),
             name,
@@ -195,10 +240,12 @@ fn emit_snapshot() {
             indexed_ns,
             naive_ns,
             speedup,
+            relational_ns,
+            rel_speedup,
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"saturation/matching\",\n  \"reps\": {REPS},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"saturation/matching\",\n  \"reps\": {REPS},\n  \"batches\": {BATCHES},\n  \"host_cores\": {host_cores},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_saturation.json");

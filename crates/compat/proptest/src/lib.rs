@@ -10,12 +10,24 @@
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
-//! * **No shrinking.** A failing case reports its generated inputs
-//!   verbatim instead of a minimized counterexample.
+//! * **Value-based shrinking, not value trees.** On failure the runner
+//!   greedily minimizes the inputs via [`Strategy::shrink`] (bounded at
+//!   256 attempts): scalars halve toward the range floor (or zero for
+//!   `any`), vectors halve their length, drop single elements, and
+//!   shrink elements in place, tuples shrink component-wise, and
+//!   `prop_oneof!` / boxed strategies delegate to their arms. Strategies
+//!   built with `prop_map` / `prop_flat_map` do *not* shrink through the
+//!   mapping (the closure has no inverse), so mapped values only shrink
+//!   via the structure around them — coarser than real proptest, but
+//!   failures still report a locally-minimal counterexample.
 //! * **Fixed deterministic seeding** derived from the test name, so runs
 //!   are reproducible (real proptest randomizes and persists regressions).
 //! * Rejections from `prop_assume!` simply skip the case without being
 //!   counted against a rejection budget.
+//! * Panics inside the test body are caught and treated like
+//!   `prop_assert!` failures so panicking cases shrink too; each probe
+//!   of a panicking candidate prints through the default panic hook, so
+//!   shrinking a panicking test is noisy on stderr.
 
 pub mod test_runner {
     /// Deterministic SplitMix64 generator driving all strategies.
@@ -72,18 +84,42 @@ pub mod test_runner {
         /// `prop_assume!` rejection: the inputs don't apply; skip.
         Reject,
     }
+
+    /// Best-effort extraction of a caught panic's message (used by the
+    /// `proptest!` runner to fold panics into shrinkable failures).
+    #[doc(hidden)]
+    pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<opaque panic payload>".to_owned()
+        }
+    }
 }
 
 pub mod strategy {
-    use crate::test_runner::TestRng;
+    use crate::test_runner::{TestCaseError, TestRng};
     use std::rc::Rc;
 
-    /// A generator of values (subset of `proptest::strategy::Strategy`;
-    /// generation only — no value tree, no shrinking).
+    /// A generator of values (subset of `proptest::strategy::Strategy`),
+    /// plus value-based shrinking: `shrink` proposes strictly-simpler
+    /// candidate replacements for a failing value, most aggressive
+    /// first; the runner keeps any candidate that still fails and
+    /// re-shrinks from there ([`minimize`]).
     pub trait Strategy {
         type Value;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Simpler candidates for `value`; empty when already minimal
+        /// (also the default, for strategies with no usable inverse —
+        /// e.g. `prop_map`).
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
 
         fn prop_map<O, F>(self, f: F) -> Map<Self, F>
         where
@@ -129,21 +165,73 @@ pub mod strategy {
         where
             Self: Sized + 'static,
         {
+            let strat = Rc::new(self);
+            let gen_strat = Rc::clone(&strat);
             BoxedStrategy {
-                gen: Rc::new(move |rng| self.generate(rng)),
+                gen: Rc::new(move |rng| gen_strat.generate(rng)),
+                shrinker: Rc::new(move |v| strat.shrink(v)),
             }
         }
     }
 
+    /// Greedy bounded minimization: repeatedly replace `value` with the
+    /// first shrink candidate that still fails `run`, until no candidate
+    /// fails (a local minimum) or the attempt budget is spent. Returns
+    /// the minimized value, its failure message, and the probe count.
+    #[doc(hidden)]
+    pub fn minimize<S: Strategy>(
+        strat: &S,
+        mut value: S::Value,
+        mut msg: String,
+        run: impl Fn(S::Value) -> Result<(), TestCaseError>,
+    ) -> (S::Value, String, usize)
+    where
+        S::Value: Clone,
+    {
+        const MAX_ATTEMPTS: usize = 256;
+        let mut attempts = 0;
+        'minimal: while attempts < MAX_ATTEMPTS {
+            for cand in strat.shrink(&value) {
+                attempts += 1;
+                if let Err(TestCaseError::Fail(m)) = run(cand.clone()) {
+                    value = cand;
+                    msg = m;
+                    continue 'minimal;
+                }
+                if attempts >= MAX_ATTEMPTS {
+                    break;
+                }
+            }
+            break; // every candidate passed: local minimum
+        }
+        (value, msg, attempts)
+    }
+
+    /// Pins a `proptest!`-generated case-runner closure's argument type
+    /// to `S::Value` (the macro cannot name the strategy tuple's value
+    /// type, and closure parameter inference needs the tie).
+    #[doc(hidden)]
+    pub fn constrain_runner<S: Strategy, F>(_strat: &S, f: F) -> F
+    where
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        f
+    }
+
+    /// Type-erased shrinker of a [`BoxedStrategy`].
+    type Shrinker<V> = Rc<dyn Fn(&V) -> Vec<V>>;
+
     /// A type-erased, cheaply clonable strategy.
     pub struct BoxedStrategy<V> {
         gen: Rc<dyn Fn(&mut TestRng) -> V>,
+        shrinker: Shrinker<V>,
     }
 
     impl<V> Clone for BoxedStrategy<V> {
         fn clone(&self) -> Self {
             BoxedStrategy {
                 gen: Rc::clone(&self.gen),
+                shrinker: Rc::clone(&self.shrinker),
             }
         }
     }
@@ -153,9 +241,12 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> V {
             (self.gen)(rng)
         }
+        fn shrink(&self, value: &V) -> Vec<V> {
+            (self.shrinker)(value)
+        }
     }
 
-    /// Always produces a clone of the given value.
+    /// Always produces a clone of the given value (already minimal).
     #[derive(Clone, Debug)]
     pub struct Just<T: Clone>(pub T);
 
@@ -191,6 +282,11 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> V {
             let i = rng.below(self.options.len() as u64) as usize;
             self.options[i].generate(rng)
+        }
+        /// The producing arm isn't recorded, so pool every arm's
+        /// candidates; `minimize` only keeps ones that still fail.
+        fn shrink(&self, value: &V) -> Vec<V> {
+            self.options.iter().flat_map(|o| o.shrink(value)).collect()
         }
     }
 
@@ -245,6 +341,12 @@ pub mod strategy {
                     let span = (self.end as i128 - self.start as i128) as u64;
                     (self.start as i128 + rng.below(span) as i128) as $t
                 }
+                fn shrink(&self, v: &$t) -> Vec<$t> {
+                    shrink_toward(self.start as i128, *v as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
+                }
             }
             impl Strategy for ::std::ops::RangeInclusive<$t> {
                 type Value = $t;
@@ -254,27 +356,75 @@ pub mod strategy {
                     let span = (hi as i128 - lo as i128 + 1) as u64;
                     (lo as i128 + rng.below(span) as i128) as $t
                 }
+                fn shrink(&self, v: &$t) -> Vec<$t> {
+                    shrink_toward(*self.start() as i128, *v as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
+                }
             }
         )*};
     }
 
     impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    /// Scalar shrink candidates for `v` with floor `lo`: the floor
+    /// itself, the midpoint, and the predecessor — aggressive first.
+    pub(crate) fn shrink_toward(lo: i128, v: i128) -> Vec<i128> {
+        if v == lo {
+            return Vec::new();
+        }
+        let step = if v > lo { 1 } else { -1 };
+        let mut out = vec![lo];
+        let mid = lo + (v - lo) / 2;
+        if mid != lo && mid != v {
+            out.push(mid);
+        }
+        let dec = v - step;
+        if dec != lo && dec != mid {
+            out.push(dec);
+        }
+        out
+    }
+
     macro_rules! impl_tuple_strategy {
         ($(($($s:ident . $idx:tt),+))*) => {$(
-            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone),+
+            {
                 type Value = ($($s::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.generate(rng),)+)
+                }
+                /// Component-wise: shrink one position, clone the rest.
+                fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&v.$idx) {
+                            let mut w = v.clone();
+                            w.$idx = cand;
+                            out.push(w);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
     }
 
     impl_tuple_strategy! {
+        (A.0)
         (A.0, B.1)
         (A.0, B.1, C.2)
         (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    impl Strategy for () {
+        type Value = ();
+        fn generate(&self, _rng: &mut TestRng) -> Self::Value {}
     }
 }
 
@@ -286,6 +436,13 @@ pub mod arbitrary {
     /// Types with a canonical "any value" strategy.
     pub trait Arbitrary: Sized {
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Simpler candidates for a failing value (shrinking); empty
+        /// when already minimal.
+        fn shrink_value(value: &Self) -> Vec<Self> {
+            let _ = value;
+            Vec::new()
+        }
     }
 
     macro_rules! impl_arbitrary_int {
@@ -293,6 +450,12 @@ pub mod arbitrary {
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut TestRng) -> $t {
                     rng.next_u64() as $t
+                }
+                fn shrink_value(v: &$t) -> Vec<$t> {
+                    crate::strategy::shrink_toward(0, *v as i128)
+                        .into_iter()
+                        .map(|c| c as $t)
+                        .collect()
                 }
             }
         )*};
@@ -303,6 +466,13 @@ pub mod arbitrary {
     impl Arbitrary for bool {
         fn arbitrary(rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
+        }
+        fn shrink_value(v: &bool) -> Vec<bool> {
+            if *v {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -318,6 +488,9 @@ pub mod arbitrary {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::shrink_value(value)
         }
     }
 
@@ -378,12 +551,40 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.hi - self.size.lo + 1) as u64;
             let len = self.size.lo + rng.below(span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        /// Length shrinks first (halve toward the minimum, keeping
+        /// either end; drop each single element), then element shrinks
+        /// in place.
+        fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let n = v.len();
+            if n > self.size.lo {
+                let half = self.size.lo + (n - self.size.lo) / 2;
+                out.push(v[..half].to_vec());
+                out.push(v[n - half..].to_vec());
+                for i in 0..n {
+                    let mut w = v.clone();
+                    w.remove(i);
+                    out.push(w);
+                }
+            }
+            for i in 0..n {
+                for cand in self.element.shrink(&v[i]) {
+                    let mut w = v.clone();
+                    w[i] = cand;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 
@@ -493,31 +694,44 @@ macro_rules! __proptest_impl {
                 seed = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(byte as u64);
             }
             let mut rng = $crate::test_runner::TestRng::seed_from_u64(seed);
-            for case in 0..config.cases {
-                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
-                let inputs = format!(
-                    concat!($(stringify!($arg), " = {:?}; "),*),
-                    $(&$arg),*
-                );
-                let outcome = ::std::panic::catch_unwind(
-                    ::std::panic::AssertUnwindSafe(
-                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
-                            $body
-                            ::std::result::Result::Ok(())
-                        },
-                    ),
-                );
-                match outcome {
-                    Ok(Ok(())) => {}
-                    Ok(Err($crate::test_runner::TestCaseError::Reject)) => {}
-                    Ok(Err($crate::test_runner::TestCaseError::Fail(msg))) => {
-                        panic!(
-                            "proptest case {case} failed: {msg}\n  inputs: {inputs}",
-                        );
+            // Bundling the argument strategies as a tuple strategy keeps
+            // the RNG stream identical to per-argument generation (the
+            // components draw in declaration order) while giving the
+            // shrinker one composite value to minimize.
+            let strategies = ($(($strat),)*);
+            let run_case = $crate::strategy::constrain_runner(&strategies, |args| {
+                let ($($arg,)*) = args;
+                match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                )) {
+                    ::std::result::Result::Ok(r) => r,
+                    ::std::result::Result::Err(payload) => {
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                            $crate::test_runner::panic_message(&*payload),
+                        ))
                     }
-                    Err(payload) => {
-                        eprintln!("proptest case {case} panicked\n  inputs: {inputs}");
-                        ::std::panic::resume_unwind(payload);
+                }
+            });
+            for case in 0..config.cases {
+                let current = $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                match run_case(current.clone()) {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        let (minimal, msg, attempts) =
+                            $crate::strategy::minimize(&strategies, current, msg, &run_case);
+                        let ($($arg,)*) = &minimal;
+                        let inputs = format!(
+                            concat!($(stringify!($arg), " = {:?}; "),*),
+                            $(&$arg),*
+                        );
+                        panic!(
+                            "proptest case {case} failed: {msg}\n  minimal inputs \
+                             (after {attempts} shrink probes): {inputs}",
+                        );
                     }
                 }
             }
@@ -528,6 +742,8 @@ macro_rules! __proptest_impl {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::strategy::minimize;
+    use crate::test_runner::TestCaseError;
 
     #[test]
     fn ranges_and_collections_generate_in_bounds() {
@@ -571,6 +787,67 @@ mod tests {
             saw_pair |= matches!(t, T::Pair(..));
         }
         assert!(saw_pair, "recursion never produced a pair");
+    }
+
+    #[test]
+    fn scalars_shrink_to_the_smallest_failing_value() {
+        // Property "v < 10" fails for v >= 10; the minimum is exactly 10.
+        let strat = (0usize..1000,);
+        let run = |(v,): (usize,)| {
+            if v >= 10 {
+                Err(TestCaseError::Fail("too big".into()))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, _, _) = minimize(&strat, (700,), "seed".into(), run);
+        assert_eq!(minimal.0, 10);
+
+        // Signed ranges shrink toward their floor, not toward zero.
+        let strat = (-50i32..50,);
+        let run = |(v,): (i32,)| {
+            if v >= -20 {
+                Err(TestCaseError::Fail("too big".into()))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, _, _) = minimize(&strat, (44,), "seed".into(), run);
+        assert_eq!(minimal.0, -20);
+    }
+
+    #[test]
+    fn vectors_shrink_to_a_single_minimal_element() {
+        // Property "no element >= 7": the minimal counterexample is [7].
+        let strat = prop::collection::vec(0u8..100, 0..20);
+        let run = |v: Vec<u8>| {
+            if v.iter().any(|&x| x >= 7) {
+                Err(TestCaseError::Fail("has big element".into()))
+            } else {
+                Ok(())
+            }
+        };
+        let failing = vec![3, 91, 12, 0, 44, 87, 5];
+        let (minimal, _, attempts) = minimize(&strat, failing, "seed".into(), run);
+        assert_eq!(minimal, vec![7]);
+        assert!(attempts <= 256);
+    }
+
+    #[test]
+    fn rejected_candidates_do_not_stall_shrinking() {
+        // Candidates that reject (prop_assume) are skipped, not kept.
+        let strat = (0usize..100,);
+        let run = |(v,): (usize,)| {
+            if v == 0 {
+                Err(TestCaseError::Reject)
+            } else if v >= 5 {
+                Err(TestCaseError::Fail("big".into()))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, _, _) = minimize(&strat, (80,), "seed".into(), run);
+        assert_eq!(minimal.0, 5);
     }
 
     proptest! {

@@ -25,6 +25,7 @@ pub use optimizer::{
     plan_cost, ExtractorKind, Optimized, Optimizer, OptimizerConfig, PhaseTimings, SaturationStats,
 };
 pub use rules::{custom_rules, default_rules, req_rules, MathRewrite};
+pub use spores_egraph::MatchingMode;
 pub use translate::{
     translate, translate_workload, RootTranslation, Translation, WorkloadTranslation,
 };

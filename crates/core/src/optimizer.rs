@@ -11,7 +11,7 @@ use crate::extract::{extract_greedy, extract_ilp, IlpStats};
 use crate::lower::lower_with_info;
 use crate::rules::{default_rules, MathRewrite};
 use crate::translate::{translate, TranslateError, Translation};
-use spores_egraph::{Extractor, ParallelConfig, Runner, Scheduler, StopReason};
+use spores_egraph::{Extractor, MatchingMode, ParallelConfig, Runner, Scheduler, StopReason};
 use spores_ir::{ExprArena, NodeId, Symbol};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -51,6 +51,11 @@ pub struct OptimizerConfig {
     /// concurrently should clamp `threads` so the pools don't
     /// oversubscribe (the service does).
     pub parallel: ParallelConfig,
+    /// E-matching backend for the saturation phase: the structural
+    /// bind/compare machine (default) or relational generic join over
+    /// the (op, arity, slot) index. Matches, stats, and plans are
+    /// bit-identical either way — see `spores_egraph::MatchingMode`.
+    pub matching: MatchingMode,
     /// Turn on the `spores-telemetry` collector for this run: phase and
     /// per-iteration spans land in the global journal, per-rule counters
     /// in the global registry. Off by default — every hook site then
@@ -71,6 +76,7 @@ impl Default for OptimizerConfig {
             ilp_time_limit: Duration::from_secs(5),
             region_freezing: true,
             parallel: ParallelConfig::default(),
+            matching: MatchingMode::default(),
             telemetry: false,
         }
     }
@@ -201,6 +207,7 @@ impl Optimizer {
             .with_node_limit(cfg.node_limit)
             .with_time_limit(cfg.time_limit)
             .with_parallel(cfg.parallel)
+            .with_matching(cfg.matching)
             .run(&rules);
         let t_saturate = t0.elapsed();
         drop(span);

@@ -125,7 +125,8 @@ impl Optimizer {
             .with_iter_limit(cfg.iter_limit)
             .with_node_limit(cfg.node_limit)
             .with_time_limit(cfg.time_limit)
-            .with_parallel(cfg.parallel);
+            .with_parallel(cfg.parallel)
+            .with_matching(cfg.matching);
         if cfg.region_freezing {
             runner = runner.with_regions(spores_egraph::RegionConfig::default());
         }

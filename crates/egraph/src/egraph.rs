@@ -10,6 +10,7 @@
 use crate::analysis::Analysis;
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::language::{Id, Language, OpKey, RecExpr};
+use crate::relational::RelIndex;
 use crate::unionfind::UnionFind;
 use std::fmt;
 
@@ -62,6 +63,14 @@ pub struct EGraph<L: Language, A: Analysis<L>> {
     /// list merged-away ids, which is fine: search requires a clean
     /// graph.
     op_index: FxHashMap<OpKey, Vec<Id>>,
+    /// (op, arity, child-slot) -> sorted canonical ids of classes
+    /// appearing in that child position — the relational e-matching
+    /// index ([`crate::relational`]). [`EGraph::add`] sorted-inserts a
+    /// fresh node's children (they can be any existing classes, unlike
+    /// the strictly increasing op-head ids); [`EGraph::rebuild`]
+    /// canonicalizes entries in place, re-sorting only columns that
+    /// moved. Like `op_index`, only read on clean graphs.
+    rel_index: RelIndex,
     /// Classes touched since the last [`EGraph::take_dirty`]: fresh
     /// classes from [`EGraph::add`], the surviving root of every
     /// [`EGraph::union`] (including congruence unions), and — closed
@@ -93,6 +102,7 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             pending: Vec::new(),
             analysis_pending: Vec::new(),
             op_index: FxHashMap::default(),
+            rel_index: RelIndex::default(),
             dirty: FxHashSet::default(),
             n_unions: 0,
             clean: true,
@@ -173,6 +183,20 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         self.op_index.get(&key).map_or(&[], |ids| ids.as_slice())
     }
 
+    /// The sorted canonical ids of classes appearing at child position
+    /// `slot` of some node with head `op` and `arity` children — one
+    /// column of the relational e-matching index. Empty for absent
+    /// keys. Only meaningful on a clean graph.
+    pub fn classes_with_op_child(&self, op: OpKey, arity: usize, slot: usize) -> &[Id] {
+        self.rel_index.column(op, arity, slot)
+    }
+
+    /// The full relational index (tests and diagnostics; search goes
+    /// through [`EGraph::classes_with_op_child`]).
+    pub fn rel_index(&self) -> &RelIndex {
+        &self.rel_index
+    }
+
     /// Look up the class containing `enode` without inserting it.
     pub fn lookup(&self, enode: L) -> Option<Id> {
         let enode = self.canonicalize(enode);
@@ -190,6 +214,10 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         let ids = self.op_index.entry(enode.op_key()).or_default();
         debug_assert!(ids.last() < Some(&id), "fresh ids keep the index sorted");
         ids.push(id);
+        // Adds keep the graph clean, so the relational index must be
+        // search-ready immediately (a sweep may run with no rebuild in
+        // between).
+        self.rel_index.insert_node(&enode);
         // A fresh class only ever gains parents that are themselves
         // fresh (later) adds, so marking just `id` keeps the dirty set
         // closed under parents without a propagation pass here.
@@ -429,6 +457,11 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
             ids.sort_unstable();
             ids.dedup();
         }
+
+        // The relational index is maintained incrementally: remap every
+        // column entry through the union-find instead of a wholesale
+        // recompute (columns where nothing moved skip their re-sort).
+        self.rel_index.canonicalize(uf);
     }
 
     /// Are the two expressions in the same class (without inserting)?
@@ -507,6 +540,16 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
                 );
             }
         }
+        // relational index: the incrementally maintained columns must
+        // equal from-scratch construction over the canonical class
+        // nodes (HashMap equality is key-set + per-column equality, so
+        // this covers spurious, missing, unsorted, and duplicated
+        // entries at once).
+        let want_rel = RelIndex::rebuild_from(self.classes.values().flat_map(|c| c.nodes.iter()));
+        assert_eq!(
+            self.rel_index, want_rel,
+            "relational index disagrees with from-scratch construction"
+        );
         // dirty set: only canonical, live class ids (no merged-away ids
         // lingering), every dirty class discoverable through the op-head
         // index (each of its nodes' buckets lists it — otherwise delta

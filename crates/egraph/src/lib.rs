@@ -24,6 +24,7 @@ pub mod extract;
 pub mod hash;
 pub mod language;
 pub mod pattern;
+pub mod relational;
 pub mod rewrite;
 pub mod runner;
 pub mod unionfind;
@@ -34,6 +35,7 @@ pub use extract::{AstSize, CostFunction, Extractor};
 pub use hash::{FxHashMap, FxHashSet};
 pub use language::{parse_rec_expr, Id, Language, OpKey, RecExpr};
 pub use pattern::{ENodeOrVar, Pattern, SearchMatches, Subst, Var};
+pub use relational::{MatchingMode, RelIndex, SlotKey};
 pub use rewrite::{Applier, Condition, Rewrite};
 pub use runner::{
     search_rules_parallel, BackoffConfig, Iteration, ParallelConfig, RegionConfig, RuleIterStats,

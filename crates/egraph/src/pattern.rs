@@ -7,6 +7,7 @@
 use crate::analysis::Analysis;
 use crate::egraph::EGraph;
 use crate::language::{Id, Language, OpKey, RecExpr};
+use crate::relational::{MatchingMode, RelPlan, RelQuery};
 use spores_ir::{SExp, Symbol};
 use std::borrow::Cow;
 use std::collections::VecDeque;
@@ -272,6 +273,9 @@ impl<L: Language> Program<L> {
 pub struct Pattern<L> {
     ast: RecExpr<ENodeOrVar<L>>,
     program: Program<L>,
+    /// The same pattern lowered for the relational (generic-join)
+    /// backend; which lowering runs is the caller's [`MatchingMode`].
+    relational: RelQuery<L>,
 }
 
 /// All matches of a pattern inside one e-class.
@@ -284,7 +288,12 @@ pub struct SearchMatches {
 impl<L: Language> Pattern<L> {
     pub fn new(ast: RecExpr<ENodeOrVar<L>>) -> Self {
         let program = Program::compile(&ast);
-        Pattern { ast, program }
+        let relational = RelQuery::compile(&ast);
+        Pattern {
+            ast,
+            program,
+            relational,
+        }
     }
 
     /// The pattern's abstract syntax tree.
@@ -462,6 +471,96 @@ impl<L: Language> Pattern<L> {
         ids: &[Id],
     ) -> (Vec<SearchMatches>, usize) {
         self.search_candidates(egraph, ids.iter().copied())
+    }
+
+    /// [`Pattern::search_ids_with_stats`] with an explicit backend —
+    /// the funnel the saturation driver's search phase goes through.
+    /// Both modes visit exactly the ids given (identical `visited`
+    /// counts) and return bit-identical matches; see
+    /// `tests/proptest_relational.rs`.
+    pub fn search_ids_with_stats_mode<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+        ids: &[Id],
+        mode: MatchingMode,
+    ) -> (Vec<SearchMatches>, usize) {
+        match mode {
+            MatchingMode::Structural => self.search_candidates(egraph, ids.iter().copied()),
+            MatchingMode::Relational => self.search_candidates_relational(egraph, ids),
+        }
+    }
+
+    /// Full sweep on the relational backend (the generic-join analogue
+    /// of [`Pattern::search`]).
+    pub fn search_relational<A: Analysis<L>>(&self, egraph: &EGraph<L, A>) -> Vec<SearchMatches> {
+        self.search_relational_with_stats(egraph).0
+    }
+
+    /// Like [`Pattern::search_with_stats`] but executing the
+    /// generic-join plan instead of the structural machine.
+    pub fn search_relational_with_stats<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+    ) -> (Vec<SearchMatches>, usize) {
+        debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
+        let candidates = self.candidates(egraph);
+        self.search_candidates_relational(egraph, &candidates)
+    }
+
+    /// The relational twin of [`Pattern::search_candidates`]: build one
+    /// generic-join plan for the sweep (the candidate count picks lazy
+    /// vs eager guard columns), then run it per candidate with the same
+    /// visited accounting, scratch reuse, and `finish_matches`
+    /// normalization. A plan with an empty guard column proves no
+    /// candidate can match: the executor returns immediately, but every
+    /// id still counts as visited — `candidates_visited` must stay
+    /// comparable across modes.
+    fn search_candidates_relational<A: Analysis<L>>(
+        &self,
+        egraph: &EGraph<L, A>,
+        ids: &[Id],
+    ) -> (Vec<SearchMatches>, usize) {
+        debug_assert!(egraph.is_clean(), "search requires a rebuilt e-graph");
+        // Adaptive planning: sweeps too small to amortize per-sweep
+        // selectivity planning run the query's precompiled static plan.
+        // Purely a cost decision — both paths accept identical bindings
+        // (see `relational::PLANNED_SWEEP_MIN`).
+        let plan = if ids.len() >= crate::relational::PLANNED_SWEEP_MIN {
+            let plan = RelPlan::build(&self.relational, egraph, ids.len());
+            if plan.is_impossible() {
+                return (Vec::new(), ids.len());
+            }
+            Some(plan)
+        } else {
+            // Semi-join precheck against the index columns: an
+            // inapplicable pattern skips the sweep after O(#atoms) hash
+            // lookups, while still reporting every candidate as visited.
+            if self.relational.sweep_is_impossible(egraph) {
+                return (Vec::new(), ids.len());
+            }
+            None
+        };
+        let mut visited = 0;
+        let mut matches = Vec::new();
+        let mut regs: Vec<Id> = Vec::new();
+        let mut raw: Vec<Subst> = Vec::new();
+        for &id in ids {
+            visited += 1;
+            debug_assert_eq!(id, egraph.find(id), "candidate ids are canonical");
+            match &plan {
+                Some(plan) => plan.run_into(egraph, id, &mut regs, &mut raw),
+                None => self
+                    .relational
+                    .run_static_into(egraph, id, &mut regs, &mut raw),
+            }
+            if raw.is_empty() {
+                continue;
+            }
+            if let Some(m) = Self::finish_matches(id, std::mem::take(&mut raw)) {
+                matches.push(m);
+            }
+        }
+        (matches, visited)
     }
 
     /// Run the compiled machine over `candidates`, reporting the matches

@@ -162,6 +162,26 @@ impl<L: Language, A: Analysis<L>> Rewrite<L, A> {
         self.searcher.search_ids_with_stats(egraph, ids)
     }
 
+    /// Like [`Rewrite::search_ids_with_stats`], with an explicit
+    /// e-matching backend. See [`Pattern::search_ids_with_stats_mode`].
+    pub fn search_ids_with_stats_mode(
+        &self,
+        egraph: &EGraph<L, A>,
+        ids: &[Id],
+        mode: crate::relational::MatchingMode,
+    ) -> (Vec<SearchMatches>, usize) {
+        self.searcher.search_ids_with_stats_mode(egraph, ids, mode)
+    }
+
+    /// Full sweep on the relational (generic-join) backend.
+    /// See [`Pattern::search_relational_with_stats`].
+    pub fn search_relational_with_stats(
+        &self,
+        egraph: &EGraph<L, A>,
+    ) -> (Vec<SearchMatches>, usize) {
+        self.searcher.search_relational_with_stats(egraph)
+    }
+
     /// Apply this rule to one (class, subst) match. Returns the number of
     /// unions actually performed.
     pub fn apply_match(&self, egraph: &mut EGraph<L, A>, eclass: Id, subst: &Subst) -> usize {

@@ -16,6 +16,7 @@ use crate::egraph::EGraph;
 use crate::hash::FxHashSet;
 use crate::language::{Id, Language, RecExpr};
 use crate::pattern::{SearchMatches, Subst};
+use crate::relational::MatchingMode;
 use crate::rewrite::Rewrite;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -300,6 +301,10 @@ pub struct Runner<L: Language, A: Analysis<L>> {
     exact: bool,
     regions: Option<RegionConfig>,
     parallel: ParallelConfig,
+    /// Which e-matching backend the search phase runs (structural
+    /// machine or relational generic join). Never changes results —
+    /// only how much work a sweep does.
+    matching: MatchingMode,
     iter_limit: usize,
     node_limit: usize,
     time_limit: Duration,
@@ -324,6 +329,7 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
             exact: false,
             regions: None,
             parallel: ParallelConfig::default(),
+            matching: MatchingMode::default(),
             iter_limit: 30,
             node_limit: 50_000,
             time_limit: Duration::from_secs(10),
@@ -398,6 +404,15 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
     /// available parallelism). Thread count never changes results.
     pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Pick the e-matching backend for the search phase (structural by
+    /// default). Matches, stats, and plans are bit-identical either
+    /// way; relational mode trades per-sweep join-plan construction for
+    /// guard-pruned class scans.
+    pub fn with_matching(mut self, matching: MatchingMode) -> Self {
+        self.matching = matching;
         self
     }
 
@@ -648,6 +663,7 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
                 &plan,
                 region_masks.as_deref(),
                 self.parallel,
+                self.matching,
             );
             // Flatten each rule's matches to (class, subst) instances.
             let mut per_rule: Vec<Vec<(Id, Subst)>> = Vec::with_capacity(rules.len());
@@ -905,6 +921,7 @@ pub fn search_rules_parallel<L, A>(
     plan: &[Option<Vec<Id>>],
     masks: Option<&crate::hash::FxHashMap<Id, u64>>,
     cfg: ParallelConfig,
+    matching: MatchingMode,
 ) -> Vec<Option<(Vec<SearchMatches>, usize)>>
 where
     L: Language + Sync,
@@ -924,7 +941,7 @@ where
                         rule = rule.name.as_str(),
                         candidates = ids.len(),
                     );
-                    rule.search_ids_with_stats(egraph, ids)
+                    rule.search_ids_with_stats_mode(egraph, ids, matching)
                 })
             })
             .collect();
@@ -950,7 +967,7 @@ where
             rule = rules[*rule_ix].name.as_str(),
             candidates = ids.len(),
         );
-        rules[*rule_ix].search_ids_with_stats(egraph, ids)
+        rules[*rule_ix].search_ids_with_stats_mode(egraph, ids, matching)
     });
     let mut results = results.into_iter();
     let mut out = Vec::with_capacity(plan.len());

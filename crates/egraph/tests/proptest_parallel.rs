@@ -1,19 +1,22 @@
 //! Differential property tests for the parallel search phase.
 //!
-//! The runner's determinism contract: thread count and shard structure
-//! are *invisible* — `search_rules_parallel` must return byte-identical
-//! results at 1, 2, and 8 threads (matches in the same order, same
-//! visited-candidate counts), and a full `Runner::run` must produce the
-//! same union sequence, the same per-iteration `RuleIterStats`, the same
-//! stop reason, and the same extracted term at every thread count.
+//! The runner's determinism contract: thread count, shard structure,
+//! and the e-matching backend are *invisible* — `search_rules_parallel`
+//! must return byte-identical results at 1, 2, and 8 threads in both
+//! [`MatchingMode`]s (matches in the same order, same visited-candidate
+//! counts), and a full `Runner::run` must produce the same union
+//! sequence, the same per-iteration `RuleIterStats`, the same stop
+//! reason, and the same extracted term at every (thread count, mode)
+//! combination.
 //!
 //! `Pattern::naive_search` stays the ground-truth oracle for *what* the
-//! search finds; the serial (1-thread) path is the oracle for *order*.
+//! search finds; the serial (1-thread, structural) path is the oracle
+//! for *order*.
 
 use proptest::prelude::*;
 use spores_egraph::{
     search_rules_parallel, AstSize, EGraph, Extractor, FxHashMap, FxHashSet, Id, Language,
-    ParallelConfig, RecExpr, Rewrite, Runner, Scheduler, SearchMatches, Subst, Var,
+    MatchingMode, ParallelConfig, RecExpr, Rewrite, Runner, Scheduler, SearchMatches, Subst, Var,
 };
 use std::collections::HashSet;
 use std::time::Duration;
@@ -252,7 +255,7 @@ proptest! {
                 .collect();
 
             let serial = search_rules_parallel(
-                &eg, &rules, &plan, None, ParallelConfig::serial(),
+                &eg, &rules, &plan, None, ParallelConfig::serial(), MatchingMode::Structural,
             );
             for (rule, row) in rules.iter().zip(&serial) {
                 match row {
@@ -268,27 +271,36 @@ proptest! {
                     }
                 }
             }
-            for threads in [2usize, 8] {
-                for masks in [None, Some(&masks)] {
-                    let cfg = ParallelConfig { threads, min_shard_size: 1 };
-                    let got = search_rules_parallel(&eg, &rules, &plan, masks, cfg);
-                    prop_assert_eq!(got.len(), serial.len());
-                    for ((rule, s), g) in rules.iter().zip(&serial).zip(&got) {
-                        match (s, g) {
-                            (None, None) => {}
-                            (Some((sm, sv)), Some((gm, gv))) => {
-                                prop_assert_eq!(
-                                    sv, gv,
-                                    "{}: visited-candidate count diverged at {} threads",
-                                    rule.name, threads
-                                );
-                                prop_assert_eq!(
-                                    exact(sm), exact(gm),
-                                    "{}: match stream diverged at {} threads (masks={})",
-                                    rule.name, threads, masks.is_some()
-                                );
+            // Every (thread count, backend) combination — including the
+            // serial relational path, which exercises the inline lane
+            // and the lazy-guard plans single-candidate shards take —
+            // must reproduce the serial structural baseline exactly.
+            for mode in [MatchingMode::Structural, MatchingMode::Relational] {
+                for threads in [1usize, 2, 8] {
+                    if threads == 1 && mode == MatchingMode::Structural {
+                        continue; // the baseline itself
+                    }
+                    for masks in [None, Some(&masks)] {
+                        let cfg = ParallelConfig { threads, min_shard_size: 1 };
+                        let got = search_rules_parallel(&eg, &rules, &plan, masks, cfg, mode);
+                        prop_assert_eq!(got.len(), serial.len());
+                        for ((rule, s), g) in rules.iter().zip(&serial).zip(&got) {
+                            match (s, g) {
+                                (None, None) => {}
+                                (Some((sm, sv)), Some((gm, gv))) => {
+                                    prop_assert_eq!(
+                                        sv, gv,
+                                        "{}: visited-candidate count diverged at {} threads ({:?})",
+                                        rule.name, threads, mode
+                                    );
+                                    prop_assert_eq!(
+                                        exact(sm), exact(gm),
+                                        "{}: match stream diverged at {} threads ({:?}, masks={})",
+                                        rule.name, threads, mode, masks.is_some()
+                                    );
+                                }
+                                _ => prop_assert!(false, "muted lane diverged"),
                             }
-                            _ => prop_assert!(false, "muted lane diverged"),
                         }
                     }
                 }
@@ -299,9 +311,10 @@ proptest! {
 
     // End-to-end determinism: a full saturation run — sampling
     // scheduler, backoff, delta search, rebuilds — is replayed at 2 and
-    // 8 threads (with single-candidate shards) and must reproduce the
-    // 1-thread run exactly: stop reason, per-iteration counts and
-    // per-rule `RuleIterStats`, final graph size, and extracted term.
+    // 8 threads (with single-candidate shards) and in relational
+    // matching mode at every thread count, and must reproduce the
+    // 1-thread structural run exactly: stop reason, per-iteration counts
+    // and per-rule `RuleIterStats`, final graph size, and extracted term.
     #[test]
     fn runner_is_deterministic_across_thread_counts(
         script in steps(),
@@ -309,7 +322,7 @@ proptest! {
     ) {
         let expr = build_expr(&script);
         let rules = rules();
-        let run_at = |threads: usize| {
+        let run_at = |threads: usize, mode: MatchingMode| {
             Runner::new(())
                 .with_expr(&expr)
                 .with_scheduler(Scheduler::Sampling {
@@ -323,27 +336,35 @@ proptest! {
                     threads,
                     min_shard_size: 1,
                 })
+                .with_matching(mode)
                 .run(&rules)
         };
 
-        let baseline = run_at(1);
+        let baseline = run_at(1, MatchingMode::Structural);
         let base_term = Extractor::new(&baseline.egraph, AstSize)
             .find_best(baseline.roots[0])
             .expect("root extractable");
 
-        for threads in [2usize, 8] {
-            let got = run_at(threads);
+        let lanes = [
+            (2usize, MatchingMode::Structural),
+            (8, MatchingMode::Structural),
+            (1, MatchingMode::Relational),
+            (2, MatchingMode::Relational),
+            (8, MatchingMode::Relational),
+        ];
+        for (threads, mode) in lanes {
+            let got = run_at(threads, mode);
             prop_assert_eq!(
                 &got.stop_reason, &baseline.stop_reason,
-                "stop reason diverged at {} threads", threads
+                "stop reason diverged at {} threads ({:?})", threads, mode
             );
             prop_assert_eq!(
                 got.egraph.total_number_of_nodes(), baseline.egraph.total_number_of_nodes(),
-                "e-node count diverged at {} threads", threads
+                "e-node count diverged at {} threads ({:?})", threads, mode
             );
             prop_assert_eq!(
                 got.egraph.number_of_classes(), baseline.egraph.number_of_classes(),
-                "e-class count diverged at {} threads", threads
+                "e-class count diverged at {} threads ({:?})", threads, mode
             );
             prop_assert_eq!(got.iterations.len(), baseline.iterations.len());
             for (it, (g, b)) in got.iterations.iter().zip(&baseline.iterations).enumerate() {
@@ -357,7 +378,7 @@ proptest! {
                     prop_assert_eq!(&gr.rule, &br.rule);
                     prop_assert_eq!(
                         gr.candidates, br.candidates,
-                        "iter {} rule {}: candidate count diverged", it, gr.rule
+                        "iter {} rule {}: candidate count diverged ({:?})", it, gr.rule, mode
                     );
                     prop_assert_eq!(gr.matches, br.matches, "iter {} rule {}", it, gr.rule);
                     prop_assert_eq!(gr.applied, br.applied, "iter {} rule {}", it, gr.rule);
@@ -369,7 +390,10 @@ proptest! {
             let term = Extractor::new(&got.egraph, AstSize)
                 .find_best(got.roots[0])
                 .expect("root extractable");
-            prop_assert_eq!(&term, &base_term, "extracted term diverged at {} threads", threads);
+            prop_assert_eq!(
+                &term, &base_term,
+                "extracted term diverged at {} threads ({:?})", threads, mode
+            );
         }
     }
 }
