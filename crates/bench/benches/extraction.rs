@@ -29,14 +29,14 @@ fn bench_extraction(c: &mut Criterion) {
     let mut group = c.benchmark_group("extraction/headline");
     group.sample_size(10);
     group.bench_function("greedy", |b| {
-        b.iter(|| extract_greedy(black_box(&eg), root).unwrap().0)
+        b.iter(|| extract_greedy(black_box(&eg), root).unwrap().0);
     });
     group.bench_function("ilp", |b| {
         let solver = spores_ilp::Solver {
             time_limit: std::time::Duration::from_secs(2),
             ..Default::default()
         };
-        b.iter(|| extract_ilp(black_box(&eg), root, &solver).unwrap().0)
+        b.iter(|| extract_ilp(black_box(&eg), root, &solver).unwrap().0);
     });
     group.finish();
 }

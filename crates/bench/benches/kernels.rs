@@ -13,19 +13,19 @@ fn bench_kernels(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("kernels/matvec_2000x1000");
     group.bench_function("sparse(1%)", |b| {
-        b.iter(|| black_box(&sparse).matmul(black_box(&v)))
+        b.iter(|| black_box(&sparse).matmul(black_box(&v)));
     });
     group.bench_function("dense", |b| {
-        b.iter(|| black_box(&dense).matmul(black_box(&v)))
+        b.iter(|| black_box(&dense).matmul(black_box(&v)));
     });
     group.finish();
 
     let mut group = c.benchmark_group("kernels/elemmul_2000x1000");
     group.bench_function("sparse*dense", |b| {
-        b.iter(|| black_box(&sparse).mul(black_box(&dense)))
+        b.iter(|| black_box(&sparse).mul(black_box(&dense)));
     });
     group.bench_function("dense*dense", |b| {
-        b.iter(|| black_box(&dense).mul(black_box(&dense)))
+        b.iter(|| black_box(&dense).mul(black_box(&dense)));
     });
     group.finish();
 

@@ -60,7 +60,7 @@ fn bench_optimize(c: &mut Criterion) {
                     ..OptimizerConfig::default()
                 });
                 black_box(opt.optimize(&arena, root, &meta).unwrap().cost_after)
-            })
+            });
         });
     }
     group.finish();

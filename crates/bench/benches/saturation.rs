@@ -93,7 +93,7 @@ fn bench_add_rebuild(c: &mut Criterion) {
             let id = eg.add_expr(black_box(&expr));
             eg.rebuild();
             black_box(id)
-        })
+        });
     });
 }
 
@@ -111,7 +111,7 @@ fn bench_saturation(c: &mut Criterion) {
                 .run(black_box(&rules))
                 .egraph
                 .total_number_of_nodes()
-        })
+        });
     });
     group.bench_function("sampling", |b| {
         b.iter(|| {
@@ -125,7 +125,7 @@ fn bench_saturation(c: &mut Criterion) {
                 .run(black_box(&rules))
                 .egraph
                 .total_number_of_nodes()
-        })
+        });
     });
     group.finish();
 }
@@ -137,13 +137,13 @@ fn bench_matching(c: &mut Criterion) {
     for (name, expr) in workload_exprs() {
         let eg = saturated(&expr);
         group.bench_function(&format!("{name}/indexed"), |b| {
-            b.iter(|| search_all_indexed(black_box(&rules), &eg))
+            b.iter(|| search_all_indexed(black_box(&rules), &eg));
         });
         group.bench_function(&format!("{name}/naive"), |b| {
-            b.iter(|| search_all_naive(black_box(&rules), &eg))
+            b.iter(|| search_all_naive(black_box(&rules), &eg));
         });
         group.bench_function(&format!("{name}/relational"), |b| {
-            b.iter(|| search_all_relational(black_box(&rules), &eg))
+            b.iter(|| search_all_relational(black_box(&rules), &eg));
         });
     }
     group.finish();

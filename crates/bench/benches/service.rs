@@ -33,9 +33,7 @@ const MONOTONE_SLACK: f64 = 0.9;
 
 /// Physical parallelism actually available to this process.
 fn host_cores() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// The benchmark roster: the four cache-relevant evaluation workloads.
@@ -133,7 +131,7 @@ fn bench_scaling(c: &mut Criterion) {
     group.sample_size(5);
     for threads in [1usize, 2, 4, 8] {
         group.bench_function(&format!("{threads}_threads"), |b| {
-            b.iter(|| warm_throughput(threads, 20))
+            b.iter(|| warm_throughput(threads, 20));
         });
     }
     group.finish();

@@ -57,9 +57,7 @@ const SCALING_SLACK: f64 = 1.25;
 
 /// Physical parallelism actually available to this process.
 fn host_cores() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// The benchmark roster: all five §4.2 workloads at bench-scale sizes.
@@ -120,10 +118,10 @@ fn bench_shared_vs_per_statement(c: &mut Criterion) {
         let mut group = c.benchmark_group(&format!("workload/{}", w.name.to_lowercase()));
         group.sample_size(10);
         group.bench_function("one_pass", |b| {
-            b.iter(|| black_box(run_shared(&bundle, parallel)))
+            b.iter(|| black_box(run_shared(&bundle, parallel)));
         });
         group.bench_function("per_statement", |b| {
-            b.iter(|| black_box(run_per_statement(&bundle, parallel)))
+            b.iter(|| black_box(run_per_statement(&bundle, parallel)));
         });
         group.finish();
     }
@@ -437,7 +435,7 @@ fn main() {
         parallel.threads = args
             .get(ix + 1)
             .and_then(|s| s.parse().ok())
-            .expect("--threads takes a positive integer")
+            .expect("--threads takes a positive integer");
     }
     if has("--smoke") {
         smoke(parallel);

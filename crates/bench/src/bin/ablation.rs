@@ -54,8 +54,7 @@ fn sampling_sweep() {
             .with_node_limit(20_000)
             .run(&spores_core::default_rules());
         let cost = extract_greedy(&runner.egraph, runner.roots[0])
-            .map(|(c, _)| format!("{c:.0}"))
-            .unwrap_or_else(|| "-".into());
+            .map_or_else(|| "-".into(), |(c, _)| format!("{c:.0}"));
         table.row(&[
             if limit == usize::MAX {
                 "∞ (DFS)".into()

@@ -10,6 +10,8 @@
 //! * `ablation` — sampling-limit sweep, greedy-vs-ILP gap, rule-set
 //!   ablations (the design-choice experiments DESIGN.md calls out)
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 
 /// Fixed-width text table writer (the tables the binaries print).

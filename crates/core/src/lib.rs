@@ -1,4 +1,6 @@
 //! SPORES: the relational equality-saturation optimizer (paper core).
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod canon;
 pub mod cost;

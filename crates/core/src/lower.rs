@@ -559,7 +559,7 @@ impl<'a> Lower<'a> {
         // aggregated lowers to a plain `sum(...)`
         if factors.len() == 1 {
             let attrs = sorted(&factors[0].attrs());
-            let summed: Attrs = sums.to_vec();
+            let summed: Attrs = sums.clone();
             if !attrs.is_empty() && attrs == sorted(&summed) {
                 let f = factors.pop().expect("one factor");
                 let s = self.arena.sum(f.la);

@@ -56,6 +56,12 @@ pub struct OptimizerConfig {
     /// the (op, arity, slot) index. Matches, stats, and plans are
     /// bit-identical either way — see `spores_egraph::MatchingMode`.
     pub matching: MatchingMode,
+    /// Static per-rule backoff priors (rule name → initial fruitless
+    /// streak), typically `spores-ruleaudit`'s explosiveness scores via
+    /// `backoff_priors`. `None` (the default) leaves backoff exactly as
+    /// before — the priors are opt-in and only change pacing, never
+    /// plans (see `Runner::with_rule_priors`).
+    pub rule_priors: Option<spores_egraph::FxHashMap<String, u32>>,
     /// Turn on the `spores-telemetry` collector for this run: phase and
     /// per-iteration spans land in the global journal, per-rule counters
     /// in the global registry. Off by default — every hook site then
@@ -77,6 +83,7 @@ impl Default for OptimizerConfig {
             region_freezing: true,
             parallel: ParallelConfig::default(),
             matching: MatchingMode::default(),
+            rule_priors: None,
             telemetry: false,
         }
     }
@@ -200,15 +207,18 @@ impl Optimizer {
             Some(r) => r.clone(),
             None => default_rules(),
         };
-        let runner = Runner::new(MetaAnalysis::new(tr.ctx.clone()))
+        let mut runner = Runner::new(MetaAnalysis::new(tr.ctx.clone()))
             .with_expr(&tr.expr)
             .with_scheduler(cfg.scheduler.clone())
             .with_iter_limit(cfg.iter_limit)
             .with_node_limit(cfg.node_limit)
             .with_time_limit(cfg.time_limit)
             .with_parallel(cfg.parallel)
-            .with_matching(cfg.matching)
-            .run(&rules);
+            .with_matching(cfg.matching);
+        if let Some(priors) = cfg.rule_priors.clone() {
+            runner = runner.with_rule_priors(priors);
+        }
+        let runner = runner.run(&rules);
         let t_saturate = t0.elapsed();
         drop(span);
         let saturation = SaturationStats {

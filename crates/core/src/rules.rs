@@ -14,7 +14,7 @@
 
 use crate::analysis::{index_not_in_schema, MetaAnalysis};
 use crate::lang::Math;
-use spores_egraph::{Rewrite, Var};
+use spores_egraph::{ConditionMeta, Rewrite, Var};
 
 /// A rewrite over the SPORES language.
 pub type MathRewrite = Rewrite<Math, MetaAnalysis>;
@@ -23,17 +23,22 @@ fn rw(name: &str, lhs: &str, rhs: &str) -> MathRewrite {
     Rewrite::new(name, lhs, rhs).unwrap_or_else(|e| panic!("bad rule {name}: {e}"))
 }
 
-/// `lhs => rhs` guarded by `?i ∉ Attr(?a)`.
+/// `lhs => rhs` guarded by `?i ∉ Attr(?a)`. The guard is declared as
+/// [`ConditionMeta::IndexNotInSchema`] so the static auditor can
+/// cross-check it against the hypothesis the schema algebra demands.
 fn rw_if_free(name: &str, lhs: &str, rhs: &str) -> MathRewrite {
     let i = Var::new("i");
     let a = Var::new("a");
-    rw(name, lhs, rhs).with_condition(move |egraph, _id, subst| {
-        let (vi, va) = match (subst.get(i), subst.get(a)) {
-            (Some(vi), Some(va)) => (vi, va),
-            _ => return false,
-        };
-        index_not_in_schema(egraph, vi, va)
-    })
+    rw(name, lhs, rhs).with_declared_condition(
+        ConditionMeta::IndexNotInSchema { index: i, of: a },
+        move |egraph, _id, subst| {
+            let (vi, va) = match (subst.get(i), subst.get(a)) {
+                (Some(vi), Some(va)) => (vi, va),
+                _ => return false,
+            };
+            index_not_in_schema(egraph, vi, va)
+        },
+    )
 }
 
 /// The seven relational identities of Figure 3, as directed rewrites.
@@ -42,7 +47,7 @@ pub fn req_rules() -> Vec<MathRewrite> {
     vec![
         // (1) distributivity of join over union, both directions
         rw("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))"),
-        rw("factor", "(+ (* ?a ?b) (* ?a ?c))", "(* ?a (+ ?b ?c))"),
+        rw("factor", "(+ (* ?a ?b) (* ?a ?c))", "(* ?a (+ ?b ?c))").with_nonlinear_lhs(),
         // (2) aggregates distribute over union, both directions
         rw(
             "push-agg-add",
@@ -53,7 +58,8 @@ pub fn req_rules() -> Vec<MathRewrite> {
             "pull-agg-add",
             "(+ (sum ?i ?a) (sum ?i ?b))",
             "(sum ?i (+ ?a ?b))",
-        ),
+        )
+        .with_nonlinear_lhs(),
         // (3) join commutes with aggregation when the index is free of A
         rw_if_free("push-join-agg", "(* ?a (sum ?i ?b))", "(sum ?i (* ?a ?b))"),
         rw_if_free("pull-join-agg", "(sum ?i (* ?a ?b))", "(* ?a (sum ?i ?b))"),
@@ -75,21 +81,37 @@ pub fn req_rules() -> Vec<MathRewrite> {
         rw("add-zero", "(+ 0 ?a)", "?a"),
         // sparsity-invariant rule: adding a provably-empty relation is a
         // no-op (justifies SystemML's Empty* rewrites, §3.2/Figure 14).
-        // Guard: the zero side's schema must not extend the other's.
-        rw("add-zero-rel", "(+ ?a ?b)", "?a").with_condition(|egraph, _id, subst| {
-            let (a, b) = match (subst.get(Var::new("a")), subst.get(Var::new("b"))) {
-                (Some(a), Some(b)) => (a, b),
-                _ => return false,
-            };
-            let bd = &egraph.class(b).data;
-            if bd.sparsity != 0.0 {
-                return false;
-            }
-            match (egraph.class(a).data.kind.attrs(), bd.kind.attrs()) {
-                (Some(sa), Some(sb)) => sb.iter().all(|s| sa.contains(s)),
-                _ => false,
-            }
-        }),
+        // Guards: `?b` must be the additive zero (sparsity 0), and the
+        // zero side's schema must not extend the other's — declared
+        // separately so the auditor can match each hypothesis.
+        rw("add-zero-rel", "(+ ?a ?b)", "?a")
+            .with_declared_condition(
+                ConditionMeta::IsZero { var: Var::new("b") },
+                |egraph, _id, subst| match subst.get(Var::new("b")) {
+                    Some(b) => egraph.class(b).data.sparsity == 0.0,
+                    None => false,
+                },
+            )
+            .with_declared_condition(
+                ConditionMeta::SchemaSubset {
+                    sub: Var::new("b"),
+                    sup: Var::new("a"),
+                },
+                |egraph, _id, subst| {
+                    let (a, b) = match (subst.get(Var::new("a")), subst.get(Var::new("b"))) {
+                        (Some(a), Some(b)) => (a, b),
+                        _ => return false,
+                    };
+                    let (sa, sb) = match (
+                        egraph.class(a).data.kind.attrs(),
+                        egraph.class(b).data.kind.attrs(),
+                    ) {
+                        (Some(sa), Some(sb)) => (sa, sb),
+                        _ => return false,
+                    };
+                    sb.iter().all(|s| sa.contains(s))
+                },
+            ),
     ]
 }
 
@@ -101,10 +123,10 @@ pub fn custom_rules() -> Vec<MathRewrite> {
     vec![
         // square / powers expand into joins (and back: fusion)
         rw("pow2-expand", "(pow ?x 2)", "(* ?x ?x)"),
-        rw("pow2-fuse", "(* ?x ?x)", "(pow ?x 2)"),
+        rw("pow2-fuse", "(* ?x ?x)", "(pow ?x 2)").with_nonlinear_lhs(),
         rw("pow3-expand", "(pow ?x 3)", "(* ?x (* ?x ?x))"),
         // doubling
-        rw("double", "(+ ?x ?x)", "(* 2 ?x)"),
+        rw("double", "(+ ?x ?x)", "(* 2 ?x)").with_nonlinear_lhs(),
         rw("double-rev", "(* 2 ?x)", "(+ ?x ?x)"),
         // reciprocal
         rw("inv-inv", "(inv (inv ?x))", "?x"),
@@ -122,16 +144,16 @@ pub fn custom_rules() -> Vec<MathRewrite> {
         // sprop(p) = p - p², both directions (fusion). The factored form
         // p·(1-p) is reachable via distributivity.
         rw("sprop-expand", "(sprop ?p)", "(+ ?p (* -1 (* ?p ?p)))"),
-        rw("sprop-fuse", "(+ ?p (* -1 (* ?p ?p)))", "(sprop ?p)"),
+        rw("sprop-fuse", "(+ ?p (* -1 (* ?p ?p)))", "(sprop ?p)").with_nonlinear_lhs(),
         // sign(x) = (x > 0) - (x < 0)
-        rw("sign-def", "(+ (gt ?x 0) (* -1 (lt ?x 0)))", "(sign ?x)"),
+        rw("sign-def", "(+ (gt ?x 0) (* -1 (lt ?x 0)))", "(sign ?x)").with_nonlinear_lhs(),
         rw(
             "sign-def-rev",
             "(sign ?x)",
             "(+ (gt ?x 0) (* -1 (lt ?x 0)))",
         ),
         // |x| = sign(x) · x
-        rw("abs-def", "(* (sign ?x) ?x)", "(abs ?x)"),
+        rw("abs-def", "(* (sign ?x) ?x)", "(abs ?x)").with_nonlinear_lhs(),
         rw("abs-def-rev", "(abs ?x)", "(* (sign ?x) ?x)"),
     ]
 }

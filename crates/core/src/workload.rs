@@ -130,6 +130,9 @@ impl Optimizer {
         if cfg.region_freezing {
             runner = runner.with_regions(spores_egraph::RegionConfig::default());
         }
+        if let Some(priors) = cfg.rule_priors.clone() {
+            runner = runner.with_rule_priors(priors);
+        }
         for rt in &wt.roots {
             runner = runner.with_expr(&rt.expr);
         }

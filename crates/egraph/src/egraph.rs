@@ -13,6 +13,40 @@ use crate::language::{Id, Language, OpKey, RecExpr};
 use crate::relational::RelIndex;
 use crate::unionfind::UnionFind;
 use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Cached `SPORES_AUDIT` gate: 0 = not yet read, 1 = off, 2 = on.
+static AUDIT_GATE: AtomicU8 = AtomicU8::new(0);
+
+/// Should every [`EGraph::rebuild`] finish with a full
+/// [`EGraph::check_invariants`] sweep (congruence, memo, op-index,
+/// `RelIndex`, dirty set)?
+///
+/// Driven by the `SPORES_AUDIT` environment variable (`1`/`true` enables;
+/// read once and cached) or [`set_rebuild_audit`]. Off by default: the
+/// audit is O(graph) per rebuild and exists for CI/proptest runs, where
+/// one matrix job sets `SPORES_AUDIT=1` so the invariant sweep runs after
+/// every rebuild of every suite.
+pub fn audit_enabled() -> bool {
+    match AUDIT_GATE.load(Ordering::Relaxed) {
+        0 => {
+            let on = matches!(
+                std::env::var("SPORES_AUDIT").as_deref(),
+                Ok("1") | Ok("true")
+            );
+            AUDIT_GATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+        2 => true,
+        _ => false,
+    }
+}
+
+/// Force the rebuild audit on or off, overriding the environment (for
+/// tests that exercise the audit path deterministically).
+pub fn set_rebuild_audit(on: bool) {
+    AUDIT_GATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
 
 /// An equivalence class of e-nodes.
 #[derive(Clone, Debug)]
@@ -343,6 +377,9 @@ impl<L: Language, A: Analysis<L>> EGraph<L, A> {
         self.rebuild_classes();
         self.refresh_dirty();
         self.clean = true;
+        if audit_enabled() {
+            self.check_invariants();
+        }
         self.n_unions - n_unions_before
     }
 
@@ -632,6 +669,23 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(eg.number_of_classes(), 3);
         assert_eq!(eg.total_number_of_nodes(), 3);
+    }
+
+    #[test]
+    fn rebuild_audit_gate_sweeps_invariants() {
+        // With the gate forced on, every rebuild ends in a full
+        // check_invariants sweep (this is what SPORES_AUDIT=1 turns on
+        // for a whole test run). Restore the off state afterwards so
+        // other tests in this binary keep the default fast path.
+        set_rebuild_audit(true);
+        let mut eg = EG::default();
+        let a = add_str(&mut eg, "(+ x y)");
+        let b = add_str(&mut eg, "(+ y x)");
+        eg.union(a, b);
+        eg.rebuild();
+        assert!(audit_enabled());
+        set_rebuild_audit(false);
+        assert!(!audit_enabled());
     }
 
     #[test]

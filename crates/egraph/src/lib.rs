@@ -17,6 +17,8 @@
 //!   [`CostFunction`] (ILP extraction lives in `spores-core`, which
 //!   encodes Figure 11 onto the `spores-ilp` solver).
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod dot;
 pub mod egraph;
@@ -30,13 +32,16 @@ pub mod runner;
 pub mod unionfind;
 
 pub use analysis::{Analysis, DidMerge};
-pub use egraph::{EClass, EGraph};
+pub use egraph::{audit_enabled, set_rebuild_audit, EClass, EGraph};
 pub use extract::{AstSize, CostFunction, Extractor};
 pub use hash::{FxHashMap, FxHashSet};
 pub use language::{parse_rec_expr, Id, Language, OpKey, RecExpr};
 pub use pattern::{ENodeOrVar, Pattern, SearchMatches, Subst, Var};
 pub use relational::{MatchingMode, RelIndex, SlotKey};
-pub use rewrite::{Applier, Condition, Rewrite};
+pub use rewrite::{
+    check_unique_names, Applier, Condition, ConditionMeta, DeclaredCondition, PatternSide, Rewrite,
+    RewriteError,
+};
 pub use runner::{
     search_rules_parallel, BackoffConfig, Iteration, ParallelConfig, RegionConfig, RuleIterStats,
     Runner, Scheduler, StopReason,

@@ -181,11 +181,7 @@ impl Default for ParallelConfig {
         let threads = std::env::var("SPORES_THREADS")
             .ok()
             .and_then(|s| s.parse::<usize>().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         ParallelConfig {
             threads: threads.max(1),
             min_shard_size: 64,
@@ -294,6 +290,9 @@ pub struct Runner<L: Language, A: Analysis<L>> {
     pub stop_reason: Option<StopReason>,
     scheduler: Scheduler,
     backoff: Option<BackoffConfig>,
+    /// Static explosiveness priors: initial fruitless-streak seed per
+    /// rule name (see [`Runner::with_rule_priors`]).
+    rule_priors: Option<crate::hash::FxHashMap<String, u32>>,
     /// Delta (dirty-class) search between full sweeps (on by default).
     delta: bool,
     /// Exact verification sweeps (off by default; see
@@ -325,6 +324,7 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
             stop_reason: None,
             scheduler: Scheduler::default(),
             backoff: Some(BackoffConfig::default()),
+            rule_priors: None,
             delta: true,
             exact: false,
             regions: None,
@@ -362,6 +362,21 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
     /// Disable per-rule backoff: search every rule every iteration.
     pub fn without_backoff(mut self) -> Self {
         self.backoff = None;
+        self
+    }
+
+    /// Seed each named rule's backoff with an initial fruitless-streak
+    /// count (typically the static explosiveness priors computed by
+    /// `spores-ruleaudit`). A rule with prior `k` gets its first mute
+    /// lengthened as if it had already sat out `k` fruitless streaks, so
+    /// statically explosive rules (AC permutations, self-feeding
+    /// expanders) are paced down sooner. Pacing only: muting delays
+    /// *when* a rule is searched, never whether its matches are
+    /// eventually applied, so the saturation fixpoint is unchanged.
+    /// Rules absent from the map start at the usual zero. No-op when
+    /// backoff is disabled.
+    pub fn with_rule_priors(mut self, priors: crate::hash::FxHashMap<String, u32>) -> Self {
+        self.rule_priors = Some(priors);
         self
     }
 
@@ -468,7 +483,17 @@ impl<L: Language, A: Analysis<L>> Runner<L, A> {
         if !self.egraph.is_clean() {
             self.egraph.rebuild();
         }
-        let mut backoff_state = vec![BackoffState::default(); rules.len()];
+        let mut backoff_state: Vec<BackoffState> = rules
+            .iter()
+            .map(|r| BackoffState {
+                streak: self
+                    .rule_priors
+                    .as_ref()
+                    .and_then(|p| p.get(&r.name).copied())
+                    .unwrap_or(0),
+                ..BackoffState::default()
+            })
+            .collect();
         // Every rule's first search is a full sweep — this is the
         // "dirty set seeded with all classes" base case, and it also
         // covers e-graphs passed in via `with_egraph` whose dirty set
@@ -1104,6 +1129,32 @@ mod tests {
             Rewrite::new("distribute", "(* ?a (+ ?b ?c))", "(+ (* ?a ?b) (* ?a ?c))").unwrap(),
             Rewrite::new("factor", "(+ (* ?a ?b) (* ?a ?c))", "(* ?a (+ ?b ?c))").unwrap(),
         ]
+    }
+
+    #[test]
+    fn rule_priors_never_change_the_fixpoint() {
+        let expr = parse_rec_expr("(* (+ x y) (+ y z))").unwrap();
+        let plain = Runner::<Arith, ()>::default()
+            .with_expr(&expr)
+            .with_scheduler(Scheduler::DepthFirst)
+            .run(&rules());
+        let mut priors = crate::hash::FxHashMap::default();
+        priors.insert("comm-add".to_owned(), 3);
+        priors.insert("distribute".to_owned(), 2);
+        let primed = Runner::<Arith, ()>::default()
+            .with_expr(&expr)
+            .with_scheduler(Scheduler::DepthFirst)
+            .with_rule_priors(priors)
+            .run(&rules());
+        assert!(plain.saturated() && primed.saturated());
+        assert_eq!(
+            plain.egraph.number_of_classes(),
+            primed.egraph.number_of_classes()
+        );
+        assert_eq!(
+            plain.egraph.total_number_of_nodes(),
+            primed.egraph.total_number_of_nodes()
+        );
     }
 
     #[test]

@@ -258,17 +258,14 @@ proptest! {
                 &eg, &rules, &plan, None, ParallelConfig::serial(), MatchingMode::Structural,
             );
             for (rule, row) in rules.iter().zip(&serial) {
-                match row {
-                    None => continue,
-                    Some((matches, _)) => {
-                        // full-plan rows must agree with the naive oracle
-                        let naive = match_set(&rule.searcher.naive_search(&eg));
-                        let got = match_set(matches);
-                        prop_assert!(
-                            got.is_subset(&naive),
-                            "{}: parallel search found a non-match", rule.name
-                        );
-                    }
+                if let Some((matches, _)) = row {
+                    // full-plan rows must agree with the naive oracle
+                    let naive = match_set(&rule.searcher.naive_search(&eg));
+                    let got = match_set(matches);
+                    prop_assert!(
+                        got.is_subset(&naive),
+                        "{}: parallel search found a non-match", rule.name
+                    );
                 }
             }
             // Every (thread count, backend) combination — including the

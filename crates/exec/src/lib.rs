@@ -5,6 +5,8 @@
 //! operators (`wsloss`, `mmchain`, `sprop`, `sigmoid`) and deterministic
 //! FLOP/allocation accounting for the benchmark tables.
 
+#![forbid(unsafe_code)]
+
 pub mod exec;
 pub mod stats;
 

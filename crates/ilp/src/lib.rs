@@ -15,6 +15,8 @@
 //! paper-scale instances (expression DAGs of ≤ ~15 operators, §4.3)
 //! exactly in well under a millisecond.
 
+#![forbid(unsafe_code)]
+
 pub mod problem;
 pub mod solver;
 

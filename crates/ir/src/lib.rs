@@ -22,6 +22,8 @@
 //!   saturates in one e-graph; [`fingerprint_workload`] extends the
 //!   fingerprint over the multi-root DAG plus its def-use wiring.
 
+#![forbid(unsafe_code)]
+
 pub mod arena;
 pub mod fingerprint;
 pub mod parser;

@@ -148,10 +148,7 @@ impl<'a> Parser<'a> {
     }
 
     fn offset(&self) -> usize {
-        self.toks
-            .get(self.pos)
-            .map(|&(_, o)| o)
-            .unwrap_or(self.src_len)
+        self.toks.get(self.pos).map_or(self.src_len, |&(_, o)| o)
     }
 
     fn bump(&mut self) -> Option<Tok> {

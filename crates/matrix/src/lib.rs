@@ -6,6 +6,8 @@
 //! unified [`Matrix`] value with SystemML-style representation selection,
 //! and the synthetic generators behind every benchmark table.
 
+#![forbid(unsafe_code)]
+
 pub mod dense;
 pub mod gen;
 pub mod matrix;

@@ -1,6 +1,8 @@
 //! The five evaluation workloads of the paper (§4.2) and the harness
 //! that compiles them under `base` / `opt2` / SPORES and executes them.
 
+#![forbid(unsafe_code)]
+
 pub mod runner;
 pub mod workloads;
 

@@ -12,6 +12,8 @@
 //!   pool, extracted here so the workspace has one pool implementation
 //!   instead of one per crate.
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{
     channel, sync_channel, Receiver, SendError, Sender, SyncSender, TrySendError,

@@ -1,0 +1,125 @@
+//! `rule_audit` — audit the SPORES rewrite ruleset.
+//!
+//! ```text
+//! rule_audit [--ruleset default|complete] [--json PATH]
+//!            [--write-semiring PATH] [--check-semiring PATH]
+//!            [--max-structure S] [--priors]
+//! ```
+//!
+//! Prints the human table to stdout. Exits 1 if the audit finds any
+//! violation, or if `--check-semiring` detects drift against the
+//! committed snapshot.
+
+use std::process::ExitCode;
+
+use spores_core::rules;
+use spores_ruleaudit::{audit_with_policy, AuditPolicy, Structure};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rule_audit [--ruleset default|complete] [--json PATH]\n\
+         \x20                 [--write-semiring PATH] [--check-semiring PATH]\n\
+         \x20                 [--max-structure semiring|commutative-semiring|ring|field|real]\n\
+         \x20                 [--priors]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_structure(s: &str) -> Structure {
+    match s {
+        "semiring" => Structure::Semiring,
+        "commutative-semiring" => Structure::CommutativeSemiring,
+        "ring" => Structure::Ring,
+        "field" => Structure::Field,
+        "real" => Structure::Real,
+        _ => usage(),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut ruleset = "complete".to_owned();
+    let mut json_path: Option<String> = None;
+    let mut write_semiring: Option<String> = None;
+    let mut check_semiring: Option<String> = None;
+    let mut policy = AuditPolicy::default();
+    let mut show_priors = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ruleset" => ruleset = args.next().unwrap_or_else(|| usage()),
+            "--json" => json_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--write-semiring" => write_semiring = Some(args.next().unwrap_or_else(|| usage())),
+            "--check-semiring" => check_semiring = Some(args.next().unwrap_or_else(|| usage())),
+            "--max-structure" => {
+                policy.max_structure =
+                    Some(parse_structure(&args.next().unwrap_or_else(|| usage())));
+            }
+            "--priors" => show_priors = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let rules = match ruleset.as_str() {
+        "default" => rules::default_rules(),
+        "complete" => rules::complete(),
+        _ => usage(),
+    };
+
+    let report = audit_with_policy(&rules, &policy);
+    print!("{}", report.render_table());
+
+    if show_priors {
+        let mut priors: Vec<(String, u32)> = spores_ruleaudit::backoff_priors(&rules)
+            .into_iter()
+            .collect();
+        priors.sort();
+        println!();
+        println!("suggested backoff priors (initial fruitless-streak):");
+        for (name, p) in priors {
+            println!("  {name}: {p}");
+        }
+    }
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("rule_audit: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("rule_audit: wrote JSON report to {path}");
+    }
+
+    if let Some(path) = write_semiring {
+        if let Err(e) = std::fs::write(&path, report.semiring_table_json()) {
+            eprintln!("rule_audit: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("rule_audit: wrote semiring table to {path}");
+    }
+
+    if let Some(path) = check_semiring {
+        let expected = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rule_audit: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let actual = report.semiring_table_json();
+        if expected != actual {
+            eprintln!(
+                "rule_audit: semiring table drifted from {path};\n\
+                 re-run with --write-semiring {path} and review the diff"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("rule_audit: semiring table matches {path}");
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,233 @@
+//! # spores-ruleaudit — static analysis for the rewrite ruleset
+//!
+//! The SPORES optimizer's correctness rests on ~40 rewrite rules
+//! (paper §3.2). Each rule is an *equation claim*: "these two
+//! sum-product expressions denote the same relation". This crate
+//! checks those claims statically, without running the e-graph, via
+//! four passes over the declared rule metadata
+//! ([`spores_egraph::Rewrite`]'s introspection surface —
+//! [`ConditionMeta`](spores_egraph::ConditionMeta), `rhs_pattern()`,
+//! `nonlinear_lhs_declared()`):
+//!
+//! 1. **Binding & linearity** ([`audit`]): every rhs variable is bound
+//!    on the lhs (enforced at construction by
+//!    [`Rewrite::new`](spores_egraph::Rewrite::new) returning
+//!    [`RewriteError`](spores_egraph::RewriteError)), rule names are
+//!    unique, and any repeated lhs variable — a non-linear pattern,
+//!    which silently constrains matching to *equal e-classes* — is
+//!    explicitly declared via `with_nonlinear_lhs()`.
+//! 2. **Schema typing** ([`schema`]): abstract interpretation of both
+//!    patterns under the relational-algebra schema algebra of the
+//!    paper (Attr of a join is the union, Σ removes the summed index).
+//!    The pass proves the sides have equal schemas, possibly under
+//!    hypotheses (`?i ∉ Attr(?a)`, `Attr(?b) ⊆ Attr(?a)`), and
+//!    cross-checks that every needed hypothesis is *declared* as a
+//!    machine-readable side condition on the rule.
+//! 3. **Semiring-requirement inference** ([`semiring`]): normalizes
+//!    both sides to a polynomial form at increasing levels of algebraic
+//!    commitment (semiring → commutative semiring → ring → field → ℝ,
+//!    with an orthogonal idempotent-⊕ axis) and reports the weakest
+//!    structure at which the equation holds. This is the prerequisite
+//!    table for running SPORES over non-ℝ semirings (min-plus, bool).
+//! 4. **Overlap & explosiveness** ([`overlap`]): pairwise critical-pair
+//!    and subsumption analysis plus a per-rule explosion score
+//!    (growth, permutativity, self-feeding, fan-out) exported as
+//!    optional backoff priors for the runner.
+//!
+//! The `rule_audit` binary renders the result as a table and JSON
+//! report; CI fails on any [`Violation`] and on drift of the committed
+//! semiring table.
+
+#![forbid(unsafe_code)]
+
+pub mod overlap;
+pub mod report;
+pub mod schema;
+pub mod semiring;
+
+use spores_core::rules::MathRewrite;
+use spores_egraph::{check_unique_names, ENodeOrVar, FxHashMap, Var};
+
+pub use report::{AuditReport, RuleReport, Violation, Warning};
+pub use semiring::{SemiringReq, Structure, Verification};
+
+/// Knobs for [`audit_with_policy`].
+#[derive(Debug, Clone, Default)]
+pub struct AuditPolicy {
+    /// When set, any rule whose inferred requirement exceeds this
+    /// structure is a violation. Use to certify the ruleset for a
+    /// weaker carrier (e.g. `CommutativeSemiring` for min-plus).
+    pub max_structure: Option<Structure>,
+}
+
+/// Variables occurring more than once in the rule's lhs pattern, in
+/// first-occurrence order.
+fn repeated_lhs_vars(rule: &MathRewrite) -> Vec<Var> {
+    let mut counts: Vec<(Var, u32)> = Vec::new();
+    for node in rule.searcher.ast().nodes() {
+        if let ENodeOrVar::Var(v) = node {
+            match counts.iter_mut().find(|(w, _)| w == v) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((*v, 1)),
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|&(_, n)| n > 1)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+/// Run all four passes over the ruleset with the default (permissive)
+/// policy.
+pub fn audit(rules: &[MathRewrite]) -> AuditReport {
+    audit_with_policy(rules, &AuditPolicy::default())
+}
+
+/// Run all four passes over the ruleset.
+pub fn audit_with_policy(rules: &[MathRewrite], policy: &AuditPolicy) -> AuditReport {
+    let mut report = AuditReport::default();
+    if let Err(e) = check_unique_names(rules) {
+        report.violations.push(e.into());
+    }
+
+    let overlaps = overlap::analyze(rules);
+    for (rule, ov) in rules.iter().zip(overlaps) {
+        let name = rule.name.clone();
+
+        // pass 1: linearity (construction already guarantees rhs ⊆ lhs)
+        for var in repeated_lhs_vars(rule) {
+            if !rule.nonlinear_lhs_declared() {
+                report.violations.push(Violation::UndeclaredNonlinear {
+                    rule: name.clone(),
+                    var,
+                });
+            }
+        }
+
+        // pass 2: schema typing + declared-condition cross-check
+        let schema = schema::check_schema(rule);
+        if let Some(var) = schema.role_conflict {
+            report.violations.push(Violation::RoleConflict {
+                rule: name.clone(),
+                var,
+            });
+        }
+        match &schema.verdict {
+            schema::SchemaVerdict::Undeclared { missing, .. } => {
+                report.violations.push(Violation::UndeclaredCondition {
+                    rule: name.clone(),
+                    missing: missing.clone(),
+                });
+            }
+            schema::SchemaVerdict::Mismatch { lhs, rhs } => {
+                report.violations.push(Violation::SchemaMismatch {
+                    rule: name.clone(),
+                    lhs: lhs.clone(),
+                    rhs: rhs.clone(),
+                });
+            }
+            schema::SchemaVerdict::NotAnalyzable(reason) => {
+                report.warnings.push(Warning::NotAnalyzable {
+                    rule: name.clone(),
+                    reason: reason.clone(),
+                });
+            }
+            _ => {}
+        }
+        for var in &schema.undeclared_drops {
+            report.violations.push(Violation::UndeclaredDrop {
+                rule: name.clone(),
+                var: *var,
+            });
+        }
+        for h in &schema.unused_conditions {
+            report.warnings.push(Warning::UnusedCondition {
+                rule: name.clone(),
+                hypothesis: *h,
+            });
+        }
+
+        // pass 3: semiring requirement
+        let semiring = semiring::infer(rule);
+        if let Some(req) = &semiring {
+            if req.verified == Verification::Unverified {
+                report
+                    .warnings
+                    .push(Warning::Unverified { rule: name.clone() });
+            }
+            if let Some(max) = policy.max_structure {
+                if req.structure > max {
+                    report.violations.push(Violation::StructureExceedsPolicy {
+                        rule: name.clone(),
+                        required: req.structure,
+                        max,
+                    });
+                }
+            }
+        }
+
+        // pass 4: overlap warnings
+        if !ov.subsumed_by.is_empty() {
+            report.warnings.push(Warning::SubsumedBy {
+                rule: name.clone(),
+                by: ov.subsumed_by.clone(),
+            });
+        }
+
+        report.rules.push(RuleReport {
+            lhs: rule.searcher.to_string(),
+            rhs: rule
+                .rhs_pattern()
+                .map_or_else(|| "<dynamic applier>".to_owned(), |p| p.to_string()),
+            nonlinear_lhs: rule.nonlinear_lhs_declared(),
+            schema,
+            semiring,
+            overlap: ov,
+            name,
+        });
+    }
+    report
+}
+
+/// Backoff priors suggested by the overlap pass, keyed by rule name —
+/// feed to `OptimizerConfig::rule_priors` / `Runner::with_rule_priors`.
+pub fn backoff_priors(rules: &[MathRewrite]) -> FxHashMap<String, u32> {
+    overlap::backoff_priors(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spores_core::rules;
+
+    #[test]
+    fn shipped_default_ruleset_audits_clean() {
+        let report = audit(&rules::default_rules());
+        assert!(
+            report.clean(),
+            "default ruleset has violations: {:#?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn repeated_vars_detected() {
+        let rules = rules::complete();
+        let factor = rules.iter().find(|r| r.name == "factor").unwrap();
+        assert!(!repeated_lhs_vars(factor).is_empty());
+        assert!(factor.nonlinear_lhs_declared());
+    }
+
+    #[test]
+    fn priors_are_bounded_and_named() {
+        let rules = rules::complete();
+        let priors = backoff_priors(&rules);
+        assert!(!priors.is_empty(), "some rule should score a prior");
+        for (name, p) in &priors {
+            assert!(rules.iter().any(|r| &r.name == name));
+            assert!(*p <= 3, "prior for {name} out of range: {p}");
+        }
+    }
+}

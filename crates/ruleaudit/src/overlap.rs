@@ -1,0 +1,331 @@
+//! Pairwise overlap, subsumption, and explosiveness analysis.
+//!
+//! Two lhs patterns *overlap* when some non-variable subterm of one
+//! unifies with the other — a critical pair: both rules can fire on the
+//! same class, and every overlap is a site where the e-graph pays for
+//! both. A rule is *subsumed* when a more general rule performs the
+//! same rewrite (its lhs→rhs instantiates to the other's), making the
+//! specific rule redundant.
+//!
+//! The per-rule *explosiveness score* combines rhs growth, permutative
+//! shape (AC rules whose rhs is a rearrangement of the lhs — the
+//! classic e-graph exploders), self-feeding (the rhs contains a fresh
+//! redex of the same rule), and fan-out (how many other rules' lhs
+//! patterns a produced rhs can wake). The scores are exported as
+//! initial backoff streaks (`Runner::with_rule_priors`): explosive
+//! rules get paced down sooner once fruitless, which shifts *when*
+//! work happens, never the fixpoint.
+
+use spores_core::lang::Math;
+use spores_core::rules::MathRewrite;
+use spores_egraph::{ENodeOrVar, FxHashMap, Id, Language, Pattern, RecExpr, Var};
+
+type PNode = ENodeOrVar<Math>;
+
+/// A subterm of one of the two patterns being unified: (side, node id).
+type Loc = (u8, Id);
+
+struct Unifier<'a> {
+    pats: [&'a [PNode]; 2],
+    /// (side, var) → bound subterm.
+    subst: FxHashMap<(u8, Var), Loc>,
+}
+
+impl<'a> Unifier<'a> {
+    fn new(a: &'a RecExpr<PNode>, b: &'a RecExpr<PNode>) -> Self {
+        Unifier {
+            pats: [a.nodes(), b.nodes()],
+            subst: FxHashMap::default(),
+        }
+    }
+
+    fn node(&self, loc: Loc) -> &PNode {
+        &self.pats[loc.0 as usize][loc.1.index()]
+    }
+
+    /// Chase variable bindings to a non-bound location.
+    fn resolve(&self, mut loc: Loc) -> Loc {
+        loop {
+            match self.node(loc) {
+                ENodeOrVar::Var(v) => match self.subst.get(&(loc.0, *v)) {
+                    Some(&next) => loc = next,
+                    None => return loc,
+                },
+                ENodeOrVar::ENode(_) => return loc,
+            }
+        }
+    }
+
+    fn occurs(&self, var: (u8, Var), loc: Loc) -> bool {
+        let loc = self.resolve(loc);
+        match self.node(loc) {
+            ENodeOrVar::Var(v) => (loc.0, *v) == var,
+            ENodeOrVar::ENode(n) => n.children().iter().any(|&c| self.occurs(var, (loc.0, c))),
+        }
+    }
+
+    fn unify(&mut self, a: Loc, b: Loc) -> bool {
+        let a = self.resolve(a);
+        let b = self.resolve(b);
+        if a == b {
+            return true;
+        }
+        match (self.node(a).clone(), self.node(b).clone()) {
+            (ENodeOrVar::Var(v), _) => {
+                if self.occurs((a.0, v), b) {
+                    return false;
+                }
+                self.subst.insert((a.0, v), b);
+                true
+            }
+            (_, ENodeOrVar::Var(v)) => {
+                if self.occurs((b.0, v), a) {
+                    return false;
+                }
+                self.subst.insert((b.0, v), a);
+                true
+            }
+            (ENodeOrVar::ENode(na), ENodeOrVar::ENode(nb)) => {
+                na.matches(&nb)
+                    && na
+                        .children()
+                        .iter()
+                        .zip(nb.children())
+                        .all(|(&ca, &cb)| self.unify((a.0, ca), (b.0, cb)))
+            }
+        }
+    }
+}
+
+/// Do the two pattern terms unify (after renaming apart)?
+fn unifiable(a: &RecExpr<PNode>, ra: Id, b: &RecExpr<PNode>, rb: Id) -> bool {
+    Unifier::new(a, b).unify((0, ra), (1, rb))
+}
+
+/// Non-variable subterm roots of a pattern, including the root itself.
+fn enode_positions(p: &RecExpr<PNode>) -> Vec<Id> {
+    (0..p.nodes().len())
+        .map(Id::from)
+        .filter(|&id| matches!(p.nodes()[id.index()], ENodeOrVar::ENode(_)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// subsumption: one-directional matching
+// ---------------------------------------------------------------------
+
+/// Structural equality of two pattern subterms (vars equal iff same
+/// name).
+fn pat_eq(a: &RecExpr<PNode>, ia: Id, b: &RecExpr<PNode>, ib: Id) -> bool {
+    match (&a.nodes()[ia.index()], &b.nodes()[ib.index()]) {
+        (ENodeOrVar::Var(va), ENodeOrVar::Var(vb)) => va == vb,
+        (ENodeOrVar::ENode(na), ENodeOrVar::ENode(nb)) => {
+            na.matches(nb)
+                && na
+                    .children()
+                    .iter()
+                    .zip(nb.children())
+                    .all(|(&ca, &cb)| pat_eq(a, ca, b, cb))
+        }
+        _ => false,
+    }
+}
+
+/// Match `general` onto `specific`: vars of `general` bind to subterms
+/// of `specific`; `specific` is rigid.
+fn match_onto(
+    general: &RecExpr<PNode>,
+    ig: Id,
+    specific: &RecExpr<PNode>,
+    is: Id,
+    subst: &mut FxHashMap<Var, Id>,
+) -> bool {
+    match &general.nodes()[ig.index()] {
+        ENodeOrVar::Var(v) => match subst.get(v) {
+            Some(&bound) => pat_eq(specific, bound, specific, is),
+            None => {
+                subst.insert(*v, is);
+                true
+            }
+        },
+        ENodeOrVar::ENode(ng) => match &specific.nodes()[is.index()] {
+            ENodeOrVar::ENode(ns) => {
+                ng.matches(ns)
+                    && ng
+                        .children()
+                        .iter()
+                        .zip(ns.children())
+                        .all(|(&cg, &cs)| match_onto(general, cg, specific, cs, subst))
+            }
+            ENodeOrVar::Var(_) => false,
+        },
+    }
+}
+
+/// Does rule `general` subsume rule `specific` (same rewrite, strictly
+/// through a variable instantiation)?
+fn subsumes(general: &MathRewrite, specific: &MathRewrite) -> bool {
+    let (Some(grhs), Some(srhs)) = (general.rhs_pattern(), specific.rhs_pattern()) else {
+        return false;
+    };
+    let mut subst = FxHashMap::default();
+    match_onto(
+        general.searcher.ast(),
+        general.searcher.ast().root(),
+        specific.searcher.ast(),
+        specific.searcher.ast().root(),
+        &mut subst,
+    ) && {
+        // rhs must instantiate under the SAME substitution; general rhs
+        // vars are all lhs-bound, so every one is already in subst
+        let g = grhs.ast();
+        let s = srhs.ast();
+        rhs_instantiates(g, g.root(), s, s.root(), &subst, specific.searcher.ast())
+    }
+}
+
+/// Does σ(general-rhs) equal specific-rhs, where σ binds general vars
+/// to subterms of the specific *lhs*?
+fn rhs_instantiates(
+    general: &RecExpr<PNode>,
+    ig: Id,
+    specific: &RecExpr<PNode>,
+    is: Id,
+    subst: &FxHashMap<Var, Id>,
+    specific_lhs: &RecExpr<PNode>,
+) -> bool {
+    match &general.nodes()[ig.index()] {
+        ENodeOrVar::Var(v) => match subst.get(v) {
+            Some(&bound) => pat_eq(specific_lhs, bound, specific, is),
+            None => false,
+        },
+        ENodeOrVar::ENode(ng) => match &specific.nodes()[is.index()] {
+            ENodeOrVar::ENode(ns) => {
+                ng.matches(ns)
+                    && ng.children().iter().zip(ns.children()).all(|(&cg, &cs)| {
+                        rhs_instantiates(general, cg, specific, cs, subst, specific_lhs)
+                    })
+            }
+            ENodeOrVar::Var(_) => false,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// per-rule explosiveness
+// ---------------------------------------------------------------------
+
+/// Overlap/explosiveness metrics for one rule.
+#[derive(Debug, Clone, Default)]
+pub struct OverlapReport {
+    /// Names of rules this rule is subsumed by (redundancy warning).
+    pub subsumed_by: Vec<String>,
+    /// Number of other rules whose lhs overlaps this rule's lhs
+    /// (critical pairs at some position).
+    pub lhs_overlaps: usize,
+    /// rhs node count minus lhs node count (growth per application).
+    pub growth: isize,
+    /// The rhs is a rearrangement of the lhs (same size, same operator
+    /// multiset) — AC-style permutation.
+    pub permutative: bool,
+    /// Some rhs subterm unifies with this rule's own lhs: each
+    /// application can enable the next.
+    pub self_feeding: bool,
+    /// Other rules whose lhs unifies with some rhs subterm.
+    pub fans_out_to: usize,
+    /// Combined score (unitless; see `score`).
+    pub score: f64,
+    /// Suggested initial backoff streak (0–3).
+    pub prior: u32,
+}
+
+fn op_multiset(p: &RecExpr<PNode>) -> Vec<String> {
+    let mut ops: Vec<String> = p
+        .nodes()
+        .iter()
+        .map(|n| match n {
+            ENodeOrVar::Var(_) => "?".to_owned(),
+            ENodeOrVar::ENode(m) => m.op_display(),
+        })
+        .collect();
+    ops.sort();
+    ops
+}
+
+fn pattern_ast(p: &Pattern<Math>) -> &RecExpr<PNode> {
+    p.ast()
+}
+
+/// Compute overlap reports for the whole ruleset, in rule order.
+pub fn analyze(rules: &[MathRewrite]) -> Vec<OverlapReport> {
+    let mut out: Vec<OverlapReport> = Vec::with_capacity(rules.len());
+    for (i, rule) in rules.iter().enumerate() {
+        let lhs = pattern_ast(&rule.searcher);
+        let mut rep = OverlapReport::default();
+
+        // pairwise lhs overlap + subsumption
+        for (j, other) in rules.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let olhs = pattern_ast(&other.searcher);
+            let overlapping = enode_positions(lhs)
+                .into_iter()
+                .any(|p| unifiable(lhs, p, olhs, olhs.root()));
+            if overlapping {
+                rep.lhs_overlaps += 1;
+            }
+            if subsumes(other, rule) {
+                rep.subsumed_by.push(other.name.clone());
+            }
+        }
+
+        if let Some(rhs) = rule.rhs_pattern() {
+            let rhs = pattern_ast(rhs);
+            rep.growth = rhs.nodes().len() as isize - lhs.nodes().len() as isize;
+            rep.permutative = rep.growth == 0 && op_multiset(lhs) == op_multiset(rhs);
+            rep.self_feeding = enode_positions(rhs)
+                .into_iter()
+                .any(|p| unifiable(rhs, p, lhs, lhs.root()));
+            rep.fans_out_to = rules
+                .iter()
+                .enumerate()
+                .filter(|&(j, other)| {
+                    j != i && {
+                        let olhs = pattern_ast(&other.searcher);
+                        enode_positions(rhs)
+                            .into_iter()
+                            .any(|p| unifiable(rhs, p, olhs, olhs.root()))
+                    }
+                })
+                .count();
+        }
+
+        rep.score = rep.growth.max(0) as f64
+            + if rep.permutative { 1.5 } else { 0.0 }
+            + if rep.self_feeding { 1.0 } else { 0.0 }
+            + 0.25 * rep.fans_out_to as f64 / rules.len().max(1) as f64 * 10.0;
+        out.push(rep);
+    }
+
+    // normalize scores into 0..=3 initial streaks
+    let max = out.iter().map(|r| r.score).fold(0.0f64, f64::max);
+    if max > 0.0 {
+        for r in &mut out {
+            r.prior = ((r.score / max) * 3.0).round() as u32;
+        }
+    }
+    out
+}
+
+/// The backoff priors (rule name → initial streak) the overlap pass
+/// suggests, ready for `Runner::with_rule_priors` /
+/// `OptimizerConfig::rule_priors`.
+pub fn backoff_priors(rules: &[MathRewrite]) -> FxHashMap<String, u32> {
+    analyze(rules)
+        .into_iter()
+        .zip(rules)
+        .filter(|(rep, _)| rep.prior > 0)
+        .map(|(rep, rule)| (rule.name.clone(), rep.prior))
+        .collect()
+}

@@ -1,0 +1,581 @@
+//! Audit report types, the human-readable table, and a hand-rolled JSON
+//! serializer (the workspace is offline — no serde).
+
+use std::fmt::Write as _;
+
+use spores_egraph::{RewriteError, Var};
+
+use crate::overlap::OverlapReport;
+use crate::schema::{Hypothesis, SchemaReport, SchemaVerdict};
+use crate::semiring::{SemiringReq, Structure, Verification};
+
+/// A finding that fails the audit (exit code 1 in the CLI, test failure
+/// in CI).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The rule could not even be constructed (unbound rhs var, parse
+    /// error, duplicate name) — surfaced when auditing rule *sources*.
+    Rewrite(RewriteError),
+    /// A lhs variable occurs more than once but the rule does not
+    /// declare `with_nonlinear_lhs()`.
+    UndeclaredNonlinear { rule: String, var: Var },
+    /// A variable is used both as a Σ/bind index and as a value.
+    RoleConflict { rule: String, var: Var },
+    /// The two sides cannot be given equal schemas under any declared
+    /// or declarable hypothesis.
+    SchemaMismatch {
+        rule: String,
+        lhs: String,
+        rhs: String,
+    },
+    /// Schema equality needs hypotheses the rule does not declare.
+    UndeclaredCondition {
+        rule: String,
+        missing: Vec<Hypothesis>,
+    },
+    /// A value-position lhs variable vanishes from the rhs without a
+    /// declared `IsZero` condition.
+    UndeclaredDrop { rule: String, var: Var },
+    /// The rule requires more algebraic structure than the audit policy
+    /// allows.
+    StructureExceedsPolicy {
+        rule: String,
+        required: Structure,
+        max: Structure,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Rewrite(e) => write!(f, "{e}"),
+            Violation::UndeclaredNonlinear { rule, var } => write!(
+                f,
+                "rule `{rule}`: lhs variable {var} occurs more than once but the rule does not declare with_nonlinear_lhs()"
+            ),
+            Violation::RoleConflict { rule, var } => write!(
+                f,
+                "rule `{rule}`: variable {var} is used both as an index and as a value"
+            ),
+            Violation::SchemaMismatch { rule, lhs, rhs } => write!(
+                f,
+                "rule `{rule}`: schema mismatch — lhs has schema {lhs}, rhs has schema {rhs}"
+            ),
+            Violation::UndeclaredCondition { rule, missing } => {
+                write!(f, "rule `{rule}`: schema equality needs undeclared condition(s): ")?;
+                for (k, h) in missing.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{h}")?;
+                }
+                Ok(())
+            }
+            Violation::UndeclaredDrop { rule, var } => write!(
+                f,
+                "rule `{rule}`: lhs value {var} is dropped by the rhs without a declared IsZero condition"
+            ),
+            Violation::StructureExceedsPolicy { rule, required, max } => write!(
+                f,
+                "rule `{rule}`: requires {required} but the audit policy caps the ruleset at {max}"
+            ),
+        }
+    }
+}
+
+impl From<RewriteError> for Violation {
+    fn from(e: RewriteError) -> Self {
+        Violation::Rewrite(e)
+    }
+}
+
+/// A finding worth reporting but not failing on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Warning {
+    /// Another rule performs the same rewrite on strictly more terms.
+    SubsumedBy { rule: String, by: Vec<String> },
+    /// A declared schema condition the schema pass never needed.
+    UnusedCondition {
+        rule: String,
+        hypothesis: Hypothesis,
+    },
+    /// The schema pass cannot type this rule (reason attached).
+    NotAnalyzable { rule: String, reason: String },
+    /// No polynomial level certifies the equation; pinned to ℝ.
+    Unverified { rule: String },
+}
+
+impl std::fmt::Display for Warning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Warning::SubsumedBy { rule, by } => {
+                write!(f, "rule `{rule}` is subsumed by {}", by.join(", "))
+            }
+            Warning::UnusedCondition { rule, hypothesis } => write!(
+                f,
+                "rule `{rule}` declares condition {hypothesis} which the schema pass never needed"
+            ),
+            Warning::NotAnalyzable { rule, reason } => {
+                write!(f, "rule `{rule}` is not schema-analyzable: {reason}")
+            }
+            Warning::Unverified { rule } => write!(
+                f,
+                "rule `{rule}`: no polynomial level certifies the equation; pinned to real"
+            ),
+        }
+    }
+}
+
+/// Everything the audit learned about one rule.
+#[derive(Debug, Clone)]
+pub struct RuleReport {
+    pub name: String,
+    pub lhs: String,
+    pub rhs: String,
+    pub nonlinear_lhs: bool,
+    pub schema: SchemaReport,
+    pub semiring: Option<SemiringReq>,
+    pub overlap: OverlapReport,
+}
+
+/// The full audit result.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    pub rules: Vec<RuleReport>,
+    pub violations: Vec<Violation>,
+    pub warnings: Vec<Warning>,
+}
+
+impl AuditReport {
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The human-readable table plus finding lists.
+    pub fn render_table(&self) -> String {
+        let mut name_w = "rule".len();
+        let mut schema_w = "schema".len();
+        let mut ring_w = "structure".len();
+        let rows: Vec<(String, String, String, String)> = self
+            .rules
+            .iter()
+            .map(|r| {
+                let schema = verdict_cell(&r.schema.verdict);
+                let ring = semiring_cell(r.semiring.as_ref());
+                let flags = flags_cell(r);
+                name_w = name_w.max(r.name.len());
+                schema_w = schema_w.max(schema.chars().count());
+                ring_w = ring_w.max(ring.chars().count());
+                (r.name.clone(), schema, ring, flags)
+            })
+            .collect();
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:name_w$}  {:schema_w$}  {:ring_w$}  flags",
+            "rule", "schema", "structure"
+        );
+        let _ = writeln!(
+            out,
+            "{}  {}  {}  -----",
+            "-".repeat(name_w),
+            "-".repeat(schema_w),
+            "-".repeat(ring_w)
+        );
+        for (name, schema, ring, flags) in rows {
+            let _ = writeln!(
+                out,
+                "{name:name_w$}  {schema:schema_w$}  {ring:ring_w$}  {flags}"
+            );
+        }
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{} rules, {} violations, {} warnings",
+            self.rules.len(),
+            self.violations.len(),
+            self.warnings.len()
+        );
+        for v in &self.violations {
+            let _ = writeln!(out, "violation: {v}");
+        }
+        for w in &self.warnings {
+            let _ = writeln!(out, "warning: {w}");
+        }
+        out
+    }
+
+    /// The full machine-readable report.
+    pub fn to_json(&self) -> String {
+        let mut j = Json::new();
+        j.begin_obj();
+        j.key("rules");
+        j.begin_arr();
+        for r in &self.rules {
+            j.begin_obj();
+            j.key("name");
+            j.string(&r.name);
+            j.key("lhs");
+            j.string(&r.lhs);
+            j.key("rhs");
+            j.string(&r.rhs);
+            j.key("nonlinear_lhs");
+            j.bool(r.nonlinear_lhs);
+            j.key("schema");
+            schema_json(&mut j, &r.schema);
+            j.key("semiring");
+            match &r.semiring {
+                Some(req) => semiring_json(&mut j, req),
+                None => j.null(),
+            }
+            j.key("overlap");
+            overlap_json(&mut j, &r.overlap);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.key("violations");
+        j.begin_arr();
+        for v in &self.violations {
+            j.string(&v.to_string());
+        }
+        j.end_arr();
+        j.key("warnings");
+        j.begin_arr();
+        for w in &self.warnings {
+            j.string(&w.to_string());
+        }
+        j.end_arr();
+        j.end_obj();
+        j.finish()
+    }
+
+    /// Just the rule → semiring-requirement table, for the committed
+    /// snapshot. Deterministic: rule order, fixed key order, one line
+    /// per rule.
+    pub fn semiring_table_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.rules.iter().enumerate() {
+            let (structure, idem, verified) = match &r.semiring {
+                Some(req) => (
+                    req.structure.to_string(),
+                    req.idempotent_add,
+                    req.verified.to_string(),
+                ),
+                None => ("unknown".to_owned(), false, "unverified".to_owned()),
+            };
+            let _ = write!(
+                out,
+                "  {{\"rule\": {}, \"structure\": {}, \"idempotent_add\": {}, \"verified\": {}}}",
+                escape(&r.name),
+                escape(&structure),
+                idem,
+                escape(&verified)
+            );
+            out.push_str(if i + 1 == self.rules.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+fn verdict_cell(v: &SchemaVerdict) -> String {
+    match v {
+        SchemaVerdict::Equal => "equal".to_owned(),
+        SchemaVerdict::EqualUnderConditions(hs) => {
+            let hs: Vec<String> = hs.iter().map(|h| h.to_string()).collect();
+            format!("equal if {}", hs.join(" ∧ "))
+        }
+        SchemaVerdict::Undeclared { missing, .. } => {
+            format!("UNDECLARED ({} missing)", missing.len())
+        }
+        SchemaVerdict::Mismatch { .. } => "MISMATCH".to_owned(),
+        SchemaVerdict::NotAnalyzable(_) => "n/a".to_owned(),
+    }
+}
+
+fn semiring_cell(req: Option<&SemiringReq>) -> String {
+    match req {
+        Some(r) => {
+            let mut s = r.structure.to_string();
+            if r.idempotent_add {
+                s.push_str("+idem");
+            }
+            match r.verified {
+                Verification::Algebraic => {}
+                Verification::Definitional => s.push_str(" (def)"),
+                Verification::Unverified => s.push_str(" (!)"),
+            }
+            s
+        }
+        None => "-".to_owned(),
+    }
+}
+
+fn flags_cell(r: &RuleReport) -> String {
+    let mut flags = Vec::new();
+    if r.nonlinear_lhs {
+        flags.push("nonlinear".to_owned());
+    }
+    if r.overlap.permutative {
+        flags.push("permutative".to_owned());
+    }
+    if r.overlap.self_feeding {
+        flags.push("self-feed".to_owned());
+    }
+    if r.overlap.growth > 0 {
+        flags.push(format!("growth+{}", r.overlap.growth));
+    }
+    if r.overlap.prior > 0 {
+        flags.push(format!("prior={}", r.overlap.prior));
+    }
+    if !r.overlap.subsumed_by.is_empty() {
+        flags.push("subsumed".to_owned());
+    }
+    flags.join(",")
+}
+
+fn schema_json(j: &mut Json, s: &SchemaReport) {
+    j.begin_obj();
+    j.key("verdict");
+    match &s.verdict {
+        SchemaVerdict::Equal => j.string("equal"),
+        SchemaVerdict::EqualUnderConditions(hs) => {
+            j.begin_obj();
+            j.key("equal_if");
+            j.begin_arr();
+            for h in hs {
+                j.string(&h.to_string());
+            }
+            j.end_arr();
+            j.end_obj();
+        }
+        SchemaVerdict::Undeclared { needed, missing } => {
+            j.begin_obj();
+            j.key("undeclared");
+            j.begin_obj();
+            j.key("needed");
+            j.begin_arr();
+            for h in needed {
+                j.string(&h.to_string());
+            }
+            j.end_arr();
+            j.key("missing");
+            j.begin_arr();
+            for h in missing {
+                j.string(&h.to_string());
+            }
+            j.end_arr();
+            j.end_obj();
+            j.end_obj();
+        }
+        SchemaVerdict::Mismatch { lhs, rhs } => {
+            j.begin_obj();
+            j.key("mismatch");
+            j.begin_obj();
+            j.key("lhs");
+            j.string(lhs);
+            j.key("rhs");
+            j.string(rhs);
+            j.end_obj();
+            j.end_obj();
+        }
+        SchemaVerdict::NotAnalyzable(reason) => {
+            j.begin_obj();
+            j.key("not_analyzable");
+            j.string(reason);
+            j.end_obj();
+        }
+    }
+    j.end_obj();
+}
+
+fn semiring_json(j: &mut Json, req: &SemiringReq) {
+    j.begin_obj();
+    j.key("structure");
+    j.string(&req.structure.to_string());
+    j.key("idempotent_add");
+    j.bool(req.idempotent_add);
+    j.key("verified");
+    j.string(&req.verified.to_string());
+    j.end_obj();
+}
+
+fn overlap_json(j: &mut Json, o: &OverlapReport) {
+    j.begin_obj();
+    j.key("lhs_overlaps");
+    j.num(o.lhs_overlaps as i64);
+    j.key("growth");
+    j.num(o.growth as i64);
+    j.key("permutative");
+    j.bool(o.permutative);
+    j.key("self_feeding");
+    j.bool(o.self_feeding);
+    j.key("fans_out_to");
+    j.num(o.fans_out_to as i64);
+    j.key("prior");
+    j.num(i64::from(o.prior));
+    j.key("subsumed_by");
+    j.begin_arr();
+    for b in &o.subsumed_by {
+        j.string(b);
+    }
+    j.end_arr();
+    j.end_obj();
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON emitter with pretty two-space indentation. Commas are
+/// inserted automatically between siblings.
+struct Json {
+    buf: String,
+    indent: usize,
+    /// Whether the current container already holds a value (comma
+    /// needed before the next one). One entry per open container.
+    has_item: Vec<bool>,
+    /// A key was just emitted; the next value goes on the same line.
+    after_key: bool,
+}
+
+impl Json {
+    fn new() -> Self {
+        Json {
+            buf: String::new(),
+            indent: 0,
+            has_item: Vec::new(),
+            after_key: false,
+        }
+    }
+
+    fn pre_value(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(has) = self.has_item.last_mut() {
+            if *has {
+                self.buf.push(',');
+            }
+            *has = true;
+            self.buf.push('\n');
+            self.buf.push_str(&"  ".repeat(self.indent));
+        }
+    }
+
+    fn begin_obj(&mut self) {
+        self.pre_value();
+        self.buf.push('{');
+        self.indent += 1;
+        self.has_item.push(false);
+    }
+
+    fn end_obj(&mut self) {
+        self.close('}');
+    }
+
+    fn begin_arr(&mut self) {
+        self.pre_value();
+        self.buf.push('[');
+        self.indent += 1;
+        self.has_item.push(false);
+    }
+
+    fn end_arr(&mut self) {
+        self.close(']');
+    }
+
+    fn close(&mut self, c: char) {
+        let had = self.has_item.pop().unwrap_or(false);
+        self.indent -= 1;
+        if had {
+            self.buf.push('\n');
+            self.buf.push_str(&"  ".repeat(self.indent));
+        }
+        self.buf.push(c);
+    }
+
+    fn key(&mut self, k: &str) {
+        self.pre_value();
+        self.buf.push_str(&escape(k));
+        self.buf.push_str(": ");
+        self.after_key = true;
+    }
+
+    fn string(&mut self, s: &str) {
+        self.pre_value();
+        self.buf.push_str(&escape(s));
+    }
+
+    fn bool(&mut self, b: bool) {
+        self.pre_value();
+        self.buf.push_str(if b { "true" } else { "false" });
+    }
+
+    fn num(&mut self, n: i64) {
+        self.pre_value();
+        let _ = write!(self.buf, "{n}");
+    }
+
+    fn null(&mut self) {
+        self.pre_value();
+        self.buf.push_str("null");
+    }
+
+    fn finish(mut self) -> String {
+        self.buf.push('\n');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn json_emitter_nests() {
+        let mut j = Json::new();
+        j.begin_obj();
+        j.key("a");
+        j.begin_arr();
+        j.num(1);
+        j.num(2);
+        j.end_arr();
+        j.key("b");
+        j.string("x");
+        j.end_obj();
+        let s = j.finish();
+        assert!(s.contains("\"a\": ["), "{s}");
+        assert!(s.contains("\"b\": \"x\""), "{s}");
+        // must be machine-recoverable: balanced brackets
+        let opens = s.matches(['{', '[']).count();
+        let closes = s.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+}

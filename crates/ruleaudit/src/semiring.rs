@@ -1,0 +1,541 @@
+//! Semiring-requirement inference: the weakest algebraic structure under
+//! which each rule's equation holds.
+//!
+//! The RA core is sum-product over `(+, ×)`; the ROADMAP's
+//! semiring-generic workloads (min-plus shortest paths, bool-or
+//! reachability, max-times Viterbi — "Correct Compilation of Semiring
+//! Contractions") need to know which rewrites survive the swap of
+//! carrier. This pass normalizes both sides of every rule to a
+//! polynomial normal form and finds the weakest level of the ladder
+//!
+//! `Semiring < CommutativeSemiring < Ring < Field < Real`
+//!
+//! at which the normal forms coincide, plus an orthogonal
+//! "idempotent `⊕` required" flag (`x + x = x`, as in min-plus).
+//!
+//! Conventions, which the table's consumers must share:
+//!
+//! * Integer literals denote canonical ℕ/ℤ-images: `2` is `1 ⊕ 1`, so
+//!   `x + x = 2·x` is sound in *any* semiring (and `2 = 1` under
+//!   idempotence). Negative integers need additive inverses → Ring.
+//!   Non-integer literals only exist over ℝ.
+//! * `dim i` is a natural-number scalar, hence central: it commutes
+//!   with everything even in a noncommutative semiring.
+//! * `Σ` is a formal linear operator: it distributes over `⊕`
+//!   unconditionally, and factors through `⊗` only for operands a
+//!   declared `i ∉ Attr(·)` hypothesis makes `i`-independent (from the
+//!   left/right edge in a noncommutative semiring, from anywhere in a
+//!   commutative one). Adjacent `Σ`-binders commute (finite sums in a
+//!   commutative monoid).
+//! * Operators with no semiring reading (`exp`, `sigmoid`,
+//!   comparisons, …) pin the rule to ℝ; such rules are *definitional*
+//!   (they unfold an operator's definition) rather than algebraically
+//!   verified.
+
+use crate::schema::IndexRef;
+use spores_core::lang::Math;
+use spores_core::rules::MathRewrite;
+use spores_egraph::{ConditionMeta, ENodeOrVar, Id, RecExpr, Var};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The algebraic-structure ladder. `Ord` is the "requires at least"
+/// order; `Ring` above `CommutativeSemiring` means a rule needing both
+/// commutativity and additive inverses reports `Ring` (read: commutative
+/// ring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Structure {
+    Semiring,
+    CommutativeSemiring,
+    Ring,
+    Field,
+    Real,
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Structure::Semiring => "semiring",
+            Structure::CommutativeSemiring => "commutative-semiring",
+            Structure::Ring => "ring",
+            Structure::Field => "field",
+            Structure::Real => "real",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// How the requirement was established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verification {
+    /// Both sides normalize to the same polynomial at this level.
+    Algebraic,
+    /// The rule unfolds/fuses an operator with no semiring reading
+    /// (`sigmoid`, `inv`, comparisons, …); it holds by definition over
+    /// its native carrier and is excluded from weaker structures.
+    Definitional,
+    /// The normal forms differ at every level — the pass cannot certify
+    /// the equation (reported as a warning; the rule is pinned to ℝ).
+    Unverified,
+}
+
+impl fmt::Display for Verification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Verification::Algebraic => "algebraic",
+            Verification::Definitional => "definitional",
+            Verification::Unverified => "unverified",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The per-rule entry of the semiring-requirement table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SemiringReq {
+    pub structure: Structure,
+    /// The equation additionally needs `x ⊕ x = x` (e.g. min-plus,
+    /// bool-or). Orthogonal to `structure`.
+    pub idempotent_add: bool,
+    pub verified: Verification,
+}
+
+// ---------------------------------------------------------------------
+// polynomial normal form
+// ---------------------------------------------------------------------
+
+/// A central scalar factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum SAtom {
+    Dim(IndexRef),
+    /// A non-integer literal, by bit pattern (only reachable for rules
+    /// already pinned to ℝ).
+    LitBits(u64),
+}
+
+/// A (possibly noncommutative) value factor.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum VAtom {
+    Var(Var),
+    Sym(spores_ir::Symbol),
+    /// `Σ` over a set of binders of a residual polynomial. Adjacent
+    /// binders are flattened into one set (sum swap).
+    Sum(BTreeSet<IndexRef>, Poly),
+    /// A structurally-compared subterm (bind/unbind, LA operators).
+    Opaque(String),
+}
+
+/// One monomial: integer coefficient × central scalars × ordered factors.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Mono {
+    scalars: BTreeMap<SAtom, u32>,
+    factors: Vec<VAtom>,
+    coeff: i64,
+}
+
+impl Mono {
+    fn key(&self) -> (&BTreeMap<SAtom, u32>, &Vec<VAtom>) {
+        (&self.scalars, &self.factors)
+    }
+}
+
+/// Canonical sum of monomials: sorted by key, coefficients combined,
+/// zero terms dropped.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+struct Poly {
+    monos: Vec<Mono>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Mode {
+    commutative: bool,
+    idempotent: bool,
+}
+
+impl Poly {
+    fn zero() -> Poly {
+        Poly::default()
+    }
+
+    fn constant(c: i64) -> Poly {
+        Poly::canon(
+            vec![Mono {
+                scalars: BTreeMap::new(),
+                factors: Vec::new(),
+                coeff: c,
+            }],
+            Mode {
+                commutative: false,
+                idempotent: false,
+            },
+        )
+    }
+
+    fn atom(a: VAtom) -> Poly {
+        Poly {
+            monos: vec![Mono {
+                scalars: BTreeMap::new(),
+                factors: vec![a],
+                coeff: 1,
+            }],
+        }
+    }
+
+    fn canon(mut monos: Vec<Mono>, mode: Mode) -> Poly {
+        if mode.commutative {
+            for m in &mut monos {
+                m.factors.sort();
+            }
+        }
+        monos.sort_by(|a, b| a.key().cmp(&b.key()));
+        let mut out: Vec<Mono> = Vec::new();
+        for m in monos {
+            match out.last_mut() {
+                Some(prev) if prev.key() == m.key() => {
+                    prev.coeff = prev.coeff.saturating_add(m.coeff);
+                }
+                _ => out.push(m),
+            }
+        }
+        if mode.idempotent {
+            // ℕ-image collapse: n·x = x for every n ≥ 1
+            for m in &mut out {
+                if m.coeff > 1 {
+                    m.coeff = 1;
+                }
+            }
+        }
+        out.retain(|m| m.coeff != 0);
+        Poly { monos: out }
+    }
+
+    fn add(self, other: Poly, mode: Mode) -> Poly {
+        let mut monos = self.monos;
+        monos.extend(other.monos);
+        Poly::canon(monos, mode)
+    }
+
+    fn mul(&self, other: &Poly, mode: Mode) -> Poly {
+        let mut monos = Vec::new();
+        for a in &self.monos {
+            for b in &other.monos {
+                let mut scalars = a.scalars.clone();
+                for (&s, &e) in &b.scalars {
+                    *scalars.entry(s).or_insert(0) += e;
+                }
+                let mut factors = a.factors.clone();
+                factors.extend(b.factors.iter().cloned());
+                monos.push(Mono {
+                    scalars,
+                    factors,
+                    coeff: a.coeff.saturating_mul(b.coeff),
+                });
+            }
+        }
+        Poly::canon(monos, mode)
+    }
+}
+
+// ---------------------------------------------------------------------
+// evaluation
+// ---------------------------------------------------------------------
+
+struct Norm<'a> {
+    nodes: &'a [ENodeOrVar<Math>],
+    ast: &'a RecExpr<ENodeOrVar<Math>>,
+    mode: Mode,
+    /// Declared `i ∉ Attr(v)` hypotheses.
+    free: &'a [(IndexRef, Var)],
+    /// Declared-zero variables.
+    zeros: &'a [Var],
+}
+
+impl<'a> Norm<'a> {
+    fn index_ref(&self, id: Id) -> Result<IndexRef, String> {
+        match &self.nodes[id.index()] {
+            ENodeOrVar::Var(v) => Ok(IndexRef::Var(*v)),
+            ENodeOrVar::ENode(Math::Sym(s)) => Ok(IndexRef::Sym(*s)),
+            other => Err(format!("expected an index, found {other:?}")),
+        }
+    }
+
+    fn opaque(&self, id: Id) -> VAtom {
+        VAtom::Opaque(RecExpr::extract(self.ast, id).to_string())
+    }
+
+    fn eval(&self, id: Id) -> Result<Poly, String> {
+        let node = self.nodes[id.index()].clone();
+        match node {
+            ENodeOrVar::Var(v) => Ok(if self.zeros.contains(&v) {
+                Poly::zero()
+            } else {
+                Poly::atom(VAtom::Var(v))
+            }),
+            ENodeOrVar::ENode(n) => match n {
+                Math::Lit(x) => {
+                    let v = x.get();
+                    if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 {
+                        let mut p = Poly::constant(v as i64);
+                        if self.mode.idempotent && v > 1.0 {
+                            p = Poly::constant(1);
+                        }
+                        Ok(p)
+                    } else {
+                        Ok(Poly {
+                            monos: vec![Mono {
+                                scalars: BTreeMap::from([(SAtom::LitBits(v.to_bits()), 1)]),
+                                factors: Vec::new(),
+                                coeff: 1,
+                            }],
+                        })
+                    }
+                }
+                Math::Sym(s) => Ok(Poly::atom(VAtom::Sym(s))),
+                Math::NoIdx => Err("`_` in value position".to_owned()),
+                Math::Add([a, b]) | Math::LAdd([a, b]) => {
+                    Ok(self.eval(a)?.add(self.eval(b)?, self.mode))
+                }
+                Math::Mul([a, b]) | Math::LMul([a, b]) => {
+                    Ok(self.eval(a)?.mul(&self.eval(b)?, self.mode))
+                }
+                Math::LSub([a, b]) => {
+                    let neg = Poly::constant(-1).mul(&self.eval(b)?, self.mode);
+                    Ok(self.eval(a)?.add(neg, self.mode))
+                }
+                Math::Pow([x, k]) => {
+                    // small nonnegative integer exponents unfold into
+                    // repeated ⊗; anything else was pinned to ℝ by the
+                    // operator scan
+                    let exp = match &self.nodes[k.index()] {
+                        ENodeOrVar::ENode(Math::Lit(n))
+                            if n.get().fract() == 0.0 && (0.0..=4.0).contains(&n.get()) =>
+                        {
+                            n.get() as u32
+                        }
+                        _ => return Ok(Poly::atom(self.opaque(id))),
+                    };
+                    let base = self.eval(x)?;
+                    let mut out = Poly::constant(1);
+                    for _ in 0..exp {
+                        out = out.mul(&base, self.mode);
+                    }
+                    Ok(out)
+                }
+                Math::Dim(i) => {
+                    let idx = self.index_ref(i)?;
+                    Ok(Poly {
+                        monos: vec![Mono {
+                            scalars: BTreeMap::from([(SAtom::Dim(idx), 1)]),
+                            factors: Vec::new(),
+                            coeff: 1,
+                        }],
+                    })
+                }
+                Math::Agg([i, body]) => {
+                    let idx = self.index_ref(i)?;
+                    let p = self.eval(body)?;
+                    let mut out = Poly::zero();
+                    for mono in p.monos {
+                        out = out.add(self.sum_mono(idx, mono), self.mode);
+                    }
+                    Ok(out)
+                }
+                // everything else is compared structurally
+                _ => Ok(Poly::atom(self.opaque(id))),
+            },
+        }
+    }
+
+    fn independent(&self, idx: IndexRef, f: &VAtom) -> bool {
+        matches!(f, VAtom::Var(v) if self.free.contains(&(idx, *v)))
+    }
+
+    /// `Σ_idx` of one monomial: coefficient and central scalars always
+    /// pull out; `idx`-independent factors pull out from the edges (or
+    /// anywhere, given commutativity); the residual stays under a
+    /// `Sum` atom, flattening directly nested sums.
+    fn sum_mono(&self, idx: IndexRef, mono: Mono) -> Poly {
+        let Mono {
+            mut scalars,
+            mut factors,
+            coeff,
+        } = mono;
+        let mut prefix: Vec<VAtom> = Vec::new();
+        let mut suffix: Vec<VAtom> = Vec::new();
+        if self.mode.commutative {
+            let (ind, rest): (Vec<_>, Vec<_>) =
+                factors.into_iter().partition(|f| self.independent(idx, f));
+            prefix = ind;
+            factors = rest;
+        } else {
+            while factors.first().is_some_and(|f| self.independent(idx, f)) {
+                prefix.push(factors.remove(0));
+            }
+            while factors.last().is_some_and(|f| self.independent(idx, f)) {
+                suffix.insert(0, factors.pop().expect("nonempty"));
+            }
+        }
+        if factors.is_empty() {
+            // Σ_i c = c · dim(i)
+            *scalars.entry(SAtom::Dim(idx)).or_insert(0) += 1;
+            prefix.extend(suffix);
+            return Poly::canon(
+                vec![Mono {
+                    scalars,
+                    factors: prefix,
+                    coeff,
+                }],
+                self.mode,
+            );
+        }
+        let sum_atom = match factors.as_slice() {
+            [VAtom::Sum(binders, inner)] if !binders.contains(&idx) => {
+                let mut binders = binders.clone();
+                binders.insert(idx);
+                VAtom::Sum(binders, inner.clone())
+            }
+            _ => VAtom::Sum(
+                BTreeSet::from([idx]),
+                Poly::canon(
+                    vec![Mono {
+                        scalars: BTreeMap::new(),
+                        factors,
+                        coeff: 1,
+                    }],
+                    self.mode,
+                ),
+            ),
+        };
+        prefix.push(sum_atom);
+        prefix.extend(suffix);
+        Poly::canon(
+            vec![Mono {
+                scalars,
+                factors: prefix,
+                coeff,
+            }],
+            self.mode,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// classification
+// ---------------------------------------------------------------------
+
+/// The floor a pattern's operators impose, before any algebra runs.
+fn op_floor(ast: &RecExpr<ENodeOrVar<Math>>) -> Structure {
+    let mut floor = Structure::Semiring;
+    let nodes = ast.nodes();
+    for node in nodes {
+        let ENodeOrVar::ENode(n) = node else { continue };
+        let here = match n {
+            Math::LSub(_) => Structure::Ring,
+            Math::Inv(_) | Math::LDiv(_) => Structure::Field,
+            Math::Exp(_)
+            | Math::Log(_)
+            | Math::Sqrt(_)
+            | Math::Abs(_)
+            | Math::Sign(_)
+            | Math::Sigmoid(_)
+            | Math::Sprop(_)
+            | Math::Gt(_)
+            | Math::Lt(_)
+            | Math::Ge(_)
+            | Math::Le(_)
+            | Math::BMin(_)
+            | Math::BMax(_) => Structure::Real,
+            Math::Lit(x) => {
+                let v = x.get();
+                if v.fract() != 0.0 {
+                    Structure::Real
+                } else if v < 0.0 {
+                    Structure::Ring
+                } else {
+                    Structure::Semiring
+                }
+            }
+            Math::Pow([_, k]) => match &nodes[k.index()] {
+                ENodeOrVar::ENode(Math::Lit(n))
+                    if n.get().fract() == 0.0 && (0.0..=4.0).contains(&n.get()) =>
+                {
+                    Structure::Semiring
+                }
+                _ => Structure::Real,
+            },
+            _ => Structure::Semiring,
+        };
+        floor = floor.max(here);
+    }
+    floor
+}
+
+/// Infer the weakest structure for one rule. Returns `None` (with no
+/// table entry) only when the rule has no rhs pattern to compare.
+pub fn infer(rule: &MathRewrite) -> Option<SemiringReq> {
+    let rhs = rule.rhs_pattern()?;
+    let floor = op_floor(rule.searcher.ast()).max(op_floor(rhs.ast()));
+    if floor >= Structure::Field {
+        // no semiring reading of the operators involved: the rule is an
+        // operator definition over its native carrier
+        return Some(SemiringReq {
+            structure: floor,
+            idempotent_add: false,
+            verified: Verification::Definitional,
+        });
+    }
+
+    let free: Vec<(IndexRef, Var)> = rule
+        .condition_metas()
+        .filter_map(|m| match m {
+            ConditionMeta::IndexNotInSchema { index, of } => Some((IndexRef::Var(*index), *of)),
+            _ => None,
+        })
+        .collect();
+    let zeros: Vec<Var> = rule
+        .condition_metas()
+        .filter_map(|m| match m {
+            ConditionMeta::IsZero { var } => Some(*var),
+            _ => None,
+        })
+        .collect();
+
+    let ladder = [
+        (false, false, Structure::Semiring),
+        (true, false, Structure::CommutativeSemiring),
+        (false, true, Structure::Semiring),
+        (true, true, Structure::CommutativeSemiring),
+    ];
+    for (commutative, idempotent, level) in ladder {
+        let mode = Mode {
+            commutative,
+            idempotent,
+        };
+        let norm = |ast: &RecExpr<ENodeOrVar<Math>>| {
+            Norm {
+                nodes: ast.nodes(),
+                ast,
+                mode,
+                free: &free,
+                zeros: &zeros,
+            }
+            .eval(ast.root())
+        };
+        match (norm(rule.searcher.ast()), norm(rhs.ast())) {
+            (Ok(l), Ok(r)) if l == r => {
+                return Some(SemiringReq {
+                    structure: floor.max(level),
+                    idempotent_add: idempotent,
+                    verified: Verification::Algebraic,
+                });
+            }
+            (Err(_), _) | (_, Err(_)) => break,
+            _ => {}
+        }
+    }
+    Some(SemiringReq {
+        structure: Structure::Real,
+        idempotent_add: false,
+        verified: Verification::Unverified,
+    })
+}

@@ -1,0 +1,235 @@
+//! Negative suite: deliberately broken rules must be rejected with
+//! typed diagnostics, and the shipped ruleset must audit clean.
+
+use spores_core::rules::{self, MathRewrite};
+use spores_egraph::{PatternSide, Rewrite, RewriteError, Var};
+use spores_ruleaudit::{audit, audit_with_policy, AuditPolicy, Structure, Verification, Violation};
+
+fn rule(name: &str, lhs: &str, rhs: &str) -> MathRewrite {
+    Rewrite::new(name, lhs, rhs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+// ------------------------------------------------------------------
+// construction-time rejections (pass 1, enforced by Rewrite::new)
+// ------------------------------------------------------------------
+
+#[test]
+fn unbound_rhs_var_is_a_typed_error() {
+    let r: Result<MathRewrite, _> = Rewrite::new("bad-unbound", "(+ ?a ?b)", "(+ ?a ?c)");
+    let err = r.unwrap_err();
+    assert_eq!(
+        err,
+        RewriteError::UnboundVar {
+            rule: "bad-unbound".to_owned(),
+            var: Var::new("c"),
+        }
+    );
+    assert!(err.to_string().contains("?c"), "{err}");
+}
+
+#[test]
+fn malformed_pattern_is_a_typed_parse_error() {
+    let r: Result<MathRewrite, _> = Rewrite::new("bad-parse", "(+ ?a ?b)", "(+ ?a");
+    let err = r.unwrap_err();
+    match err {
+        RewriteError::Parse { rule, side, .. } => {
+            assert_eq!(rule, "bad-parse");
+            assert_eq!(side, PatternSide::Rhs);
+        }
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_rule_names_are_an_audit_violation() {
+    let rules = vec![
+        rule("same-name", "(+ ?a ?b)", "(+ ?b ?a)"),
+        rule("same-name", "(* ?a ?b)", "(* ?b ?a)"),
+    ];
+    let report = audit(&rules);
+    assert!(report.violations.iter().any(|v| matches!(
+        v,
+        Violation::Rewrite(RewriteError::DuplicateName { name }) if name == "same-name"
+    )));
+}
+
+// ------------------------------------------------------------------
+// linearity (pass 1)
+// ------------------------------------------------------------------
+
+#[test]
+fn undeclared_nonlinear_lhs_is_flagged() {
+    let rules = vec![rule("sq", "(* ?x ?x)", "(pow ?x 2)")];
+    let report = audit(&rules);
+    assert!(report.violations.iter().any(|v| matches!(
+        v,
+        Violation::UndeclaredNonlinear { rule, var }
+            if rule == "sq" && *var == Var::new("x")
+    )));
+
+    // the same rule with the declaration audits clean
+    let declared = vec![rule("sq", "(* ?x ?x)", "(pow ?x 2)").with_nonlinear_lhs()];
+    assert!(audit(&declared).clean());
+}
+
+// ------------------------------------------------------------------
+// schema typing (pass 2)
+// ------------------------------------------------------------------
+
+#[test]
+fn schema_widening_rhs_needs_declared_conditions() {
+    // Dropping a Σ without knowing ?i ∉ Attr(?a), ?i ∉ Attr(?b)
+    // widens the schema. Legal only with declared conditions.
+    let rules = vec![rule("drop-agg", "(sum ?i (* ?a ?b))", "(* ?a ?b)")];
+    let report = audit(&rules);
+    let missing = report.violations.iter().find_map(|v| match v {
+        Violation::UndeclaredCondition { rule, missing } if rule == "drop-agg" => Some(missing),
+        _ => None,
+    });
+    let missing = missing.expect("drop-agg must report undeclared conditions");
+    assert_eq!(missing.len(), 2, "needs ?i ∉ ?a and ?i ∉ ?b: {missing:?}");
+}
+
+#[test]
+fn sigma_bound_index_escaping_its_binder_is_a_mismatch() {
+    // The rhs mentions bound index ?i outside any Σ — no hypothesis in
+    // the schema vocabulary can repair that.
+    let rules = vec![rule("escape", "(sum ?i (b ?i ?j ?x))", "(b ?i ?j ?x)")];
+    let report = audit(&rules);
+    assert!(report.violations.iter().any(|v| matches!(
+        v,
+        Violation::SchemaMismatch { rule, .. } if rule == "escape"
+    )));
+}
+
+#[test]
+fn dropping_a_value_without_iszero_is_flagged() {
+    // `(+ ?a ?b) → ?a` deletes ?b: sound only when ?b is declared zero
+    // (and its schema absorbed). The shipped add-zero-rel declares both.
+    let rules = vec![rule("eat-term", "(+ ?a ?b)", "?a")];
+    let report = audit(&rules);
+    assert!(report.violations.iter().any(|v| matches!(
+        v,
+        Violation::UndeclaredDrop { rule, var }
+            if rule == "eat-term" && *var == Var::new("b")
+    )));
+    assert!(report.violations.iter().any(|v| matches!(
+        v,
+        Violation::UndeclaredCondition { rule, .. } if rule == "eat-term"
+    )));
+}
+
+#[test]
+fn index_value_role_conflict_is_flagged() {
+    let rules = vec![rule("confused", "(sum ?i ?i)", "(sum ?i ?i)")];
+    let report = audit(&rules);
+    assert!(report.violations.iter().any(|v| matches!(
+        v,
+        Violation::RoleConflict { rule, var }
+            if rule == "confused" && *var == Var::new("i")
+    )));
+}
+
+// ------------------------------------------------------------------
+// semiring requirements (pass 3)
+// ------------------------------------------------------------------
+
+#[test]
+fn ring_only_rule_rejected_under_semiring_policy() {
+    // x + (−1)·x = 0·x needs additive inverses: a ring axiom. Under a
+    // commutative-semiring policy cap (e.g. certifying for min-plus)
+    // the audit must reject it.
+    let rules = vec![rule("cancel", "(+ ?x (* -1 ?x))", "(* 0 ?x)").with_nonlinear_lhs()];
+    let permissive = audit(&rules);
+    assert!(permissive.clean(), "{:?}", permissive.violations);
+    let req = permissive.rules[0].semiring.expect("inferred");
+    assert_eq!(req.structure, Structure::Ring);
+    assert_eq!(req.verified, Verification::Algebraic);
+
+    let capped = audit_with_policy(
+        &rules,
+        &AuditPolicy {
+            max_structure: Some(Structure::CommutativeSemiring),
+        },
+    );
+    assert!(capped.violations.iter().any(|v| matches!(
+        v,
+        Violation::StructureExceedsPolicy { rule, required, max }
+            if rule == "cancel"
+                && *required == Structure::Ring
+                && *max == Structure::CommutativeSemiring
+    )));
+}
+
+#[test]
+fn idempotent_only_rule_is_tagged_idempotent() {
+    // x ⊕ x = x holds in min-plus / bool-or but not in ℝ: the table
+    // must carry the idempotent-⊕ tag so semiring-generic workloads can
+    // filter on it.
+    let rules = vec![rule("idem-add", "(+ ?x ?x)", "?x").with_nonlinear_lhs()];
+    let report = audit(&rules);
+    assert!(report.clean(), "{:?}", report.violations);
+    let req = report.rules[0].semiring.expect("inferred");
+    assert_eq!(req.structure, Structure::Semiring);
+    assert!(req.idempotent_add);
+    assert_eq!(req.verified, Verification::Algebraic);
+}
+
+// ------------------------------------------------------------------
+// golden: the shipped ruleset
+// ------------------------------------------------------------------
+
+#[test]
+fn shipped_complete_ruleset_audits_clean() {
+    let rules = rules::complete();
+    let report = audit(&rules);
+    assert!(
+        report.clean(),
+        "shipped ruleset has violations: {:#?}",
+        report.violations
+    );
+    assert!(
+        report.warnings.is_empty(),
+        "shipped ruleset has warnings: {:#?}",
+        report.warnings
+    );
+}
+
+#[test]
+fn semiring_snapshot_covers_every_rule() {
+    let rules = rules::complete();
+    let report = audit(&rules);
+    for r in &report.rules {
+        assert!(
+            r.semiring.is_some(),
+            "rule {} missing from the semiring table",
+            r.name
+        );
+        assert_ne!(
+            r.semiring.unwrap().verified,
+            Verification::Unverified,
+            "rule {} is unverified",
+            r.name
+        );
+    }
+    let table = report.semiring_table_json();
+    for r in &rules {
+        assert!(
+            table.contains(&format!("\"rule\": \"{}\"", r.name)),
+            "snapshot missing {}",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn committed_snapshot_matches_inferred_table() {
+    let committed = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/SEMIRING.json"))
+        .expect("crates/ruleaudit/SEMIRING.json must be committed");
+    let actual = audit(&rules::complete()).semiring_table_json();
+    assert_eq!(
+        committed, actual,
+        "semiring table drifted; regenerate with \
+         `cargo run -p spores-ruleaudit --bin rule_audit -- --write-semiring crates/ruleaudit/SEMIRING.json`"
+    );
+}

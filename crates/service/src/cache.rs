@@ -301,7 +301,7 @@ impl<P: CacheEntry> ShardedCache<P> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.map.read().map(|m| m.len).unwrap_or(0))
+            .map(|s| s.map.read().map_or(0, |m| m.len))
             .sum()
     }
 

@@ -29,6 +29,8 @@
 //!   backpressure + contention gauges (queue depth, shard-lock waits,
 //!   poisoned shards, worker panics) plus a log₂ latency histogram.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod service;
 pub mod stats;

@@ -316,7 +316,7 @@ pub struct OptimizerService {
 fn slot_shapes(fp: &Fingerprint, vars: &HashMap<Symbol, VarMeta>) -> Vec<Shape> {
     fp.slots()
         .iter()
-        .map(|s| vars.get(s).map(|m| m.shape).unwrap_or(Shape::scalar()))
+        .map(|s| vars.get(s).map_or(Shape::scalar(), |m| m.shape))
         .collect()
 }
 
@@ -326,9 +326,7 @@ impl OptimizerService {
         // Each pipeline run may itself fan rule search across a scoped
         // pool; clamp its thread budget so `workers` concurrent
         // saturations don't oversubscribe the host.
-        let host = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
         let budget = (host / workers).max(1);
         config.optimizer.parallel.threads = config.optimizer.parallel.threads.min(budget);
         // the queue must at least fit one job per worker or the pool

@@ -5,6 +5,8 @@
 //! failure modes motivate SPORES (§3): conflicting rewrites, phase
 //! ordering, CSE-preservation guards, and non-compositionality.
 
+#![forbid(unsafe_code)]
+
 pub mod patterns;
 pub mod rewriter;
 

@@ -201,7 +201,7 @@ impl HeuristicRewriter {
                     }
                     // DotProductSum special case: vector ᵀ· vector stays
                     let sa = shape_in(out, a);
-                    if sa.map(|s| s.rows == 1).unwrap_or(false) {
+                    if sa.is_some_and(|s| s.rows == 1) {
                         return None; // already a dot product
                     }
                     let ca = out.col_sums(a);
@@ -227,16 +227,16 @@ impl HeuristicRewriter {
                 }
                 // pushdownSumBinaryMult: sum(s * X) -> s * sum(X)
                 if let LaNode::Bin(BinOp::Mul, a, b) = *out.node(mm) {
-                    if shape_in(out, a).map(|s| s.is_scalar()).unwrap_or(false) {
+                    if shape_in(out, a).is_some_and(|s| s.is_scalar()) {
                         let sx = out.sum(b);
                         return Some(("pushdownSumBinaryMult", out.mul(a, sx)));
                     }
-                    if shape_in(out, b).map(|s| s.is_scalar()).unwrap_or(false) {
+                    if shape_in(out, b).is_some_and(|s| s.is_scalar()) {
                         let sx = out.sum(a);
                         return Some(("pushdownSumBinaryMult", out.mul(b, sx)));
                     }
                     // DotProductSum: sum(v * v) -> t(v) %*% v
-                    if a == b && shape_in(out, a).map(|s| s.cols == 1).unwrap_or(false) {
+                    if a == b && shape_in(out, a).is_some_and(|s| s.cols == 1) {
                         let t = out.t(a);
                         return Some(("DotProductSum", out.matmul(t, a)));
                     }
@@ -244,7 +244,7 @@ impl HeuristicRewriter {
                 // DotProductSum: sum(v^2) -> t(v) %*% v
                 if let LaNode::Bin(BinOp::Pow, v, two) = *out.node(mm) {
                     if matches!(out.node(two), LaNode::Scalar(n) if n.get() == 2.0)
-                        && shape_in(out, v).map(|s| s.cols == 1).unwrap_or(false)
+                        && shape_in(out, v).is_some_and(|s| s.cols == 1)
                     {
                         let t = out.t(v);
                         return Some(("DotProductSum", out.matmul(t, v)));

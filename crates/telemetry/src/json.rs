@@ -144,7 +144,7 @@ impl<'a> Parser<'a> {
             map.insert(key, value);
             self.skip_ws();
             match self.bump() {
-                Some(b',') => continue,
+                Some(b',') => {}
                 Some(b'}') => return Ok(Json::Obj(map)),
                 _ => return Err(self.err("expected ',' or '}'")),
             }
@@ -164,7 +164,7 @@ impl<'a> Parser<'a> {
             items.push(self.value()?);
             self.skip_ws();
             match self.bump() {
-                Some(b',') => continue,
+                Some(b',') => {}
                 Some(b']') => return Ok(Json::Arr(items)),
                 _ => return Err(self.err("expected ',' or ']'")),
             }

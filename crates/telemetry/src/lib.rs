@@ -41,6 +41,8 @@
 //! journal/registry should run in their own process (their own
 //! integration-test binary) and call [`reset`] first.
 
+#![forbid(unsafe_code)]
+
 mod journal;
 mod json;
 mod metrics;

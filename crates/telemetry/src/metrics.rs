@@ -319,11 +319,7 @@ impl Registry {
                 Metric::Histogram(h) => {
                     let snap = h.snapshot();
                     let total: u64 = snap.iter().sum();
-                    let top = snap
-                        .iter()
-                        .rposition(|&c| c > 0)
-                        .map(|k| k + 1)
-                        .unwrap_or(0);
+                    let top = snap.iter().rposition(|&c| c > 0).map_or(0, |k| k + 1);
                     let mut cumulative = 0u64;
                     for (k, &c) in snap.iter().enumerate().take(top) {
                         cumulative += c;

@@ -177,7 +177,7 @@ impl SpanTotals {
 
     /// Number of completed spans named `name`.
     pub fn count(&self, name: &str) -> u64 {
-        self.totals.get(name).map(|(_, c)| *c).unwrap_or(0)
+        self.totals.get(name).map_or(0, |(_, c)| *c)
     }
 
     /// `(name, total, count)` rows, sorted by name.

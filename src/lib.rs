@@ -23,6 +23,8 @@
 //!   Prometheus-style text exposition behind
 //!   `OptimizerService::metrics_text`.
 
+#![forbid(unsafe_code)]
+
 pub use spores_core as core;
 pub use spores_egraph as egraph;
 pub use spores_exec as exec;

@@ -24,9 +24,7 @@ use std::sync::{Arc, Barrier, Mutex};
 static JOURNAL_LOCK: Mutex<()> = Mutex::new(());
 
 fn host_cores() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 fn vars(list: &[(&str, (u64, u64), f64)]) -> HashMap<Symbol, VarMeta> {
